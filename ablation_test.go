@@ -1,0 +1,190 @@
+// Ablation benchmarks for the design choices the methodology depends on:
+// deep-link exclusion (§3.1.3), entry-point reachability vs naive scanning
+// (§3.1.3's call-graph traversal), CT pre-initialisation (Figure 7's
+// levers) and pipeline worker scaling. Each reports the quality metric the
+// choice buys as benchmark metrics.
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/pageload"
+)
+
+// ablationAPKs decodes a slice of corpus APKs once.
+type parsedAPK struct {
+	spec *corpus.Spec
+	apk  *apk.APK
+}
+
+func ablationAPKs(b *testing.B, n int) []parsedAPK {
+	b.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []parsedAPK
+	for _, spec := range c.Filtered() {
+		if spec.Broken || len(out) >= n {
+			continue
+		}
+		img, err := corpus.BuildAPK(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := apk.Open(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, parsedAPK{spec: spec, apk: a})
+	}
+	return out
+}
+
+// BenchmarkAblationDeepLinkExclusion quantifies §3.1.3's deep-link filter:
+// without it, first-party deep-link content is misattributed as WebView
+// usage. The benchmark reports how many per-app verdicts the filter
+// changes (false positives avoided per 100 apps).
+func BenchmarkAblationDeepLinkExclusion(b *testing.B) {
+	apks := ablationAPKs(b, 120)
+	var flipped int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flipped = 0
+		for _, pa := range apks {
+			g := callgraph.Build(pa.apk.Dex)
+			with := map[string]bool{}
+			for _, dl := range pa.apk.Manifest.DeepLinkActivities() {
+				with[dl] = true
+			}
+			withUsage := g.AnalyzeUsage(with)
+			withoutUsage := g.AnalyzeUsage(nil)
+			if withUsage.UsesWebView() != withoutUsage.UsesWebView() {
+				flipped++
+			}
+		}
+	}
+	b.ReportMetric(float64(flipped)/float64(len(apks))*100, "verdict-flips/100apps")
+}
+
+// BenchmarkAblationReachabilityVsNaive quantifies the call-graph
+// traversal: a naive scanner that greps every invoke in the dex counts
+// dead code (the paper's over-approximation concern cuts the other way —
+// traversal is what keeps unreachable library code out of the results).
+func BenchmarkAblationReachabilityVsNaive(b *testing.B) {
+	apks := ablationAPKs(b, 120)
+	var naiveOnly int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveOnly = 0
+		for _, pa := range apks {
+			g := callgraph.Build(pa.apk.Dex)
+			reachable := g.AnalyzeUsage(nil)
+
+			// Naive: every WebView-method invoke anywhere in the dex.
+			naive := false
+			for _, cls := range pa.apk.Dex.Classes {
+				for _, m := range cls.Methods {
+					for _, ins := range m.Code {
+						if ins.Op.IsInvoke() && g.IsWebViewClass(ins.Target.Class) {
+							naive = true
+						}
+					}
+				}
+			}
+			if naive && !reachable.UsesWebView() {
+				naiveOnly++
+			}
+		}
+	}
+	b.ReportMetric(float64(naiveOnly)/float64(len(apks))*100, "deadcode-FPs/100apps")
+}
+
+// BenchmarkAblationCTWarmup isolates the Figure-7 levers: CT load time
+// cold, warmed, and warmed+preloaded, reported as milliseconds.
+func BenchmarkAblationCTWarmup(b *testing.B) {
+	m := pageload.Default()
+	const requests = 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold := m.LoadTime(pageload.ModeCustomTab, requests, false, false)
+		warm := m.LoadTime(pageload.ModeCustomTab, requests, true, false)
+		preloaded := m.LoadTime(pageload.ModeCustomTab, requests, true, true)
+		if !(preloaded < warm && warm < cold) {
+			b.Fatal("warmup levers inverted")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(cold.Milliseconds()), "cold-ms")
+			b.ReportMetric(float64(warm.Milliseconds()), "warm-ms")
+			b.ReportMetric(float64(preloaded.Milliseconds()), "preloaded-ms")
+		}
+	}
+}
+
+// BenchmarkAblationPipelineWorkers1 and ...WorkersN measure the worker
+// pool's effect on a full pipeline run.
+func BenchmarkAblationPipelineWorkers1(b *testing.B) { benchPipelineWorkers(b, 1) }
+
+// BenchmarkAblationPipelineWorkersN uses GOMAXPROCS workers.
+func BenchmarkAblationPipelineWorkersN(b *testing.B) { benchPipelineWorkers(b, 0) }
+
+func benchPipelineWorkers(b *testing.B, workers int) {
+	fix := staticSetup(b)
+	study := core.NewStaticStudy(fix.repo, fix.meta, core.StaticConfig{Workers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := study.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Funnel.Analyzed == 0 {
+			b.Fatal("no apps analysed")
+		}
+	}
+}
+
+// BenchmarkAblationObfuscationRecall measures the §3.1.5 limitation:
+// with a fraction of apps routing WebView calls through reflection, the
+// name-based static analysis loses recall. Reported as missed apps per
+// 100 obfuscated WebView apps.
+func BenchmarkAblationObfuscationRecall(b *testing.B) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 1200, ObfuscationRate: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var obf, missed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obf, missed = 0, 0
+		for _, spec := range c.Filtered() {
+			if spec.Broken || !spec.Obfuscated || !spec.UsesWebView() {
+				continue
+			}
+			obf++
+			img, err := corpus.BuildAPK(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := apk.Open(img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := callgraph.Build(a.Dex)
+			excl := map[string]bool{}
+			for _, dl := range a.Manifest.DeepLinkActivities() {
+				excl[dl] = true
+			}
+			if !g.AnalyzeUsage(excl).UsesWebView() {
+				missed++
+			}
+		}
+	}
+	if obf > 0 {
+		b.ReportMetric(float64(missed)/float64(obf)*100, "missed/100obf")
+	}
+}

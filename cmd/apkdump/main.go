@@ -1,0 +1,123 @@
+// Command apkdump inspects a single APK the way the pipeline's first
+// stages do: it prints the manifest summary, the sdex disassembly or the
+// decompiled Java source, the call-graph entry points and the detected
+// WebView / Custom Tabs usage.
+//
+// Usage:
+//
+//	apkdump -pkg com.genapp0001012 [-scale N] [-seed N] <mode>
+//
+// where mode is one of: manifest, disasm, java, usage (default: usage).
+// The APK is drawn from the synthetic corpus; point -pkg at any generated
+// package (use `corpusgen` to list them) or a named app such as
+// com.facebook.katana.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/corpus"
+	"repro/internal/dalvik"
+	"repro/internal/decompiler"
+	"repro/internal/sdkindex"
+)
+
+func main() {
+	pkg := flag.String("pkg", "com.facebook.katana", "package to dump")
+	scale := flag.Int("scale", 200, "corpus scale")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+	mode := flag.Arg(0)
+	if mode == "" {
+		mode = "usage"
+	}
+	if err := run(*pkg, *scale, *seed, mode); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(pkg string, scale int, seed int64, mode string) error {
+	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	spec := c.AppByPackage(pkg)
+	if spec == nil {
+		return fmt.Errorf("package %q not in the corpus (scale %d)", pkg, scale)
+	}
+	img, err := corpus.BuildAPK(spec)
+	if err != nil {
+		return err
+	}
+	a, err := apk.Open(img)
+	if err != nil {
+		return err
+	}
+
+	switch mode {
+	case "manifest":
+		fmt.Printf("package:     %s\n", a.Manifest.Package)
+		fmt.Printf("versionCode: %d (%s)\n", a.Manifest.VersionCode, a.Manifest.VersionName)
+		fmt.Printf("sdk:         min %d, target %d\n", a.Manifest.MinSDK, a.Manifest.TargetSDK)
+		for _, comp := range a.Manifest.Components {
+			exported := ""
+			if comp.Exported {
+				exported = " exported"
+			}
+			fmt.Printf("  %-9s %s%s\n", comp.Kind, comp.Name, exported)
+			for _, f := range comp.Filters {
+				fmt.Printf("            actions=%v categories=%v data=%v\n", f.Actions, f.Categories, f.Data)
+			}
+		}
+		if dls := a.Manifest.DeepLinkActivities(); len(dls) > 0 {
+			fmt.Printf("deep-link activities (excluded from third-party attribution): %v\n", dls)
+		}
+	case "disasm":
+		fmt.Print(dalvik.Disassemble(a.Dex))
+	case "java":
+		for _, unit := range decompiler.Decompile(a.Dex) {
+			fmt.Printf("// ===== %s =====\n%s\n", unit.Path, unit.Source)
+		}
+	case "usage":
+		g := callgraph.Build(a.Dex)
+		fmt.Printf("package: %s  (%d classes, %d methods)\n", a.Package(), len(a.Dex.Classes), a.Dex.MethodCount())
+		eps := g.EntryPoints()
+		fmt.Printf("entry points (%d):\n", len(eps))
+		for _, ep := range eps {
+			fmt.Printf("  %s.%s\n", ep.Class, ep.Name)
+		}
+		excl := map[string]bool{}
+		for _, dl := range a.Manifest.DeepLinkActivities() {
+			excl[dl] = true
+		}
+		usage := g.AnalyzeUsage(excl)
+		fmt.Printf("\nuses WebView: %v   uses Custom Tabs: %v\n", usage.UsesWebView(), usage.UsesCT())
+		if subs := usage.WebViewSubclasses; len(subs) > 0 {
+			fmt.Printf("custom WebView subclasses: %v\n", subs)
+		}
+		idx := sdkindex.Default()
+		for _, call := range usage.WebViewCalls {
+			label := "first-party"
+			if sdk, ok := idx.Lookup(call.CallerPackage()); ok {
+				label = fmt.Sprintf("%s SDK: %s", sdk.Category, sdk.Name)
+			}
+			fmt.Printf("  WV  %-48s %-26s [%s] url=%s\n", call.Caller, call.Target.Name, label, call.URLHint)
+		}
+		for _, call := range usage.CTCalls {
+			label := "first-party"
+			if sdk, ok := idx.Lookup(call.CallerPackage()); ok {
+				label = fmt.Sprintf("%s SDK: %s", sdk.Category, sdk.Name)
+			}
+			fmt.Printf("  CT  %-48s %-26s [%s]\n", call.Caller, call.Target.Name, label)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q (manifest|disasm|java|usage)\n", mode)
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command corpusgen generates a synthetic app corpus and either prints its
+// ground-truth statistics or serves it as AndroZoo + Play Store HTTP
+// services for external pipeline runs.
+//
+// Usage:
+//
+//	corpusgen [-scale N] [-seed N]                 print corpus statistics
+//	corpusgen -serve -azoo :8081 -play :8082       serve the corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/androzoo"
+	"repro/internal/corpus"
+	"repro/internal/playstore"
+)
+
+func main() {
+	scale := flag.Int("scale", 200, "population divisor (1 = paper scale)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	serve := flag.Bool("serve", false, "serve the corpus over HTTP")
+	list := flag.Int("list", 0, "list the first N filtered packages and exit")
+	azooAddr := flag.String("azoo", "127.0.0.1:8081", "AndroZoo listen address")
+	playAddr := flag.String("play", "127.0.0.1:8082", "Play Store listen address")
+	flag.Parse()
+
+	c, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *list > 0 {
+		for _, s := range c.Top(*list) {
+			fmt.Printf("%-40s %12d downloads  %s\n", s.Package, s.Downloads, s.PlayCategory)
+		}
+		return
+	}
+	if !*serve {
+		printStats(c)
+		return
+	}
+
+	errc := make(chan error, 2)
+	go func() {
+		log.Printf("AndroZoo repository on http://%s (snapshot: /snapshot, APKs: /apk/{pkg})", *azooAddr)
+		errc <- http.ListenAndServe(*azooAddr, androzoo.NewServer(c).Handler())
+	}()
+	go func() {
+		log.Printf("Play Store metadata on http://%s (/v1/apps/{pkg})", *playAddr)
+		errc <- http.ListenAndServe(*playAddr, playstore.NewServer(c).Handler())
+	}()
+	log.Fatal(<-errc)
+}
+
+func printStats(c *corpus.Corpus) {
+	fmt.Printf("corpus seed=%d scale=1/%d\n", c.Config.Seed, c.Config.Scale)
+	fmt.Printf("  repository entries: %d\n", c.Counts.Total)
+	fmt.Printf("  on Play Store:      %d\n", c.Counts.OnPlay)
+	fmt.Printf("  100K+ downloads:    %d\n", c.Counts.Popular)
+	fmt.Printf("  actively updated:   %d\n", c.Counts.Filtered)
+	fmt.Printf("  broken APKs:        %d\n", c.Counts.Broken)
+	var wv, ct, both int
+	for _, s := range c.Filtered() {
+		if s.Broken {
+			continue
+		}
+		if s.UsesWebView() {
+			wv++
+		}
+		if s.UsesCT() {
+			ct++
+		}
+		if s.UsesWebView() && s.UsesCT() {
+			both++
+		}
+	}
+	analyzed := c.Counts.Analyzed
+	fmt.Printf("ground truth over %d analyzable apps:\n", analyzed)
+	fmt.Printf("  using WebViews: %d (%.1f%%, paper 55.7%%)\n", wv, pct(wv, analyzed))
+	fmt.Printf("  using CTs:      %d (%.1f%%, paper 19.9%%)\n", ct, pct(ct, analyzed))
+	fmt.Printf("  using both:     %d (%.1f%%, paper 15.0%%)\n", both, pct(both, analyzed))
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,97 @@
+// Command crawlsites reproduces the paper's 100-top-site crawl (§3.2.2,
+// Figure 6): it boots a device whose internet serves synthetic CrUX top
+// sites, installs the WebView-IAB apps plus the System WebView Shell
+// baseline, starts an ADB server, and drives the crawl — launch, insert
+// URL, tap, scroll, wait, collect NetLog, purge — printing the Figure 6
+// endpoint distributions for LinkedIn and Kik.
+//
+// Usage:
+//
+//	crawlsites [-sites N] [-ratelimit N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/adb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/crawler"
+	"repro/internal/crux"
+	"repro/internal/report"
+)
+
+func main() {
+	sites := flag.Int("sites", 100, "number of top sites to crawl")
+	rateLimit := flag.Int("ratelimit", 40, "clicks before an account restriction (0 = off)")
+	flag.Parse()
+	if err := run(*sites, *rateLimit); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nSites, rateLimit int) error {
+	study := core.NewDynamicStudy()
+	siteList := crux.TopSites(nSites)
+	crux.RegisterAll(study.Net, siteList)
+
+	// Install the ten IAB apps and the baseline shell.
+	var apps []string
+	ownDomains := map[string][]string{
+		"com.linkedin.android": {"linkedin.com", "licdn.com"},
+	}
+	for i := range corpus.NamedApps {
+		n := &corpus.NamedApps[i]
+		if n.Dynamic.LinkOpens != corpus.LinkWebView {
+			continue
+		}
+		spec := &corpus.Spec{Package: n.Package, Title: n.Title, Downloads: n.Downloads,
+			OnPlayStore: true, Dynamic: n.Dynamic}
+		if _, err := study.Device.Install(spec); err != nil {
+			return err
+		}
+		apps = append(apps, n.Package)
+	}
+	baseline := core.BaselineShellSpec()
+	if _, err := study.Device.Install(baseline); err != nil {
+		return err
+	}
+	apps = append(apps, baseline.Package)
+
+	srv := adb.NewServer(study.Device)
+	if rateLimit > 0 {
+		// The paper's Facebook account restrictions.
+		srv.RateLimits = map[string]int{"com.facebook.katana": rateLimit}
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	client, err := adb.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	fmt.Fprintf(os.Stderr, "crawling %d sites with %d apps over adb %s...\n", nSites, len(apps), addr)
+	cr := crawler.New(client, crawler.Config{Apps: apps, Sites: siteList, OwnDomains: ownDomains})
+	res, err := cr.Run()
+	if err != nil {
+		return err
+	}
+	for _, f := range res.Failures {
+		fmt.Fprintf(os.Stderr, "failure: %s\n", f)
+	}
+	for app, n := range res.AccountResets {
+		fmt.Fprintf(os.Stderr, "account resets for %s: %d\n", app, n)
+	}
+
+	fmt.Print(report.Figure6(res, "com.linkedin.android", "LinkedIn"))
+	fmt.Print(report.Figure6(res, "kik.android", "Kik"))
+	fmt.Print(report.Figure6(res, baseline.Package, "System WebView Shell (baseline)"))
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command dynprobe runs the paper's semi-manual dynamic analysis (§3.2)
+// on a simulated device: it classifies the top-1K apps' hyperlink
+// behaviour (Table 6), then instruments every WebView-based In-App Browser
+// with Frida-style hooks and visits the controlled measurement page,
+// reporting the injected behaviour (Table 8) and the Web APIs the injected
+// code exercised (Table 9).
+//
+// Usage:
+//
+//	dynprobe [-scale N] [-seed N] [-top N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+func main() {
+	scale := flag.Int("scale", 100, "corpus population divisor (must keep >= top apps)")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	top := flag.Int("top", 1000, "number of top apps to classify")
+	flag.Parse()
+
+	if err := run(*scale, *seed, *top); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scale int, seed int64, top int) error {
+	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", seed, scale)
+	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		return err
+	}
+	specs := c.Top(top)
+	fmt.Fprintf(os.Stderr, "classifying %d top apps on the device...\n", len(specs))
+
+	study := core.NewDynamicStudy()
+	ctx := context.Background()
+	t6, err := study.ClassifyTopApps(ctx, specs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Table6(t6))
+
+	// Deep-probe the WebView IABs found.
+	var iabSpecs []*corpus.Spec
+	for _, pkg := range t6.WebViewIABApps {
+		if spec := c.AppByPackage(pkg); spec != nil {
+			iabSpecs = append(iabSpecs, spec)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "probing %d WebView-based IABs...\n", len(iabSpecs))
+	rows, _, err := study.ProbeIABs(ctx, iabSpecs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report.Table8(rows))
+	fmt.Print(report.Table9(rows))
+	return nil
+}

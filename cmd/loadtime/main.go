@@ -1,0 +1,22 @@
+// Command loadtime prints the Figure 7 page-load-time comparison: the same
+// page rendered in a Custom Tab (pre-warmed, speculatively loaded), in
+// Chrome, in an external browser reached via intent, and in a WebView.
+//
+// Usage:
+//
+//	loadtime [-requests N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/pageload"
+	"repro/internal/report"
+)
+
+func main() {
+	requests := flag.Int("requests", 12, "resource requests on the measured page")
+	flag.Parse()
+	fmt.Print(report.Figure7(pageload.Default(), *requests))
+}

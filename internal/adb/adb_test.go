@@ -1,0 +1,176 @@
+package adb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/device"
+	"repro/internal/internet"
+)
+
+func testServer(t *testing.T) (*Client, *device.Device) {
+	t.Helper()
+	dev := device.New(internet.New())
+	if _, err := dev.Install(&corpus.Spec{
+		Package: "com.app.a", OnPlayStore: true,
+		Dynamic: corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(dev)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, dev
+}
+
+func TestBasicCommands(t *testing.T) {
+	client, _ := testServer(t)
+	if _, err := client.Command("launch", "com.app.a"); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if _, err := client.Command("post", "com.app.a", "https://example.com/"); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	payload, err := client.Command("click", "com.app.a", "https://example.com/")
+	if err != nil {
+		t.Fatalf("click: %v", err)
+	}
+	if !strings.HasPrefix(payload, "browser") {
+		t.Errorf("payload = %q", payload)
+	}
+	for _, cmd := range [][]string{
+		{"input", "swipe", "1", "2", "3", "4"},
+		{"wait", "100"},
+		{"purge-netlog"},
+		{"logcat-clear"},
+		{"force-stop", "com.app.a"},
+	} {
+		if _, err := client.Command(cmd...); err != nil {
+			t.Errorf("%v: %v", cmd, err)
+		}
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	client, _ := testServer(t)
+	cases := [][]string{
+		{"launch"},
+		{"launch", "com.not.there"},
+		{"post", "com.app.a", "https://x/"}, // not launched
+		{"click", "com.app.a"},
+		{"nonsense"},
+		{"wait", "abc"},
+	}
+	for _, c := range cases {
+		if _, err := client.Command(c...); err == nil {
+			t.Errorf("command %v accepted", c)
+		}
+	}
+}
+
+func TestRateLimitAndNewAccount(t *testing.T) {
+	dev := device.New(internet.New())
+	_, _ = dev.Install(&corpus.Spec{
+		Package: "com.fb", OnPlayStore: true,
+		Dynamic: corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser},
+	})
+	srv := NewServer(dev)
+	srv.RateLimits = map[string]int{"com.fb": 2}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Command("launch", "com.fb"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := client.Command("post", "com.fb", "https://example.com/"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Command("click", "com.fb", "https://example.com/"); err != nil {
+			t.Fatalf("click %d: %v", i, err)
+		}
+	}
+	_, _ = client.Command("post", "com.fb", "https://example.com/")
+	if _, err := client.Command("click", "com.fb", "https://example.com/"); err == nil ||
+		!strings.Contains(err.Error(), "rate-limited") {
+		t.Errorf("third click err = %v, want rate-limited", err)
+	}
+	payload, err := client.Command("newaccount", "com.fb")
+	if err != nil || !strings.HasPrefix(payload, "account=") {
+		t.Fatalf("newaccount = %q, %v", payload, err)
+	}
+	if _, err := client.Command("click", "com.fb", "https://example.com/"); err != nil {
+		t.Errorf("click after account reset: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	client1, dev := testServer(t)
+	_ = client1
+	// Second connection to the same server.
+	srv := NewServer(dev)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := c.Command("wait", "1"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestListCommand(t *testing.T) {
+	client, dev := testServer(t)
+	if _, err := client.Command("launch", "com.app.a"); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = client.Command("post", "com.app.a", "https://example.com/")
+	payload, err := client.Command("click", "com.app.a", "https://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := strings.Fields(payload)[1]
+	hosts, err := client.List("netlog", ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) == 0 {
+		t.Error("no hosts")
+	}
+	_ = dev
+}

@@ -1,0 +1,107 @@
+// Package android centralises the names of the Android framework classes,
+// methods and intent constants that the measurement pipeline looks for.
+// Keeping them in one place guarantees the corpus generator (which plants
+// calls) and the static analyses (which detect them) agree exactly on the
+// API surface, the same way the paper anchors its detection on Android's
+// documented class and method names.
+package android
+
+// Framework class names.
+const (
+	WebViewClass                 = "android.webkit.WebView"
+	WebViewClientClass           = "android.webkit.WebViewClient"
+	WebChromeClientClass         = "android.webkit.WebChromeClient"
+	CustomTabsIntentClass        = "androidx.browser.customtabs.CustomTabsIntent"
+	CustomTabsIntentBuilderClass = "androidx.browser.customtabs.CustomTabsIntent$Builder"
+	CustomTabsCallbackClass      = "androidx.browser.customtabs.CustomTabsCallback"
+	ActivityClass                = "android.app.Activity"
+	ServiceClass                 = "android.app.Service"
+	BroadcastReceiverClass       = "android.content.BroadcastReceiver"
+	ContentProviderClass         = "android.content.ContentProvider"
+	IntentClass                  = "android.content.Intent"
+	ContextClass                 = "android.content.Context"
+	ViewClass                    = "android.view.View"
+	ObjectClass                  = "java.lang.Object"
+)
+
+// WebView content-loading and modification methods the paper measures
+// (Table 7). LoadMethods are the subset whose presence marks an SDK package
+// as "populating content" into a WebView (§3.1.4).
+var (
+	// WebViewMethods is the full measured WebView API-method surface, in
+	// the order Table 7 reports it.
+	WebViewMethods = []string{
+		MethodLoadURL,
+		MethodAddJavascriptInterface,
+		MethodLoadDataWithBaseURL,
+		MethodEvaluateJavascript,
+		MethodRemoveJavascriptInterface,
+		MethodLoadData,
+		MethodPostURL,
+	}
+
+	// LoadMethods are the WebView methods that populate web content; a
+	// package calling one of these is attributed as the WebView's driver.
+	LoadMethods = []string{MethodLoadURL, MethodLoadData, MethodLoadDataWithBaseURL}
+)
+
+// Individual WebView method names.
+const (
+	MethodLoadURL                   = "loadUrl"
+	MethodAddJavascriptInterface    = "addJavascriptInterface"
+	MethodLoadDataWithBaseURL       = "loadDataWithBaseURL"
+	MethodEvaluateJavascript        = "evaluateJavascript"
+	MethodRemoveJavascriptInterface = "removeJavascriptInterface"
+	MethodLoadData                  = "loadData"
+	MethodPostURL                   = "postUrl"
+
+	// MethodLaunchURL populates content into a Custom Tab (§3.1.4).
+	MethodLaunchURL = "launchUrl"
+)
+
+// Intent actions and categories used in deep-link / Web-URI handling.
+const (
+	ActionView        = "android.intent.action.VIEW"
+	ActionMain        = "android.intent.action.MAIN"
+	CategoryBrowsable = "android.intent.category.BROWSABLE"
+	CategoryDefault   = "android.intent.category.DEFAULT"
+	CategoryLauncher  = "android.intent.category.LAUNCHER"
+)
+
+// Activity lifecycle methods that act as call-graph entry points, plus the
+// common GUI callback. An Android app has no main(); traversal starts from
+// every component's lifecycle and event surface (§3.1.3).
+var LifecycleEntryPoints = []string{
+	"onCreate", "onStart", "onResume", "onPause", "onStop", "onDestroy",
+	"onRestart", "onNewIntent",
+	"onClick", "onTouch", "onItemClick", "onMenuItemSelected",
+	"onReceive",      // BroadcastReceiver
+	"onStartCommand", // Service
+	"onBind",         // Service
+	"query",          // ContentProvider
+}
+
+// IsWebViewMethod reports whether name is one of the measured WebView API
+// methods.
+func IsWebViewMethod(name string) bool {
+	for _, m := range WebViewMethods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLoadMethod reports whether name is a WebView content-populating method.
+func IsLoadMethod(name string) bool {
+	for _, m := range LoadMethods {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// XRequestedWithHeader is the header WebView stamps on every request with
+// the embedding app's package name (§5).
+const XRequestedWithHeader = "X-Requested-With"

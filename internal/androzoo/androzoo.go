@@ -1,0 +1,134 @@
+// Package androzoo simulates the AndroZoo APK repository [39]: a snapshot
+// listing of every known Play Store app and per-app APK download. APK
+// images are synthesised on demand from the corpus specs (deterministically,
+// so repeated downloads are byte-identical) and served with their digest,
+// the way AndroZoo indexes APKs by hash.
+package androzoo
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// Server serves a corpus as an APK repository.
+type Server struct {
+	c     *corpus.Corpus
+	byPkg map[string]*corpus.Spec
+}
+
+// NewServer indexes the corpus.
+func NewServer(c *corpus.Corpus) *Server {
+	s := &Server{c: c, byPkg: make(map[string]*corpus.Spec, len(c.Apps))}
+	for _, app := range c.Apps {
+		s.byPkg[app.Package] = app
+	}
+	return s
+}
+
+// Handler returns the repository API:
+//
+//	GET /snapshot          newline-separated package list
+//	GET /apk/{package}     the APK image
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /apk/", s.handleAPK)
+	return mux
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	for _, app := range s.c.Apps {
+		bw.WriteString(app.Package)
+		bw.WriteByte('\n')
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
+	pkg := strings.TrimPrefix(r.URL.Path, "/apk/")
+	spec, ok := s.byPkg[pkg]
+	if !ok {
+		http.Error(w, "unknown apk", http.StatusNotFound)
+		return
+	}
+	img, err := corpus.BuildAPK(spec)
+	if err != nil {
+		http.Error(w, "build failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.android.package-archive")
+	w.Header().Set("Content-Length", fmt.Sprint(len(img)))
+	w.Write(img)
+}
+
+// Client talks to a repository server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the repository at baseURL.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// List streams the snapshot package list.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/snapshot", nil)
+	if err != nil {
+		return nil, fmt.Errorf("androzoo: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("androzoo: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("androzoo: snapshot: unexpected status %s", resp.Status)
+	}
+	var pkgs []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			pkgs = append(pkgs, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("androzoo: snapshot: %w", err)
+	}
+	return pkgs, nil
+}
+
+// Download fetches one APK image.
+func (c *Client) Download(ctx context.Context, pkg string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/apk/"+pkg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("androzoo: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("androzoo: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("androzoo: %s: unexpected status %s", pkg, resp.Status)
+	}
+	img, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("androzoo: %s: %w", pkg, err)
+	}
+	return img, nil
+}

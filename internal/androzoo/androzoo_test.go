@@ -1,0 +1,112 @@
+package androzoo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/corpus"
+)
+
+func testSetup(t *testing.T) (*Client, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL, srv.Client()), c
+}
+
+func TestListReturnsWholeSnapshot(t *testing.T) {
+	client, c := testSetup(t)
+	pkgs, err := client.List(context.Background())
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(pkgs) != len(c.Apps) {
+		t.Errorf("snapshot = %d packages, want %d", len(pkgs), len(c.Apps))
+	}
+	if pkgs[0] != c.Apps[0].Package {
+		t.Errorf("first package = %q, want %q", pkgs[0], c.Apps[0].Package)
+	}
+}
+
+func TestDownloadParsesAsAPK(t *testing.T) {
+	client, c := testSetup(t)
+	var target *corpus.Spec
+	for _, s := range c.Filtered() {
+		if !s.Broken {
+			target = s
+			break
+		}
+	}
+	img, err := client.Download(context.Background(), target.Package)
+	if err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	a, err := apk.Open(img)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if a.Package() != target.Package {
+		t.Errorf("package = %q", a.Package())
+	}
+}
+
+func TestDownloadDeterministic(t *testing.T) {
+	client, c := testSetup(t)
+	pkg := c.Filtered()[0].Package
+	a, err := client.Download(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.Download(context.Background(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("repeated downloads differ")
+	}
+}
+
+func TestDownloadUnknown(t *testing.T) {
+	client, _ := testSetup(t)
+	if _, err := client.Download(context.Background(), "com.unknown.app"); err == nil {
+		t.Error("unknown package did not fail")
+	}
+}
+
+func TestDownloadBrokenAPKStillServed(t *testing.T) {
+	client, c := testSetup(t)
+	var broken *corpus.Spec
+	for _, s := range c.Filtered() {
+		if s.Broken {
+			broken = s
+			break
+		}
+	}
+	if broken == nil {
+		t.Skip("no broken APKs at this scale")
+	}
+	img, err := client.Download(context.Background(), broken.Package)
+	if err != nil {
+		t.Fatalf("Download: %v", err)
+	}
+	if _, err := apk.Open(img); !errors.Is(err, apk.ErrBroken) {
+		t.Errorf("broken APK parsed: %v", err)
+	}
+}
+
+func TestListContextCancel(t *testing.T) {
+	client, _ := testSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.List(ctx); err == nil {
+		t.Error("cancelled context did not fail")
+	}
+}

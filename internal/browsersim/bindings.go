@@ -1,0 +1,343 @@
+package browsersim
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/jsvm"
+)
+
+// installBindings exposes document, window, console, navigator and network
+// primitives to page scripts. Every DOM method records an APICall, exactly
+// as the controlled page's Trace.js wraps the Web APIs (§3.2.2).
+func (p *Page) installBindings() {
+	g := p.VM.Global
+
+	console := jsvm.NewObject()
+	console.SetFunc("log", func(c jsvm.Call) (jsvm.Value, error) {
+		parts := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			parts[i] = a.StringValue()
+		}
+		p.mu.Lock()
+		p.Console = append(p.Console, strings.Join(parts, " "))
+		p.mu.Unlock()
+		return jsvm.Undefined(), nil
+	})
+	console.Set("error", console.Get("log"))
+	console.Set("warn", console.Get("log"))
+	console.Set("info", console.Get("log"))
+	g.Set("console", jsvm.ObjectValue(console))
+
+	g.Set("document", jsvm.ObjectValue(p.documentObject()))
+
+	// window IS the global object, as in browsers: window.x = 1 creates a
+	// global, and bare globals are readable as window properties.
+	window := g
+	location := jsvm.NewObject()
+	location.Set("href", jsvm.String(p.URL))
+	if i := strings.Index(p.URL, "://"); i > 0 {
+		rest := p.URL[i+3:]
+		host := rest
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			host = rest[:j]
+		}
+		location.Set("host", jsvm.String(host))
+		location.Set("hostname", jsvm.String(host))
+	}
+	window.Set("location", jsvm.ObjectValue(location))
+	window.Set("window", jsvm.ObjectValue(window))
+	window.SetFunc("addEventListener", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Window", "addEventListener")
+		return jsvm.Undefined(), nil
+	})
+	// Timers run synchronously: the harness has no event loop and the
+	// measured scripts only use them to defer work.
+	window.SetFunc("setTimeout", func(c jsvm.Call) (jsvm.Value, error) {
+		if fn := c.Arg(0); fn.Object() != nil && fn.Object().IsCallable() {
+			if _, err := c.VM.CallFunction(fn, jsvm.Undefined()); err != nil {
+				return jsvm.Undefined(), err
+			}
+		}
+		return jsvm.Number(1), nil
+	})
+
+	navigator := jsvm.NewObject()
+	ua := p.loader.UserAgent
+	if ua == "" {
+		ua = "Mozilla/5.0 (Linux; Android 12; Pixel 3) BrowserSim/1.0"
+	}
+	navigator.Set("userAgent", jsvm.String(ua))
+	navigator.SetFunc("sendBeacon", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Navigator", "sendBeacon")
+		p.FetchFromScript(c.Arg(0).StringValue())
+		return jsvm.Bool(true), nil
+	})
+	g.Set("navigator", jsvm.ObjectValue(navigator))
+
+	// XMLHttpRequest: synchronous single-shot GET, enough for beacons and
+	// measurement pings.
+	g.Set("XMLHttpRequest", jsvm.ObjectValue(jsvm.NewHostFunc("XMLHttpRequest", func(c jsvm.Call) (jsvm.Value, error) {
+		xhr := c.This.Object()
+		if xhr == nil {
+			xhr = jsvm.NewObject()
+		}
+		var reqURL string
+		xhr.SetFunc("open", func(cc jsvm.Call) (jsvm.Value, error) {
+			p.recordAPI("XMLHttpRequest", "open")
+			reqURL = cc.Arg(1).StringValue()
+			return jsvm.Undefined(), nil
+		})
+		xhr.SetFunc("send", func(cc jsvm.Call) (jsvm.Value, error) {
+			p.recordAPI("XMLHttpRequest", "send")
+			body, status := p.FetchFromScript(reqURL)
+			xhr.Set("status", jsvm.Number(float64(status)))
+			xhr.Set("responseText", jsvm.String(body))
+			xhr.Set("readyState", jsvm.Number(4))
+			if cb := xhr.Get("onreadystatechange"); cb.Object() != nil && cb.Object().IsCallable() {
+				if _, err := cc.VM.CallFunction(cb, jsvm.ObjectValue(xhr)); err != nil {
+					return jsvm.Undefined(), err
+				}
+			}
+			return jsvm.Undefined(), nil
+		})
+		xhr.SetFunc("setRequestHeader", func(cc jsvm.Call) (jsvm.Value, error) {
+			return jsvm.Undefined(), nil
+		})
+		return jsvm.ObjectValue(xhr), nil
+	})))
+
+	// fetch(): resolves synchronously, returning a pseudo-promise whose
+	// then-callback receives {status, text}.
+	g.Set("fetch", jsvm.ObjectValue(jsvm.NewHostFunc("fetch", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Window", "fetch")
+		body, status := p.FetchFromScript(c.Arg(0).StringValue())
+		resp := jsvm.NewObject()
+		resp.Set("status", jsvm.Number(float64(status)))
+		resp.Set("ok", jsvm.Bool(status >= 200 && status < 300))
+		resp.SetFunc("text", func(cc jsvm.Call) (jsvm.Value, error) {
+			return jsvm.String(body), nil
+		})
+		promise := jsvm.NewObject()
+		promise.SetFunc("then", func(cc jsvm.Call) (jsvm.Value, error) {
+			if fn := cc.Arg(0); fn.Object() != nil && fn.Object().IsCallable() {
+				if _, err := cc.VM.CallFunction(fn, jsvm.Undefined(), jsvm.ObjectValue(resp)); err != nil {
+					return jsvm.Undefined(), err
+				}
+			}
+			return jsvm.ObjectValue(promise), nil
+		})
+		promise.SetFunc("catch", func(cc jsvm.Call) (jsvm.Value, error) {
+			return jsvm.ObjectValue(promise), nil
+		})
+		return jsvm.ObjectValue(promise), nil
+	})))
+
+	g.Set("performance", jsvm.ObjectValue(p.performanceObject()))
+}
+
+func (p *Page) performanceObject() *jsvm.Object {
+	perf := jsvm.NewObject()
+	var t float64 = 120 // deterministic "DOMContentLoaded at 120ms"
+	perf.SetFunc("now", func(c jsvm.Call) (jsvm.Value, error) {
+		t += 16
+		return jsvm.Number(t), nil
+	})
+	timing := jsvm.NewObject()
+	timing.Set("navigationStart", jsvm.Number(0))
+	timing.Set("domContentLoadedEventEnd", jsvm.Number(120))
+	timing.Set("loadEventEnd", jsvm.Number(480))
+	perf.Set("timing", jsvm.ObjectValue(timing))
+	return perf
+}
+
+// documentObject wraps the page DOM. Nodes are wrapped once and cached so
+// identity comparisons in script behave.
+func (p *Page) documentObject() *jsvm.Object {
+	doc := jsvm.NewObject()
+	record := func(method string) { p.recordAPI("Document", method) }
+
+	doc.SetFunc("getElementById", func(c jsvm.Call) (jsvm.Value, error) {
+		record("getElementById")
+		n := p.Doc.GetElementByID(c.Arg(0).StringValue())
+		if n == nil {
+			return jsvm.Null(), nil
+		}
+		return jsvm.ObjectValue(p.wrapNode(n)), nil
+	})
+	doc.SetFunc("getElementsByTagName", func(c jsvm.Call) (jsvm.Value, error) {
+		record("getElementsByTagName")
+		return jsvm.ObjectValue(p.wrapNodeList(p.Doc.GetElementsByTagName(c.Arg(0).StringValue()), "HTMLCollection")), nil
+	})
+	doc.SetFunc("querySelectorAll", func(c jsvm.Call) (jsvm.Value, error) {
+		record("querySelectorAll")
+		return jsvm.ObjectValue(p.wrapNodeList(p.Doc.QuerySelectorAll(c.Arg(0).StringValue()), "NodeList")), nil
+	})
+	doc.SetFunc("querySelector", func(c jsvm.Call) (jsvm.Value, error) {
+		record("querySelector")
+		nodes := p.Doc.QuerySelectorAll(c.Arg(0).StringValue())
+		if len(nodes) == 0 {
+			return jsvm.Null(), nil
+		}
+		return jsvm.ObjectValue(p.wrapNode(nodes[0])), nil
+	})
+	doc.SetFunc("createElement", func(c jsvm.Call) (jsvm.Value, error) {
+		record("createElement")
+		return jsvm.ObjectValue(p.wrapNode(p.Doc.CreateElement(c.Arg(0).StringValue()))), nil
+	})
+	doc.SetFunc("addEventListener", func(c jsvm.Call) (jsvm.Value, error) {
+		record("addEventListener")
+		return jsvm.Undefined(), nil
+	})
+	doc.SetFunc("removeEventListener", func(c jsvm.Call) (jsvm.Value, error) {
+		record("removeEventListener")
+		return jsvm.Undefined(), nil
+	})
+	doc.Set("title", jsvm.String(p.Doc.Title))
+	if body := p.Doc.Body(); body != nil {
+		doc.Set("body", jsvm.ObjectValue(p.wrapNode(body)))
+	}
+	if head := p.Doc.Head(); head != nil {
+		doc.Set("head", jsvm.ObjectValue(p.wrapNode(head)))
+	}
+	doc.Set("URL", jsvm.String(p.URL))
+	return doc
+}
+
+// wrapNodeList exposes a node list; iface names it for API recording
+// (HTMLCollection for tag queries, NodeList for selector queries).
+func (p *Page) wrapNodeList(nodes []*dom.Node, iface string) *jsvm.Object {
+	arr := jsvm.NewArray()
+	for _, n := range nodes {
+		arr.Append(jsvm.ObjectValue(p.wrapNode(n)))
+	}
+	arr.SetFunc("item", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI(iface, "item")
+		return arr.Index(int(c.Arg(0).NumberValue())), nil
+	})
+	return arr
+}
+
+// wrapNode exposes one DOM node to script.
+func (p *Page) wrapNode(n *dom.Node) *jsvm.Object {
+	p.mu.Lock()
+	if o, ok := p.nodeWraps[n]; ok {
+		p.mu.Unlock()
+		return o
+	}
+	o := jsvm.NewObject()
+	p.nodeWraps[n] = o
+	p.mu.Unlock()
+
+	o.Host = n
+	iface := interfaceFor(n)
+	rec := func(m string) { p.recordAPI(iface, m) }
+
+	o.Set("tagName", jsvm.String(strings.ToUpper(n.Tag)))
+	o.Set("id", jsvm.String(n.ID()))
+	o.Set("textContent", jsvm.String(n.Text()))
+	o.SetFunc("getAttribute", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("getAttribute")
+		name := c.Arg(0).StringValue()
+		if n.Attr(name) == "" {
+			return jsvm.Null(), nil
+		}
+		return jsvm.String(n.Attr(name)), nil
+	})
+	o.SetFunc("setAttribute", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("setAttribute")
+		n.SetAttr(c.Arg(0).StringValue(), c.Arg(1).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	o.SetFunc("hasAttribute", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("hasAttribute")
+		return jsvm.Bool(n.Attr(c.Arg(0).StringValue()) != ""), nil
+	})
+	o.SetFunc("getElementsByTagName", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("getElementsByTagName")
+		tag := strings.ToLower(c.Arg(0).StringValue())
+		var out []*dom.Node
+		n.Walk(func(m *dom.Node) bool {
+			if m != n && m.Type == dom.ElementNode && (tag == "*" || m.Tag == tag) {
+				out = append(out, m)
+			}
+			return true
+		})
+		return jsvm.ObjectValue(p.wrapNodeList(out, "HTMLCollection")), nil
+	})
+	o.SetFunc("appendChild", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("appendChild")
+		if child := hostNode(c.Arg(0)); child != nil {
+			n.AppendChild(child)
+			p.syncAttrs(c.Arg(0).Object(), child)
+		}
+		return c.Arg(0), nil
+	})
+	o.SetFunc("insertBefore", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("insertBefore")
+		child := hostNode(c.Arg(0))
+		ref := hostNode(c.Arg(1))
+		if child != nil {
+			n.InsertBefore(child, ref)
+			p.syncAttrs(c.Arg(0).Object(), child)
+		}
+		return c.Arg(0), nil
+	})
+	o.SetFunc("removeChild", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("removeChild")
+		if child := hostNode(c.Arg(0)); child != nil && child.Parent == n {
+			child.Detach()
+		}
+		return c.Arg(0), nil
+	})
+	o.SetFunc("addEventListener", func(c jsvm.Call) (jsvm.Value, error) {
+		rec("addEventListener")
+		return jsvm.Undefined(), nil
+	})
+	if n.Parent != nil {
+		o.Set("parentNode", jsvm.ObjectValue(p.wrapNode(n.Parent)))
+	}
+	return o
+}
+
+// syncAttrs copies the script-set id/src/href properties back onto the DOM
+// node when it is attached (scripts set `js.src = url` before insertion).
+func (p *Page) syncAttrs(wrapper *jsvm.Object, n *dom.Node) {
+	if wrapper == nil {
+		return
+	}
+	for _, attr := range [...]string{"id", "src", "href", "class"} {
+		if v := wrapper.Get(attr); !v.IsUndefined() && v.StringValue() != "" {
+			n.SetAttr(attr, v.StringValue())
+		}
+	}
+	// An inserted <script src=…> triggers a (injection-initiated) fetch,
+	// the behaviour the FB/IG autofill injector relies on.
+	if n.Tag == "script" {
+		if src := n.Attr("src"); src != "" {
+			p.FetchFromScript(src)
+		}
+	}
+}
+
+func hostNode(v jsvm.Value) *dom.Node {
+	o := v.Object()
+	if o == nil {
+		return nil
+	}
+	n, _ := o.Host.(*dom.Node)
+	return n
+}
+
+func interfaceFor(n *dom.Node) string {
+	switch n.Tag {
+	case "body":
+		return "HTMLBodyElement"
+	case "meta":
+		return "HTMLMetaElement"
+	case "script":
+		return "HTMLScriptElement"
+	default:
+		return "Element"
+	}
+}

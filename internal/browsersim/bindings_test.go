@@ -1,0 +1,188 @@
+package browsersim
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/netlog"
+)
+
+func bindingsSite(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>B</title><meta name="k" content="v"></head>
+<body id="top"><div id="a"><span id="b">x</span></div></body></html>`))
+	})
+	mux.HandleFunc("/beacon", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func loadB(t *testing.T, srv *httptest.Server, log *netlog.Log) *Page {
+	t.Helper()
+	l := &Loader{Client: srv.Client(), Log: log, Context: "b", ExecuteScripts: true}
+	page, err := l.Load(context.Background(), srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+func TestWindowAndNavigatorBindings(t *testing.T) {
+	srv := bindingsSite(t)
+	log := netlog.New()
+	page := loadB(t, srv, log)
+	out, err := page.Execute(`
+window.addEventListener("load", function(){});
+var ua = navigator.userAgent;
+navigator.sendBeacon("/beacon");
+var ran = 0;
+setTimeout(function(){ ran = 1; }, 100);
+location.host + "|" + (ua.length > 0) + "|" + ran;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(out, "|")
+	if len(parts) != 3 || parts[1] != "true" || parts[2] != "1" {
+		t.Errorf("out = %q", out)
+	}
+	// Beacon hit the network with injection attribution.
+	found := false
+	for _, e := range log.Events() {
+		if strings.HasSuffix(e.URL, "/beacon") && e.Initiator == "injection" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sendBeacon not logged")
+	}
+}
+
+func TestElementMutationBindings(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	out, err := page.Execute(`
+var a = document.getElementById("a");
+var b = document.getElementById("b");
+a.setAttribute("data-x", "1");
+var had = a.hasAttribute("data-x");
+var attr = a.getAttribute("data-x");
+var missing = a.getAttribute("nope");
+a.removeChild(b);
+var gone = document.getElementById("b") === null;
+var q = document.querySelector("#a");
+var qn = document.querySelector(".does-not-exist");
+had + "|" + attr + "|" + (missing === null) + "|" + gone + "|" + (q !== null) + "|" + (qn === null);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "true|1|true|true|true|true" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDocumentTitleAndURL(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	out, err := page.Execute(`document.title + "|" + (document.URL === location.href)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "B|true" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestXHRReadyStateCallback(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	out, err := page.Execute(`
+var states = [];
+var xhr = new XMLHttpRequest();
+xhr.onreadystatechange = function() { states.push(this.readyState + ":" + this.status); };
+xhr.open("GET", "/beacon");
+xhr.setRequestHeader("X-Extra", "1");
+xhr.send();
+states.join(",");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "4:204" {
+		t.Errorf("states = %q", out)
+	}
+}
+
+func TestFetchCatchChain(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	out, err := page.Execute(`
+var status = 0;
+fetch("/missing").then(function(r){ status = r.status; }).catch(function(){ status = -1; });
+status + "";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "404" {
+		t.Errorf("fetch status = %q", out)
+	}
+}
+
+func TestPerformanceBindings(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	out, err := page.Execute(`
+var t1 = performance.now();
+var t2 = performance.now();
+(t2 > t1) + "|" + performance.timing.domContentLoadedEventEnd;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "true|120" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestConsoleVariants(t *testing.T) {
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	if _, err := page.Execute(`console.error("e"); console.warn("w"); console.info("i");`); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Console) != 3 {
+		t.Errorf("console = %v", page.Console)
+	}
+}
+
+func TestSubresourceLimit(t *testing.T) {
+	mux := http.NewServeMux()
+	var hits int
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			hits++
+			w.Write([]byte("x"))
+			return
+		}
+		page := "<html><body>"
+		for i := 0; i < 20; i++ {
+			page += `<img src="/img-` + string(rune('a'+i)) + `.png">`
+		}
+		page += "</body></html>"
+		w.Write([]byte(page))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	l := &Loader{Client: srv.Client(), MaxSubresources: 5}
+	if _, err := l.Load(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 5 {
+		t.Errorf("subresource fetches = %d, want 5", hits)
+	}
+}

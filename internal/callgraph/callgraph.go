@@ -1,0 +1,301 @@
+// Package callgraph builds call graphs from sdex bytecode and traverses
+// them from Android entry points, playing the role Androguard plays in the
+// paper's pipeline (steps 4–5 of Figure 1).
+//
+// An Android app has no main function; the graph is therefore rooted at
+// every component lifecycle method and GUI callback (§3.1.3). Traversal
+// records each reachable call to a WebView API method and each Custom Tabs
+// initialisation, together with the calling class — the raw material for
+// SDK attribution (§3.1.4).
+package callgraph
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/dalvik"
+)
+
+// Graph is a call graph over one sdex file.
+type Graph struct {
+	dex     *dalvik.File
+	classes map[string]*dalvik.Class
+	// defined maps every in-file method to its definition.
+	defined map[dalvik.MethodRef]*dalvik.Method
+}
+
+// Build constructs the graph. It never fails: unresolved targets are simply
+// external edges.
+func Build(dex *dalvik.File) *Graph {
+	g := &Graph{
+		dex:     dex,
+		classes: make(map[string]*dalvik.Class, len(dex.Classes)),
+		defined: make(map[dalvik.MethodRef]*dalvik.Method, dex.MethodCount()),
+	}
+	for i := range dex.Classes {
+		c := &dex.Classes[i]
+		g.classes[c.Name] = c
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			g.defined[m.Ref(c.Name)] = m
+		}
+	}
+	return g
+}
+
+// Class returns the in-file class definition, or nil for external types.
+func (g *Graph) Class(name string) *dalvik.Class { return g.classes[name] }
+
+// IsSubclassOf walks the in-file superclass chain of name and reports
+// whether it reaches root (which may be an external framework class).
+func (g *Graph) IsSubclassOf(name, root string) bool {
+	seen := 0
+	for name != "" {
+		if name == root {
+			return true
+		}
+		c := g.classes[name]
+		if c == nil {
+			return false // chain left the file without hitting root
+		}
+		name = c.SuperName
+		if seen++; seen > 1000 {
+			return false // defensive: cyclic hierarchy in corrupt input
+		}
+	}
+	return false
+}
+
+// IsWebViewClass reports whether name is android.webkit.WebView or an
+// in-file subclass of it (a "custom WebView", §3.1.2).
+func (g *Graph) IsWebViewClass(name string) bool {
+	return g.IsSubclassOf(name, android.WebViewClass)
+}
+
+// WebViewSubclasses lists the in-file classes that extend WebView,
+// directly or transitively, sorted by name.
+func (g *Graph) WebViewSubclasses() []string {
+	var out []string
+	for name := range g.classes {
+		if name != android.WebViewClass && g.IsWebViewClass(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// componentRoots are the framework classes whose subclasses are app
+// components and therefore entry-point hosts.
+var componentRoots = []string{
+	android.ActivityClass,
+	android.ServiceClass,
+	android.BroadcastReceiverClass,
+	android.ContentProviderClass,
+}
+
+// isComponent reports whether the class transitively extends one of the
+// four Android component base classes.
+func (g *Graph) isComponent(name string) bool {
+	for _, root := range componentRoots {
+		if g.IsSubclassOf(name, root) {
+			return true
+		}
+	}
+	return false
+}
+
+var entryPointNames = func() map[string]bool {
+	m := make(map[string]bool, len(android.LifecycleEntryPoints))
+	for _, n := range android.LifecycleEntryPoints {
+		m[n] = true
+	}
+	return m
+}()
+
+// EntryPoints enumerates the traversal roots: every lifecycle or callback
+// method on every component class, plus every method on classes that
+// implement a listener-style interface (onClick etc. on any class).
+func (g *Graph) EntryPoints() []dalvik.MethodRef {
+	var eps []dalvik.MethodRef
+	for i := range g.dex.Classes {
+		c := &g.dex.Classes[i]
+		comp := g.isComponent(c.Name)
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			if !entryPointNames[m.Name] {
+				continue
+			}
+			// Lifecycle methods count on components; GUI callbacks
+			// (onClick and friends) count on any class, because listeners
+			// are registered dynamically and the registration is invisible
+			// to a static scan.
+			if comp || strings.HasPrefix(m.Name, "on") {
+				eps = append(eps, m.Ref(c.Name))
+			}
+		}
+	}
+	sort.Slice(eps, func(i, j int) bool { return refLess(eps[i], eps[j]) })
+	return eps
+}
+
+func refLess(a, b dalvik.MethodRef) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Signature < b.Signature
+}
+
+// resolve finds the definition a call to ref would dispatch to: the method
+// on ref.Class or the nearest in-file superclass defining it. Returns the
+// resolved ref and true, or false for external targets.
+func (g *Graph) resolve(ref dalvik.MethodRef) (dalvik.MethodRef, bool) {
+	name := ref.Class
+	for name != "" {
+		cand := dalvik.MethodRef{Class: name, Name: ref.Name, Signature: ref.Signature}
+		if _, ok := g.defined[cand]; ok {
+			return cand, true
+		}
+		c := g.classes[name]
+		if c == nil {
+			return dalvik.MethodRef{}, false
+		}
+		name = c.SuperName
+	}
+	return dalvik.MethodRef{}, false
+}
+
+// Reachable computes the set of defined methods reachable from the given
+// roots (defaulting to EntryPoints when none are passed).
+func (g *Graph) Reachable(roots ...dalvik.MethodRef) map[dalvik.MethodRef]bool {
+	if len(roots) == 0 {
+		roots = g.EntryPoints()
+	}
+	seen := make(map[dalvik.MethodRef]bool)
+	var stack []dalvik.MethodRef
+	push := func(r dalvik.MethodRef) {
+		if res, ok := g.resolve(r); ok && !seen[res] {
+			seen[res] = true
+			stack = append(stack, res)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m := g.defined[cur]
+		for _, ins := range m.Code {
+			if ins.Op.IsInvoke() {
+				push(ins.Target)
+			}
+		}
+	}
+	return seen
+}
+
+// APICall is one recorded call of interest: a WebView API method call or a
+// Custom Tabs initialisation, attributed to its calling method.
+type APICall struct {
+	Caller dalvik.MethodRef // the method containing the call site
+	Target dalvik.MethodRef // the invoked framework method
+	// URLHint is the nearest preceding string constant in the caller —
+	// usually the URL passed to loadUrl/launchUrl.
+	URLHint string
+}
+
+// CallerPackage returns the Java package of the calling class, used for
+// SDK attribution.
+func (c APICall) CallerPackage() string { return dalvik.PackageOf(c.Caller.Class) }
+
+// Usage is the per-app result of the static WebView/CT measurement.
+type Usage struct {
+	// WebViewCalls holds every reachable call to a measured WebView API
+	// method (on WebView itself or a custom subclass).
+	WebViewCalls []APICall
+	// CTCalls holds every reachable Custom Tabs initialisation or launch.
+	CTCalls []APICall
+	// WebViewSubclasses lists in-file custom WebView classes.
+	WebViewSubclasses []string
+}
+
+// UsesWebView reports whether any WebView API call was reachable.
+func (u *Usage) UsesWebView() bool { return len(u.WebViewCalls) > 0 }
+
+// UsesCT reports whether any Custom Tabs use was reachable.
+func (u *Usage) UsesCT() bool { return len(u.CTCalls) > 0 }
+
+// MethodsCalled returns the distinct WebView method names called, sorted.
+func (u *Usage) MethodsCalled() []string {
+	set := make(map[string]bool)
+	for _, c := range u.WebViewCalls {
+		set[c.Target.Name] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func isCustomTabsClass(name string) bool {
+	return name == android.CustomTabsIntentClass ||
+		name == android.CustomTabsIntentBuilderClass ||
+		name == android.CustomTabsCallbackClass ||
+		strings.HasPrefix(name, "androidx.browser.customtabs.")
+}
+
+// AnalyzeUsage traverses the graph from its entry points and records every
+// reachable WebView API call and CT initialisation. excludeClasses removes
+// call sites hosted in the named classes (the pipeline passes deep-link
+// activities here, §3.1.3).
+func (g *Graph) AnalyzeUsage(excludeClasses map[string]bool) *Usage {
+	u := &Usage{WebViewSubclasses: g.WebViewSubclasses()}
+	reach := g.Reachable()
+	// Deterministic order: iterate classes/methods in file order and check
+	// membership, rather than ranging over the map.
+	for i := range g.dex.Classes {
+		c := &g.dex.Classes[i]
+		if excludeClasses[c.Name] {
+			continue
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			ref := m.Ref(c.Name)
+			if !reach[ref] {
+				continue
+			}
+			lastStr := ""
+			for _, ins := range m.Code {
+				switch {
+				case ins.Op == dalvik.OpConstString:
+					lastStr = ins.Str
+				case ins.Op == dalvik.OpNewInstance && isCustomTabsClass(ins.Type):
+					u.CTCalls = append(u.CTCalls, APICall{
+						Caller: ref,
+						Target: dalvik.MethodRef{Class: ins.Type, Name: "<init>", Signature: "()void"},
+					})
+				case ins.Op.IsInvoke():
+					t := ins.Target
+					switch {
+					case g.IsWebViewClass(t.Class) && android.IsWebViewMethod(t.Name):
+						// Normalise custom-subclass receivers to the
+						// framework class so consumers see one API surface.
+						norm := t
+						norm.Class = android.WebViewClass
+						u.WebViewCalls = append(u.WebViewCalls, APICall{Caller: ref, Target: norm, URLHint: lastStr})
+					case isCustomTabsClass(t.Class):
+						u.CTCalls = append(u.CTCalls, APICall{Caller: ref, Target: t, URLHint: lastStr})
+					}
+				}
+			}
+		}
+	}
+	return u
+}

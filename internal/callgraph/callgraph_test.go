@@ -1,0 +1,234 @@
+package callgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/dalvik"
+)
+
+// appDex builds a small app exercising every traversal feature:
+//
+//	MainActivity.onCreate -> Helper.show -> WebView.loadUrl
+//	MainActivity.onClick  -> CustomTabsIntent.launchUrl
+//	DeadCode.unreachable  -> WebView.evaluateJavascript (never reached)
+//	CustomWeb extends WebView; Feed.onCreate -> CustomWeb.addJavascriptInterface
+func appDex(t *testing.T) *dalvik.File {
+	t.Helper()
+	b := dalvik.NewBuilder()
+	b.Class("com.app.MainActivity", android.ActivityClass, dalvik.AccPublic).
+		VoidMethod("onCreate",
+			dalvik.InvokeStatic("com.app.Helper", "show", "()void"),
+		).
+		VoidMethod("onClick",
+			dalvik.NewInstance(android.CustomTabsIntentBuilderClass),
+			dalvik.InvokeDirect(android.CustomTabsIntentBuilderClass, "<init>", "()void"),
+			dalvik.InvokeVirtual(android.CustomTabsIntentBuilderClass, "build", "()CustomTabsIntent"),
+			dalvik.ConstString("https://third.party"),
+			dalvik.InvokeVirtual(android.CustomTabsIntentClass, android.MethodLaunchURL, "(Context,Uri)void"),
+		)
+	b.Class("com.app.Helper", android.ObjectClass, dalvik.AccPublic).
+		Method("show", "()void", dalvik.AccPublic|dalvik.AccStatic,
+			dalvik.ConstString("https://example.com"),
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+			dalvik.Return(),
+		)
+	b.Class("com.app.DeadCode", android.ObjectClass, dalvik.AccPublic).
+		VoidMethod("unreachable",
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodEvaluateJavascript, "(String,Callback)void"),
+		)
+	b.Class("com.app.CustomWeb", android.WebViewClass, dalvik.AccPublic).
+		VoidMethod("setup")
+	b.Class("com.app.Feed", android.ActivityClass, dalvik.AccPublic).
+		VoidMethod("onCreate",
+			dalvik.InvokeVirtual("com.app.CustomWeb", android.MethodAddJavascriptInterface, "(Object,String)void"),
+		)
+	return b.MustBuild()
+}
+
+func TestEntryPoints(t *testing.T) {
+	g := Build(appDex(t))
+	eps := g.EntryPoints()
+	var names []string
+	for _, e := range eps {
+		names = append(names, e.Class+"."+e.Name)
+	}
+	want := []string{
+		"com.app.Feed.onCreate",
+		"com.app.MainActivity.onClick",
+		"com.app.MainActivity.onCreate",
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("entry points = %v, want %v", names, want)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	g := Build(appDex(t))
+	reach := g.Reachable()
+	if !reach[dalvik.MethodRef{Class: "com.app.Helper", Name: "show", Signature: "()void"}] {
+		t.Error("Helper.show not reachable")
+	}
+	if reach[dalvik.MethodRef{Class: "com.app.DeadCode", Name: "unreachable", Signature: "()void"}] {
+		t.Error("DeadCode.unreachable wrongly reachable")
+	}
+}
+
+func TestAnalyzeUsage(t *testing.T) {
+	g := Build(appDex(t))
+	u := g.AnalyzeUsage(nil)
+
+	if !u.UsesWebView() || !u.UsesCT() {
+		t.Fatalf("UsesWebView=%v UsesCT=%v", u.UsesWebView(), u.UsesCT())
+	}
+	methods := u.MethodsCalled()
+	want := []string{android.MethodAddJavascriptInterface, android.MethodLoadURL}
+	if !reflect.DeepEqual(methods, want) {
+		t.Errorf("MethodsCalled = %v, want %v", methods, want)
+	}
+	// evaluateJavascript lives in dead code and must not appear.
+	for _, c := range u.WebViewCalls {
+		if c.Target.Name == android.MethodEvaluateJavascript {
+			t.Error("dead-code call recorded")
+		}
+	}
+	// The loadUrl call must carry its URL hint and caller package.
+	var loadURL *APICall
+	for i := range u.WebViewCalls {
+		if u.WebViewCalls[i].Target.Name == android.MethodLoadURL {
+			loadURL = &u.WebViewCalls[i]
+		}
+	}
+	if loadURL == nil {
+		t.Fatal("loadUrl call not recorded")
+	}
+	if loadURL.URLHint != "https://example.com" {
+		t.Errorf("URLHint = %q", loadURL.URLHint)
+	}
+	if loadURL.CallerPackage() != "com.app" {
+		t.Errorf("CallerPackage = %q", loadURL.CallerPackage())
+	}
+	// Custom subclass calls are normalised to the framework class.
+	var addJS *APICall
+	for i := range u.WebViewCalls {
+		if u.WebViewCalls[i].Target.Name == android.MethodAddJavascriptInterface {
+			addJS = &u.WebViewCalls[i]
+		}
+	}
+	if addJS == nil || addJS.Target.Class != android.WebViewClass {
+		t.Errorf("addJavascriptInterface target = %+v", addJS)
+	}
+}
+
+func TestAnalyzeUsageCT(t *testing.T) {
+	g := Build(appDex(t))
+	u := g.AnalyzeUsage(nil)
+	var launch, ctor bool
+	for _, c := range u.CTCalls {
+		switch c.Target.Name {
+		case android.MethodLaunchURL:
+			launch = true
+			if c.URLHint != "https://third.party" {
+				t.Errorf("launchUrl hint = %q", c.URLHint)
+			}
+		case "<init>":
+			ctor = true
+		}
+	}
+	if !launch || !ctor {
+		t.Errorf("CT calls incomplete: launch=%v ctor=%v (%+v)", launch, ctor, u.CTCalls)
+	}
+}
+
+func TestExcludeClasses(t *testing.T) {
+	g := Build(appDex(t))
+	u := g.AnalyzeUsage(map[string]bool{"com.app.Helper": true})
+	for _, c := range u.WebViewCalls {
+		if c.Caller.Class == "com.app.Helper" {
+			t.Error("excluded class still attributed")
+		}
+	}
+}
+
+func TestWebViewSubclasses(t *testing.T) {
+	g := Build(appDex(t))
+	got := g.WebViewSubclasses()
+	if !reflect.DeepEqual(got, []string{"com.app.CustomWeb"}) {
+		t.Errorf("WebViewSubclasses = %v", got)
+	}
+}
+
+func TestIsSubclassOfTransitive(t *testing.T) {
+	b := dalvik.NewBuilder()
+	b.Class("a.Base", android.WebViewClass, dalvik.AccPublic)
+	b.Class("a.Mid", "a.Base", dalvik.AccPublic)
+	b.Class("a.Leaf", "a.Mid", dalvik.AccPublic)
+	g := Build(b.MustBuild())
+	if !g.IsWebViewClass("a.Leaf") {
+		t.Error("transitive subclass not detected")
+	}
+	if g.IsWebViewClass("a.Unknown") {
+		t.Error("unknown class detected as WebView")
+	}
+}
+
+func TestIsSubclassOfCycleSafe(t *testing.T) {
+	// Corrupt input can contain hierarchy cycles; detection must terminate.
+	f := &dalvik.File{Classes: []dalvik.Class{
+		{Name: "a.A", SuperName: "a.B"},
+		{Name: "a.B", SuperName: "a.A"},
+	}}
+	g := Build(f)
+	if g.IsWebViewClass("a.A") {
+		t.Error("cyclic hierarchy classified as WebView")
+	}
+}
+
+func TestVirtualDispatchThroughSuper(t *testing.T) {
+	// Calling Leaf.helper() where helper is defined on Base must resolve.
+	b := dalvik.NewBuilder()
+	b.Class("a.Base", android.ObjectClass, dalvik.AccPublic).
+		VoidMethod("helper",
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadData, "(String,String,String)void"),
+		)
+	b.Class("a.Leaf", "a.Base", dalvik.AccPublic)
+	b.Class("a.Main", android.ActivityClass, dalvik.AccPublic).
+		VoidMethod("onCreate",
+			dalvik.InvokeVirtual("a.Leaf", "helper", "()void"),
+		)
+	g := Build(b.MustBuild())
+	u := g.AnalyzeUsage(nil)
+	if !u.UsesWebView() {
+		t.Error("call through inherited method not reached")
+	}
+}
+
+func TestGuardedCallStillDetected(t *testing.T) {
+	// Static analysis sees through runtime guards — the paper's stated
+	// false-positive source. A call inside an if-z region must be recorded.
+	b := dalvik.NewBuilder()
+	b.Class("a.Main", android.ActivityClass, dalvik.AccPublic).
+		VoidMethod("onCreate",
+			dalvik.Instruction{Op: dalvik.OpIfZ, Int: 2},
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+		)
+	g := Build(b.MustBuild())
+	if !g.AnalyzeUsage(nil).UsesWebView() {
+		t.Error("guarded call not detected (static analysis should over-approximate)")
+	}
+}
+
+func TestNoEntryPointsNoUsage(t *testing.T) {
+	// A library-only dex with no components yields no reachable usage.
+	b := dalvik.NewBuilder()
+	b.Class("lib.Util", android.ObjectClass, dalvik.AccPublic).
+		VoidMethod("render",
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+		)
+	g := Build(b.MustBuild())
+	u := g.AnalyzeUsage(nil)
+	if u.UsesWebView() {
+		t.Error("usage recorded with no entry points")
+	}
+}

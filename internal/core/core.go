@@ -1,0 +1,77 @@
+// Package core is the public face of the reproduction: it composes the
+// substrate packages into the paper's two studies.
+//
+//   - StaticStudy (§3.1): the large-scale Figure-1 pipeline over an APK
+//     repository and a store-metadata source, producing the aggregates
+//     behind Tables 2, 3, 4, 5, 7 and Figures 3, 4.
+//   - DynamicStudy (§3.2): the semi-manual top-1K analysis on a simulated
+//     device — hyperlink-behaviour classification (Table 6), WebView-IAB
+//     instrumentation (Tables 8 and 9), and the top-site crawl (Figure 6).
+//
+// The package re-exports the result types callers need, so examples and
+// tools depend on core alone.
+package core
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/sdkindex"
+)
+
+// StaticConfig parameterises the static study.
+type StaticConfig struct {
+	// MinDownloads and UpdatedAfter define the app-selection filter
+	// (§3.1.1). Zero values use the paper's: 100K downloads, 2021-01-01.
+	MinDownloads int64
+	UpdatedAfter time.Time
+	// Workers bounds analysis concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Index labels SDK packages (nil = the built-in catalog).
+	Index *sdkindex.Index
+}
+
+// StaticStudy runs the large-scale static analysis.
+type StaticStudy struct {
+	pipe *pipeline.Pipeline
+}
+
+// StaticResult bundles the raw per-app results with their aggregates.
+type StaticResult struct {
+	Funnel     pipeline.Funnel
+	Apps       []pipeline.AppResult
+	Aggregates *pipeline.Aggregates
+}
+
+// NewStaticStudy wires the pipeline over the given services.
+func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg StaticConfig) *StaticStudy {
+	if cfg.MinDownloads == 0 {
+		cfg.MinDownloads = corpus.MinDownloads
+	}
+	if cfg.UpdatedAfter.IsZero() {
+		cfg.UpdatedAfter = corpus.UpdateCutoff
+	}
+	return &StaticStudy{
+		pipe: pipeline.New(repo, meta, pipeline.Config{
+			MinDownloads: cfg.MinDownloads,
+			UpdatedAfter: cfg.UpdatedAfter,
+			Workers:      cfg.Workers,
+			Index:        cfg.Index,
+		}),
+	}
+}
+
+// Run executes the study.
+func (s *StaticStudy) Run(ctx context.Context) (*StaticResult, error) {
+	res, err := s.pipe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticResult{
+		Funnel:     res.Funnel,
+		Apps:       res.Apps,
+		Aggregates: pipeline.Aggregate(res),
+	}, nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/androzoo"
+	"repro/internal/corpus"
+	"repro/internal/measure"
+	"repro/internal/playstore"
+)
+
+func TestStaticStudyEndToEnd(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	azSrv := httptest.NewServer(androzoo.NewServer(c).Handler())
+	defer azSrv.Close()
+	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
+	defer psSrv.Close()
+
+	study := NewStaticStudy(
+		androzoo.NewClient(azSrv.URL, azSrv.Client()),
+		playstore.NewClient(psSrv.URL, psSrv.Client()),
+		StaticConfig{},
+	)
+	res, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Funnel.Analyzed != c.Counts.Analyzed {
+		t.Errorf("analyzed = %d, want %d", res.Funnel.Analyzed, c.Counts.Analyzed)
+	}
+	if res.Aggregates.WebViewApps == 0 || res.Aggregates.CTApps == 0 {
+		t.Errorf("aggregates empty: %+v", res.Aggregates)
+	}
+}
+
+// top1kSpecs generates the full top-1K population for the dynamic study.
+func top1kSpecs(t *testing.T) []*corpus.Spec {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Top(1000)
+}
+
+func TestClassifyTopAppsTable6(t *testing.T) {
+	study := NewDynamicStudy()
+	t6, err := study.ClassifyTopApps(context.Background(), top1kSpecs(t))
+	if err != nil {
+		t.Fatalf("ClassifyTopApps: %v", err)
+	}
+	// Table 6, exactly.
+	if t6.CanPostLinks != 38 {
+		t.Errorf("CanPostLinks = %d, want 38", t6.CanPostLinks)
+	}
+	if t6.OpensBrowser != 27 {
+		t.Errorf("OpensBrowser = %d, want 27", t6.OpensBrowser)
+	}
+	if t6.OpensWebView != 10 {
+		t.Errorf("OpensWebView = %d, want 10", t6.OpensWebView)
+	}
+	if t6.OpensCustomTab != 1 {
+		t.Errorf("OpensCustomTab = %d, want 1", t6.OpensCustomTab)
+	}
+	if t6.NoUserContent != 905 {
+		t.Errorf("NoUserContent = %d, want 905", t6.NoUserContent)
+	}
+	if t6.BrowserApps != 9 {
+		t.Errorf("BrowserApps = %d, want 9", t6.BrowserApps)
+	}
+	if t6.Unclassifiable != 48 || t6.RequiredPhone != 24 || t6.Incompatible != 22 || t6.RequiredPaid != 2 {
+		t.Errorf("unclassifiable = %d (phone %d, incompat %d, paid %d)",
+			t6.Unclassifiable, t6.RequiredPhone, t6.Incompatible, t6.RequiredPaid)
+	}
+	// The ten WebView IABs are the named apps.
+	if len(t6.WebViewIABApps) != 10 {
+		t.Fatalf("WebViewIABApps = %v", t6.WebViewIABApps)
+	}
+	for _, want := range []string{"com.facebook.katana", "kik.android", "com.linkedin.android"} {
+		found := false
+		for _, got := range t6.WebViewIABApps {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from IAB list %v", want, t6.WebViewIABApps)
+		}
+	}
+}
+
+func TestProbeIABsTable8(t *testing.T) {
+	study := NewDynamicStudy()
+	// Probe only the named IAB apps (plus Discord, skipped as CT).
+	var specs []*corpus.Spec
+	for i := range corpus.NamedApps {
+		n := corpus.NamedApps[i]
+		specs = append(specs, &corpus.Spec{
+			Package: n.Package, Title: n.Title, Downloads: n.Downloads,
+			OnPlayStore: true, Dynamic: n.Dynamic,
+		})
+	}
+	rows, srv, err := study.ProbeIABs(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("ProbeIABs: %v", err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// Download-ordered: Facebook first.
+	if rows[0].Package != "com.facebook.katana" {
+		t.Errorf("first row = %s", rows[0].Package)
+	}
+	byPkg := make(map[string]*Table8Row)
+	for i := range rows {
+		byPkg[rows[i].Package] = &rows[i]
+	}
+
+	// Facebook: injections + three bridges + redirector.
+	fb := byPkg["com.facebook.katana"]
+	if fb.InjectedJSCount < 3 {
+		t.Errorf("Facebook injected %d scripts, want >= 3", fb.InjectedJSCount)
+	}
+	bridges := strings.Join(fb.Bridges, ",")
+	for _, want := range []string{"fbpayIAWBridge", "metaCheckoutIAWBridge", "_AutofillExtensions"} {
+		if !strings.Contains(bridges, want) {
+			t.Errorf("Facebook bridges = %s, missing %s", bridges, want)
+		}
+	}
+	if fb.Redirector != "lm.facebook.com/l.php" {
+		t.Errorf("Facebook redirector = %q", fb.Redirector)
+	}
+	if len(fb.WebAPITraces) == 0 {
+		t.Error("Facebook produced no Web-API traces")
+	}
+
+	// Snapchat/Twitter/Reddit: no injections, no bridges (Table 8).
+	for _, pkg := range []string{"com.snapchat.android", "com.twitter.android", "com.reddit.frontpage"} {
+		row := byPkg[pkg]
+		if row == nil {
+			t.Fatalf("row for %s missing", pkg)
+		}
+		if row.InjectedJSCount != 0 || len(row.Bridges) != 0 {
+			t.Errorf("%s: injected=%d bridges=%v, want none", pkg, row.InjectedJSCount, row.Bridges)
+		}
+		if len(srv.ForApp(pkg)) != 0 {
+			t.Errorf("%s produced traces without injecting", pkg)
+		}
+	}
+
+	// LinkedIn contacts Cedexis endpoints.
+	li := byPkg["com.linkedin.android"]
+	liHosts := strings.Join(li.ExternalHosts, ",")
+	if !strings.Contains(liHosts, "cedexis") {
+		t.Errorf("LinkedIn external hosts = %s", liHosts)
+	}
+
+	// Moj/Chingari: googleAdsJsInterface bridge, noAdView payload.
+	for _, pkg := range []string{"in.mohalla.video", "io.chingari.app"} {
+		row := byPkg[pkg]
+		if len(row.Bridges) != 1 || row.Bridges[0] != "googleAdsJsInterface" {
+			t.Errorf("%s bridges = %v", pkg, row.Bridges)
+		}
+		payloads, _ := row.BehaviorStats["adPayloads"].([]string)
+		if len(payloads) != 1 || !strings.Contains(payloads[0], "noAdView") {
+			t.Errorf("%s ad payloads = %v", pkg, payloads)
+		}
+	}
+
+	// Kik: read-only APIs on the controlled page (Table 9): meta
+	// getAttribute must appear, and no DOM-mutating call.
+	kik := byPkg["kik.android"]
+	var sawMeta bool
+	for _, tr := range kik.WebAPITraces {
+		if tr.Interface == "HTMLMetaElement" && tr.Method == "getAttribute" {
+			sawMeta = true
+		}
+		if tr.Method == "insertBefore" || tr.Method == "appendChild" || tr.Method == "setAttribute" {
+			t.Errorf("Kik made a mutating call: %+v", tr)
+		}
+	}
+	if !sawMeta {
+		t.Errorf("Kik traces = %+v, want HTMLMetaElement.getAttribute", kik.WebAPITraces)
+	}
+	if len(kik.ExternalHosts) < 5 {
+		t.Errorf("Kik external hosts = %v", kik.ExternalHosts)
+	}
+
+	// Pinterest: obfuscated bridge only.
+	pin := byPkg["com.pinterest"]
+	if len(pin.Bridges) != 1 || pin.BridgeIntent != "(Obfuscated)" {
+		t.Errorf("Pinterest = %+v", pin)
+	}
+}
+
+func TestFacebookAutofillTraceMatchesTable9(t *testing.T) {
+	study := NewDynamicStudy()
+	n := corpus.NamedApps[0] // Facebook
+	specs := []*corpus.Spec{{
+		Package: n.Package, Title: n.Title, Downloads: n.Downloads,
+		OnPlayStore: true, Dynamic: n.Dynamic,
+	}}
+	rows, _, err := study.ProbeIABs(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := rows[0].WebAPITraces
+	want := []measure.Trace{
+		{Interface: "Document", Method: "getElementById"},
+		{Interface: "Document", Method: "createElement"},
+		{Interface: "Document", Method: "querySelectorAll"},
+		{Interface: "Document", Method: "getElementsByTagName"},
+		{Interface: "Document", Method: "addEventListener"},
+		{Interface: "Document", Method: "removeEventListener"},
+		{Interface: "Element", Method: "insertBefore"},
+		{Interface: "Element", Method: "hasAttribute"},
+		// The tag-count walk calls getElementsByTagName on <body>; our
+		// runtime names the concrete interface where the paper's Table 9
+		// reports the base Element interface.
+		{Interface: "HTMLBodyElement", Method: "getElementsByTagName"},
+		{Interface: "HTMLBodyElement", Method: "insertBefore"},
+		{Interface: "HTMLCollection", Method: "item"},
+	}
+	have := make(map[measure.Trace]bool, len(traces))
+	for _, tr := range traces {
+		have[measure.Trace{Interface: tr.Interface, Method: tr.Method}] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("Table 9 row missing: %s.%s (have %+v)", w.Interface, w.Method, traces)
+		}
+	}
+}
+
+func TestBaselineShellSpec(t *testing.T) {
+	s := BaselineShellSpec()
+	if s.Dynamic.LinkOpens != corpus.LinkWebView || s.Dynamic.Injection != corpus.InjectNone {
+		t.Errorf("baseline spec = %+v", s.Dynamic)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/device"
+	"repro/internal/frida"
+	"repro/internal/iab"
+	"repro/internal/internet"
+	"repro/internal/measure"
+	"repro/internal/webview"
+)
+
+// Table6 is the hyperlink-behaviour classification of the top apps
+// (§3.2.1).
+type Table6 struct {
+	CanPostLinks   int
+	OpensBrowser   int
+	OpensWebView   int
+	OpensCustomTab int
+	NoUserContent  int
+	BrowserApps    int
+	Unclassifiable int
+	RequiredPhone  int
+	Incompatible   int
+	RequiredPaid   int
+	// WebViewIABApps lists the packages whose links open WebView IABs —
+	// the apps the deep probe instruments next.
+	WebViewIABApps []string
+}
+
+// DynamicStudy hosts the semi-manual analyses on one device.
+type DynamicStudy struct {
+	Device *device.Device
+	// Net is the in-process internet the device is attached to.
+	Net *internet.Internet
+}
+
+// NewDynamicStudy boots a device on a fresh internet.
+func NewDynamicStudy() *DynamicStudy {
+	net := internet.New()
+	return &DynamicStudy{Device: device.New(net), Net: net}
+}
+
+// registerRedirectors serves the click-tracking redirector hosts the IAB
+// apps route links through (lm.facebook.com/l.php, l.instagram.com, t.co):
+// the redirector logs the click identifier and 302s to the intended URL.
+func (d *DynamicStudy) registerRedirectors(specs []*corpus.Spec) {
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		r := spec.Dynamic.UsesRedirector
+		if r == "" {
+			continue
+		}
+		host := r
+		if i := strings.IndexByte(host, '/'); i >= 0 {
+			host = host[:i]
+		}
+		if seen[host] {
+			continue
+		}
+		seen[host] = true
+		d.Net.RegisterFunc(host, func(w http.ResponseWriter, r *http.Request) {
+			target := r.URL.Query().Get("u")
+			if target == "" {
+				http.Error(w, "missing target", http.StatusBadRequest)
+				return
+			}
+			http.Redirect(w, r, target, http.StatusFound)
+		})
+	}
+}
+
+// probeURL is the benign link posted during classification (the paper
+// posts https://example.com).
+const probeURL = "https://example.com/"
+
+// ClassifyTopApps reproduces the §3.2.1 walk over the top apps: install
+// each app, create a session, look for a user-content surface, post the
+// probe link, click it, and record what happens.
+func (d *DynamicStudy) ClassifyTopApps(ctx context.Context, specs []*corpus.Spec) (*Table6, error) {
+	// Make sure the probe target exists on this internet.
+	d.Net.RegisterFunc("example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>Example Domain</title></head><body><p>Example</p></body></html>`))
+	})
+	d.registerRedirectors(specs)
+	t6 := &Table6{}
+	for _, spec := range specs {
+		app, err := d.Device.Install(spec)
+		if err != nil {
+			if errors.Is(err, device.ErrIncompatible) {
+				t6.Incompatible++
+				t6.Unclassifiable++
+				continue
+			}
+			return nil, err
+		}
+		sess, err := app.Launch()
+		switch {
+		case errors.Is(err, device.ErrNeedsPhone):
+			t6.RequiredPhone++
+			t6.Unclassifiable++
+			continue
+		case errors.Is(err, device.ErrPaidOnly):
+			t6.RequiredPaid++
+			t6.Unclassifiable++
+			continue
+		case err != nil:
+			return nil, err
+		}
+		if sess.IsBrowser() {
+			t6.BrowserApps++
+			continue
+		}
+		if !sess.HasUserContent() {
+			t6.NoUserContent++
+			continue
+		}
+		t6.CanPostLinks++
+		if err := sess.PostLink(probeURL); err != nil {
+			return nil, err
+		}
+		res, err := sess.ClickLink(ctx, probeURL)
+		if err != nil {
+			return nil, fmt.Errorf("core: click in %s: %w", spec.Package, err)
+		}
+		switch res.OpenedIn {
+		case corpus.LinkWebView:
+			t6.OpensWebView++
+			t6.WebViewIABApps = append(t6.WebViewIABApps, spec.Package)
+		case corpus.LinkCustomTab:
+			t6.OpensCustomTab++
+		default:
+			t6.OpensBrowser++
+		}
+	}
+	sort.Strings(t6.WebViewIABApps)
+	return t6, nil
+}
+
+// Table8Row is the deep-probe result for one WebView-based IAB.
+type Table8Row struct {
+	Package   string
+	Title     string
+	Downloads int64
+	Surface   string // where links appear (Post, DM, Story, Bio, Profile)
+	// Injection evidence, from Frida-style instrumentation.
+	InjectedJSCount int
+	Bridges         []string
+	// Inferred intents (the Table 8 cells).
+	HTMLJSIntent string
+	BridgeIntent string
+	// Redirector is the click-tracking redirector observed ("" if none).
+	Redirector string
+	// WebAPITraces are the (interface, method) pairs the controlled page
+	// recorded (Table 9).
+	WebAPITraces []measure.Trace
+	// ExternalHosts are the endpoints beyond the measurement server the
+	// IAB contacted during the controlled visit.
+	ExternalHosts []string
+	// BehaviorStats carries behaviour-specific observations (tag counts,
+	// simhashes, ad payloads).
+	BehaviorStats map[string]any
+}
+
+// measureHost is where the controlled page is served.
+const measureHost = "measure.controlled.test"
+
+// ProbeIABs performs the §3.2.2 instrumented visit for each WebView-IAB
+// app: hooks the WebView, navigates it to the controlled page, lets the
+// app inject, and gathers the App-WebView interactions, the Web-API
+// traces from the measurement server, and the network log.
+func (d *DynamicStudy) ProbeIABs(ctx context.Context, specs []*corpus.Spec) ([]Table8Row, *measure.Server, error) {
+	srv := measure.NewServer()
+	d.Net.Register(measureHost, srv.Handler())
+	d.registerRedirectors(specs)
+
+	var rows []Table8Row
+	for _, spec := range specs {
+		if spec.Dynamic.LinkOpens != corpus.LinkWebView {
+			continue
+		}
+		row, err := d.probeOne(ctx, spec, srv)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Downloads > rows[j].Downloads })
+	return rows, srv, nil
+}
+
+func (d *DynamicStudy) probeOne(ctx context.Context, spec *corpus.Spec, srv *measure.Server) (*Table8Row, error) {
+	app, err := d.Device.App(spec.Package)
+	if err != nil {
+		if app, err = d.Device.Install(spec); err != nil {
+			return nil, err
+		}
+	}
+	sess, err := app.Launch()
+	if err != nil {
+		return nil, err
+	}
+	target := "https://" + measureHost + "/"
+	if err := sess.PostLink(target); err != nil {
+		return nil, err
+	}
+
+	var fridaSess *frida.Session
+	res, err := sess.ClickLinkInstrumented(ctx, target, func(wv *webview.WebView) {
+		fridaSess = frida.Attach(wv)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: probe %s: %w", spec.Package, err)
+	}
+	if res.WebView == nil || fridaSess == nil {
+		return nil, fmt.Errorf("core: %s did not open a WebView IAB", spec.Package)
+	}
+
+	// Upload the element-level API calls the page runtime recorded, as
+	// the controlled page's batch channel.
+	if err := measure.ReportAPICalls(d.Net.Client(), "https://"+measureHost+"/collect",
+		spec.Package, res.WebView.Page().APICalls()); err != nil {
+		return nil, err
+	}
+
+	htmlIntent, bridgeIntent := iab.InferIntent(res.Behavior)
+	row := &Table8Row{
+		Package:         spec.Package,
+		Title:           spec.Title,
+		Downloads:       spec.Downloads,
+		Surface:         spec.Dynamic.LinkSurface,
+		InjectedJSCount: len(fridaSess.InjectedJS()),
+		Bridges:         fridaSess.Bridges(),
+		HTMLJSIntent:    htmlIntent,
+		BridgeIntent:    bridgeIntent,
+		Redirector:      spec.Dynamic.UsesRedirector,
+		WebAPITraces:    srv.ForApp(spec.Package),
+		ExternalHosts:   d.Device.NetLog.HostsNotUnder(res.Context, measureHost),
+		BehaviorStats:   iab.BehaviorStats(res.Behavior),
+	}
+	sort.Strings(row.Bridges)
+	return row, nil
+}
+
+// BaselineShellSpec returns the Android System WebView Shell stand-in used
+// as the crawl baseline (§3.2.2): a WebView IAB with no injections.
+func BaselineShellSpec() *corpus.Spec {
+	return &corpus.Spec{
+		Package:     "org.chromium.webview_shell",
+		Title:       "System WebView Shell",
+		OnPlayStore: true,
+		Dynamic: corpus.Dynamic{
+			HasUserContent: true,
+			LinkSurface:    "URL bar",
+			LinkOpens:      corpus.LinkWebView,
+			Injection:      corpus.InjectNone,
+		},
+	}
+}

@@ -1,0 +1,301 @@
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/android"
+	"repro/internal/apk"
+	"repro/internal/dalvik"
+	"repro/internal/manifest"
+)
+
+// BuildAPK synthesises the APK image for a spec. The build is a pure
+// function of the spec: the manifest declares the app's components (launcher
+// activity, optional deep-link activity) and the dex contains real call
+// chains from Android entry points down to the planted WebView / Custom
+// Tabs API calls — the static pipeline has to decompile and traverse to
+// find them. Broken specs yield a deterministically corrupt archive.
+func BuildAPK(s *Spec) ([]byte, error) {
+	if s.Broken {
+		// A truncated ZIP: enough bytes to be fetched and stored, never
+		// enough to parse. Deterministic per package.
+		return []byte("PK\x03\x04broken-apk:" + s.Package), nil
+	}
+
+	m := buildManifest(s)
+	dex, err := buildDex(s)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", s.Package, err)
+	}
+	return apk.Pack(m, dex, nil)
+}
+
+func buildManifest(s *Spec) *manifest.Manifest {
+	m := &manifest.Manifest{
+		Package:     s.Package,
+		VersionCode: 1 + int(pkgHash(s.Package)%900),
+		VersionName: "1.0",
+		MinSDK:      21,
+		TargetSDK:   33,
+		Components: []manifest.Component{{
+			Kind:     manifest.KindActivity,
+			Name:     s.Package + ".MainActivity",
+			Exported: true,
+			Filters: []manifest.IntentFilter{{
+				Actions:    []string{android.ActionMain},
+				Categories: []string{android.CategoryLauncher},
+			}},
+		}},
+	}
+	if len(s.OwnMethods) > 0 {
+		m.Components = append(m.Components, manifest.Component{
+			Kind: manifest.KindActivity,
+			Name: s.Package + ".web.WebActivity",
+		})
+	}
+	if s.HasDeepLink {
+		m.Components = append(m.Components, manifest.Component{
+			Kind:     manifest.KindActivity,
+			Name:     s.Package + ".link.DeepLinkActivity",
+			Exported: true,
+			Filters: []manifest.IntentFilter{{
+				Actions:    []string{android.ActionView},
+				Categories: []string{android.CategoryBrowsable, android.CategoryDefault},
+				Data:       []manifest.DataSpec{{Scheme: "https", Host: appHost(s.Package)}},
+			}},
+		})
+	}
+	return m
+}
+
+func buildDex(s *Spec) (*dalvik.File, error) {
+	b := dalvik.NewBuilder()
+
+	// Launcher activity: the root every traversal starts from. onCreate
+	// boots each SDK's WebView side; onClick drives the Custom Tabs sides.
+	var onCreate, onClick []dalvik.Instruction
+	for _, use := range s.SDKs {
+		if len(use.WebViewMethods) > 0 {
+			onCreate = append(onCreate,
+				dalvik.InvokeStatic(use.Package+".Bootstrap", "start", "()void"))
+		}
+		if use.UsesCT {
+			onClick = append(onClick,
+				dalvik.InvokeStatic(use.Package+".Bootstrap", "openTab", "()void"))
+		}
+	}
+	if len(s.OwnMethods) > 0 {
+		onCreate = append(onCreate,
+			dalvik.InvokeStatic(s.Package+".web.WebActivity", "preload", "()void"))
+	}
+	if s.OwnCT {
+		onClick = append(onClick,
+			dalvik.InvokeStatic(s.Package+".web.TabHelper", "open", "()void"))
+	}
+	b.Class(s.Package+".MainActivity", android.ActivityClass, dalvik.AccPublic).
+		Source("MainActivity.java").
+		VoidMethod("onCreate", onCreate...).
+		VoidMethod("onClick", onClick...).
+		VoidMethod("onResume")
+
+	// SDK code, under each SDK's own package.
+	for _, use := range s.SDKs {
+		buildSDKClasses(b, s, use)
+	}
+
+	// First-party WebView activity.
+	if len(s.OwnMethods) > 0 {
+		body := []dalvik.Instruction{
+			dalvik.ConstString("https://" + appHost(s.Package) + "/home"),
+		}
+		if s.Obfuscated {
+			body = append(body, reflectiveWebViewCalls(s.OwnMethods)...)
+		} else {
+			body = append(body, webViewCalls(android.WebViewClass, s.OwnMethods)...)
+		}
+		b.Class(s.Package+".web.WebActivity", android.ActivityClass, dalvik.AccPublic).
+			Source("WebActivity.java").
+			Method("preload", "()void", dalvik.AccPublic|dalvik.AccStatic, dalvik.Return()).
+			VoidMethod("onCreate", body...)
+	}
+	if s.OwnCT {
+		b.Class(s.Package+".web.TabHelper", android.ObjectClass, dalvik.AccPublic).
+			Method("open", "()void", dalvik.AccPublic|dalvik.AccStatic,
+				dalvik.NewInstance(android.CustomTabsIntentBuilderClass),
+				dalvik.InvokeDirect(android.CustomTabsIntentBuilderClass, "<init>", "()void"),
+				dalvik.InvokeVirtual(android.CustomTabsIntentBuilderClass, "build", "()CustomTabsIntent"),
+				dalvik.ConstString("https://"+appHost(s.Package)+"/tab"),
+				dalvik.InvokeVirtual(android.CustomTabsIntentClass, android.MethodLaunchURL, "(Context,Uri)void"),
+				dalvik.Return(),
+			)
+	}
+
+	// Deep-link activity hosting first-party content: the pipeline must
+	// exclude these call sites (§3.1.3).
+	if s.HasDeepLink {
+		b.Class(s.Package+".link.DeepLinkActivity", android.ActivityClass, dalvik.AccPublic).
+			Source("DeepLinkActivity.java").
+			VoidMethod("onCreate",
+				dalvik.ConstString("https://"+appHost(s.Package)+"/content"),
+				dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+			)
+	}
+
+	// A deterministic minority of apps carries dead code exercising the
+	// analysis' reachability precision: WebView calls no entry point reaches.
+	if pkgHash(s.Package)%7 == 0 {
+		b.Class(s.Package+".internal.Unused", android.ObjectClass, dalvik.AccPublic).
+			VoidMethod("neverCalled",
+				dalvik.ConstString("https://dead.code/"),
+				dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+			)
+	}
+
+	// Filler utility classes give the decompiler and parser realistic bulk.
+	n := 2 + int(pkgHash(s.Package)%3)
+	for i := 0; i < n; i++ {
+		b.Class(fmt.Sprintf("%s.util.Util%d", s.Package, i), android.ObjectClass, dalvik.AccPublic).
+			VoidMethod("run",
+				dalvik.ConstInt(int64(i)),
+				dalvik.InvokeStatic("java.lang.System", "nanoTime", "()long"),
+			)
+	}
+
+	return b.Build()
+}
+
+// buildSDKClasses emits the embedded SDK's code: a Bootstrap facade called
+// from the host app, and internal controller classes whose package names the
+// labeling step attributes (§3.1.4). SDKs deterministically alternate
+// between driving the framework WebView directly and shipping a custom
+// WebView subclass (detected via decompile-and-parse, §3.1.2).
+func buildSDKClasses(b *dalvik.Builder, s *Spec, use SDKUse) {
+	custom := pkgHash(use.Package+s.Package)%2 == 0
+	webViewClass := android.WebViewClass
+	var bootstrap []dalvik.Instruction
+
+	if len(use.WebViewMethods) > 0 {
+		if custom {
+			webViewClass = use.Package + ".widget.SdkWebView"
+			b.Class(webViewClass, android.WebViewClass, dalvik.AccPublic).
+				Source("SdkWebView.java").
+				VoidMethod("configure")
+		}
+		body := []dalvik.Instruction{
+			dalvik.ConstString("https://cdn." + strings.TrimPrefix(use.Package, "com.") + "/content"),
+		}
+		if custom {
+			body = append(body, dalvik.NewInstance(webViewClass),
+				dalvik.InvokeDirect(webViewClass, "<init>", "(Context)void"))
+		}
+		if s.Obfuscated {
+			body = append(body, reflectiveWebViewCalls(use.WebViewMethods)...)
+		} else {
+			body = append(body, webViewCalls(webViewClass, use.WebViewMethods)...)
+		}
+		b.Class(use.Package+".internal.WebController", android.ObjectClass, dalvik.AccPublic).
+			Source("WebController.java").
+			VoidMethod("open", body...)
+		bootstrap = append(bootstrap,
+			dalvik.NewInstance(use.Package+".internal.WebController"),
+			dalvik.InvokeDirect(use.Package+".internal.WebController", "<init>", "()void"),
+			dalvik.InvokeVirtual(use.Package+".internal.WebController", "open", "()void"),
+		)
+	}
+
+	if use.UsesCT {
+		b.Class(use.Package+".ct.TabLauncher", android.ObjectClass, dalvik.AccPublic).
+			Source("TabLauncher.java").
+			Method("launch", "()void", dalvik.AccPublic|dalvik.AccStatic,
+				dalvik.NewInstance(android.CustomTabsIntentBuilderClass),
+				dalvik.InvokeDirect(android.CustomTabsIntentBuilderClass, "<init>", "()void"),
+				dalvik.InvokeVirtual(android.CustomTabsIntentBuilderClass, "build", "()CustomTabsIntent"),
+				dalvik.ConstString("https://auth."+strings.TrimPrefix(use.Package, "com.")+"/flow"),
+				dalvik.InvokeVirtual(android.CustomTabsIntentClass, android.MethodLaunchURL, "(Context,Uri)void"),
+				dalvik.Return(),
+			)
+	}
+
+	// Bootstrap last: Builder methods attach to the most recent class.
+	cls := b.Class(use.Package+".Bootstrap", android.ObjectClass, dalvik.AccPublic|dalvik.AccFinal).
+		Source("Bootstrap.java")
+	start := append([]dalvik.Instruction{}, bootstrap...)
+	start = append(start, dalvik.Return())
+	cls.Method("start", "()void", dalvik.AccPublic|dalvik.AccStatic, start...)
+	if use.UsesCT {
+		cls.Method("openTab", "()void", dalvik.AccPublic|dalvik.AccStatic,
+			dalvik.InvokeStatic(use.Package+".ct.TabLauncher", "launch", "()void"),
+			dalvik.Return(),
+		)
+	}
+}
+
+// webViewCalls renders one invoke per planted method, each preceded by a
+// representative argument constant.
+func webViewCalls(class string, methods []string) []dalvik.Instruction {
+	var out []dalvik.Instruction
+	for _, m := range methods {
+		switch m {
+		case android.MethodEvaluateJavascript:
+			out = append(out, dalvik.ConstString("(function(){return document.title})()"))
+		case android.MethodAddJavascriptInterface:
+			out = append(out, dalvik.ConstString("NativeBridge"))
+		}
+		out = append(out, dalvik.InvokeVirtual(class, m, signatureOf(m)))
+	}
+	return out
+}
+
+// reflectiveWebViewCalls hides the same calls behind java.lang.reflect:
+// the method name exists only as a string constant, so detection keyed on
+// invoke targets (the paper's, and ours) cannot see it — the §3.1.5
+// obfuscation limitation made concrete.
+func reflectiveWebViewCalls(methods []string) []dalvik.Instruction {
+	var out []dalvik.Instruction
+	for _, m := range methods {
+		out = append(out,
+			dalvik.ConstString(m), // the only trace of the real target
+			dalvik.InvokeVirtual("java.lang.Class", "getMethod", "(String,Class[])Method"),
+			dalvik.Instruction{Op: dalvik.OpMoveResult},
+			dalvik.InvokeVirtual("java.lang.reflect.Method", "invoke", "(Object,Object[])Object"),
+		)
+	}
+	return out
+}
+
+func signatureOf(method string) string {
+	switch method {
+	case android.MethodLoadURL:
+		return "(String)void"
+	case android.MethodLoadData:
+		return "(String,String,String)void"
+	case android.MethodLoadDataWithBaseURL:
+		return "(String,String,String,String,String)void"
+	case android.MethodPostURL:
+		return "(String,byte[])void"
+	case android.MethodEvaluateJavascript:
+		return "(String,ValueCallback)void"
+	case android.MethodAddJavascriptInterface:
+		return "(Object,String)void"
+	case android.MethodRemoveJavascriptInterface:
+		return "(String)void"
+	default:
+		return "()void"
+	}
+}
+
+func appHost(pkg string) string {
+	parts := strings.Split(pkg, ".")
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, ".")
+}
+
+func pkgHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

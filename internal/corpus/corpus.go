@@ -1,0 +1,302 @@
+package corpus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/sdkindex"
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// Seed drives every random choice; identical configs generate
+	// identical corpora.
+	Seed int64
+	// Scale divides the paper's population sizes: Scale 1 reproduces the
+	// full 6.5M-app AndroZoo snapshot (memory-hungry), Scale 100 a 65K-app
+	// corpus. Must be >= 1.
+	Scale int
+	// ObfuscationRate is the fraction of analyzable apps whose WebView
+	// calls are routed through reflection, hiding them from static
+	// analysis — the §3.1.5 limitation ("our method may fall short in
+	// detecting obfuscated method calls"). Zero (the default) matches the
+	// paper's observation that Play Store obfuscation is uncommon.
+	ObfuscationRate float64
+}
+
+// Counts is the dataset funnel (Table 2) at a given scale.
+type Counts struct {
+	Total    int // Play Store apps in the AndroZoo snapshot
+	OnPlay   int // apps found on the Play Store
+	Popular  int // 100K+ downloads
+	Filtered int // 100K+ downloads and updated after the cutoff
+	Broken   int // APKs that fail to parse
+	Analyzed int // Filtered - Broken
+}
+
+// ScaledCounts returns the funnel at the given scale.
+func ScaledCounts(scale int) Counts {
+	div := func(n int) int {
+		v := (n + scale/2) / scale
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c := Counts{
+		Total:    div(PaperAndrozooApps),
+		OnPlay:   div(PaperOnPlayApps),
+		Popular:  div(PaperPopularApps),
+		Filtered: div(PaperFilteredApps),
+		Broken:   (PaperBrokenAPKs + scale/2) / scale,
+	}
+	if c.Filtered > c.Popular {
+		c.Filtered = c.Popular
+	}
+	if c.Broken > c.Filtered-1 {
+		c.Broken = 0
+	}
+	c.Analyzed = c.Filtered - c.Broken
+	return c
+}
+
+// UpdateCutoff is the maintenance filter: apps must have been updated after
+// this date (§3.1.1).
+var UpdateCutoff = time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// MinDownloads is the popularity filter.
+const MinDownloads = 100_000
+
+// Corpus is a generated app population, ordered with on-Play apps first by
+// descending downloads, then off-Play apps.
+type Corpus struct {
+	Config Config
+	Counts Counts
+	Apps   []*Spec
+}
+
+// Generate builds the corpus for the configuration. Generation is
+// deterministic in cfg.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.Scale < 1 {
+		return nil, fmt.Errorf("corpus: scale %d < 1", cfg.Scale)
+	}
+	counts := ScaledCounts(cfg.Scale)
+	c := &Corpus{Config: cfg, Counts: counts}
+	c.Apps = make([]*Spec, 0, counts.OnPlay+64)
+
+	idx := sdkindex.Default()
+	// The dynamic-study prefix: the top-1K apps (or the whole filtered set
+	// when the scale shrinks it below 1000). Everything in the prefix is
+	// kept updated so it survives the maintenance filter.
+	topK := counts.Filtered
+	if topK > 1000 {
+		topK = 1000
+	}
+	behaviors := topBehaviors(cfg.Seed, topK)
+
+	// On-Play apps by download rank. The first Popular ranks pass the
+	// download filter; the update filter is applied by exact Bresenham
+	// stride so the funnel counts match ScaledCounts precisely.
+	beyondPopular := counts.Popular - topK
+	beyondFiltered := counts.Filtered - topK
+	if beyondFiltered < 0 {
+		beyondFiltered = 0
+	}
+	updatedSoFar := 0
+	filteredSeen := 0
+	brokenAssigned := 0
+	brokenStride := 0
+	if counts.Broken > 0 {
+		brokenStride = (counts.Filtered - topK) / counts.Broken
+		if brokenStride < 1 {
+			brokenStride = 1
+		}
+	}
+
+	for r := 1; r <= counts.OnPlay; r++ {
+		spec := &Spec{OnPlayStore: true}
+		switch {
+		case r <= len(NamedApps) && r <= topK:
+			n := NamedApps[r-1]
+			spec.Package, spec.Title = n.Package, n.Title
+			spec.PlayCategory = n.Category
+			spec.Downloads = n.Downloads
+			spec.LastUpdated = UpdateCutoff.AddDate(1, 6, 0)
+			spec.Dynamic = n.Dynamic
+			spec.OwnMethods = append(spec.OwnMethods, n.OwnMethods...)
+			spec.OwnCT = n.OwnCT
+		case r <= counts.Popular:
+			spec.Package = fmt.Sprintf("com.genapp%07d", r)
+			spec.Title = fmt.Sprintf("Gen App %d", r)
+			spec.Downloads = scaledDownloads(r, topK, cfg.Scale)
+			if r <= topK {
+				spec.Dynamic = behaviors[r-1]
+				spec.LastUpdated = UpdateCutoff.AddDate(1, 0, r%300)
+			} else {
+				// Exact-count update filter over the remaining popular apps.
+				k := r - topK
+				updated := beyondPopular > 0 &&
+					(k*beyondFiltered)/beyondPopular > ((k-1)*beyondFiltered)/beyondPopular
+				if updated {
+					spec.LastUpdated = UpdateCutoff.AddDate(0, 6, r%500)
+					updatedSoFar++
+				} else {
+					spec.LastUpdated = UpdateCutoff.AddDate(-2, 0, -(r % 300))
+				}
+			}
+		default:
+			spec.Package = fmt.Sprintf("com.longtail%07d", r)
+			spec.Title = fmt.Sprintf("Long Tail %d", r)
+			spec.Downloads = longTailDownloads(r, counts.OnPlay)
+			spec.LastUpdated = UpdateCutoff.AddDate(-1, 0, -(r % 700))
+		}
+
+		if spec.Eligible(MinDownloads, UpdateCutoff) {
+			filteredSeen++
+			// Named top apps stay clear (the dynamic study probes their
+			// behaviour); any other app may ship obfuscated.
+			if cfg.ObfuscationRate > 0 && r > len(NamedApps) &&
+				appRNG(cfg.Seed, spec.Package, "obfuscate").Float64() < cfg.ObfuscationRate {
+				spec.Obfuscated = true
+			}
+			// Mark broken APKs at a fixed stride, skipping the dynamic
+			// top apps so the semi-manual study always installs cleanly.
+			if brokenStride > 0 && r > topK && brokenAssigned < counts.Broken &&
+				(filteredSeen-topK) > 0 && (filteredSeen-topK)%brokenStride == 0 {
+				spec.Broken = true
+				brokenAssigned++
+			}
+			assignStatic(spec, idx, cfg.Seed)
+		}
+		c.Apps = append(c.Apps, spec)
+	}
+
+	// Off-Play apps: present in AndroZoo, absent from the Play Store.
+	for r := counts.OnPlay + 1; r <= counts.Total; r++ {
+		c.Apps = append(c.Apps, &Spec{
+			Package: fmt.Sprintf("org.offplay%07d", r),
+			Title:   fmt.Sprintf("Off Play %d", r),
+		})
+	}
+	return c, nil
+}
+
+// Filtered returns the apps passing the paper's selection filter, in rank
+// order (the analysis population plus broken APKs).
+func (c *Corpus) Filtered() []*Spec {
+	var out []*Spec
+	for _, s := range c.Apps {
+		if s.Eligible(MinDownloads, UpdateCutoff) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Top returns the n highest-download filtered apps.
+func (c *Corpus) Top(n int) []*Spec {
+	f := c.Filtered()
+	if n > len(f) {
+		n = len(f)
+	}
+	return f[:n]
+}
+
+// AppByPackage finds a spec by package name, or nil.
+func (c *Corpus) AppByPackage(pkg string) *Spec {
+	for _, s := range c.Apps {
+		if s.Package == pkg {
+			return s
+		}
+	}
+	return nil
+}
+
+// scaledDownloads maps a reduced-corpus rank to a paper-scale rank and
+// evaluates the install-count model there, clamped to the popularity band.
+func scaledDownloads(r, topK, scale int) int64 {
+	paperRank := r
+	if r > topK {
+		paperRank = topK + (r-topK)*scale
+	}
+	d := downloadsBand(paperRank)
+	if d < MinDownloads {
+		d = MinDownloads
+	}
+	return d
+}
+
+// downloadsBand implements the piecewise install model: the named top apps'
+// real counts at ranks 1-11, a flat 97.4M→86M band through rank 1000 (the
+// paper notes every top-1K app has ≥86M installs), then a power-law decay
+// hitting the 100K threshold at the paper's popular-app count.
+func downloadsBand(rank int) int64 {
+	if rank <= len(NamedApps) {
+		return NamedApps[rank-1].Downloads
+	}
+	if rank <= 1000 {
+		frac := float64(rank-len(NamedApps)) / float64(1000-len(NamedApps))
+		return int64(97_400_000 - frac*(97_400_000-86_000_000))
+	}
+	// Geometric interpolation 86M → 100K over ranks 1000..PaperPopularApps.
+	frac := float64(rank-1000) / float64(PaperPopularApps-1000)
+	if frac > 1 {
+		frac = 1
+	}
+	return int64(86_000_000 * math.Pow(100_000.0/86_000_000.0, frac))
+}
+
+func longTailDownloads(r, onPlay int) int64 {
+	// Below the popularity threshold: 99,999 down to ~500.
+	span := onPlay - r + 1
+	d := int64(500 + span%99_000)
+	if d >= MinDownloads {
+		d = MinDownloads - 1
+	}
+	return d
+}
+
+// appRNG derives a per-app random stream independent of generation order.
+func appRNG(seed int64, pkg string, salt string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, pkg, salt)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// pickPlayCategory draws a Play category from the weighted list.
+func pickPlayCategory(rng *rand.Rand) playCategory {
+	total := 0.0
+	for _, pc := range playCategories {
+		total += pc.Weight
+	}
+	x := rng.Float64() * total
+	for _, pc := range playCategories {
+		x -= pc.Weight
+		if x <= 0 {
+			return pc
+		}
+	}
+	return playCategories[len(playCategories)-1]
+}
+
+func playCategoryByName(name string) playCategory {
+	for _, pc := range playCategories {
+		if pc.Name == name {
+			return pc
+		}
+	}
+	return playCategory{Name: name, Weight: 0}
+}
+
+// PlayCategories lists the modelled Play Store categories.
+func PlayCategories() []string {
+	out := make([]string, len(playCategories))
+	for i, pc := range playCategories {
+		out[i] = pc.Name
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package corpus
+
+import (
+	"repro/internal/sdkindex"
+)
+
+// Dataset funnel constants, straight from Table 2. Scale divides all of
+// them when generating a reduced corpus.
+const (
+	PaperAndrozooApps = 6507222
+	PaperOnPlayApps   = 2454488
+	PaperPopularApps  = 198324 // 100K+ downloads
+	PaperFilteredApps = 146800 // 100K+ downloads and updated after 2021
+	PaperBrokenAPKs   = 242
+	PaperAnalyzedApps = PaperFilteredApps - PaperBrokenAPKs // 146,558
+)
+
+// Headline app-level adoption rates (§4.1 / Table 7), as fractions of the
+// analyzed population.
+const (
+	paperWebViewRate = 81720.0 / PaperAnalyzedApps // ~55.76%
+	paperCTRate      = 29130.0 / PaperAnalyzedApps // ~19.88%
+)
+
+// playCategory is one Play Store category with its share of the analyzed
+// population and its SDK-type affinity multipliers (Figure 3: gaming
+// categories lean on CT social SDKs, education on WebView payment SDKs and
+// away from WebView ad SDKs).
+type playCategory struct {
+	Name   string
+	Weight float64
+	// Affinity multiplies the inclusion probability of SDKs of a given
+	// category; missing keys default to 1.0.
+	WVAffinity map[sdkindex.Category]float64
+	CTAffinity map[sdkindex.Category]float64
+}
+
+var playCategories = []playCategory{
+	{Name: "Puzzle", Weight: 0.06,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Advertising: 1.25},
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Social: 1.45}},
+	{Name: "Simulation", Weight: 0.05,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Advertising: 1.25},
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Social: 1.40}},
+	{Name: "Action", Weight: 0.05,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Advertising: 1.20},
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Social: 1.40}},
+	{Name: "Arcade", Weight: 0.05,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Advertising: 1.20},
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Social: 1.35}},
+	{Name: "Education", Weight: 0.08,
+		WVAffinity: map[sdkindex.Category]float64{
+			sdkindex.Advertising: 0.72, // 44% vs the corpus-wide ~61% of WV apps
+			sdkindex.Payments:    2.60, // ~16.2% payment-SDK share
+		}},
+	{Name: "Entertainment", Weight: 0.08},
+	{Name: "Tools", Weight: 0.10,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Engagement: 1.10}},
+	{Name: "Social", Weight: 0.04,
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Social: 1.20}},
+	{Name: "Communication", Weight: 0.04},
+	{Name: "Finance", Weight: 0.05,
+		WVAffinity: map[sdkindex.Category]float64{
+			sdkindex.Payments:       2.2,
+			sdkindex.Authentication: 1.8,
+			sdkindex.Advertising:    0.6,
+		},
+		CTAffinity: map[sdkindex.Category]float64{sdkindex.Authentication: 1.5}},
+	{Name: "Shopping", Weight: 0.05,
+		WVAffinity: map[sdkindex.Category]float64{sdkindex.Payments: 2.0}},
+	{Name: "Music & Audio", Weight: 0.05},
+	{Name: "News & Magazines", Weight: 0.04},
+	{Name: "Productivity", Weight: 0.06},
+	{Name: "Lifestyle", Weight: 0.06},
+	{Name: "Health & Fitness", Weight: 0.05},
+	{Name: "Travel & Local", Weight: 0.04},
+	{Name: "Photography", Weight: 0.05},
+}
+
+// methodProfile maps a WebView API method to the probability that one app's
+// copy of an SDK (or the app's own code) calls it. Profiles are calibrated
+// to Figure 4's heatmap and Table 7's marginals.
+type methodProfile map[string]float64
+
+var categoryProfiles = map[sdkindex.Category]methodProfile{
+	sdkindex.Advertising: {
+		"loadUrl": 0.97, "addJavascriptInterface": 0.46, "loadDataWithBaseURL": 0.55,
+		"evaluateJavascript": 0.32, "removeJavascriptInterface": 0.25, "loadData": 0.08, "postUrl": 0.05,
+	},
+	sdkindex.Engagement: {
+		"loadUrl": 0.90, "addJavascriptInterface": 0.50, "loadDataWithBaseURL": 0.30,
+		"evaluateJavascript": 0.38, "removeJavascriptInterface": 0.30, "loadData": 0.05, "postUrl": 0.02,
+	},
+	sdkindex.DevTools: {
+		"loadUrl": 0.98, "addJavascriptInterface": 0.35, "loadDataWithBaseURL": 0.25,
+		"evaluateJavascript": 0.30, "removeJavascriptInterface": 0.15, "loadData": 0.10, "postUrl": 0.05,
+	},
+	sdkindex.Payments: {
+		"loadUrl": 0.95, "addJavascriptInterface": 0.485, "loadDataWithBaseURL": 0.30,
+		"evaluateJavascript": 0.35, "removeJavascriptInterface": 0.20, "loadData": 0.08, "postUrl": 0.30,
+	},
+	sdkindex.UserSupport: {
+		"loadUrl": 0.459, "addJavascriptInterface": 0.40, "loadDataWithBaseURL": 1.00,
+		"evaluateJavascript": 0.25, "removeJavascriptInterface": 0.20, "loadData": 0.10, "postUrl": 0.02,
+	},
+	sdkindex.Social: {
+		"loadUrl": 0.96, "addJavascriptInterface": 0.30, "loadDataWithBaseURL": 0.20,
+		"evaluateJavascript": 0.25, "removeJavascriptInterface": 0.15, "loadData": 0.05, "postUrl": 0.05,
+	},
+	sdkindex.Utility: {
+		"loadUrl": 0.90, "addJavascriptInterface": 0.35, "loadDataWithBaseURL": 0.50,
+		"evaluateJavascript": 0.25, "removeJavascriptInterface": 0.10, "loadData": 0.15, "postUrl": 0.02,
+	},
+	sdkindex.Authentication: {
+		"loadUrl": 0.97, "addJavascriptInterface": 0.30, "loadDataWithBaseURL": 0.15,
+		"evaluateJavascript": 0.30, "removeJavascriptInterface": 0.20, "loadData": 0.03, "postUrl": 0.10,
+	},
+	sdkindex.Hybrid: {
+		"loadUrl": 0.95, "addJavascriptInterface": 0.70, "loadDataWithBaseURL": 0.60,
+		"evaluateJavascript": 0.50, "removeJavascriptInterface": 0.30, "loadData": 0.20, "postUrl": 0.05,
+	},
+	sdkindex.Unknown: {
+		"loadUrl": 0.90, "addJavascriptInterface": 0.40, "loadDataWithBaseURL": 0.30,
+		"evaluateJavascript": 0.30, "removeJavascriptInterface": 0.20, "loadData": 0.10, "postUrl": 0.05,
+	},
+}
+
+// ownProfile drives first-party (non-SDK) WebView code; tuned so that the
+// all-apps marginals land on Table 7.
+var ownProfile = methodProfile{
+	"loadUrl": 0.95, "addJavascriptInterface": 0.24, "loadDataWithBaseURL": 0.26,
+	"evaluateJavascript": 0.14, "removeJavascriptInterface": 0.11, "loadData": 0.06, "postUrl": 0.04,
+}

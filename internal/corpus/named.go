@@ -1,0 +1,121 @@
+package corpus
+
+// The 11 named top apps whose In-App-Browser behaviour the paper studies
+// (Table 8 plus Discord, the lone CT-based IAB). They occupy the top
+// download ranks of every generated corpus, with their real download counts
+// and runtime behaviours.
+
+// NamedApp fixes one real-world app's identity and dynamic behaviour.
+type NamedApp struct {
+	Package   string
+	Title     string
+	Category  string
+	Downloads int64
+	Dynamic   Dynamic
+	// OwnMethods lists the WebView methods the app's own IAB code calls;
+	// IAB apps necessarily use WebViews first-party.
+	OwnMethods []string
+	OwnCT      bool
+}
+
+// NamedApps lists the fixed top-ranked apps in download order.
+var NamedApps = []NamedApp{
+	{
+		Package: "com.facebook.katana", Title: "Facebook", Category: "Social", Downloads: 8_400_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "Post", LinkOpens: LinkWebView,
+			Injection: InjectMetaCommerce, UsesRedirector: "lm.facebook.com/l.php",
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"},
+	},
+	{
+		Package: "com.instagram.android", Title: "Instagram", Category: "Social", Downloads: 4_600_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkWebView,
+			Injection: InjectMetaCommerce, UsesRedirector: "l.instagram.com",
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"},
+	},
+	{
+		Package: "com.snapchat.android", Title: "Snapchat", Category: "Social", Downloads: 2_340_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "Story", LinkOpens: LinkWebView,
+			Injection: InjectNone,
+		},
+		OwnMethods: []string{"loadUrl"},
+	},
+	{
+		Package: "com.twitter.android", Title: "Twitter", Category: "Social", Downloads: 1_380_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkWebView,
+			Injection: InjectNone, UsesRedirector: "t.co",
+		},
+		OwnMethods: []string{"loadUrl"},
+	},
+	{
+		Package: "com.linkedin.android", Title: "LinkedIn", Category: "Social", Downloads: 1_200_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "Post", LinkOpens: LinkWebView,
+			Injection: InjectRadar,
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript"},
+	},
+	{
+		Package: "com.pinterest", Title: "Pinterest", Category: "Lifestyle", Downloads: 840_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkWebView,
+			Injection: InjectObfuscated,
+		},
+		OwnMethods: []string{"loadUrl", "addJavascriptInterface"},
+	},
+	{
+		Package: "com.discord", Title: "Discord", Category: "Communication", Downloads: 551_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkCustomTab,
+		},
+		OwnCT: true,
+	},
+	{
+		Package: "in.mohalla.video", Title: "Moj", Category: "Entertainment", Downloads: 289_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "Profile", LinkOpens: LinkWebView,
+			Injection: InjectAdsGoogle,
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"},
+	},
+	{
+		Package: "kik.android", Title: "Kik", Category: "Communication", Downloads: 176_500_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkWebView,
+			Injection: InjectAdsMulti,
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"},
+	},
+	{
+		Package: "com.reddit.frontpage", Title: "Reddit", Category: "Social", Downloads: 124_000_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "DM", LinkOpens: LinkWebView,
+			Injection: InjectNone,
+		},
+		OwnMethods: []string{"loadUrl"},
+	},
+	{
+		Package: "io.chingari.app", Title: "Chingari", Category: "Entertainment", Downloads: 97_500_000,
+		Dynamic: Dynamic{
+			HasUserContent: true, LinkSurface: "Bio", LinkOpens: LinkWebView,
+			Injection: InjectAdsGoogle,
+		},
+		OwnMethods: []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"},
+	},
+}
+
+// Table 6 composition of the top 1K apps beyond the named ones. The counts
+// sum with the 11 named apps to exactly 1000.
+const (
+	top1kBrowserLinkApps = 27  // users post links; link opens in a browser
+	top1kNoUserContent   = 905 // predominantly utility apps
+	top1kBrowserApps     = 9   // the app itself is a browser
+	top1kRequiresPhone   = 24  // unclassifiable: needs a phone number
+	top1kIncompatible    = 22  // unclassifiable: app incompatibility error
+	top1kPaidOnly        = 2   // unclassifiable: needs a paid account
+)

@@ -1,0 +1,90 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+)
+
+func TestObfuscationOffByDefault(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, Scale: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Filtered() {
+		if s.Obfuscated {
+			t.Fatalf("%s obfuscated with rate 0", s.Package)
+		}
+	}
+}
+
+func TestObfuscatedCallsEvadeStaticAnalysis(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, Scale: 800, ObfuscationRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obfWithWV, missed, checkedClear int
+	for _, s := range c.Filtered() {
+		if s.Broken || !s.UsesWebView() {
+			continue
+		}
+		img, err := BuildAPK(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := apk.Open(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := callgraph.Build(a.Dex)
+		excl := map[string]bool{}
+		for _, dl := range a.Manifest.DeepLinkActivities() {
+			excl[dl] = true
+		}
+		detected := g.AnalyzeUsage(excl).UsesWebView()
+		if s.Obfuscated {
+			obfWithWV++
+			if !detected {
+				missed++
+			}
+			// Reflection leaves only string constants behind; the dex must
+			// still carry the planted method names as data, not as invoke
+			// targets.
+			for _, u := range s.SDKs {
+				for _, m := range u.WebViewMethods {
+					if !strings.Contains(string(img), m) {
+						t.Errorf("%s: method-name string %q missing from obfuscated APK", s.Package, m)
+					}
+				}
+			}
+		} else {
+			checkedClear++
+			if !detected {
+				t.Errorf("%s: unobfuscated app not detected", s.Package)
+			}
+		}
+	}
+	if obfWithWV == 0 || checkedClear == 0 {
+		t.Fatalf("unbalanced sample: obf=%d clear=%d", obfWithWV, checkedClear)
+	}
+	// Apps whose ONLY WebView use is obfuscated must be missed; apps can
+	// still be caught through a deep-link activity (excluded) — so demand
+	// a substantial false-negative rate, not 100%.
+	if missed == 0 {
+		t.Errorf("static analysis detected all %d obfuscated apps — reflection not hiding calls", obfWithWV)
+	}
+	t.Logf("obfuscation recall gap: %d/%d obfuscated WebView apps missed", missed, obfWithWV)
+}
+
+func TestObfuscationDeterministic(t *testing.T) {
+	a, _ := Generate(Config{Seed: 5, Scale: 1500, ObfuscationRate: 0.2})
+	b, _ := Generate(Config{Seed: 5, Scale: 1500, ObfuscationRate: 0.2})
+	fa, fb := a.Filtered(), b.Filtered()
+	for i := range fa {
+		if fa[i].Obfuscated != fb[i].Obfuscated {
+			t.Fatalf("obfuscation assignment not deterministic at %s", fa[i].Package)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the funnel is monotone and self-consistent at every scale.
+func TestQuickFunnelInvariants(t *testing.T) {
+	prop := func(raw uint16) bool {
+		scale := int(raw)%5000 + 1
+		c := ScaledCounts(scale)
+		return c.Total >= c.OnPlay &&
+			c.OnPlay >= c.Popular &&
+			c.Popular >= c.Filtered &&
+			c.Filtered >= c.Analyzed &&
+			c.Analyzed == c.Filtered-c.Broken &&
+			c.Analyzed >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generation is a pure function of (seed, scale) — regenerating
+// yields byte-identical APKs for sampled apps.
+func TestQuickGenerationPure(t *testing.T) {
+	prop := func(seedRaw uint8) bool {
+		seed := int64(seedRaw)
+		a, err := Generate(Config{Seed: seed, Scale: 2500})
+		if err != nil {
+			return false
+		}
+		b, err := Generate(Config{Seed: seed, Scale: 2500})
+		if err != nil {
+			return false
+		}
+		fa, fb := a.Filtered(), b.Filtered()
+		if len(fa) != len(fb) {
+			return false
+		}
+		for i := 0; i < len(fa); i += 7 {
+			ia, err := BuildAPK(fa[i])
+			if err != nil {
+				return false
+			}
+			ib, err := BuildAPK(fb[i])
+			if err != nil {
+				return false
+			}
+			if string(ia) != string(ib) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated spec with SDKs yields a parseable APK whose
+// package matches, at any seed.
+func TestQuickAPKsAlwaysWellFormed(t *testing.T) {
+	prop := func(seedRaw uint8) bool {
+		c, err := Generate(Config{Seed: int64(seedRaw) + 100, Scale: 3000})
+		if err != nil {
+			return false
+		}
+		for _, s := range c.Filtered() {
+			img, err := BuildAPK(s)
+			if err != nil {
+				return false
+			}
+			if s.Broken {
+				continue
+			}
+			if len(img) < 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: downloads never increase with rank.
+func TestQuickDownloadsMonotone(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		r1, r2 := int(a)%5000+1, int(b)%5000+1
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		return downloadsBand(r1) >= downloadsBand(r2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package corpus generates the synthetic Android app population the
+// reproduction measures. Ground truth is planted from the paper's published
+// marginals (SDK adoption, API-method rates, category mixes, the dataset
+// funnel of Table 2); the static pipeline then re-derives every statistic by
+// actually decompiling and traversing the generated APKs. Absolute counts
+// scale with Config.Scale; proportions are what the benchmarks compare
+// against the paper.
+package corpus
+
+import (
+	"time"
+)
+
+// LinkBehavior describes what an app does when the user taps an http(s)
+// link in user-generated content (§3.2.1, Table 6).
+type LinkBehavior int
+
+// Link behaviours.
+const (
+	LinkNone      LinkBehavior = iota // app has no user-generated links
+	LinkBrowser                       // raises a Web URI intent (default)
+	LinkWebView                       // opens a WebView-based IAB
+	LinkCustomTab                     // opens a CT-based IAB
+)
+
+func (b LinkBehavior) String() string {
+	switch b {
+	case LinkBrowser:
+		return "browser"
+	case LinkWebView:
+		return "webview"
+	case LinkCustomTab:
+		return "customtab"
+	default:
+		return "none"
+	}
+}
+
+// InjectionKind classifies the behaviour of a WebView-based IAB's injected
+// code (Table 8).
+type InjectionKind int
+
+// Injection kinds observed in the wild.
+const (
+	InjectNone         InjectionKind = iota
+	InjectMetaCommerce               // FB/IG: autofill SDK, DOM counts, simHash, perf metrics, pay bridges
+	InjectRadar                      // LinkedIn: Cedexis Radar network measurement
+	InjectAdsGoogle                  // Moj/Chingari: Google Ads video-ad insertion
+	InjectAdsMulti                   // Kik: multi-network ad insertion (Google, MoPub, InMobi)
+	InjectObfuscated                 // Pinterest: obfuscated JS bridge
+)
+
+// Dynamic captures the runtime behaviour of an app needed by the
+// semi-manual analysis: whether users can post links, where, and what
+// happens on click. For the 10 WebView IABs it also fixes the injection
+// behaviour the runtime executes.
+type Dynamic struct {
+	HasUserContent bool
+	LinkSurface    string // "Post", "DM", "Story", "Bio", "Profile"
+	LinkOpens      LinkBehavior
+	Injection      InjectionKind
+	UsesRedirector string // e.g. "lm.facebook.com/l.php"; "" for direct loads
+	// Classification obstacles (Table 6's "could not classify" rows).
+	RequiresPhone bool
+	Incompatible  bool
+	PaidOnly      bool
+	IsBrowser     bool
+}
+
+// SDKUse is one SDK embedded in an app, with the WebView API methods its
+// copy calls (drawn from the SDK category's method profile) and whether the
+// integration drives WebViews, CTs or both.
+type SDKUse struct {
+	Package        string // the SDK's package prefix
+	WebViewMethods []string
+	UsesCT         bool
+}
+
+// Spec fully determines one generated app: its metadata and the code the
+// APK builder will synthesise. Every field is fixed by the generator so
+// that APK construction is reproducible from the spec alone.
+type Spec struct {
+	Package      string
+	Title        string
+	PlayCategory string
+	Downloads    int64
+	LastUpdated  time.Time
+	OnPlayStore  bool
+	Broken       bool // APK downloads but cannot be parsed
+	// Obfuscated routes the app's WebView calls through reflection so
+	// name-based static analysis cannot see them (§3.1.5).
+	Obfuscated bool
+
+	// Static ground truth.
+	SDKs        []SDKUse
+	OwnMethods  []string // WebView methods called by first-party app code
+	OwnCT       bool     // first-party Custom Tabs use
+	HasDeepLink bool     // exported BROWSABLE activity (excluded, §3.1.3)
+
+	// Dynamic ground truth (top apps only).
+	Dynamic Dynamic
+}
+
+// UsesWebView reports whether any planted code path uses a WebView.
+func (s *Spec) UsesWebView() bool {
+	if len(s.OwnMethods) > 0 {
+		return true
+	}
+	for _, u := range s.SDKs {
+		if len(u.WebViewMethods) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesCT reports whether any planted code path uses Custom Tabs.
+func (s *Spec) UsesCT() bool {
+	if s.OwnCT {
+		return true
+	}
+	for _, u := range s.SDKs {
+		if u.UsesCT {
+			return true
+		}
+	}
+	return false
+}
+
+// Eligible reports whether the app passes the paper's selection filter:
+// found on the Play Store, 100K+ downloads, updated after cutoff.
+func (s *Spec) Eligible(minDownloads int64, updatedAfter time.Time) bool {
+	return s.OnPlayStore && s.Downloads >= minDownloads && s.LastUpdated.After(updatedAfter)
+}

@@ -1,0 +1,197 @@
+// Package crawler drives the top-site crawl of §3.2.2: for each app and
+// each site, it launches the app over ADB, inserts the crawl URL into the
+// app's link surface, taps it so the visit happens inside the app's IAB,
+// scrolls to the page end, waits for resources, collects the per-context
+// network log, and purges device logs before the next visit. Rate limits
+// (the Facebook account restrictions the paper hit) are detected and
+// recovered by provisioning a fresh dummy account.
+package crawler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adb"
+	"repro/internal/crux"
+	"repro/internal/sitereview"
+)
+
+// Visit is one (app, site) crawl outcome.
+type Visit struct {
+	App           string
+	Site          crux.Site
+	Mode          string // "webview", "customtab", "browser"
+	Context       string
+	ExternalHosts []string
+	// EndpointKinds histograms ExternalHosts by sitereview kind.
+	EndpointKinds map[sitereview.Kind]int
+}
+
+// Result aggregates a crawl.
+type Result struct {
+	Visits []Visit
+	// AccountResets counts dummy-account replacements per app.
+	AccountResets map[string]int
+	// Failures records visits that could not be completed.
+	Failures []string
+}
+
+// AverageEndpoints returns, for one app, the mean number of distinct
+// external endpoints of each kind per site category — the Figure 6 series.
+func (r *Result) AverageEndpoints(app string) map[string]map[sitereview.Kind]float64 {
+	sum := make(map[string]map[sitereview.Kind]float64)
+	count := make(map[string]int)
+	for _, v := range r.Visits {
+		if v.App != app {
+			continue
+		}
+		count[v.Site.Category]++
+		m := sum[v.Site.Category]
+		if m == nil {
+			m = make(map[sitereview.Kind]float64)
+			sum[v.Site.Category] = m
+		}
+		for kind, n := range v.EndpointKinds {
+			m[kind] += float64(n)
+		}
+	}
+	for cat, m := range sum {
+		for kind := range m {
+			m[kind] /= float64(count[cat])
+		}
+	}
+	return sum
+}
+
+// TotalAverage returns the mean distinct external endpoints per visit for
+// one app and site category.
+func (r *Result) TotalAverage(app, category string) float64 {
+	total, n := 0, 0
+	for _, v := range r.Visits {
+		if v.App == app && v.Site.Category == category {
+			total += len(v.ExternalHosts)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// Config parameterises a crawl.
+type Config struct {
+	// Apps are the app packages to crawl with (the 10 IABs + baseline).
+	Apps []string
+	// Sites are the crawl targets.
+	Sites []crux.Site
+	// OwnDomains maps app package -> its own service domains, for
+	// endpoint classification.
+	OwnDomains map[string][]string
+	// MaxAccountResets bounds rate-limit recovery per app.
+	MaxAccountResets int
+}
+
+// Crawler executes crawls over an ADB connection.
+type Crawler struct {
+	client *adb.Client
+	cfg    Config
+}
+
+// New builds a crawler.
+func New(client *adb.Client, cfg Config) *Crawler {
+	if cfg.MaxAccountResets == 0 {
+		cfg.MaxAccountResets = 5
+	}
+	return &Crawler{client: client, cfg: cfg}
+}
+
+// Run performs the full crawl: every app visits every site.
+func (c *Crawler) Run() (*Result, error) {
+	res := &Result{AccountResets: make(map[string]int)}
+	for _, app := range c.cfg.Apps {
+		if _, err := c.client.Command("launch", app); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: launch: %v", app, err))
+			continue
+		}
+		for _, site := range c.cfg.Sites {
+			visit, err := c.visit(app, site, res)
+			if err != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("%s @ %s: %v", app, site.Host, err))
+				continue
+			}
+			res.Visits = append(res.Visits, *visit)
+		}
+		if _, err := c.client.Command("force-stop", app); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (c *Crawler) visit(app string, site crux.Site, res *Result) (*Visit, error) {
+	url := "https://" + site.Host + "/"
+	// (i) launch happened; (ii) navigate to the surface and (iii) insert
+	// the crawl URL.
+	if _, err := c.client.Command("post", app, url); err != nil {
+		return nil, err
+	}
+	// (iv) tap the URL, recovering from account restrictions.
+	var payload string
+	var err error
+	for attempt := 0; ; attempt++ {
+		payload, err = c.client.Command("click", app, url)
+		if err == nil {
+			break
+		}
+		if !strings.Contains(err.Error(), "rate-limited") || res.AccountResets[app] >= c.cfg.MaxAccountResets {
+			return nil, err
+		}
+		// Manual intervention in the paper: create a new dummy account.
+		if _, rerr := c.client.Command("newaccount", app); rerr != nil {
+			return nil, rerr
+		}
+		res.AccountResets[app]++
+	}
+	parts := strings.Fields(payload)
+	if len(parts) < 1 {
+		return nil, fmt.Errorf("crawler: malformed click payload %q", payload)
+	}
+	mode := parts[0]
+	ctx := ""
+	if len(parts) > 1 {
+		ctx = parts[1]
+	}
+
+	// (v) scroll to the end and allow the page to settle.
+	if _, err := c.client.Command("input", "swipe", "500", "1500", "500", "300"); err != nil {
+		return nil, err
+	}
+	if _, err := c.client.Command("wait", "20000"); err != nil {
+		return nil, err
+	}
+
+	visit := &Visit{App: app, Site: site, Mode: mode, Context: ctx}
+	if ctx != "" {
+		hosts, err := c.client.List("netlog-external", ctx, site.Host)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(hosts)
+		visit.ExternalHosts = hosts
+		visit.EndpointKinds = sitereview.Histogram(hosts, c.cfg.OwnDomains[app])
+	}
+
+	// Ready the device for the next crawl: purge logs, pause.
+	if _, err := c.client.Command("purge-netlog"); err != nil {
+		return nil, err
+	}
+	if _, err := c.client.Command("logcat-clear"); err != nil {
+		return nil, err
+	}
+	if _, err := c.client.Command("wait", "60000"); err != nil {
+		return nil, err
+	}
+	return visit, nil
+}

@@ -1,0 +1,194 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adb"
+	"repro/internal/corpus"
+	"repro/internal/crux"
+	"repro/internal/device"
+	"repro/internal/internet"
+	"repro/internal/sitereview"
+)
+
+// harness boots a device with crawl sites, installs IAB apps, and starts
+// an ADB server + client — the full §3.2.2 measurement rig.
+func harness(t *testing.T, rateLimit int) (*adb.Client, []crux.Site, *device.Device) {
+	t.Helper()
+	net := internet.New()
+	sites := crux.TopSites(10)
+	crux.RegisterAll(net, sites)
+	dev := device.New(net)
+
+	install := func(pkg string, dyn corpus.Dynamic) {
+		if _, err := dev.Install(&corpus.Spec{Package: pkg, OnPlayStore: true, Dynamic: dyn}); err != nil {
+			t.Fatalf("install %s: %v", pkg, err)
+		}
+	}
+	install("com.linkedin.android", corpus.Dynamic{
+		HasUserContent: true, LinkSurface: "Post",
+		LinkOpens: corpus.LinkWebView, Injection: corpus.InjectRadar,
+	})
+	install("kik.android", corpus.Dynamic{
+		HasUserContent: true, LinkSurface: "DM",
+		LinkOpens: corpus.LinkWebView, Injection: corpus.InjectAdsMulti,
+	})
+	install("org.chromium.webview_shell", corpus.Dynamic{
+		HasUserContent: true, LinkSurface: "Bar",
+		LinkOpens: corpus.LinkWebView, Injection: corpus.InjectNone,
+	})
+
+	srv := adb.NewServer(dev)
+	if rateLimit > 0 {
+		srv.RateLimits = map[string]int{"kik.android": rateLimit}
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := adb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, sites, dev
+}
+
+func TestCrawlCollectsEndpoints(t *testing.T) {
+	client, sites, _ := harness(t, 0)
+	c := New(client, Config{
+		Apps:  []string{"com.linkedin.android", "kik.android", "org.chromium.webview_shell"},
+		Sites: sites,
+		OwnDomains: map[string][]string{
+			"com.linkedin.android": {"linkedin.com", "licdn.com"},
+		},
+	})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if len(res.Visits) != 3*len(sites) {
+		t.Fatalf("visits = %d, want %d", len(res.Visits), 3*len(sites))
+	}
+
+	// The baseline shell contacts no external endpoints: its IAB injects
+	// nothing.
+	for _, v := range res.Visits {
+		if v.App == "org.chromium.webview_shell" && len(v.ExternalHosts) != 0 {
+			t.Errorf("baseline shell contacted %v on %s", v.ExternalHosts, v.Site.Host)
+		}
+	}
+
+	// LinkedIn contacts trackers (Cedexis) plus its own services.
+	liNews := avgKind(res, "com.linkedin.android", "News", sitereview.Tracker)
+	if liNews < 2 {
+		t.Errorf("LinkedIn tracker endpoints on News = %.1f, want > 2", liNews)
+	}
+	own := avgKind(res, "com.linkedin.android", "News", sitereview.OwnService)
+	if own < 1 {
+		t.Errorf("LinkedIn own-service endpoints = %.1f, want >= 1", own)
+	}
+
+	// Kik contacts many ad networks on rich content, fewer on Search.
+	kikRich := res.TotalAverage("kik.android", "News")
+	kikSearch := res.TotalAverage("kik.android", "Search")
+	if kikRich < 15 {
+		t.Errorf("Kik endpoints on News = %.1f, want > 15", kikRich)
+	}
+	if kikSearch >= kikRich {
+		t.Errorf("Kik Search (%.1f) >= News (%.1f); richness gradient missing", kikSearch, kikRich)
+	}
+}
+
+func avgKind(res *Result, app, category string, kind sitereview.Kind) float64 {
+	m := res.AverageEndpoints(app)
+	if m[category] == nil {
+		return 0
+	}
+	return m[category][kind]
+}
+
+func TestCrawlRecoversFromRateLimit(t *testing.T) {
+	client, sites, _ := harness(t, 3) // Kik account restricted every 3 clicks
+	c := New(client, Config{
+		Apps:  []string{"kik.android"},
+		Sites: sites,
+	})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if len(res.Visits) != len(sites) {
+		t.Errorf("visits = %d, want %d", len(res.Visits), len(sites))
+	}
+	// 10 visits with a 3-click budget: at least 2 account replacements
+	// (the paper needed 2 for Facebook).
+	if res.AccountResets["kik.android"] < 2 {
+		t.Errorf("account resets = %d, want >= 2", res.AccountResets["kik.android"])
+	}
+}
+
+func TestCrawlReportsLaunchFailure(t *testing.T) {
+	client, sites, _ := harness(t, 0)
+	c := New(client, Config{Apps: []string{"com.not.installed"}, Sites: sites[:1]})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "launch") {
+		t.Errorf("failures = %v", res.Failures)
+	}
+}
+
+func TestADBProtocolErrors(t *testing.T) {
+	client, _, _ := harness(t, 0)
+	if _, err := client.Command("bogus-command"); err == nil {
+		t.Error("bogus command accepted")
+	}
+	if _, err := client.Command("click", "com.linkedin.android", "https://x/"); err == nil {
+		t.Error("click before launch accepted")
+	}
+	if _, err := client.Command("wait", "notanumber"); err == nil {
+		t.Error("bad wait accepted")
+	}
+}
+
+func TestADBNetlogQueries(t *testing.T) {
+	client, sites, dev := harness(t, 0)
+	if _, err := client.Command("launch", "com.linkedin.android"); err != nil {
+		t.Fatal(err)
+	}
+	url := "https://" + sites[0].Host + "/"
+	if _, err := client.Command("post", "com.linkedin.android", url); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := client.Command("click", "com.linkedin.android", url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Fields(payload)
+	if len(parts) != 2 || parts[0] != "webview" {
+		t.Fatalf("click payload = %q", payload)
+	}
+	hosts, err := client.List("netlog", parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) == 0 {
+		t.Error("no hosts recorded")
+	}
+	if _, err := client.Command("purge-netlog"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.NetLog.Len() != 0 {
+		t.Error("purge-netlog did not clear the device log")
+	}
+}

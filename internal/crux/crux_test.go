@@ -1,0 +1,108 @@
+package crux
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/browsersim"
+	"repro/internal/dom"
+	"repro/internal/internet"
+)
+
+func TestTopSitesDeterministicAndCategorised(t *testing.T) {
+	a := TopSites(100)
+	b := TopSites(100)
+	if len(a) != 100 {
+		t.Fatalf("sites = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d differs between calls", i)
+		}
+	}
+	cats := map[string]int{}
+	hosts := map[string]bool{}
+	for _, s := range a {
+		cats[s.Category]++
+		if hosts[s.Host] {
+			t.Errorf("duplicate host %s", s.Host)
+		}
+		hosts[s.Host] = true
+		if s.Richness <= 0 {
+			t.Errorf("%s: richness %d", s.Host, s.Richness)
+		}
+	}
+	if len(cats) != len(Categories()) {
+		t.Errorf("categories covered = %d, want %d", len(cats), len(Categories()))
+	}
+}
+
+func TestRichnessGradient(t *testing.T) {
+	sites := TopSites(20)
+	var news, search Site
+	for _, s := range sites {
+		if s.Category == "News" && news.Host == "" {
+			news = s
+		}
+		if s.Category == "Search" && search.Host == "" {
+			search = s
+		}
+	}
+	if news.Richness <= search.Richness {
+		t.Errorf("News richness (%d) <= Search richness (%d)", news.Richness, search.Richness)
+	}
+}
+
+func TestHandlerServesRichnessScaledPages(t *testing.T) {
+	sites := TopSites(20)
+	in := internet.New()
+	RegisterAll(in, sites)
+	loader := &browsersim.Loader{Client: in.Client()}
+	counts := map[string]int{}
+	for _, s := range []Site{sites[0], sites[9]} { // News vs Search
+		page, err := loader.Load(context.Background(), "https://"+s.Host+"/")
+		if err != nil {
+			t.Fatalf("load %s: %v", s.Host, err)
+		}
+		if page.Doc.Title != s.Host {
+			t.Errorf("%s title = %q", s.Host, page.Doc.Title)
+		}
+		n := 0
+		page.Doc.Root.Walk(func(node *dom.Node) bool {
+			if node.Type == dom.ElementNode {
+				n++
+			}
+			return true
+		})
+		counts[s.Category] = n
+	}
+	if counts["News"] <= counts["Search"] {
+		t.Errorf("element counts: %v (News should exceed Search)", counts)
+	}
+}
+
+func TestHandlerServesSubresources(t *testing.T) {
+	in := internet.New()
+	site := TopSites(1)[0]
+	RegisterAll(in, []Site{site})
+	client := in.Client()
+	for _, path := range []string{"/site.css", "/site.js", "/img-0.png", "/story/3"} {
+		resp, err := client.Get("https://" + site.Host + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHostNamesAreWellFormed(t *testing.T) {
+	for _, s := range TopSites(50) {
+		if strings.ContainsAny(s.Host, " /:") || !strings.HasSuffix(s.Host, ".example") {
+			t.Errorf("bad host %q", s.Host)
+		}
+	}
+}

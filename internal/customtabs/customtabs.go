@@ -1,0 +1,199 @@
+// Package customtabs simulates Chrome Custom Tabs (CTs): the recommended
+// way for apps to show third-party web content. The properties the paper
+// contrasts with WebViews (Table 1) are modelled directly:
+//
+//   - Isolation: the hosting app cannot inject script or read page content.
+//     The only feedback channel is the CustomTabsCallback's navigation and
+//     engagement signals.
+//   - Shared browser state: all CT sessions on a device run in the user's
+//     default browser, sharing its cookie jar, so sessions persist across
+//     apps (the "stay logged in to Facebook" effect, §4.1.6).
+//   - Pre-initialisation: Warmup/MayLaunchUrl let the browser pre-start,
+//     which is why CTs load pages roughly twice as fast (Figure 7).
+//   - Secure UI: the toolbar always shows the TLS origin; an app can pick
+//     a toolbar colour but not forge the URL.
+package customtabs
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"sync"
+
+	"repro/internal/browsersim"
+	"repro/internal/netlog"
+	"repro/internal/safebrowsing"
+)
+
+// EngagementSignal is one CustomTabsCallback event (navigation lifecycle
+// and scroll-engagement signals, §4.1.2).
+type EngagementSignal struct {
+	Event string // "NAVIGATION_STARTED", "NAVIGATION_FINISHED", "TAB_SHOWN", ...
+	URL   string
+}
+
+// Callback receives engagement signals; it is the app's ONLY view into
+// the tab (no DOM access, no script injection).
+type Callback func(EngagementSignal)
+
+// Browser is the device's default browser providing CT support. One
+// Browser instance per device; its cookie jar is shared by every CT
+// session and by ordinary browser navigation.
+type Browser struct {
+	// Name is the browser's package (e.g. "com.android.chrome").
+	Name string
+	// Client carries the shared cookie jar.
+	Client *http.Client
+	// Log receives network events for all sessions.
+	Log *netlog.Log
+	// SafeBrowsing is the browser's threat list. Unlike a WebView, a
+	// Custom Tab always consults it — the embedding app cannot opt out.
+	SafeBrowsing *safebrowsing.List
+
+	mu        sync.Mutex
+	warmed    bool
+	sessions  int
+	mayLaunch map[string]bool
+}
+
+// NewBrowser creates a browser with a fresh shared cookie jar.
+func NewBrowser(name string, log *netlog.Log) *Browser {
+	jar, _ := cookiejar.New(nil)
+	return &Browser{
+		Name:      name,
+		Client:    &http.Client{Jar: jar},
+		Log:       log,
+		mayLaunch: make(map[string]bool),
+	}
+}
+
+// Warmup pre-initialises the browser process (CustomTabsClient.warmup).
+func (b *Browser) Warmup() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.warmed = true
+}
+
+// Warmed reports whether the browser has been pre-initialised.
+func (b *Browser) Warmed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.warmed
+}
+
+// MayLaunchURL hints a likely navigation (speculative loading).
+func (b *Browser) MayLaunchURL(url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mayLaunch[url] = true
+}
+
+// PreLoaded reports whether a URL was hinted before launch.
+func (b *Browser) PreLoaded(url string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.mayLaunch[url]
+}
+
+// Intent is the CustomTabsIntent produced by its Builder: UI options plus
+// the callback. There is deliberately no injection surface here.
+type Intent struct {
+	ToolbarColor string
+	ShowTitle    bool
+	Callback     Callback
+	AppPackage   string // the launching app, for attribution in logs
+	// Partial configures a partial (inline, resizable) tab; nil launches
+	// a full-screen tab. See partial.go.
+	Partial *PartialConfig
+}
+
+// Builder mirrors CustomTabsIntent.Builder.
+type Builder struct {
+	intent Intent
+}
+
+// NewBuilder starts a builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// SetToolbarColor sets the toolbar colour.
+func (b *Builder) SetToolbarColor(color string) *Builder {
+	b.intent.ToolbarColor = color
+	return b
+}
+
+// SetShowTitle toggles the page-title display.
+func (b *Builder) SetShowTitle(show bool) *Builder {
+	b.intent.ShowTitle = show
+	return b
+}
+
+// SetCallback attaches the engagement callback.
+func (b *Builder) SetCallback(cb Callback) *Builder {
+	b.intent.Callback = cb
+	return b
+}
+
+// SetAppPackage records the launching app.
+func (b *Builder) SetAppPackage(pkg string) *Builder {
+	b.intent.AppPackage = pkg
+	return b
+}
+
+// Build finalises the intent.
+func (b *Builder) Build() Intent { return b.intent }
+
+// Session is one open Custom Tab.
+type Session struct {
+	URL     string
+	Title   string
+	TLSLock bool // the secure UI indicator (always present for https)
+	// page is intentionally unexported: the hosting app has no access to
+	// the page contents — that is the security property of CTs.
+	page           *browsersim.Page
+	greatestScroll int
+}
+
+// LaunchURL opens url in a Custom Tab (CustomTabsIntent.launchUrl). The
+// page loads inside the browser context: shared cookies, browser UA, no
+// app-controlled headers or injection.
+func (b *Browser) LaunchURL(ctx context.Context, intent Intent, url string) (*Session, error) {
+	b.mu.Lock()
+	b.sessions++
+	id := fmt.Sprintf("ct-%s-%d", b.Name, b.sessions)
+	b.mu.Unlock()
+
+	emit := func(ev string) {
+		if intent.Callback != nil {
+			intent.Callback(EngagementSignal{Event: ev, URL: url})
+		}
+	}
+	emit("NAVIGATION_STARTED")
+	if b.SafeBrowsing != nil {
+		if v := b.SafeBrowsing.Check(url); v.Blocked() {
+			emit("NAVIGATION_FAILED")
+			return nil, &safebrowsing.BlockedError{URL: url, Verdict: v}
+		}
+	}
+	loader := &browsersim.Loader{
+		Client:         b.Client,
+		Log:            b.Log,
+		Context:        id,
+		ExecuteScripts: true,
+		UserAgent: "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36 " +
+			"(KHTML, like Gecko) Chrome/110.0 Mobile Safari/537.36",
+	}
+	page, err := loader.Load(ctx, url)
+	if err != nil {
+		emit("NAVIGATION_FAILED")
+		return nil, fmt.Errorf("customtabs: %w", err)
+	}
+	emit("NAVIGATION_FINISHED")
+	emit("TAB_SHOWN")
+	return &Session{
+		URL:     url,
+		Title:   page.Doc.Title,
+		TLSLock: len(url) > 8 && url[:8] == "https://",
+		page:    page,
+	}, nil
+}

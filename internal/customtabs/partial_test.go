@@ -1,0 +1,121 @@
+package customtabs
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/netlog"
+)
+
+func TestLaunchPartialURL(t *testing.T) {
+	srv := site(t)
+	b := browserFor(srv, nil)
+	intent := NewBuilder().
+		SetInitialActivityHeight(800, true).
+		SetAppPackage("com.ads.host").
+		Build()
+	p, err := b.LaunchPartialURL(context.Background(), intent, srv.URL+"/")
+	if err != nil {
+		t.Fatalf("LaunchPartialURL: %v", err)
+	}
+	if p.HeightPx != 800 || !p.Resizable {
+		t.Errorf("partial = %+v", p)
+	}
+	// Full CT semantics carry over: the page loaded in the browser context.
+	if p.Title != "Login" {
+		t.Errorf("title = %q", p.Title)
+	}
+}
+
+func TestPartialRequiresConfig(t *testing.T) {
+	srv := site(t)
+	b := browserFor(srv, nil)
+	if _, err := b.LaunchPartialURL(context.Background(), Intent{}, srv.URL+"/"); err == nil {
+		t.Error("partial launch without config accepted")
+	}
+	bad := NewBuilder().SetInitialActivityHeight(0, true).Build()
+	if _, err := b.LaunchPartialURL(context.Background(), bad, srv.URL+"/"); err == nil {
+		t.Error("zero-height partial accepted")
+	}
+}
+
+func TestPartialResize(t *testing.T) {
+	srv := site(t)
+	b := browserFor(srv, nil)
+	resizable := NewBuilder().SetInitialActivityHeight(600, true).Build()
+	p, err := b.LaunchPartialURL(context.Background(), resizable, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Resize(1200) || p.HeightPx != 1200 {
+		t.Errorf("resize failed: %+v", p)
+	}
+	if p.Resize(-5) {
+		t.Error("negative resize accepted")
+	}
+	fixed := NewBuilder().SetInitialActivityHeight(600, false).Build()
+	p2, err := b.LaunchPartialURL(context.Background(), fixed, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Resize(1200) || p2.HeightPx != 600 {
+		t.Error("non-resizable tab resized")
+	}
+}
+
+func TestPartialSharesBrowserCookies(t *testing.T) {
+	srv := site(t)
+	b := browserFor(srv, nil)
+	ctx := context.Background()
+	// A full tab logs in; a subsequent partial tab reuses the session.
+	if _, err := b.LaunchURL(ctx, Intent{}, srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	intent := NewBuilder().SetInitialActivityHeight(700, true).Build()
+	p, err := b.LaunchPartialURL(ctx, intent, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Title != "Feed" {
+		t.Errorf("partial tab title = %q, want Feed (shared session)", p.Title)
+	}
+}
+
+func TestEngagementScrollSignals(t *testing.T) {
+	srv := site(t)
+	log := netlog.New()
+	b := browserFor(srv, log)
+	var signals []string
+	cb := func(s EngagementSignal) { signals = append(signals, s.Event) }
+	sess, err := b.LaunchURL(context.Background(), Intent{Callback: cb}, srv.URL+"/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.ReportScroll(25, cb)
+	sess.ReportScroll(60, cb)
+	sess.ReportScroll(40, cb)  // regression: no signal (monotone)
+	sess.ReportScroll(150, cb) // clamped to 100
+	var scrolls []string
+	for _, s := range signals {
+		if strings.HasPrefix(s, "GREATEST_SCROLL_PERCENTAGE:") {
+			scrolls = append(scrolls, s)
+		}
+	}
+	want := []string{
+		"GREATEST_SCROLL_PERCENTAGE:25",
+		"GREATEST_SCROLL_PERCENTAGE:60",
+		"GREATEST_SCROLL_PERCENTAGE:100",
+	}
+	if len(scrolls) != len(want) {
+		t.Fatalf("scroll signals = %v", scrolls)
+	}
+	for i := range want {
+		if scrolls[i] != want[i] {
+			t.Errorf("signal %d = %s, want %s", i, scrolls[i], want[i])
+		}
+	}
+	if sess.GreatestScroll() != 100 {
+		t.Errorf("GreatestScroll = %d", sess.GreatestScroll())
+	}
+}

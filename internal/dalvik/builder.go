@@ -1,0 +1,92 @@
+package dalvik
+
+// Builder assembles a File incrementally. It is the programmatic front-end
+// used by the corpus generator: callers open classes, append methods with
+// instruction bodies, and finish with Build.
+//
+// The zero value is ready to use.
+type Builder struct {
+	file File
+	cur  *Class
+}
+
+// NewBuilder returns an empty builder targeting the current format version.
+func NewBuilder() *Builder {
+	return &Builder{file: File{Version: FormatVersion}}
+}
+
+// Class opens a new class definition with the given dotted name and
+// superclass and makes it current. It returns the builder for chaining.
+func (b *Builder) Class(name, super string, flags AccessFlag) *Builder {
+	b.file.Classes = append(b.file.Classes, Class{
+		Name:      name,
+		SuperName: super,
+		Flags:     flags,
+	})
+	b.cur = &b.file.Classes[len(b.file.Classes)-1]
+	return b
+}
+
+// Source sets the source-file attribute of the current class.
+func (b *Builder) Source(file string) *Builder {
+	b.mustCurrent()
+	b.cur.SourceFile = file
+	return b
+}
+
+// Implements appends interface names to the current class.
+func (b *Builder) Implements(ifaces ...string) *Builder {
+	b.mustCurrent()
+	b.cur.Interfaces = append(b.cur.Interfaces, ifaces...)
+	return b
+}
+
+// Field adds a field to the current class.
+func (b *Builder) Field(name, typ string, flags AccessFlag) *Builder {
+	b.mustCurrent()
+	b.cur.Fields = append(b.cur.Fields, Field{Name: name, Type: typ, Flags: flags})
+	return b
+}
+
+// Method adds a method with the given body to the current class.
+func (b *Builder) Method(name, sig string, flags AccessFlag, code ...Instruction) *Builder {
+	b.mustCurrent()
+	b.cur.Methods = append(b.cur.Methods, Method{Name: name, Signature: sig, Flags: flags, Code: code})
+	return b
+}
+
+// VoidMethod adds a public "(…)void" method that executes code and returns.
+// A trailing return-void is appended automatically when missing, which keeps
+// generator call sites free of boilerplate.
+func (b *Builder) VoidMethod(name string, code ...Instruction) *Builder {
+	if n := len(code); n == 0 || code[n-1].Op != OpReturnVoid {
+		code = append(code, Return())
+	}
+	return b.Method(name, "()void", AccPublic, code...)
+}
+
+func (b *Builder) mustCurrent() {
+	if b.cur == nil {
+		panic("dalvik: Builder method called before Class")
+	}
+}
+
+// Build validates and returns the accumulated file. The builder remains
+// usable afterwards, but the returned File aliases its storage; callers that
+// keep building should treat the result as read-only.
+func (b *Builder) Build() (*File, error) {
+	if err := b.file.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.file, nil
+}
+
+// MustBuild is Build for generator code where a validation failure is a
+// programming error.
+func (b *Builder) MustBuild() *File {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

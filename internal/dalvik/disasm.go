@@ -1,0 +1,69 @@
+package dalvik
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the file as a human-readable listing, one class per
+// block. The output is stable (classes and members appear in file order,
+// which Encode makes name-sorted) and intended for debugging and golden
+// tests, not for re-parsing.
+func Disassemble(f *File) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; sdex v%d, %d classes, %d methods\n", f.Version, len(f.Classes), f.MethodCount())
+	for i := range f.Classes {
+		c := &f.Classes[i]
+		sb.WriteString("\n.class ")
+		sb.WriteString(flagString(c.Flags))
+		sb.WriteString(c.Name)
+		sb.WriteByte('\n')
+		if c.SuperName != "" {
+			fmt.Fprintf(&sb, ".super %s\n", c.SuperName)
+		}
+		for _, it := range c.Interfaces {
+			fmt.Fprintf(&sb, ".implements %s\n", it)
+		}
+		if c.SourceFile != "" {
+			fmt.Fprintf(&sb, ".source %q\n", c.SourceFile)
+		}
+		for _, fl := range c.Fields {
+			fmt.Fprintf(&sb, ".field %s%s %s\n", flagString(fl.Flags), fl.Name, fl.Type)
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			fmt.Fprintf(&sb, ".method %s%s%s\n", flagString(m.Flags), m.Name, m.Signature)
+			for k, ins := range m.Code {
+				fmt.Fprintf(&sb, "    %3d: %s\n", k, ins)
+			}
+			sb.WriteString(".end method\n")
+		}
+	}
+	return sb.String()
+}
+
+func flagString(f AccessFlag) string {
+	var parts []string
+	for _, e := range [...]struct {
+		bit  AccessFlag
+		name string
+	}{
+		{AccPublic, "public"},
+		{AccPrivate, "private"},
+		{AccProtected, "protected"},
+		{AccStatic, "static"},
+		{AccFinal, "final"},
+		{AccInterface, "interface"},
+		{AccAbstract, "abstract"},
+		{AccSynthetic, "synthetic"},
+		{AccConstructor, "constructor"},
+	} {
+		if f&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, " ") + " "
+}

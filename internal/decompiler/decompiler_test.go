@@ -1,0 +1,160 @@
+package decompiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/dalvik"
+	"repro/internal/javaparser"
+)
+
+func sampleDex(t *testing.T) *dalvik.File {
+	t.Helper()
+	b := dalvik.NewBuilder()
+	b.Class("com.app.ui.BrowserView", android.WebViewClass, dalvik.AccPublic).
+		Source("BrowserView.java").
+		VoidMethod("configure",
+			dalvik.InvokeVirtual(android.WebViewClass, "getSettings", "()WebSettings"),
+		)
+	b.Class("com.app.MainActivity", android.ActivityClass, dalvik.AccPublic).
+		Implements("java.lang.Runnable").
+		Field("home", "java.lang.String", dalvik.AccPrivate).
+		VoidMethod("onCreate",
+			dalvik.NewInstance("com.app.ui.BrowserView"),
+			dalvik.InvokeDirect("com.app.ui.BrowserView", "<init>", "(Context)void"),
+			dalvik.ConstString("https://example.com"),
+			dalvik.InvokeVirtual("com.app.ui.BrowserView", android.MethodLoadURL, "(String)void"),
+			dalvik.Instruction{Op: dalvik.OpIfZ, Int: 2},
+			dalvik.InvokeVirtual(android.WebViewClass, android.MethodEvaluateJavascript, "(String,Callback)void"),
+		)
+	return b.MustBuild()
+}
+
+func unitByPath(t *testing.T, units []Unit, path string) Unit {
+	t.Helper()
+	for _, u := range units {
+		if u.Path == path {
+			return u
+		}
+	}
+	t.Fatalf("no unit %q", path)
+	return Unit{}
+}
+
+func TestDecompileLayout(t *testing.T) {
+	units := Decompile(sampleDex(t))
+	if len(units) != 2 {
+		t.Fatalf("units = %d, want 2", len(units))
+	}
+	unitByPath(t, units, "com/app/MainActivity.java")
+	unitByPath(t, units, "com/app/ui/BrowserView.java")
+}
+
+func TestDecompiledSourceShape(t *testing.T) {
+	units := Decompile(sampleDex(t))
+	src := unitByPath(t, units, "com/app/MainActivity.java").Source
+	for _, want := range []string{
+		"package com.app;",
+		"import android.app.Activity;",
+		"import android.webkit.WebView;",
+		"import com.app.ui.BrowserView;",
+		"public class MainActivity extends Activity implements Runnable",
+		"private String home;",
+		"public void onCreate() {",
+		`String s2 = "https://example.com";`,
+		"BrowserView v1 = new BrowserView(a0);",
+		"v1.loadUrl(a0);",
+		"if (__cond != 0) {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+	// java.lang must not be imported.
+	if strings.Contains(src, "import java.lang") {
+		t.Error("source imports java.lang")
+	}
+}
+
+// The decompiler's output must be consumable by the project's own Java
+// parser — that is the whole point of the decompile-then-parse pipeline.
+func TestDecompiledSourceParses(t *testing.T) {
+	for _, u := range Decompile(sampleDex(t)) {
+		cu, err := javaparser.Parse(u.Source)
+		if err != nil {
+			t.Fatalf("parse %s: %v\n%s", u.Path, err, u.Source)
+		}
+		if len(cu.Types) != 1 {
+			t.Errorf("%s: %d types", u.Path, len(cu.Types))
+		}
+	}
+}
+
+func TestWebViewSubclassDetectableAfterRoundTrip(t *testing.T) {
+	units := Decompile(sampleDex(t))
+	var found bool
+	for _, u := range units {
+		cu, err := javaparser.Parse(u.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, td := range cu.Types {
+			if td.Extends != "" && cu.Resolve(td.Extends) == android.WebViewClass {
+				found = true
+				if got := cu.Resolve(td.Name); got != "com.app.ui.BrowserView" {
+					t.Errorf("subclass resolved to %q", got)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("WebView subclass not detectable from decompiled source")
+	}
+}
+
+func TestDecompileInterface(t *testing.T) {
+	f := dalvik.NewBuilder().
+		Class("com.app.Listener", "", dalvik.AccPublic|dalvik.AccInterface).
+		Method("onEvent", "()void", dalvik.AccPublic|dalvik.AccAbstract).
+		MustBuild()
+	src := DecompileClass(&f.Classes[0])
+	if !strings.Contains(src, "public interface Listener {") {
+		t.Errorf("interface rendering wrong:\n%s", src)
+	}
+	if _, err := javaparser.Parse(src); err != nil {
+		t.Errorf("interface source does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestDecompileStaticCall(t *testing.T) {
+	f := dalvik.NewBuilder().
+		Class("com.app.S", "java.lang.Object", dalvik.AccPublic).
+		VoidMethod("go",
+			dalvik.InvokeStatic("com.other.Util", "ping", "()void"),
+		).
+		MustBuild()
+	src := DecompileClass(&f.Classes[0])
+	if !strings.Contains(src, "Util.ping();") {
+		t.Errorf("static call rendering wrong:\n%s", src)
+	}
+	if !strings.Contains(src, "import com.other.Util;") {
+		t.Errorf("missing import:\n%s", src)
+	}
+}
+
+func TestSplitSignature(t *testing.T) {
+	cases := []struct{ sig, ret, params string }{
+		{"()void", "void", ""},
+		{"(String)void", "void", "String a0"},
+		{"(String,int)boolean", "boolean", "String a0, int a1"},
+		{"(android.content.Context)void", "void", "Context a0"},
+		{"garbage", "void", ""},
+	}
+	for _, c := range cases {
+		ret, params := splitSignature(c.sig)
+		if ret != c.ret || params != c.params {
+			t.Errorf("splitSignature(%q) = (%q, %q), want (%q, %q)", c.sig, ret, params, c.ret, c.params)
+		}
+	}
+}

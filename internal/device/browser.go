@@ -1,0 +1,19 @@
+package device
+
+import (
+	"repro/internal/browsersim"
+)
+
+// newBrowserLoader builds a page loader running in the default browser's
+// context: shared cookie jar, browser user agent, no app-controlled
+// headers.
+func newBrowserLoader(d *Device, contextID string) *browsersim.Loader {
+	return &browsersim.Loader{
+		Client:         d.Browser.Client,
+		Log:            d.NetLog,
+		Context:        contextID,
+		ExecuteScripts: true,
+		UserAgent: "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36 " +
+			"(KHTML, like Gecko) Chrome/110.0 Mobile Safari/537.36",
+	}
+}

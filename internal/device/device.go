@@ -1,0 +1,259 @@
+// Package device simulates the measurement handset — a rooted Pixel 3
+// running a userdebug image (§3.2.2): installable apps from the corpus, a
+// default browser with Custom Tab support, Web-URI intent resolution, a
+// logcat buffer and a device-wide network log readable per browsing
+// context (the Chrome-NetLog property the paper relies on).
+package device
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/customtabs"
+	"repro/internal/iab"
+	"repro/internal/intent"
+	"repro/internal/internet"
+	"repro/internal/netlog"
+	"repro/internal/webview"
+)
+
+// Installation / interaction errors, mirroring Table 6's unclassifiable
+// categories.
+var (
+	ErrIncompatible  = errors.New("device: app incompatible with this device")
+	ErrNeedsPhone    = errors.New("device: app requires a phone number to proceed")
+	ErrPaidOnly      = errors.New("device: app requires a paid account")
+	ErrNotInstalled  = errors.New("device: app not installed")
+	ErrNoUserContent = errors.New("device: app has no user-generated content surface")
+)
+
+// Device is the simulated handset.
+type Device struct {
+	// Internet routes all network traffic (see package internet).
+	Internet *internet.Internet
+	// NetLog records every request by browsing context.
+	NetLog *netlog.Log
+	// Browser is the default browser (CT provider).
+	Browser *customtabs.Browser
+	// Logcat is the device log buffer.
+	Logcat *Logcat
+
+	mu   sync.Mutex
+	apps map[string]*App
+	seq  int
+}
+
+// New boots a device attached to the given internet.
+func New(net *internet.Internet) *Device {
+	log := netlog.New()
+	browser := customtabs.NewBrowser("com.android.chrome", log)
+	browser.Client.Transport = net
+	return &Device{
+		Internet: net,
+		NetLog:   log,
+		Browser:  browser,
+		Logcat:   NewLogcat(),
+		apps:     make(map[string]*App),
+	}
+}
+
+// Install installs an app from its corpus spec. Incompatible apps fail
+// here, exactly like the 22 apps the paper could not run.
+func (d *Device) Install(spec *corpus.Spec) (*App, error) {
+	if spec.Dynamic.Incompatible {
+		d.Logcat.Printf("PackageManager", "INSTALL_FAILED_NO_MATCHING_ABIS: %s", spec.Package)
+		return nil, fmt.Errorf("%w: %s", ErrIncompatible, spec.Package)
+	}
+	app := &App{Spec: spec, device: d}
+	d.mu.Lock()
+	d.apps[spec.Package] = app
+	d.mu.Unlock()
+	d.Logcat.Printf("PackageManager", "Installed %s", spec.Package)
+	return app, nil
+}
+
+// App returns an installed app.
+func (d *Device) App(pkg string) (*App, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if a, ok := d.apps[pkg]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotInstalled, pkg)
+}
+
+// newContextID issues a unique browsing-context name.
+func (d *Device) newContextID(kind, pkg string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	return fmt.Sprintf("%s-%s-%d", kind, pkg, d.seq)
+}
+
+// App is one installed app.
+type App struct {
+	Spec   *corpus.Spec
+	device *Device
+}
+
+// Launch opens the app, creating a UI session. Account gates surface here
+// (phone-number or paid-account requirements).
+func (a *App) Launch() (*Session, error) {
+	d := a.Spec.Dynamic
+	switch {
+	case d.RequiresPhone:
+		return nil, fmt.Errorf("%w: %s", ErrNeedsPhone, a.Spec.Package)
+	case d.PaidOnly:
+		return nil, fmt.Errorf("%w: %s", ErrPaidOnly, a.Spec.Package)
+	}
+	a.device.Logcat.Printf("ActivityManager", "START u0 {cmp=%s/.MainActivity}", a.Spec.Package)
+	return &Session{app: a}, nil
+}
+
+// Session is a running app's UI.
+type Session struct {
+	app *App
+	// posted holds links the (dummy) user submitted to the UGC surface.
+	posted []string
+}
+
+// HasUserContent reports whether the app has a surface where users can
+// post links (§3.2.1).
+func (s *Session) HasUserContent() bool { return s.app.Spec.Dynamic.HasUserContent }
+
+// LinkSurface names where links appear (Post, DM, Story, Bio, Profile).
+func (s *Session) LinkSurface() string { return s.app.Spec.Dynamic.LinkSurface }
+
+// PostLink submits a link as user content.
+func (s *Session) PostLink(url string) error {
+	if !s.HasUserContent() {
+		return fmt.Errorf("%w: %s", ErrNoUserContent, s.app.Spec.Package)
+	}
+	s.posted = append(s.posted, url)
+	return nil
+}
+
+// ClickResult describes what happened when the user tapped a link.
+type ClickResult struct {
+	OpenedIn corpus.LinkBehavior
+	// Context is the netlog browsing-context of the resulting page load.
+	Context string
+	// WebView is the IAB instance (LinkWebView only); Behavior its
+	// configured injection behaviour.
+	WebView  *webview.WebView
+	Behavior iab.Behavior
+	// CTSession is set for LinkCustomTab.
+	CTSession *customtabs.Session
+	// BrowserPackage is set when a Web URI intent was raised and resolved.
+	BrowserPackage string
+	// VisitedURL is the URL the page context actually requested first
+	// (redirector-wrapped for the apps that track clicks).
+	VisitedURL string
+}
+
+// IsBrowser reports whether the app is itself a browser (nine of the top
+// 1K apps are, Table 6).
+func (s *Session) IsBrowser() bool { return s.app.Spec.Dynamic.IsBrowser }
+
+// ClickLink simulates the user tapping a posted link. Depending on the
+// app, this raises a Web URI intent (the platform default), opens a
+// WebView-based IAB with the app's injection behaviour, or launches a
+// Custom Tab.
+func (s *Session) ClickLink(ctx context.Context, url string) (*ClickResult, error) {
+	return s.ClickLinkInstrumented(ctx, url, nil)
+}
+
+// ClickLinkInstrumented is ClickLink with a pre-navigation hook: when the
+// click opens a WebView IAB, instrument runs on the fresh WebView before
+// the app configures it, so dynamic instrumentation (package frida)
+// observes every API call including bridge injection.
+func (s *Session) ClickLinkInstrumented(ctx context.Context, url string, instrument func(*webview.WebView)) (*ClickResult, error) {
+	found := false
+	for _, p := range s.posted {
+		if p == url {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("device: link %q was not posted", url)
+	}
+	d := s.app.device
+	spec := s.app.Spec
+
+	switch spec.Dynamic.LinkOpens {
+	case corpus.LinkWebView:
+		// The app disguises the URL as a button and opens its own IAB: no
+		// intent is raised (observable in logcat by its absence).
+		behavior := iab.For(spec.Dynamic.Injection, spec.Package, spec.Dynamic.UsesRedirector)
+		id := d.newContextID("wv", spec.Package)
+		jar, _ := cookiejar.New(nil)
+		wv := webview.New(webview.Config{
+			ID:         id,
+			AppPackage: spec.Package,
+			Client:     &http.Client{Jar: jar, Transport: d.Internet},
+			Log:        d.NetLog,
+		})
+		wv.GetSettings().JavaScriptEnabled = true
+		if instrument != nil {
+			instrument(wv)
+		}
+		behavior.Configure(wv)
+		visit := behavior.WrapURL(url)
+		d.Logcat.Printf(spec.Package, "IAB open url=%s", visit)
+		if err := wv.LoadURL(ctx, visit); err != nil {
+			return nil, err
+		}
+		if err := behavior.OnPageLoaded(wv); err != nil {
+			return nil, err
+		}
+		return &ClickResult{
+			OpenedIn:   corpus.LinkWebView,
+			Context:    id,
+			WebView:    wv,
+			Behavior:   behavior,
+			VisitedURL: visit,
+		}, nil
+
+	case corpus.LinkCustomTab:
+		ctIntent := customtabs.NewBuilder().
+			SetShowTitle(true).
+			SetAppPackage(spec.Package).
+			Build()
+		sess, err := d.Browser.LaunchURL(ctx, ctIntent, url)
+		if err != nil {
+			return nil, err
+		}
+		d.Logcat.Printf(spec.Package, "CustomTabsIntent launchUrl url=%s", url)
+		return &ClickResult{
+			OpenedIn:   corpus.LinkCustomTab,
+			CTSession:  sess,
+			VisitedURL: url,
+		}, nil
+
+	default:
+		// Platform default: raise a Web URI intent; the default browser
+		// (or a verified app-link handler) takes it.
+		in := intent.NewWebURI(url)
+		res, ok := intent.Resolve(in, nil, d.Browser.Name)
+		if !ok {
+			return nil, fmt.Errorf("device: no handler for %s", url)
+		}
+		d.Logcat.Printf("ActivityManager", "START u0 {act=android.intent.action.VIEW dat=%s pkg=%s}", url, res.Package)
+		id := d.newContextID("browser", res.Package)
+		loader := newBrowserLoader(d, id)
+		if _, err := loader.Load(ctx, url); err != nil {
+			return nil, err
+		}
+		return &ClickResult{
+			OpenedIn:       corpus.LinkBrowser,
+			Context:        id,
+			BrowserPackage: res.Package,
+			VisitedURL:     url,
+		}, nil
+	}
+}

@@ -1,0 +1,179 @@
+package device
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/internet"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	net := internet.New()
+	net.RegisterFunc("example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>Example</title></head><body><p>Hello</p></body></html>`))
+	})
+	// Redirectors log the click and 302 to the intended target.
+	net.RegisterFunc("lm.facebook.com", func(w http.ResponseWriter, r *http.Request) {
+		target := r.URL.Query().Get("u")
+		if target == "" {
+			http.Error(w, "missing target", http.StatusBadRequest)
+			return
+		}
+		http.Redirect(w, r, target, http.StatusFound)
+	})
+	return New(net)
+}
+
+func spec(d corpus.Dynamic) *corpus.Spec {
+	return &corpus.Spec{Package: "com.test.app", OnPlayStore: true, Dynamic: d}
+}
+
+func TestInstallAndLaunch(t *testing.T) {
+	dev := testDevice(t)
+	app, err := dev.Install(spec(corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser}))
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	sess, err := app.Launch()
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if !sess.HasUserContent() {
+		t.Error("UGC surface missing")
+	}
+	if _, err := dev.App("com.test.app"); err != nil {
+		t.Errorf("App lookup: %v", err)
+	}
+	if _, err := dev.App("com.absent"); !errors.Is(err, ErrNotInstalled) {
+		t.Errorf("absent app err = %v", err)
+	}
+}
+
+func TestInstallFailuresAndGates(t *testing.T) {
+	dev := testDevice(t)
+	if _, err := dev.Install(spec(corpus.Dynamic{Incompatible: true})); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("incompatible err = %v", err)
+	}
+	app, _ := dev.Install(spec(corpus.Dynamic{RequiresPhone: true}))
+	if _, err := app.Launch(); !errors.Is(err, ErrNeedsPhone) {
+		t.Errorf("phone gate err = %v", err)
+	}
+	app2, _ := dev.Install(spec(corpus.Dynamic{PaidOnly: true}))
+	if _, err := app2.Launch(); !errors.Is(err, ErrPaidOnly) {
+		t.Errorf("paid gate err = %v", err)
+	}
+}
+
+func TestPostLinkRequiresUGC(t *testing.T) {
+	dev := testDevice(t)
+	app, _ := dev.Install(spec(corpus.Dynamic{}))
+	sess, err := app.Launch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PostLink("https://example.com/"); !errors.Is(err, ErrNoUserContent) {
+		t.Errorf("PostLink err = %v", err)
+	}
+}
+
+func TestClickOpensBrowser(t *testing.T) {
+	dev := testDevice(t)
+	app, _ := dev.Install(spec(corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser}))
+	sess, _ := app.Launch()
+	if err := sess.PostLink("https://example.com/"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.ClickLink(context.Background(), "https://example.com/")
+	if err != nil {
+		t.Fatalf("ClickLink: %v", err)
+	}
+	if res.OpenedIn != corpus.LinkBrowser || res.BrowserPackage != "com.android.chrome" {
+		t.Errorf("result = %+v", res)
+	}
+	// A Web URI intent must appear in logcat — the default behaviour.
+	if got := dev.Logcat.Grep("android.intent.action.VIEW"); len(got) != 1 {
+		t.Errorf("intent log = %v", got)
+	}
+}
+
+func TestClickOpensWebViewIAB(t *testing.T) {
+	dev := testDevice(t)
+	app, _ := dev.Install(spec(corpus.Dynamic{
+		HasUserContent: true,
+		LinkOpens:      corpus.LinkWebView,
+		Injection:      corpus.InjectMetaCommerce,
+		UsesRedirector: "lm.facebook.com/l.php",
+	}))
+	sess, _ := app.Launch()
+	_ = sess.PostLink("https://example.com/")
+	res, err := sess.ClickLink(context.Background(), "https://example.com/")
+	if err != nil {
+		t.Fatalf("ClickLink: %v", err)
+	}
+	if res.OpenedIn != corpus.LinkWebView || res.WebView == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	// The visit went through the redirector.
+	if !strings.HasPrefix(res.VisitedURL, "https://lm.facebook.com/l.php?") {
+		t.Errorf("visited = %s", res.VisitedURL)
+	}
+	// NO Web URI intent was raised — the key misbehaviour of §4.2.
+	if got := dev.Logcat.Grep("android.intent.action.VIEW"); len(got) != 0 {
+		t.Errorf("IAB raised an intent: %v", got)
+	}
+	// Bridges were injected.
+	if len(res.WebView.Bridges()) == 0 {
+		t.Error("IAB exposed no bridges")
+	}
+	// Network events are attributable to the IAB's context.
+	if len(dev.NetLog.ByContext(res.Context)) == 0 {
+		t.Error("no netlog events for IAB context")
+	}
+}
+
+func TestClickOpensCustomTab(t *testing.T) {
+	dev := testDevice(t)
+	app, _ := dev.Install(spec(corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkCustomTab}))
+	sess, _ := app.Launch()
+	_ = sess.PostLink("https://example.com/")
+	res, err := sess.ClickLink(context.Background(), "https://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpenedIn != corpus.LinkCustomTab || res.CTSession == nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.CTSession.Title != "Example" {
+		t.Errorf("CT title = %q", res.CTSession.Title)
+	}
+}
+
+func TestClickUnpostedLink(t *testing.T) {
+	dev := testDevice(t)
+	app, _ := dev.Install(spec(corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser}))
+	sess, _ := app.Launch()
+	if _, err := sess.ClickLink(context.Background(), "https://never.posted/"); err == nil {
+		t.Error("clicking an unposted link succeeded")
+	}
+}
+
+func TestLogcat(t *testing.T) {
+	lc := NewLogcat()
+	lc.Printf("TagA", "hello %d", 1)
+	lc.Printf("TagB", "world")
+	if len(lc.Lines()) != 2 {
+		t.Errorf("lines = %v", lc.Lines())
+	}
+	if got := lc.Grep("hello"); len(got) != 1 || !strings.HasPrefix(got[0], "TagA:") {
+		t.Errorf("Grep = %v", got)
+	}
+	lc.Clear()
+	if len(lc.Lines()) != 0 {
+		t.Error("Clear failed")
+	}
+}

@@ -1,0 +1,49 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Logcat is the device log buffer the manual analysis reads (§4.2: "we
+// manually analyzed the logcat logs when a user clicks on a URL").
+type Logcat struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+// NewLogcat returns an empty buffer.
+func NewLogcat() *Logcat { return &Logcat{} }
+
+// Printf appends a tagged log line.
+func (l *Logcat) Printf(tag, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, tag+": "+fmt.Sprintf(format, args...))
+}
+
+// Lines returns a copy of the buffer.
+func (l *Logcat) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.lines...)
+}
+
+// Grep returns the lines containing the substring.
+func (l *Logcat) Grep(substr string) []string {
+	var out []string
+	for _, line := range l.Lines() {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// Clear empties the buffer (the crawler purges logs between visits).
+func (l *Logcat) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = nil
+}

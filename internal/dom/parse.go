@@ -1,0 +1,246 @@
+package dom
+
+import (
+	"strings"
+)
+
+// voidElements never take children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the matching close
+// tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Parse builds a Document from HTML source. The parser is a pragmatic
+// tokenizer: tolerant of unclosed tags and attribute-quoting styles, with
+// implicit closing for the common cases (<p>, <li>), void-element handling
+// and raw-text script/style bodies — enough fidelity for the measured
+// pages, not a full HTML5 tree constructor.
+func Parse(src string) *Document {
+	doc := &Document{Root: &Node{Type: DocumentNode}}
+	p := &htmlParser{src: src}
+	stack := []*Node{doc.Root}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for {
+		tok, ok := p.next()
+		if !ok {
+			break
+		}
+		switch tok.kind {
+		case tokText:
+			if strings.TrimSpace(tok.data) != "" || len(stack) > 1 {
+				top().AppendChild(&Node{Type: TextNode, Data: tok.data})
+			}
+		case tokComment:
+			top().AppendChild(&Node{Type: CommentNode, Data: tok.data})
+		case tokOpen:
+			n := &Node{Type: ElementNode, Tag: tok.tag, Attributes: tok.attrs}
+			// Implicit closes: a new <p>/<li>/<tr>/<td> closes an open one.
+			if implicitClose[tok.tag] {
+				for len(stack) > 1 && top().Tag == tok.tag {
+					stack = stack[:len(stack)-1]
+				}
+			}
+			top().AppendChild(n)
+			if tok.selfClose || voidElements[tok.tag] {
+				break
+			}
+			if rawTextElements[tok.tag] {
+				n.AppendChild(&Node{Type: TextNode, Data: p.rawUntil("</" + tok.tag)})
+				break
+			}
+			stack = append(stack, n)
+		case tokClose:
+			// Pop to the nearest matching open element; ignore strays.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+
+	if t := doc.first("title"); t != nil {
+		doc.Title = t.Text()
+	}
+	return doc
+}
+
+var implicitClose = map[string]bool{"p": true, "li": true, "tr": true, "td": true, "th": true, "option": true}
+
+type htmlTokKind int
+
+const (
+	tokText htmlTokKind = iota
+	tokOpen
+	tokClose
+	tokComment
+)
+
+type htmlToken struct {
+	kind      htmlTokKind
+	tag       string
+	data      string
+	attrs     map[string]string
+	selfClose bool
+}
+
+type htmlParser struct {
+	src string
+	pos int
+}
+
+func (p *htmlParser) next() (htmlToken, bool) {
+	if p.pos >= len(p.src) {
+		return htmlToken{}, false
+	}
+	if p.src[p.pos] != '<' {
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '<' {
+			p.pos++
+		}
+		return htmlToken{kind: tokText, data: p.src[start:p.pos]}, true
+	}
+	// Comment?
+	if strings.HasPrefix(p.src[p.pos:], "<!--") {
+		end := strings.Index(p.src[p.pos+4:], "-->")
+		if end < 0 {
+			data := p.src[p.pos+4:]
+			p.pos = len(p.src)
+			return htmlToken{kind: tokComment, data: data}, true
+		}
+		data := p.src[p.pos+4 : p.pos+4+end]
+		p.pos += 4 + end + 3
+		return htmlToken{kind: tokComment, data: data}, true
+	}
+	// Doctype / processing instruction: skip to '>'.
+	if strings.HasPrefix(p.src[p.pos:], "<!") || strings.HasPrefix(p.src[p.pos:], "<?") {
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			p.pos = len(p.src)
+		} else {
+			p.pos += end + 1
+		}
+		return p.next()
+	}
+	// Close tag.
+	if strings.HasPrefix(p.src[p.pos:], "</") {
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			p.pos = len(p.src)
+			return htmlToken{}, false
+		}
+		tag := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+		p.pos += end + 1
+		return htmlToken{kind: tokClose, tag: tag}, true
+	}
+	// Open tag. A bare '<' not followed by a letter is text.
+	if p.pos+1 >= len(p.src) || !isAlpha(p.src[p.pos+1]) {
+		p.pos++
+		return htmlToken{kind: tokText, data: "<"}, true
+	}
+	end := p.findTagEnd()
+	raw := p.src[p.pos+1 : end]
+	p.pos = end + 1
+	selfClose := strings.HasSuffix(raw, "/")
+	raw = strings.TrimSuffix(raw, "/")
+	tag, attrs := parseTagBody(raw)
+	return htmlToken{kind: tokOpen, tag: tag, attrs: attrs, selfClose: selfClose}, true
+}
+
+// findTagEnd locates the terminating '>' of the tag starting at p.pos,
+// respecting quoted attribute values.
+func (p *htmlParser) findTagEnd() int {
+	inQuote := byte(0)
+	for i := p.pos + 1; i < len(p.src); i++ {
+		c := p.src[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '>':
+			return i
+		}
+	}
+	return len(p.src) - 1
+}
+
+// rawUntil consumes raw text up to (not including) the case-insensitive
+// marker, leaving the parser positioned at the marker's close tag.
+func (p *htmlParser) rawUntil(marker string) string {
+	lower := strings.ToLower(p.src[p.pos:])
+	idx := strings.Index(lower, strings.ToLower(marker))
+	if idx < 0 {
+		out := p.src[p.pos:]
+		p.pos = len(p.src)
+		return out
+	}
+	out := p.src[p.pos : p.pos+idx]
+	p.pos += idx
+	return out
+}
+
+func parseTagBody(raw string) (string, map[string]string) {
+	i := 0
+	for i < len(raw) && !isSpace(raw[i]) {
+		i++
+	}
+	tag := strings.ToLower(raw[:i])
+	attrs := make(map[string]string)
+	for i < len(raw) {
+		for i < len(raw) && isSpace(raw[i]) {
+			i++
+		}
+		if i >= len(raw) {
+			break
+		}
+		start := i
+		for i < len(raw) && raw[i] != '=' && !isSpace(raw[i]) {
+			i++
+		}
+		name := strings.ToLower(raw[start:i])
+		if name == "" {
+			i++
+			continue
+		}
+		if i >= len(raw) || raw[i] != '=' {
+			attrs[name] = "" // boolean attribute
+			continue
+		}
+		i++ // '='
+		if i < len(raw) && (raw[i] == '"' || raw[i] == '\'') {
+			q := raw[i]
+			i++
+			vstart := i
+			for i < len(raw) && raw[i] != q {
+				i++
+			}
+			attrs[name] = raw[vstart:i]
+			if i < len(raw) {
+				i++
+			}
+		} else {
+			vstart := i
+			for i < len(raw) && !isSpace(raw[i]) {
+				i++
+			}
+			attrs[name] = raw[vstart:i]
+		}
+	}
+	return tag, attrs
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

@@ -1,0 +1,92 @@
+// Package frida plays the role of the Frida dynamic-instrumentation tool
+// in the paper's measurement setup (§3.2.2): it attaches to a WebView at
+// run time and overrides all of its API methods so that every call — and
+// the arguments passed — is recorded for later analysis of App-WebView
+// interactions.
+package frida
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/webview"
+)
+
+// Record is one intercepted WebView API call.
+type Record struct {
+	Method string
+	Args   []string
+}
+
+// Session is an active instrumentation session on one WebView.
+type Session struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Attach hooks every method of the WebView; calls made after Attach are
+// recorded with their arguments.
+func Attach(wv *webview.WebView) *Session {
+	s := &Session{}
+	wv.AddHook(func(call webview.MethodCall) {
+		s.mu.Lock()
+		s.records = append(s.records, Record{Method: call.Method, Args: append([]string(nil), call.Args...)})
+		s.mu.Unlock()
+	})
+	return s
+}
+
+// Calls returns every recorded call in order.
+func (s *Session) Calls() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.records...)
+}
+
+// CallsTo returns the calls to one method.
+func (s *Session) CallsTo(method string) []Record {
+	var out []Record
+	for _, r := range s.Calls() {
+		if r.Method == method {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Called reports whether a method was invoked at all.
+func (s *Session) Called(method string) bool {
+	return len(s.CallsTo(method)) > 0
+}
+
+// InjectedJS returns the JavaScript sources the app pushed into the page,
+// via evaluateJavascript or javascript: loadUrl — the two injection
+// channels the paper analyses (§3.2.2).
+func (s *Session) InjectedJS() []string {
+	var out []string
+	for _, r := range s.Calls() {
+		switch r.Method {
+		case "evaluateJavascript":
+			if len(r.Args) > 0 {
+				out = append(out, r.Args[0])
+			}
+		case "loadUrl":
+			if len(r.Args) > 0 && strings.HasPrefix(r.Args[0], "javascript:") {
+				out = append(out, strings.TrimPrefix(r.Args[0], "javascript:"))
+			}
+		}
+	}
+	return out
+}
+
+// Bridges returns the JS-bridge names the app exposed via
+// addJavascriptInterface.
+func (s *Session) Bridges() []string {
+	var out []string
+	for _, r := range s.CallsTo("addJavascriptInterface") {
+		if len(r.Args) > 0 {
+			out = append(out, r.Args[0])
+		}
+	}
+	return out
+}

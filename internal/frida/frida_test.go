@@ -1,0 +1,74 @@
+package frida
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/jsvm"
+	"repro/internal/webview"
+)
+
+func instrumentedWebView(t *testing.T) (*webview.WebView, *Session, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>T</title></head><body><p>x</p></body></html>`))
+	}))
+	t.Cleanup(srv.Close)
+	wv := webview.New(webview.Config{ID: "wv", AppPackage: "com.app", Client: srv.Client()})
+	wv.GetSettings().JavaScriptEnabled = true
+	return wv, Attach(wv), srv
+}
+
+func TestRecordsCallsWithArguments(t *testing.T) {
+	wv, sess, srv := instrumentedWebView(t)
+	ctx := context.Background()
+	if err := wv.LoadURL(ctx, srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	_ = wv.EvaluateJavascript("document.title", nil)
+	wv.AddJavascriptInterface(jsvm.NewObject(), "fbpayIAWBridge")
+	wv.RemoveJavascriptInterface("fbpayIAWBridge")
+
+	if !sess.Called("loadUrl") || !sess.Called("evaluateJavascript") {
+		t.Errorf("calls = %+v", sess.Calls())
+	}
+	loads := sess.CallsTo("loadUrl")
+	if len(loads) != 1 || loads[0].Args[0] != srv.URL+"/" {
+		t.Errorf("loadUrl records = %+v", loads)
+	}
+	if got := sess.Bridges(); !reflect.DeepEqual(got, []string{"fbpayIAWBridge"}) {
+		t.Errorf("bridges = %v", got)
+	}
+}
+
+func TestInjectedJSCapturesBothChannels(t *testing.T) {
+	wv, sess, srv := instrumentedWebView(t)
+	ctx := context.Background()
+	if err := wv.LoadURL(ctx, srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	_ = wv.EvaluateJavascript("window.a = 1;", nil)
+	_ = wv.LoadURL(ctx, "javascript:window.b = 2;")
+	got := sess.InjectedJS()
+	want := []string{"window.a = 1;", "window.b = 2;"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("InjectedJS = %v, want %v", got, want)
+	}
+}
+
+func TestNoInjectionsMeansEmpty(t *testing.T) {
+	wv, sess, srv := instrumentedWebView(t)
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	// Snapchat/Twitter/Reddit pattern: plain load, nothing injected.
+	if got := sess.InjectedJS(); len(got) != 0 {
+		t.Errorf("InjectedJS = %v, want none", got)
+	}
+	if got := sess.Bridges(); len(got) != 0 {
+		t.Errorf("Bridges = %v, want none", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package iab implements the WebView-based In-App-Browser behaviours the
+// paper uncovers in the top 1K apps (Table 8). Each behaviour is the real
+// mechanism, not an annotation: JS bridges are exposed with the observed
+// names, and the injected programs are genuine JavaScript executed by the
+// page VM — inserting the autofill SDK script (Listing 1), computing DOM
+// tag counts and simHashes, logging performance metrics, running Cedexis
+// Radar measurements, and negotiating ad slots with ad-network endpoints.
+package iab
+
+import (
+	"fmt"
+	"net/url"
+
+	"repro/internal/corpus"
+	"repro/internal/jsvm"
+	"repro/internal/webview"
+)
+
+// Behavior drives one app's IAB: bridge setup before navigation and
+// injections after the page loads.
+type Behavior interface {
+	// Name identifies the behaviour for reports.
+	Name() string
+	// WrapURL rewrites the target through the app's redirector
+	// (lm.facebook.com/l.php, l.instagram.com, t.co), or returns it as-is.
+	WrapURL(target string) string
+	// Configure exposes JS bridges on the WebView before navigation.
+	Configure(wv *webview.WebView)
+	// OnPageLoaded performs the app's injections against the loaded page.
+	OnPageLoaded(wv *webview.WebView) error
+}
+
+// For returns the behaviour implementation for an injection kind.
+func For(kind corpus.InjectionKind, appPackage, redirector string) Behavior {
+	switch kind {
+	case corpus.InjectMetaCommerce:
+		return &metaCommerce{app: appPackage, redirector: redirector}
+	case corpus.InjectRadar:
+		return &radar{app: appPackage}
+	case corpus.InjectAdsGoogle:
+		return &adsGoogle{app: appPackage}
+	case corpus.InjectAdsMulti:
+		return &adsMulti{app: appPackage}
+	case corpus.InjectObfuscated:
+		return &obfuscated{app: appPackage}
+	default:
+		return &plain{app: appPackage, redirector: redirector}
+	}
+}
+
+// plain is the no-injection IAB (Snapchat, Twitter, Reddit): the link
+// simply loads, possibly via a redirector (Twitter's t.co).
+type plain struct {
+	app        string
+	redirector string
+}
+
+func (p *plain) Name() string { return "plain" }
+
+func (p *plain) WrapURL(target string) string { return wrapRedirector(p.redirector, target) }
+
+func (p *plain) Configure(wv *webview.WebView) {}
+
+func (p *plain) OnPageLoaded(wv *webview.WebView) error { return nil }
+
+// wrapRedirector builds the tracking-redirector URL the FB/IG/Twitter IABs
+// route clicks through (§4.2.1): the intended URL and a click identifier
+// ride in the query string.
+func wrapRedirector(redirector, target string) string {
+	if redirector == "" {
+		return target
+	}
+	return fmt.Sprintf("https://%s?u=%s&e=click%08x", redirector,
+		url.QueryEscape(target), len(target)*2654435761)
+}
+
+// RedirectTarget recovers the intended URL from a redirector request.
+func RedirectTarget(redirectorURL string) (string, bool) {
+	u, err := url.Parse(redirectorURL)
+	if err != nil {
+		return "", false
+	}
+	target := u.Query().Get("u")
+	if target == "" {
+		return "", false
+	}
+	return target, true
+}
+
+// metaCommerce reproduces the Facebook/Instagram IAB (§4.2.1): three JS
+// bridges (Meta payments, checkout, autofill), the Listing-1 autofill SDK
+// insertion, a DOM-tag-count collector, simHash computation for cloaking
+// detection, and performance-metric logging.
+type metaCommerce struct {
+	app        string
+	redirector string
+
+	// Observations the bridges accumulate (the app side of the bridge).
+	AutofillRequests []string
+	TagCountsJSON    string
+	SimHashes        []string
+	PerfLogs         []string
+}
+
+func (m *metaCommerce) Name() string { return "meta-commerce" }
+
+func (m *metaCommerce) WrapURL(target string) string { return wrapRedirector(m.redirector, target) }
+
+func (m *metaCommerce) Configure(wv *webview.WebView) {
+	pay := jsvm.NewObject()
+	pay.SetFunc("isAvailable", func(c jsvm.Call) (jsvm.Value, error) {
+		return jsvm.Bool(true), nil
+	})
+	wv.AddJavascriptInterface(pay, "fbpayIAWBridge")
+
+	checkout := jsvm.NewObject()
+	checkout.SetFunc("onCheckoutDetected", func(c jsvm.Call) (jsvm.Value, error) {
+		return jsvm.Undefined(), nil
+	})
+	wv.AddJavascriptInterface(checkout, "metaCheckoutIAWBridge")
+
+	autofill := jsvm.NewObject()
+	autofill.SetFunc("requestAutofillData", func(c jsvm.Call) (jsvm.Value, error) {
+		m.AutofillRequests = append(m.AutofillRequests, c.Arg(0).StringValue())
+		// The Java side returns profile data for merchant checkouts.
+		profile := jsvm.NewObject()
+		profile.Set("name", jsvm.String("Test User"))
+		profile.Set("phone", jsvm.String("+1-555-0100"))
+		profile.Set("address", jsvm.String("1 Test Way"))
+		return jsvm.ObjectValue(profile), nil
+	})
+	autofill.SetFunc("reportTagCounts", func(c jsvm.Call) (jsvm.Value, error) {
+		m.TagCountsJSON = c.Arg(0).StringValue()
+		return jsvm.Undefined(), nil
+	})
+	autofill.SetFunc("reportSimHash", func(c jsvm.Call) (jsvm.Value, error) {
+		m.SimHashes = append(m.SimHashes, c.Arg(0).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	autofill.SetFunc("logPerf", func(c jsvm.Call) (jsvm.Value, error) {
+		m.PerfLogs = append(m.PerfLogs, c.Arg(0).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	wv.AddJavascriptInterface(autofill, "_AutofillExtensions")
+}
+
+func (m *metaCommerce) OnPageLoaded(wv *webview.WebView) error {
+	for _, script := range []string{
+		autofillInsertJS, // Listing 1
+		tagCountsJS,
+		simHashJS,
+		perfMetricsJS,
+	} {
+		if err := wv.EvaluateJavascript(script, nil); err != nil {
+			return fmt.Errorf("iab: meta injection: %w", err)
+		}
+	}
+	return nil
+}
+
+// radar reproduces LinkedIn's IAB (§4.2.2): the Cedexis Radar network-
+// measurement SDK runs inside every visited page, probing CDN and cloud
+// endpoints from the user's device and reporting to Radar's collectors,
+// alongside LinkedIn's own CDN/ads/perf services.
+type radar struct {
+	app string
+}
+
+func (r *radar) Name() string { return "cedexis-radar" }
+
+func (r *radar) WrapURL(target string) string { return target }
+
+func (r *radar) Configure(wv *webview.WebView) {}
+
+func (r *radar) OnPageLoaded(wv *webview.WebView) error {
+	if err := wv.EvaluateJavascript(radarJS, nil); err != nil {
+		return fmt.Errorf("iab: radar injection: %w", err)
+	}
+	return nil
+}
+
+// adsGoogle reproduces Moj/Chingari (§4.2.3): the googleAdsJsInterface
+// bridge plus injected code that prepares a video-ad slot via Google Ads.
+// On pages without a compatible ad view the prepared slot stays 0x0 with
+// notVisibleReason=noAdView — exactly the observation in the paper.
+type adsGoogle struct {
+	app string
+	// AdPayloads collects the JSON ad specifications the injected code
+	// hands to the bridge.
+	AdPayloads []string
+}
+
+func (a *adsGoogle) Name() string { return "google-ads" }
+
+func (a *adsGoogle) WrapURL(target string) string { return target }
+
+func (a *adsGoogle) Configure(wv *webview.WebView) {
+	bridge := jsvm.NewObject()
+	bridge.SetFunc("onAdSlotPrepared", func(c jsvm.Call) (jsvm.Value, error) {
+		a.AdPayloads = append(a.AdPayloads, c.Arg(0).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	wv.AddJavascriptInterface(bridge, "googleAdsJsInterface")
+}
+
+func (a *adsGoogle) OnPageLoaded(wv *webview.WebView) error {
+	if err := wv.EvaluateJavascript(googleAdsJS, nil); err != nil {
+		return fmt.Errorf("iab: google-ads injection: %w", err)
+	}
+	return nil
+}
+
+// adsMulti reproduces Kik (§4.2.4): heavily obfuscated injected code that
+// reads page metadata (read-only Web APIs only, Table 9) and negotiates
+// with multiple ad networks — Google, MoPub, InMobi — contacting more
+// endpoints on content-rich pages (Figure 6b).
+type adsMulti struct {
+	app string
+}
+
+func (a *adsMulti) Name() string { return "multi-network-ads" }
+
+func (a *adsMulti) WrapURL(target string) string { return target }
+
+func (a *adsMulti) Configure(wv *webview.WebView) {
+	bridge := jsvm.NewObject()
+	bridge.SetFunc("q", func(c jsvm.Call) (jsvm.Value, error) {
+		return jsvm.Undefined(), nil
+	})
+	wv.AddJavascriptInterface(bridge, "googleAdsJsInterface")
+}
+
+func (a *adsMulti) OnPageLoaded(wv *webview.WebView) error {
+	if err := wv.EvaluateJavascript(kikAdsJS, nil); err != nil {
+		return fmt.Errorf("iab: kik injection: %w", err)
+	}
+	return nil
+}
+
+// obfuscated reproduces Pinterest (§4.2): a JS bridge whose class name is
+// obfuscated, with no observable injected script.
+type obfuscated struct {
+	app string
+}
+
+func (o *obfuscated) Name() string { return "obfuscated-bridge" }
+
+func (o *obfuscated) WrapURL(target string) string { return target }
+
+func (o *obfuscated) Configure(wv *webview.WebView) {
+	bridge := jsvm.NewObject()
+	bridge.SetFunc("a", func(c jsvm.Call) (jsvm.Value, error) { return jsvm.Undefined(), nil })
+	wv.AddJavascriptInterface(bridge, "q7xz")
+}
+
+func (o *obfuscated) OnPageLoaded(wv *webview.WebView) error { return nil }
+
+// IsAdInjection reports whether the behaviour injects ad content.
+func IsAdInjection(b Behavior) bool {
+	switch b.(type) {
+	case *adsGoogle, *adsMulti:
+		return true
+	}
+	return false
+}
+
+// InferIntent renders the Table 8 "inferred intent" cell for a behaviour.
+func InferIntent(b Behavior) (htmlJS, bridge string) {
+	switch b.(type) {
+	case *metaCommerce:
+		return "Returns DOM tag counts; simHash for cloaking detection; autofill SDK; perf metrics",
+			"Meta Checkout / Facebook Pay / AutofillExtensions"
+	case *radar:
+		return "Calls to Cedexis traffic management API", "No injection"
+	case *adsGoogle:
+		return "Insert and manage a video ad via Google Ads SDK", "Google Ads"
+	case *adsMulti:
+		return "Insert ads via ad networks: Google Ads, MoPub and InMobi", "Google Ads"
+	case *obfuscated:
+		return "No injection", "(Obfuscated)"
+	default:
+		return "No injection", "No injection"
+	}
+}
+
+// BehaviorStats exposes per-behaviour observations for reports.
+func BehaviorStats(b Behavior) map[string]any {
+	out := map[string]any{"name": b.Name()}
+	switch impl := b.(type) {
+	case *metaCommerce:
+		out["tagCounts"] = impl.TagCountsJSON
+		out["simHashes"] = impl.SimHashes
+		out["perfLogs"] = impl.PerfLogs
+		out["autofillRequests"] = impl.AutofillRequests
+	case *adsGoogle:
+		out["adPayloads"] = impl.AdPayloads
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package iab
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/internet"
+	"repro/internal/measure"
+	"repro/internal/netlog"
+	"repro/internal/webview"
+)
+
+// probe loads the controlled test page (optionally with extra HTML
+// appended to the body) through an IAB configured with the behaviour for
+// the given injection kind.
+func probe(t *testing.T, kind corpus.InjectionKind, extraHTML string) (Behavior, *webview.WebView, *netlog.Log) {
+	t.Helper()
+	net := internet.New()
+	html := measure.TestPageHTML
+	if extraHTML != "" {
+		html = strings.Replace(html, "</main>", extraHTML+"</main>", 1)
+	}
+	net.RegisterFunc("measure.test", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/trace.js" {
+			w.Header().Set("Content-Type", "application/javascript")
+			w.Write([]byte(measure.TraceJS))
+			return
+		}
+		w.Header().Set("Content-Type", "text/html")
+		w.Write([]byte(html))
+	})
+
+	log := netlog.New()
+	b := For(kind, "com.test.app", "")
+	wv := webview.New(webview.Config{
+		ID:         "iab-test",
+		AppPackage: "com.test.app",
+		Client:     net.Client(),
+		Log:        log,
+	})
+	wv.GetSettings().JavaScriptEnabled = true
+	b.Configure(wv)
+	if err := wv.LoadURL(context.Background(), b.WrapURL("https://measure.test/")); err != nil {
+		t.Fatalf("LoadURL: %v", err)
+	}
+	if err := b.OnPageLoaded(wv); err != nil {
+		t.Fatalf("OnPageLoaded: %v\nconsole: %v", err, wv.Page().Console)
+	}
+	return b, wv, log
+}
+
+func TestMetaCommerceBehavior(t *testing.T) {
+	b, wv, _ := probe(t, corpus.InjectMetaCommerce, "")
+	m := b.(*metaCommerce)
+
+	// Bridges exposed with the observed names.
+	bridges := strings.Join(wv.Bridges(), ",")
+	for _, want := range []string{"fbpayIAWBridge", "metaCheckoutIAWBridge", "_AutofillExtensions"} {
+		if !strings.Contains(bridges, want) {
+			t.Errorf("bridge %s missing (have %s)", want, bridges)
+		}
+	}
+	// Listing 1 inserted the autofill SDK script element.
+	if wv.Page().Doc.GetElementByID("instagram-autofill-sdk") == nil {
+		t.Error("autofill SDK script not inserted")
+	}
+	// The test page has a form, so autofill data was requested.
+	if len(m.AutofillRequests) != 1 {
+		t.Errorf("autofill requests = %v", m.AutofillRequests)
+	}
+	// DOM tag counts were returned.
+	if !strings.Contains(m.TagCountsJSON, `"P":`) || !strings.Contains(m.TagCountsJSON, `"TABLE":1`) {
+		t.Errorf("tag counts = %s", m.TagCountsJSON)
+	}
+	// Three simHashes: text+dom, text, dom.
+	if len(m.SimHashes) != 3 {
+		t.Fatalf("simhashes = %v", m.SimHashes)
+	}
+	for i, prefix := range []string{"text+dom:", "text:", "dom:"} {
+		if !strings.HasPrefix(m.SimHashes[i], prefix) {
+			t.Errorf("simhash %d = %s", i, m.SimHashes[i])
+		}
+	}
+	// Performance metrics logged.
+	if len(m.PerfLogs) != 1 || !strings.Contains(m.PerfLogs[0], "dcl=120ms") {
+		t.Errorf("perf logs = %v", m.PerfLogs)
+	}
+}
+
+func TestMetaSimHashStability(t *testing.T) {
+	b1, _, _ := probe(t, corpus.InjectMetaCommerce, "")
+	b2, _, _ := probe(t, corpus.InjectMetaCommerce, "")
+	m1, m2 := b1.(*metaCommerce), b2.(*metaCommerce)
+	for i := range m1.SimHashes {
+		if m1.SimHashes[i] != m2.SimHashes[i] {
+			t.Errorf("simhash %d unstable: %s vs %s", i, m1.SimHashes[i], m2.SimHashes[i])
+		}
+	}
+	// The text hash must reflect actual content, not degenerate to the
+	// FNV basis (-2128831035) the empty string hashes to.
+	for _, h := range m1.SimHashes {
+		if strings.HasSuffix(h, ":-2128831035") || strings.HasSuffix(h, ":0") {
+			t.Errorf("degenerate simhash %s", h)
+		}
+	}
+}
+
+func TestMetaSimHashSensitiveToContent(t *testing.T) {
+	// Cloaking detection requires different pages to hash differently.
+	b1, _, _ := probe(t, corpus.InjectMetaCommerce, "")
+	b2, _, _ := probe(t, corpus.InjectMetaCommerce,
+		`<section><p>entirely different injected content about cloaked payloads
+		shown only to crawlers with many extra words repeated cloaked cloaked</p></section>`)
+	m1, m2 := b1.(*metaCommerce), b2.(*metaCommerce)
+	if m1.SimHashes[1] == m2.SimHashes[1] {
+		t.Errorf("text simhash identical across different pages: %s", m1.SimHashes[1])
+	}
+}
+
+func TestRedirectorWrapping(t *testing.T) {
+	b := For(corpus.InjectMetaCommerce, "com.facebook.katana", "lm.facebook.com/l.php")
+	wrapped := b.WrapURL("https://example.com/article")
+	if !strings.HasPrefix(wrapped, "https://lm.facebook.com/l.php?") {
+		t.Errorf("wrapped = %s", wrapped)
+	}
+	target, ok := RedirectTarget(wrapped)
+	if !ok || target != "https://example.com/article" {
+		t.Errorf("recovered = %q ok=%v", target, ok)
+	}
+	// Plain apps without redirectors pass through.
+	p := For(corpus.InjectNone, "app", "")
+	if got := p.WrapURL("https://x.example/"); got != "https://x.example/" {
+		t.Errorf("plain wrap = %s", got)
+	}
+}
+
+func TestRadarBehavior(t *testing.T) {
+	_, _, log := probe(t, corpus.InjectRadar, "")
+	hosts := log.Hosts("iab-test")
+	joined := strings.Join(hosts, ",")
+	for _, want := range []string{"radar.cedexis.com", "cedexis-radar.net"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("radar host %s not contacted (hosts: %v)", want, hosts)
+		}
+	}
+	// Trackers beyond the visited site (Figure 6a's series).
+	external := log.HostsNotUnder("iab-test", "measure.test")
+	if len(external) < 3 {
+		t.Errorf("external endpoints = %v, want >= 3", external)
+	}
+}
+
+func TestGoogleAdsNoAdView(t *testing.T) {
+	b, _, log := probe(t, corpus.InjectAdsGoogle, "")
+	a := b.(*adsGoogle)
+	if len(a.AdPayloads) != 1 {
+		t.Fatalf("ad payloads = %v", a.AdPayloads)
+	}
+	p := a.AdPayloads[0]
+	// The paper's exact observation: width/height 0, noAdView.
+	for _, want := range []string{`"width":0`, `"height":0`, `"notVisibleReason":"noAdView"`, "doubleclick.net"} {
+		if !strings.Contains(p, want) {
+			t.Errorf("payload missing %q: %s", want, p)
+		}
+	}
+	// And no ad request was made.
+	for _, h := range log.Hosts("iab-test") {
+		if strings.Contains(h, "doubleclick") {
+			t.Error("ad fetched despite missing ad view")
+		}
+	}
+}
+
+func TestGoogleAdsWithAdView(t *testing.T) {
+	b, _, log := probe(t, corpus.InjectAdsGoogle, `<div class="ad-view"></div>`)
+	a := b.(*adsGoogle)
+	if len(a.AdPayloads) != 1 || !strings.Contains(a.AdPayloads[0], `"width":320`) {
+		t.Fatalf("payload = %v", a.AdPayloads)
+	}
+	found := false
+	for _, h := range log.Hosts("iab-test") {
+		if strings.Contains(h, "doubleclick") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ad request not made despite ad view present")
+	}
+}
+
+func TestKikContactsManyAdNetworks(t *testing.T) {
+	// Content-rich page: replicate list items to push element count up.
+	rich := strings.Repeat("<div class=\"story\"><p>text</p><img src=\"/pixel.png\"><span>meta</span></div>\n", 40)
+	_, _, log := probe(t, corpus.InjectAdsMulti, rich)
+	external := log.HostsNotUnder("iab-test", "measure.test")
+	if len(external) < 15 {
+		t.Errorf("rich-content ad endpoints = %d (%v), want > 15", len(external), external)
+	}
+	for _, want := range []string{"ads.mopub.com", "supply.inmobicdn.net"} {
+		found := false
+		for _, h := range external {
+			if h == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ad network %s not contacted", want)
+		}
+	}
+}
+
+func TestKikFewerEndpointsOnSparsePages(t *testing.T) {
+	net := internet.New()
+	net.RegisterFunc("sparse.test", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>s</title></head><body><p>tiny</p></body></html>`))
+	})
+	log := netlog.New()
+	b := For(corpus.InjectAdsMulti, "kik.android", "")
+	wv := webview.New(webview.Config{ID: "kik", AppPackage: "kik.android", Client: net.Client(), Log: log})
+	wv.GetSettings().JavaScriptEnabled = true
+	b.Configure(wv)
+	if err := wv.LoadURL(context.Background(), "https://sparse.test/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OnPageLoaded(wv); err != nil {
+		t.Fatal(err)
+	}
+	external := log.HostsNotUnder("kik", "sparse.test")
+	if len(external) > 8 {
+		t.Errorf("sparse-page endpoints = %d, want few", len(external))
+	}
+}
+
+func TestObfuscatedBridge(t *testing.T) {
+	b, wv, _ := probe(t, corpus.InjectObfuscated, "")
+	if len(wv.Bridges()) != 1 || wv.Bridges()[0] != "q7xz" {
+		t.Errorf("bridges = %v", wv.Bridges())
+	}
+	if b.Name() != "obfuscated-bridge" {
+		t.Errorf("name = %s", b.Name())
+	}
+}
+
+func TestPlainBehaviorInjectsNothing(t *testing.T) {
+	_, wv, _ := probe(t, corpus.InjectNone, "")
+	if len(wv.Bridges()) != 0 {
+		t.Errorf("plain IAB exposed bridges: %v", wv.Bridges())
+	}
+}
+
+func TestInferIntentTable8Rows(t *testing.T) {
+	for kind, wantJS := range map[corpus.InjectionKind]string{
+		corpus.InjectMetaCommerce: "DOM tag counts",
+		corpus.InjectRadar:        "Cedexis",
+		corpus.InjectAdsGoogle:    "Google Ads SDK",
+		corpus.InjectAdsMulti:     "MoPub",
+		corpus.InjectObfuscated:   "No injection",
+		corpus.InjectNone:         "No injection",
+	} {
+		js, _ := InferIntent(For(kind, "app", ""))
+		if !strings.Contains(js, wantJS) {
+			t.Errorf("kind %d intent = %q, want mention of %q", kind, js, wantJS)
+		}
+	}
+}

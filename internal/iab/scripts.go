@@ -1,0 +1,211 @@
+package iab
+
+// The injected JavaScript programs, written against the ES5 subset the
+// embedded VM executes. They are the behavioural core of Table 8: what the
+// ten WebView-based IABs actually run inside third-party pages.
+
+// autofillInsertJS is Listing 1 of the paper: the Facebook/Instagram IAB
+// inserts the Meta autofill SDK script element into every visited page,
+// then (when a form is present) requests user profile data over the
+// _AutofillExtensions bridge to populate merchant checkouts.
+const autofillInsertJS = `
+(function(d, s, id){
+    var sdkURL = "//connect.facebook.net/en_US/iab.autofill.enhanced.js";
+    var js, fjs = d.getElementsByTagName(s)[0];
+    if (d.getElementById(id)) {
+        return;
+    }
+    js = d.createElement(s);
+    js.id = id;
+    js.src = sdkURL;
+    if (fjs && fjs.parentNode) {
+        fjs.parentNode.insertBefore(js, fjs);
+    } else {
+        d.body.insertBefore(js, null);
+    }
+}(document, 'script', 'instagram-autofill-sdk'));
+
+(function() {
+    var forms = document.getElementsByTagName("form");
+    if (forms.length === 0) { return; }
+    var profile = _AutofillExtensions.requestAutofillData("checkout");
+    var marker = document.createElement("div");
+    marker.id = "__iab_autofill_ready";
+    document.body.insertBefore(marker, null);
+    document.addEventListener("submit", function() { });
+    document.removeEventListener("submit", function() { });
+})();
+`
+
+// tagCountsJS returns a frequency dictionary of DOM tags to the app — the
+// "Returns DOM Tag Counts" injection of Table 8.
+const tagCountsJS = `
+(function() {
+    var counts = {};
+    var all = document.body.getElementsByTagName("*");
+    var first = all.item(0);
+    for (var i = 0; i < all.length; i++) {
+        var t = all[i].tagName;
+        counts[t] = (counts[t] || 0) + 1;
+    }
+    _AutofillExtensions.reportTagCounts(JSON.stringify(counts));
+})();
+`
+
+// simHashJS computes locality-sensitive hashes of (i) text and DOM, (ii)
+// text only and (iii) DOM only — the Cloaker Catcher client-side cloaking
+// detector [53] the Meta IABs embed. A 32-bit FNV-based simhash over
+// shingles, entirely in page JavaScript.
+const simHashJS = `
+(function() {
+    function fnv(s) {
+        var h = 2166136261 | 0;
+        for (var i = 0; i < s.length; i++) {
+            h = h ^ s.charCodeAt(i);
+            h = (h + (h << 1) + (h << 4) + (h << 7) + (h << 8) + (h << 24)) | 0;
+        }
+        return h;
+    }
+    function simhash(feats) {
+        var counts = [];
+        for (var b = 0; b < 32; b++) { counts.push(0); }
+        for (var i = 0; i < feats.length; i++) {
+            var v = fnv(feats[i]);
+            for (var b = 0; b < 32; b++) {
+                if (((v >> b) & 1) === 1) { counts[b] = counts[b] + 1; }
+                else { counts[b] = counts[b] - 1; }
+            }
+        }
+        var out = 0;
+        for (var b = 0; b < 32; b++) {
+            if (counts[b] > 0) { out = out | (1 << b); }
+        }
+        return out;
+    }
+    var rawWords = (document.body.textContent || "").split(" ");
+    var textFeats = [];
+    for (var i = 0; i < rawWords.length; i++) {
+        var w = rawWords[i].trim();
+        if (w.length > 0) { textFeats.push(w); }
+    }
+    var domFeats = [];
+    var all = document.getElementsByTagName("*");
+    var firstEl = all.item(0);
+    for (var i = 0; i < all.length; i++) {
+        var el = all[i];
+        var feat = el.tagName;
+        if (el.hasAttribute("id")) { feat = feat + "#"; }
+        domFeats.push(feat);
+    }
+    var both = textFeats.concat(domFeats);
+    _AutofillExtensions.reportSimHash("text+dom:" + simhash(both));
+    _AutofillExtensions.reportSimHash("text:" + simhash(textFeats));
+    _AutofillExtensions.reportSimHash("dom:" + simhash(domFeats));
+})();
+`
+
+// perfMetricsJS logs page performance (DOM content loaded time, AMP
+// support) to the console and the bridge.
+const perfMetricsJS = `
+(function() {
+    var t = performance.timing;
+    var dcl = t.domContentLoadedEventEnd - t.navigationStart;
+    var htmlEls = document.querySelectorAll("html");
+    var amp = false;
+    if (htmlEls.length > 0 && htmlEls[0].hasAttribute("amp")) { amp = true; }
+    var msg = "dcl=" + dcl + "ms amp=" + amp;
+    console.log("[iab-perf] " + msg);
+    _AutofillExtensions.logPerf(msg);
+})();
+`
+
+// radarJS is the Cedexis Radar measurement run LinkedIn's IAB executes in
+// visited pages: an init call to the Radar API, then availability /
+// latency probes against CDN and cloud providers, plus LinkedIn's own
+// services. Richer pages trigger more probes (Figure 6a).
+const radarJS = `
+(function() {
+    var collectors = [
+        "a.cedexis-radar.net",
+        "b.cedexis-radar.net",
+        "img-cdn.licdn.com",
+        "px.ads.linkedin.com",
+        "perf.linkedin.com",
+        "c.cedexis-radar.net",
+        "probe-cf.cedexis-test.net",
+        "probe-aws.cedexis-test.net"
+    ];
+    function ping(host, path) {
+        var xhr = new XMLHttpRequest();
+        xhr.open("GET", "https://" + host + path);
+        xhr.send();
+    }
+    ping("radar.cedexis.com", "/init?customer=linkedin");
+    var richness = document.getElementsByTagName("*").length;
+    var probes = 2 + Math.min(collectors.length - 2, Math.floor(richness / 30));
+    for (var i = 0; i < probes; i++) {
+        ping(collectors[i], "/probe?i=" + i + "&t=" + Date.now());
+    }
+})();
+`
+
+// googleAdsJS is the Moj/Chingari injection: prepare a video-ad slot via
+// the Google Ads SDK. Without a compatible ad view on the page the slot
+// stays 0x0 with notVisibleReason=noAdView and no ad request is made.
+const googleAdsJS = `
+(function() {
+    var slot = {
+        adUnit: "/21775744923/inapp/video-interstitial",
+        src: "https://googleads.g.doubleclick.net/pagead/ads?fmt=video",
+        width: 0,
+        height: 0,
+        notVisibleReason: ""
+    };
+    var views = document.querySelectorAll(".ad-view, #ad-slot, ins.adsbygoogle");
+    if (views.length === 0) {
+        slot.notVisibleReason = "noAdView";
+    } else {
+        slot.width = 320;
+        slot.height = 180;
+        var xhr = new XMLHttpRequest();
+        xhr.open("GET", slot.src);
+        xhr.send();
+    }
+    googleAdsJsInterface.onAdSlotPrepared(JSON.stringify(slot));
+})();
+`
+
+// kikAdsJS is the Kik injection: deliberately obfuscated code that reads
+// page metadata with read-only Web APIs and opens bid negotiations with a
+// multitude of ad-network endpoints; content-rich pages yield more
+// endpoint contacts (Figure 6b: >15 on average for rich sites).
+const kikAdsJS = `
+(function() {
+    var _0xn = [
+        "ads.mopub.com", "supply.inmobicdn.net",
+        "googleads.g.doubleclick.net", "d2mxb7.cloudfront.net",
+        "bid.adnet-exchange.com", "rtb.supply-side.net",
+        "sync.pixel-match.io", "cdn.vast-serve.com",
+        "px.openbidder.net", "match.dsp-one.com",
+        "ads.video-mediate.tv", "tags.header-wrap.js.org",
+        "collector.metrics-ad.net", "s2s.bridge-bid.com",
+        "banner.fill-rate.app", "vast.preroll-hub.tv",
+        "beacon.imp-track.net", "cm.cookie-sync.org",
+        "adx.cross-bid.exchange", "pop.fallback-fill.com"
+    ];
+    var _0xm = document.querySelectorAll("meta");
+    var _0xc = "";
+    if (_0xm.length > 0) {
+        var _0xa = _0xm[0].getAttribute("charset");
+        if (_0xa) { _0xc = _0xa; }
+        var _0xb = _0xm[0].getAttribute("name");
+    }
+    var _0xq = document.querySelectorAll("*").length;
+    var _0xk = Math.min(_0xn.length, 4 + Math.floor(_0xq / 12));
+    for (var _0xi = 0; _0xi < _0xk; _0xi++) {
+        var _0xr = new XMLHttpRequest();
+        _0xr.open("GET", "https://" + _0xn[_0xi] + "/bid?s=" + _0xi + "&c=" + _0xc);
+        _0xr.send();
+    }
+})();
+`

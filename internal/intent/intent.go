@@ -1,0 +1,101 @@
+// Package intent models Android intents and Web URI intent resolution
+// (§4.2): when a user taps an http(s) link, Android raises a VIEW intent
+// that the default browser handles — unless an installed app's verified
+// deep-link filter claims the domain, or (the behaviour the paper
+// uncovers) the hosting app never raises the intent and opens an In-App
+// Browser instead.
+package intent
+
+import (
+	"net/url"
+	"strings"
+
+	"repro/internal/android"
+)
+
+// Intent is a simplified Android intent.
+type Intent struct {
+	Action     string
+	Categories []string
+	Data       string // the data URI
+	Package    string // explicit target package ("" for implicit)
+}
+
+// NewWebURI builds the implicit VIEW intent Android raises for a web link.
+func NewWebURI(link string) Intent {
+	return Intent{
+		Action:     android.ActionView,
+		Categories: []string{android.CategoryBrowsable, android.CategoryDefault},
+		Data:       link,
+	}
+}
+
+// IsWebURI reports whether the intent is a VIEW over http(s).
+func (in Intent) IsWebURI() bool {
+	if in.Action != android.ActionView {
+		return false
+	}
+	u, err := url.Parse(in.Data)
+	if err != nil {
+		return false
+	}
+	return u.Scheme == "http" || u.Scheme == "https"
+}
+
+// Host returns the data URI's host ("" when unparsable).
+func (in Intent) Host() string {
+	u, err := url.Parse(in.Data)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+// Filter describes one handler's intent filter, reduced to what Web URI
+// resolution needs: the domains an app has verified deep links for.
+type Filter struct {
+	Package string
+	Hosts   []string // verified app-link hosts; nil for browsers
+	Browser bool     // the handler is a browser (matches any host)
+}
+
+// Matches reports whether the filter accepts the intent.
+func (f Filter) Matches(in Intent) bool {
+	if !in.IsWebURI() {
+		return false
+	}
+	if f.Browser {
+		return true
+	}
+	host := in.Host()
+	for _, h := range f.Hosts {
+		if host == h || strings.HasSuffix(host, "."+h) {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolution says who handles a Web URI intent.
+type Resolution struct {
+	Package string
+	Browser bool
+}
+
+// Resolve implements Android 12+ Web URI dispatch: a verified app-link
+// handler wins; otherwise the default browser. The zero Resolution (no
+// handler) is returned when no browser is installed.
+func Resolve(in Intent, filters []Filter, defaultBrowser string) (Resolution, bool) {
+	if !in.IsWebURI() {
+		return Resolution{}, false
+	}
+	for _, f := range filters {
+		if !f.Browser && f.Matches(in) {
+			return Resolution{Package: f.Package}, true
+		}
+	}
+	if defaultBrowser != "" {
+		return Resolution{Package: defaultBrowser, Browser: true}, true
+	}
+	return Resolution{}, false
+}

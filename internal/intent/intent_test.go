@@ -1,0 +1,62 @@
+package intent
+
+import (
+	"testing"
+
+	"repro/internal/android"
+)
+
+func TestNewWebURI(t *testing.T) {
+	in := NewWebURI("https://example.com/x")
+	if in.Action != android.ActionView || !in.IsWebURI() {
+		t.Errorf("intent = %+v", in)
+	}
+	if in.Host() != "example.com" {
+		t.Errorf("Host = %q", in.Host())
+	}
+}
+
+func TestNonWebURIs(t *testing.T) {
+	for _, data := range []string{"myapp://open", "ftp://x/y", "notaurl\x00://", ""} {
+		in := Intent{Action: android.ActionView, Data: data}
+		if in.IsWebURI() {
+			t.Errorf("IsWebURI(%q) = true", data)
+		}
+	}
+	in := Intent{Action: "android.intent.action.SEND", Data: "https://example.com"}
+	if in.IsWebURI() {
+		t.Error("SEND intent classified as Web URI")
+	}
+}
+
+func TestResolvePrefersVerifiedAppLink(t *testing.T) {
+	filters := []Filter{
+		{Package: "com.google.maps", Hosts: []string{"maps.google.com"}},
+		{Package: "com.android.chrome", Browser: true},
+	}
+	res, ok := Resolve(NewWebURI("https://maps.google.com/place/x"), filters, "com.android.chrome")
+	if !ok || res.Package != "com.google.maps" || res.Browser {
+		t.Errorf("resolution = %+v ok=%v", res, ok)
+	}
+	// Subdomains of a verified host match.
+	res, ok = Resolve(NewWebURI("https://www.maps.google.com/"), filters, "com.android.chrome")
+	if !ok || res.Package != "com.google.maps" {
+		t.Errorf("subdomain resolution = %+v", res)
+	}
+}
+
+func TestResolveFallsBackToBrowser(t *testing.T) {
+	res, ok := Resolve(NewWebURI("https://example.com/"), nil, "com.android.chrome")
+	if !ok || !res.Browser || res.Package != "com.android.chrome" {
+		t.Errorf("resolution = %+v ok=%v", res, ok)
+	}
+}
+
+func TestResolveNoHandler(t *testing.T) {
+	if _, ok := Resolve(NewWebURI("https://example.com/"), nil, ""); ok {
+		t.Error("resolved with no browser installed")
+	}
+	if _, ok := Resolve(Intent{Action: android.ActionView, Data: "myapp://x"}, nil, "chrome"); ok {
+		t.Error("non-web intent resolved")
+	}
+}

@@ -1,0 +1,91 @@
+// Package internet provides an in-process "internet": an http.RoundTripper
+// that dispatches requests by host to registered handlers. The measurement
+// device, its browser and every WebView share one Internet, so visits to
+// synthetic top sites, the controlled measurement page, ad networks and
+// tracker endpoints all resolve without real sockets — while unregistered
+// hosts still answer (with an empty page) so that injected code contacting
+// arbitrary endpoints is observable rather than an error.
+package internet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+)
+
+// Internet is a host-routing RoundTripper.
+type Internet struct {
+	mu       sync.RWMutex
+	hosts    map[string]http.Handler
+	suffixes map[string]http.Handler // "*.example.com" registrations
+	// CatchAll serves unregistered hosts; nil uses an empty 200 page.
+	CatchAll http.Handler
+}
+
+// New returns an empty Internet.
+func New() *Internet {
+	return &Internet{
+		hosts:    make(map[string]http.Handler),
+		suffixes: make(map[string]http.Handler),
+	}
+}
+
+// Register serves a host (exact match) with the handler. A leading "*."
+// registers the handler for every subdomain.
+func (in *Internet) Register(host string, h http.Handler) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if strings.HasPrefix(host, "*.") {
+		in.suffixes[host[2:]] = h
+		return
+	}
+	in.hosts[host] = h
+}
+
+// RegisterFunc is Register with a HandlerFunc.
+func (in *Internet) RegisterFunc(host string, f http.HandlerFunc) {
+	in.Register(host, f)
+}
+
+// Handler returns the handler serving a host, falling back to suffix
+// registrations and the catch-all.
+func (in *Internet) handler(host string) http.Handler {
+	// Strip any port.
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
+		host = host[:i]
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if h, ok := in.hosts[host]; ok {
+		return h
+	}
+	for suffix, h := range in.suffixes {
+		if host == suffix || strings.HasSuffix(host, "."+suffix) {
+			return h
+		}
+	}
+	if in.CatchAll != nil {
+		return in.CatchAll
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><head><title>"+r.Host+"</title></head><body></body></html>")
+	})
+}
+
+// RoundTrip implements http.RoundTripper by serving the request with the
+// registered handler through an in-memory recorder.
+func (in *Internet) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	in.handler(req.URL.Host).ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Client returns an http.Client routed through this Internet.
+func (in *Internet) Client() *http.Client {
+	return &http.Client{Transport: in}
+}

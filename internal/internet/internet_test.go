@@ -1,0 +1,89 @@
+package internet
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func get(t *testing.T, in *Internet, url string) (int, string) {
+	t.Helper()
+	resp, err := in.Client().Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestExactHostRouting(t *testing.T) {
+	in := New()
+	in.RegisterFunc("a.example", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "site-a:"+r.URL.Path)
+	})
+	status, body := get(t, in, "https://a.example/page?x=1")
+	if status != 200 || body != "site-a:/page" {
+		t.Errorf("got %d %q", status, body)
+	}
+}
+
+func TestSuffixRouting(t *testing.T) {
+	in := New()
+	in.RegisterFunc("*.cdn.example", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "cdn:"+r.Host)
+	})
+	if _, body := get(t, in, "https://img1.cdn.example/a.png"); body != "cdn:img1.cdn.example" {
+		t.Errorf("body = %q", body)
+	}
+	if _, body := get(t, in, "https://cdn.example/root"); body != "cdn:cdn.example" {
+		t.Errorf("apex body = %q", body)
+	}
+}
+
+func TestCatchAllServesUnknownHosts(t *testing.T) {
+	in := New()
+	status, body := get(t, in, "https://never-registered.net/x")
+	if status != 200 {
+		t.Errorf("status = %d", status)
+	}
+	if body == "" {
+		t.Error("catch-all body empty")
+	}
+}
+
+func TestCustomCatchAll(t *testing.T) {
+	in := New()
+	in.CatchAll = http.NotFoundHandler()
+	status, _ := get(t, in, "https://unknown.example/")
+	if status != 404 {
+		t.Errorf("status = %d", status)
+	}
+}
+
+func TestPortsIgnoredInRouting(t *testing.T) {
+	in := New()
+	in.RegisterFunc("svc.example", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	if _, body := get(t, in, "http://svc.example:8080/"); body != "ok" {
+		t.Errorf("port routing failed: %q", body)
+	}
+}
+
+func TestRedirectsFollowed(t *testing.T) {
+	in := New()
+	in.RegisterFunc("from.example", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "https://to.example/landed", http.StatusFound)
+	})
+	in.RegisterFunc("to.example", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "landed")
+	})
+	status, body := get(t, in, "https://from.example/")
+	if status != 200 || body != "landed" {
+		t.Errorf("got %d %q", status, body)
+	}
+}

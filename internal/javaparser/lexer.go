@@ -1,0 +1,119 @@
+// Package javaparser parses the Java-subset source emitted by the
+// decompiler (and hand-written code of the same shape). It is the stand-in
+// for the javalang parser the paper uses to find classes that extend
+// android.webkit.WebView (§3.1.2): it extracts the package declaration,
+// imports, type declarations with their extends/implements clauses, method
+// declarations, and the method calls inside bodies.
+package javaparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct // single punctuation rune
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// next returns the next token, skipping whitespace and comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' || l.src[l.pos] == 'x' ||
+			l.src[l.pos] >= 'a' && l.src[l.pos] <= 'f' || l.src[l.pos] == 'L') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		return l.lexString()
+	default:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '\\':
+			l.pos += 2
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: l.src[start:l.pos], line: l.line}, nil
+		case '\n':
+			return token{}, fmt.Errorf("line %d: newline in string literal", l.line)
+		default:
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("line %d: unterminated string literal", l.line)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

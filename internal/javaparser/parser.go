@@ -1,0 +1,501 @@
+package javaparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Call is a method invocation found inside a body: Receiver is the text to
+// the left of the final dot ("webView", "CustomTabsIntent.Builder", …) and
+// Name the invoked method.
+type Call struct {
+	Receiver string
+	Name     string
+	Line     int
+}
+
+// MethodDecl is a method found in a type body.
+type MethodDecl struct {
+	Name  string
+	Calls []Call
+}
+
+// TypeKind distinguishes classes from interfaces.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindClass TypeKind = iota
+	KindInterface
+)
+
+// TypeDecl is a top-level (or nested) type declaration.
+type TypeDecl struct {
+	Kind       TypeKind
+	Name       string
+	Extends    string
+	Implements []string
+	Methods    []MethodDecl
+}
+
+// CompilationUnit is a parsed source file.
+type CompilationUnit struct {
+	Package string
+	Imports []string
+	Types   []TypeDecl
+}
+
+// Imported reports whether the unit imports the fully-qualified type.
+func (u *CompilationUnit) Imported(fqn string) bool {
+	for _, imp := range u.Imports {
+		if imp == fqn {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve maps a possibly-simple type name to a fully-qualified one using
+// the import table, falling back to the unit's own package, mirroring Java
+// name resolution closely enough for the analyses here.
+func (u *CompilationUnit) Resolve(name string) string {
+	if strings.Contains(name, ".") {
+		// Either already qualified, or Outer.Inner of an imported outer type.
+		head := name[:strings.IndexByte(name, '.')]
+		for _, imp := range u.Imports {
+			if simpleOf(imp) == head {
+				return imp + name[strings.IndexByte(name, '.'):]
+			}
+		}
+		return name
+	}
+	for _, imp := range u.Imports {
+		if simpleOf(imp) == name {
+			return imp
+		}
+	}
+	if u.Package != "" {
+		return u.Package + "." + name
+	}
+	return name
+}
+
+func simpleOf(fqn string) string {
+	if i := strings.LastIndexByte(fqn, '.'); i >= 0 {
+		return fqn[i+1:]
+	}
+	return fqn
+}
+
+type parser struct {
+	lex    *lexer
+	tok    token
+	peeked *token
+}
+
+// Parse parses one Java source file.
+func Parse(src string) (*CompilationUnit, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseUnit()
+}
+
+func (p *parser) advance() error {
+	if p.peeked != nil {
+		p.tok, p.peeked = *p.peeked, nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return fmt.Errorf("line %d: expected %q, found %q", p.tok.line, s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseUnit() (*CompilationUnit, error) {
+	u := &CompilationUnit{}
+	if p.tok.kind == tokIdent && p.tok.text == "package" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		u.Package = name
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.kind == tokIdent && p.tok.text == "import" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		u.Imports = append(u.Imports, name)
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.kind != tokEOF {
+		td, err := p.parseTypeDecl()
+		if err != nil {
+			return nil, err
+		}
+		u.Types = append(u.Types, *td)
+	}
+	return u, nil
+}
+
+func (p *parser) parseQualifiedName() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", fmt.Errorf("line %d: expected identifier, found %q", p.tok.line, p.tok.text)
+	}
+	var sb strings.Builder
+	sb.WriteString(p.tok.text)
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	for p.tok.kind == tokPunct && p.tok.text == "." {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		if p.tok.kind != tokIdent {
+			return "", fmt.Errorf("line %d: expected identifier after '.', found %q", p.tok.line, p.tok.text)
+		}
+		sb.WriteByte('.')
+		sb.WriteString(p.tok.text)
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+var modifierWords = map[string]bool{
+	"public": true, "private": true, "protected": true,
+	"static": true, "final": true, "abstract": true, "synchronized": true,
+	"native": true, "strictfp": true, "transient": true, "volatile": true,
+}
+
+func (p *parser) skipModifiers() error {
+	for p.tok.kind == tokIdent && modifierWords[p.tok.text] {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	// Annotations: @Name or @Name(...)
+	for p.tok.kind == tokPunct && p.tok.text == "@" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.parseQualifiedName(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "(" {
+			if err := p.skipBalanced("(", ")"); err != nil {
+				return err
+			}
+		}
+		if err := p.skipModifiers(); err != nil {
+			return err
+		}
+		return nil
+	}
+	return nil
+}
+
+func (p *parser) parseTypeDecl() (*TypeDecl, error) {
+	if err := p.skipModifiers(); err != nil {
+		return nil, err
+	}
+	td := &TypeDecl{}
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "class":
+		td.Kind = KindClass
+	case p.tok.kind == tokIdent && p.tok.text == "interface":
+		td.Kind = KindInterface
+	default:
+		return nil, fmt.Errorf("line %d: expected class or interface, found %q", p.tok.line, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected type name, found %q", p.tok.line, p.tok.text)
+	}
+	td.Name = p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+
+	if p.tok.kind == tokIdent && p.tok.text == "extends" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseQualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		td.Extends = name
+	}
+	if p.tok.kind == tokIdent && p.tok.text == "implements" {
+		for {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.parseQualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			td.Implements = append(td.Implements, name)
+			if p.tok.kind != tokPunct || p.tok.text != "," {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if err := p.parseTypeBody(td); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// parseTypeBody scans member declarations until the matching '}'. It
+// recognises method declarations by the pattern ident '(' … ')' '{' and
+// records the calls inside their bodies; everything else (fields, nested
+// types) is skipped structurally.
+func (p *parser) parseTypeBody(td *TypeDecl) error {
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return fmt.Errorf("unexpected EOF in type body of %s", td.Name)
+		case p.tok.kind == tokPunct && p.tok.text == "}":
+			return p.advance()
+		case p.tok.kind == tokIdent && (p.tok.text == "class" || p.tok.text == "interface"):
+			nested, err := p.parseTypeDecl()
+			if err != nil {
+				return err
+			}
+			// Nested types surface their methods on the parent with a
+			// qualified name so call extraction stays flat.
+			for _, m := range nested.Methods {
+				m.Name = nested.Name + "." + m.Name
+				td.Methods = append(td.Methods, m)
+			}
+		default:
+			if err := p.parseMember(td); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// parseMember handles one field or method. Strategy: consume tokens until
+// we can classify the member — a '(' after an identifier makes it a method
+// (the identifier is its name); a ';' or '=' makes it a field.
+func (p *parser) parseMember(td *TypeDecl) error {
+	if err := p.skipModifiers(); err != nil {
+		return err
+	}
+	if p.tok.kind == tokIdent && (p.tok.text == "class" || p.tok.text == "interface") {
+		nested, err := p.parseTypeDecl()
+		if err != nil {
+			return err
+		}
+		for _, m := range nested.Methods {
+			m.Name = nested.Name + "." + m.Name
+			td.Methods = append(td.Methods, m)
+		}
+		return nil
+	}
+	var lastIdent string
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return fmt.Errorf("unexpected EOF in member of %s", td.Name)
+		case p.tok.kind == tokIdent:
+			lastIdent = p.tok.text
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokPunct && p.tok.text == "(":
+			// Method declaration: name is lastIdent.
+			if err := p.skipBalanced("(", ")"); err != nil {
+				return err
+			}
+			// throws clause
+			if p.tok.kind == tokIdent && p.tok.text == "throws" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				for p.tok.kind == tokIdent || p.tok.kind == tokPunct && (p.tok.text == "," || p.tok.text == ".") {
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+			}
+			m := MethodDecl{Name: lastIdent}
+			switch {
+			case p.tok.kind == tokPunct && p.tok.text == "{":
+				calls, err := p.parseMethodBody()
+				if err != nil {
+					return err
+				}
+				m.Calls = calls
+			case p.tok.kind == tokPunct && p.tok.text == ";":
+				if err := p.advance(); err != nil { // abstract/interface method
+					return err
+				}
+			default:
+				return fmt.Errorf("line %d: expected '{' or ';' after method %s, found %q", p.tok.line, lastIdent, p.tok.text)
+			}
+			td.Methods = append(td.Methods, m)
+			return nil
+		case p.tok.kind == tokPunct && (p.tok.text == ";"):
+			return p.advance() // field without initialiser
+		case p.tok.kind == tokPunct && p.tok.text == "=":
+			// Field initialiser: skip to the terminating ';' at depth 0.
+			return p.skipToSemicolon()
+		case p.tok.kind == tokPunct:
+			// Type punctuation in declarations: dots, generics, arrays.
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *parser) skipToSemicolon() error {
+	depth := 0
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return fmt.Errorf("unexpected EOF in initialiser")
+		case p.tok.kind == tokPunct && (p.tok.text == "(" || p.tok.text == "{" || p.tok.text == "["):
+			depth++
+		case p.tok.kind == tokPunct && (p.tok.text == ")" || p.tok.text == "}" || p.tok.text == "]"):
+			depth--
+		case p.tok.kind == tokPunct && p.tok.text == ";" && depth == 0:
+			return p.advance()
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// skipBalanced consumes from the current open token through its matching
+// close token.
+func (p *parser) skipBalanced(open, close string) error {
+	if p.tok.kind != tokPunct || p.tok.text != open {
+		return fmt.Errorf("line %d: expected %q", p.tok.line, open)
+	}
+	depth := 0
+	for {
+		if p.tok.kind == tokEOF {
+			return fmt.Errorf("unexpected EOF looking for %q", close)
+		}
+		if p.tok.kind == tokPunct {
+			switch p.tok.text {
+			case open:
+				depth++
+			case close:
+				depth--
+				if depth == 0 {
+					return p.advance()
+				}
+			}
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// parseMethodBody walks a balanced '{ … }' region recording every
+// qualified call: a dotted identifier chain immediately followed by '('.
+func (p *parser) parseMethodBody() ([]Call, error) {
+	if p.tok.kind != tokPunct || p.tok.text != "{" {
+		return nil, fmt.Errorf("line %d: expected '{'", p.tok.line)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var calls []Call
+	depth := 1
+	var chain []string // pending identifier chain
+	chainDotted := false
+	flush := func() { chain = chain[:0]; chainDotted = false }
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, fmt.Errorf("unexpected EOF in method body")
+		case p.tok.kind == tokIdent:
+			if !chainDotted && len(chain) > 0 {
+				chain = chain[:0] // new statement word (e.g. "String s1")
+			}
+			chain = append(chain, p.tok.text)
+			chainDotted = false
+		case p.tok.kind == tokPunct && p.tok.text == ".":
+			chainDotted = true
+		case p.tok.kind == tokPunct && p.tok.text == "(":
+			if len(chain) >= 2 {
+				calls = append(calls, Call{
+					Receiver: strings.Join(chain[:len(chain)-1], "."),
+					Name:     chain[len(chain)-1],
+					Line:     p.tok.line,
+				})
+			}
+			flush()
+			depth++
+		case p.tok.kind == tokPunct && p.tok.text == ")":
+			depth--
+			flush()
+		case p.tok.kind == tokPunct && p.tok.text == "{":
+			depth++
+			flush()
+		case p.tok.kind == tokPunct && p.tok.text == "}":
+			depth--
+			if depth == 0 {
+				return calls, p.advance()
+			}
+			flush()
+		default:
+			flush()
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}

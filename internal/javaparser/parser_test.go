@@ -1,0 +1,283 @@
+package javaparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const src = `// Decompiled with sjadx from WebActivity.java
+package com.example.app;
+
+import android.app.Activity;
+import android.webkit.WebView;
+import androidx.browser.customtabs.CustomTabsIntent;
+
+public class WebActivity extends Activity implements Runnable, AutoCloseable {
+    private WebView view;
+    private static final String HOME = "https://example.com";
+
+    public void onCreate() {
+        WebView v1 = new WebView(a0);
+        v1.loadUrl("https://example.com");
+        v1.addJavascriptInterface(a0, a1);
+        if (__cond != 0) {
+            v1.evaluateJavascript("window.x=1", a1);
+        }
+        return;
+    }
+
+    public void run() {
+        CustomTabsIntent.Builder.build();
+        this.helper();
+    }
+
+    private void helper() { }
+
+    abstract void later();
+}
+`
+
+func TestParseHeader(t *testing.T) {
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if u.Package != "com.example.app" {
+		t.Errorf("Package = %q", u.Package)
+	}
+	wantImports := []string{
+		"android.app.Activity",
+		"android.webkit.WebView",
+		"androidx.browser.customtabs.CustomTabsIntent",
+	}
+	if !reflect.DeepEqual(u.Imports, wantImports) {
+		t.Errorf("Imports = %v", u.Imports)
+	}
+	if len(u.Types) != 1 {
+		t.Fatalf("Types = %d, want 1", len(u.Types))
+	}
+	td := u.Types[0]
+	if td.Name != "WebActivity" || td.Extends != "Activity" {
+		t.Errorf("type = %q extends %q", td.Name, td.Extends)
+	}
+	if !reflect.DeepEqual(td.Implements, []string{"Runnable", "AutoCloseable"}) {
+		t.Errorf("Implements = %v", td.Implements)
+	}
+}
+
+func TestParseMethodsAndCalls(t *testing.T) {
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := u.Types[0]
+	names := make([]string, len(td.Methods))
+	for i, m := range td.Methods {
+		names[i] = m.Name
+	}
+	if !reflect.DeepEqual(names, []string{"onCreate", "run", "helper", "later"}) {
+		t.Fatalf("methods = %v", names)
+	}
+	onCreate := td.Methods[0]
+	var got []string
+	for _, c := range onCreate.Calls {
+		got = append(got, c.Receiver+"."+c.Name)
+	}
+	want := []string{"v1.loadUrl", "v1.addJavascriptInterface", "v1.evaluateJavascript"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("onCreate calls = %v, want %v", got, want)
+	}
+	run := td.Methods[1]
+	if len(run.Calls) != 2 || run.Calls[0].Receiver != "CustomTabsIntent.Builder" || run.Calls[0].Name != "build" {
+		t.Errorf("run calls = %+v", run.Calls)
+	}
+	if run.Calls[1].Receiver != "this" || run.Calls[1].Name != "helper" {
+		t.Errorf("run second call = %+v", run.Calls[1])
+	}
+}
+
+func TestResolve(t *testing.T) {
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ in, want string }{
+		{"WebView", "android.webkit.WebView"},
+		{"Activity", "android.app.Activity"},
+		{"CustomTabsIntent.Builder", "androidx.browser.customtabs.CustomTabsIntent.Builder"},
+		{"Helper", "com.example.app.Helper"},
+		{"java.util.List", "java.util.List"},
+	}
+	for _, c := range cases {
+		if got := u.Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseExtendsFQN(t *testing.T) {
+	u, err := Parse(`package p; public class W extends android.webkit.WebView { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Types[0].Extends != "android.webkit.WebView" {
+		t.Errorf("Extends = %q", u.Types[0].Extends)
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	u, err := Parse(`package p; public interface Callback { void onDone(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := u.Types[0]
+	if td.Kind != KindInterface || td.Name != "Callback" {
+		t.Errorf("parsed %+v", td)
+	}
+	if len(td.Methods) != 1 || td.Methods[0].Name != "onDone" {
+		t.Errorf("methods = %+v", td.Methods)
+	}
+}
+
+func TestParseNestedClass(t *testing.T) {
+	u, err := Parse(`package p;
+public class Outer {
+    public void a() { x.go(); }
+    public static class Inner {
+        public void b() { y.stop(); }
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := u.Types[0]
+	var names []string
+	for _, m := range td.Methods {
+		names = append(names, m.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"a", "Inner.b"}) {
+		t.Errorf("methods = %v", names)
+	}
+}
+
+func TestParseFieldInitialisers(t *testing.T) {
+	u, err := Parse(`package p;
+public class F {
+    private int x = compute(1, 2);
+    private String s = "a;b";
+    public void m() { self.call(); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := u.Types[0]
+	if len(td.Methods) != 1 || td.Methods[0].Name != "m" {
+		t.Errorf("methods = %+v", td.Methods)
+	}
+}
+
+func TestParseAnnotations(t *testing.T) {
+	u, err := Parse(`package p;
+public class A {
+    @Override
+    public void m() { a.b(); }
+    @SuppressWarnings("x")
+    public void n() { }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Types[0].Methods) != 2 {
+		t.Errorf("methods = %+v", u.Types[0].Methods)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`package p; class X {`,            // unterminated body
+		`package p; class {}`,             // missing name
+		`package`,                         // dangling keyword
+		`package p; class X extends {}`,   // missing supertype
+		`package p; class X { void m() {`, // unterminated method
+		"package p; class X { String s = \"unterminated; }",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", c)
+		}
+	}
+}
+
+func TestParseNoPackage(t *testing.T) {
+	u, err := Parse(`class Default { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Package != "" || u.Types[0].Name != "Default" {
+		t.Errorf("parsed %+v", u)
+	}
+	if got := u.Resolve("Default"); got != "Default" {
+		t.Errorf("Resolve in default package = %q", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	u, err := Parse(`
+/* block
+   comment */
+package p; // trailing
+class C {
+    // line comment with class keyword inside
+    void m() { /* inline */ a.b(); }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Types[0].Methods) != 1 || len(u.Types[0].Methods[0].Calls) != 1 {
+		t.Errorf("parsed %+v", u.Types[0].Methods)
+	}
+}
+
+func TestImported(t *testing.T) {
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Imported("android.webkit.WebView") {
+		t.Error("Imported(WebView) = false")
+	}
+	if u.Imported("android.webkit.CookieManager") {
+		t.Error("Imported(CookieManager) = true")
+	}
+}
+
+func TestStringsWithEscapes(t *testing.T) {
+	u, err := Parse(`package p;
+class S { void m() { log.print("quote \" and ; and }"); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := u.Types[0].Methods[0].Calls
+	if len(calls) != 1 || calls[0].Name != "print" {
+		t.Errorf("calls = %+v", calls)
+	}
+}
+
+func TestLargeInputNoQuadraticBlowup(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("package p;\nclass Big {\n")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("    void m")
+		sb.WriteString(strings.Repeat("x", i%7))
+		sb.WriteString("() { a.b(); c.d(); }\n")
+	}
+	sb.WriteString("}\n")
+	u, err := Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Types[0].Methods) != 2000 {
+		t.Errorf("methods = %d", len(u.Types[0].Methods))
+	}
+}

@@ -1,0 +1,248 @@
+package jsvm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Broad-surface tests for the built-in library and the seldom-hit
+// evaluator paths.
+
+func TestStringBuiltinsWide(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`"abc".toUpperCase()`, "ABC"},
+		{`"banana".lastIndexOf("a") + ""`, "5"},
+		{`"abc".includes("b") + ""`, "true"},
+		{`"abc".startsWith("ab") + ""`, "true"},
+		{`"abc".endsWith("bc") + ""`, "true"},
+		{`"abcdef".substring(2, 4)`, "cd"},
+		{`"a".concat("b", 1, "c")`, "ab1c"},
+		{`"xyz".toString()`, "xyz"},
+		{`"s".split(undefined).length + ""`, "1"},
+		{`"abc".charCodeAt(0) + ""`, "97"},
+		{`"abc".charAt(99)`, ""},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src).StringValue(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.src, got, c.want)
+		}
+	}
+	if !math.IsNaN(run(t, `"abc".charCodeAt(99)`).NumberValue()) {
+		t.Error("charCodeAt out of range not NaN")
+	}
+}
+
+func TestArrayBuiltinsWide(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`[1,2,3].pop() + ""`, "3"},
+		{`var a=[1,2]; a.pop(); a.pop(); a.pop() + ""`, "undefined"},
+		{`[1,2,3].shift() + ""`, "1"},
+		{`[].shift() + ""`, "undefined"},
+		{`[1,2,3].indexOf(2) + ""`, "1"},
+		{`[1,2,3].indexOf(9) + ""`, "-1"},
+		{`[1,2,3].includes(3) + ""`, "true"},
+		{`[1,2,3].slice(1).join("")`, "23"},
+		{`[1,2].concat([3,4], 5).join("")`, "12345"},
+		{`[3,1,2].sort(function(a,b){return b-a;}).join("")`, "321"},
+		{`["b","a"].sort().join("")`, "ab"},
+		{`[1,2,3].reduce(function(a,b){return a+b;}) + ""`, "6"},
+		{`Array(7, 8).join("")`, "78"},
+		{`Array.isArray([]) + ""`, "true"},
+		{`Array.isArray({}) + ""`, "false"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src).StringValue(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.src, got, c.want)
+		}
+	}
+	// forEach side effects.
+	if got := run(t, `var s = 0; [1,2,3].forEach(function(v, i){ s += v * (i + 1); }); s;`).NumberValue(); got != 1+4+9 {
+		t.Errorf("forEach = %v", got)
+	}
+}
+
+func TestObjectBuiltinsWide(t *testing.T) {
+	if got := run(t, `Object.keys({b:1, a:2}).join(",")`).StringValue(); got != "a,b" {
+		t.Errorf("keys = %q", got)
+	}
+	if got := run(t, `Object.values({b:1, a:2}).join(",")`).StringValue(); got != "2,1" {
+		t.Errorf("values = %q", got)
+	}
+	if got := run(t, `({x:1}).hasOwnProperty("x") + "," + ({x:1}).hasOwnProperty("y")`).StringValue(); got != "true,false" {
+		t.Errorf("hasOwnProperty = %q", got)
+	}
+	if got := run(t, `var o = {a:1}; delete o.a; o.hasOwnProperty("a") + ""`).StringValue(); got != "false" {
+		t.Errorf("delete = %q", got)
+	}
+	if got := run(t, `({}).toString()`).StringValue(); got != "[object Object]" {
+		t.Errorf("toString = %q", got)
+	}
+}
+
+func TestNumberFormattingAndMethods(t *testing.T) {
+	if got := run(t, `(3.14159).toFixed(2)`).StringValue(); got != "3.14" {
+		t.Errorf("toFixed = %q", got)
+	}
+	if got := run(t, `(255).toString()`).StringValue(); got != "255" {
+		t.Errorf("toString = %q", got)
+	}
+	if got := run(t, `Math.pow(2, 10) + Math.min(4, 2, 9) + Math.abs(-1) + Math.ceil(0.2) + Math.sqrt(16)`).NumberValue(); got != 1024+2+1+1+4 {
+		t.Errorf("math combo = %v", got)
+	}
+	if got := run(t, `typeof Math.random()`).StringValue(); got != "number" {
+		t.Errorf("random type = %q", got)
+	}
+	if got := run(t, `parseFloat("2.5abc") + ""`); got.StringValue() != "NaN" {
+		// parseFloat coerces via NumberValue which rejects trailing junk.
+		t.Logf("parseFloat trailing-junk behaviour: %v", got.StringValue())
+	}
+	if got := run(t, `isNaN("abc") + "," + isNaN(5)`).StringValue(); got != "true,false" {
+		t.Errorf("isNaN = %q", got)
+	}
+}
+
+func TestOperatorsWide(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`void 0 + ""`, "undefined"},
+		{`(1, 2, 3) + ""`, "3"},
+		{`var x = 5; x++; x + ""`, "6"},
+		{`var x = 5; var y = x++; y + "," + x`, "5,6"},
+		{`var x = 5; var y = ++x; y + "," + x`, "6,6"},
+		{`var x = 5; --x; x + ""`, "4"},
+		{`var x = 10; x -= 3; x *= 2; x /= 7; x + ""`, "2"},
+		{`var x = 10; x %= 3; x + ""`, "1"},
+		{`~5 + ""`, "-6"},
+		{`+"42" + 0 + ""`, "42"},
+		{`null ?? "fallback"`, "fallback"},
+		{`0 ?? "fallback"`, "0"},
+		{`"a" in ({a: 1}) ? "yes" : "no"`, "yes"},
+		{`"b" in ({a: 1}) ? "yes" : "no"`, "no"},
+		{`({}) instanceof Object ? "t" : "f"`, "f"}, // prototypes not modelled
+		{`4294967296 >>> 0 === 0 ? "wrap" : "no"`, "wrap"},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src).StringValue(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDoStatementsWide(t *testing.T) {
+	// Nested functions, hoisting, blocks-in-blocks, empty statements.
+	src := `
+;
+{
+    var outer = 1;
+    {
+        function helper() { return later(); }
+        var mid = helper();
+    }
+}
+function later() { return 41; }
+later() + 1;`
+	if got := run(t, src).NumberValue(); got != 42 {
+		t.Errorf("hoisting combo = %v", got)
+	}
+}
+
+func TestForOfOverString(t *testing.T) {
+	if got := run(t, `var s = ""; for (var ch of "abc") { s = ch + s; } s;`).StringValue(); got != "cba" {
+		t.Errorf("for-of string = %q", got)
+	}
+}
+
+func TestTemplateLiteralsAndEscapes(t *testing.T) {
+	if got := run(t, "`plain template`").StringValue(); got != "plain template" {
+		t.Errorf("template = %q", got)
+	}
+	if got := run(t, `"tab\there\nnewline"`).StringValue(); !strings.Contains(got, "\t") || !strings.Contains(got, "\n") {
+		t.Errorf("escapes = %q", got)
+	}
+	if got := run(t, `0x1F + ""`).StringValue(); got != "31" {
+		t.Errorf("hex literal = %q", got)
+	}
+	if got := run(t, `1e3 + ""`).StringValue(); got != "1000" {
+		t.Errorf("exponent literal = %q", got)
+	}
+}
+
+func TestThrowNonObject(t *testing.T) {
+	vm := New()
+	_, err := vm.Run(`throw "plain string";`)
+	if err == nil || !strings.Contains(err.Error(), "plain string") {
+		t.Errorf("err = %v", err)
+	}
+	if got := run(t, `var r; try { throw 42; } catch (e) { r = e; } r + ""`).StringValue(); got != "42" {
+		t.Errorf("caught value = %q", got)
+	}
+}
+
+func TestFinallyOverridesControlFlow(t *testing.T) {
+	src := `
+function f() {
+    try {
+        return "try";
+    } finally {
+        return "finally";
+    }
+}
+f();`
+	if got := run(t, src).StringValue(); got != "finally" {
+		t.Errorf("finally override = %q", got)
+	}
+}
+
+func TestDeepRecursionBudget(t *testing.T) {
+	vm := New()
+	vm.MaxSteps = 100_000
+	if _, err := vm.Run(`function f(n) { return f(n + 1); } f(0);`); err == nil {
+		t.Error("unbounded recursion terminated without error")
+	}
+}
+
+func TestNullPropertyAccessThrows(t *testing.T) {
+	vm := New()
+	if _, err := vm.Run(`var x = null; x.field;`); err == nil {
+		t.Error("null property read succeeded")
+	}
+	if _, err := vm.Run(`undefined.m();`); err == nil {
+		t.Error("undefined method call succeeded")
+	}
+	if _, err := vm.Run(`var x = 3; x();`); err == nil {
+		t.Error("calling a number succeeded")
+	}
+}
+
+func TestImplicitGlobalAssignment(t *testing.T) {
+	vm := New()
+	if _, err := vm.Run(`implicitG = 7;`); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Global.Get("implicitG").NumberValue(); got != 7 {
+		t.Errorf("implicit global = %v", got)
+	}
+}
+
+func TestComputedMemberAssignment(t *testing.T) {
+	src := `
+var o = {};
+var arr = [0, 0, 0];
+o["dyn" + 1] = "v";
+arr[1] = 9;
+arr[5] = 2;
+o.dyn1 + "," + arr.join("|");`
+	// join renders undefined holes as empty strings, per JS semantics.
+	if got := run(t, src).StringValue(); got != "v,0|9|0|||2" {
+		t.Errorf("computed assignment = %q", got)
+	}
+}

@@ -1,0 +1,827 @@
+package jsvm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// VM executes parsed programs against a global object. A step budget
+// bounds runaway scripts (injected code is untrusted by definition).
+type VM struct {
+	Global *Object
+	global *scope
+	// MaxSteps bounds evaluated AST nodes per Run; 0 means the default.
+	MaxSteps int
+	steps    int
+}
+
+const defaultMaxSteps = 2_000_000
+
+// New creates a VM with the standard built-ins installed on its global
+// object (console is left to embedders).
+func New() *VM {
+	g := NewObject()
+	vm := &VM{Global: g}
+	vm.global = &scope{vars: map[string]*Value{}, vm: vm}
+	installBuiltins(vm)
+	return vm
+}
+
+// scope is a lexical environment.
+type scope struct {
+	vars   map[string]*Value
+	parent *scope
+	vm     *VM
+}
+
+func (s *scope) child() *scope {
+	return &scope{vars: map[string]*Value{}, parent: s, vm: s.vm}
+}
+
+func (s *scope) lookup(name string) (*Value, bool) {
+	for e := s; e != nil; e = e.parent {
+		if v, ok := e.vars[name]; ok {
+			return v, true
+		}
+	}
+	// Globals live on the global object so hosts can pre-seed them.
+	if s.vm.Global.Has(name) {
+		v := s.vm.Global.Get(name)
+		return &v, true
+	}
+	return nil, false
+}
+
+func (s *scope) declare(name string, v Value) {
+	val := v
+	s.vars[name] = &val
+}
+
+// control-flow signals.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+type completion struct {
+	ctrl ctrl
+	val  Value
+}
+
+// Run parses and executes src in the global scope, returning the value of
+// the last expression statement (mirroring evaluateJavascript semantics).
+func (vm *VM) Run(src string) (Value, error) {
+	prog, err := parseProgram(src)
+	if err != nil {
+		return Undefined(), err
+	}
+	vm.steps = 0
+	var last Value
+	// Hoist function declarations.
+	for _, st := range prog {
+		if fd, ok := st.(funcDecl); ok {
+			vm.global.declare(fd.fn.name, vm.makeFunction(fd.fn, vm.global))
+		}
+	}
+	for _, st := range prog {
+		if _, ok := st.(funcDecl); ok {
+			continue
+		}
+		comp, v, err := vm.execStmt(st, vm.global, Undefined())
+		if err != nil {
+			return Undefined(), err
+		}
+		if comp.ctrl == ctrlReturn {
+			return comp.val, nil
+		}
+		last = v
+	}
+	return last, nil
+}
+
+// CallFunction invokes a callable value from Go.
+func (vm *VM) CallFunction(fn Value, this Value, args ...Value) (Value, error) {
+	return vm.invoke(fn, this, args, 0)
+}
+
+func (vm *VM) step(ln int) error {
+	vm.steps++
+	limit := vm.MaxSteps
+	if limit == 0 {
+		limit = defaultMaxSteps
+	}
+	if vm.steps > limit {
+		return fmt.Errorf("jsvm: step budget exhausted (line %d)", ln)
+	}
+	return nil
+}
+
+func (vm *VM) makeFunction(fn *funcLit, env *scope) Value {
+	return ObjectValue(&Object{
+		props: map[string]Value{},
+		fn:    fn,
+		env:   env,
+		call:  true,
+		name:  fn.name,
+	})
+}
+
+// execStmt executes one statement. The second return carries the value of
+// expression statements (for REPL-style Run results).
+func (vm *VM) execStmt(st node, env *scope, this Value) (completion, Value, error) {
+	if err := vm.step(st.line()); err != nil {
+		return completion{}, Undefined(), err
+	}
+	switch s := st.(type) {
+	case blockStmt:
+		inner := env.child()
+		for _, sub := range s.body {
+			if fd, ok := sub.(funcDecl); ok {
+				inner.declare(fd.fn.name, vm.makeFunction(fd.fn, inner))
+			}
+		}
+		for _, sub := range s.body {
+			if _, ok := sub.(funcDecl); ok {
+				continue
+			}
+			comp, _, err := vm.execStmt(sub, inner, this)
+			if err != nil || comp.ctrl != ctrlNone {
+				return comp, Undefined(), err
+			}
+		}
+		return completion{}, Undefined(), nil
+	case varDecl:
+		for i, name := range s.names {
+			var v Value
+			if s.values[i] != nil {
+				var err error
+				v, err = vm.eval(s.values[i], env, this)
+				if err != nil {
+					return completion{}, Undefined(), err
+				}
+			}
+			env.declare(name, v)
+		}
+		return completion{}, Undefined(), nil
+	case exprStmt:
+		v, err := vm.eval(s.expr, env, this)
+		return completion{}, v, err
+	case ifStmt:
+		cond, err := vm.eval(s.cond, env, this)
+		if err != nil {
+			return completion{}, Undefined(), err
+		}
+		if cond.Truthy() {
+			comp, _, err := vm.execStmt(s.then, env, this)
+			return comp, Undefined(), err
+		}
+		if s.alt != nil {
+			comp, _, err := vm.execStmt(s.alt, env, this)
+			return comp, Undefined(), err
+		}
+		return completion{}, Undefined(), nil
+	case forStmt:
+		inner := env.child()
+		if s.init != nil {
+			if comp, _, err := vm.execStmt(s.init, inner, this); err != nil || comp.ctrl != ctrlNone {
+				return comp, Undefined(), err
+			}
+		}
+		for {
+			if s.cond != nil {
+				c, err := vm.eval(s.cond, inner, this)
+				if err != nil {
+					return completion{}, Undefined(), err
+				}
+				if !c.Truthy() {
+					break
+				}
+			}
+			comp, _, err := vm.execStmt(s.body, inner, this)
+			if err != nil {
+				return completion{}, Undefined(), err
+			}
+			if comp.ctrl == ctrlBreak {
+				break
+			}
+			if comp.ctrl == ctrlReturn {
+				return comp, Undefined(), nil
+			}
+			if s.post != nil {
+				if _, err := vm.eval(s.post, inner, this); err != nil {
+					return completion{}, Undefined(), err
+				}
+			}
+			if err := vm.step(s.line()); err != nil {
+				return completion{}, Undefined(), err
+			}
+		}
+		return completion{}, Undefined(), nil
+	case forInStmt:
+		obj, err := vm.eval(s.obj, env, this)
+		if err != nil {
+			return completion{}, Undefined(), err
+		}
+		inner := env.child()
+		inner.declare(s.varName, Undefined())
+		slot, _ := inner.lookup(s.varName)
+		var items []Value
+		if o := obj.Object(); o != nil {
+			if s.of {
+				items = append(items, o.Elems()...)
+			} else if o.IsArray() {
+				for i := range o.Elems() {
+					items = append(items, String(strconv.Itoa(i)))
+				}
+			} else {
+				for _, k := range o.Keys() {
+					items = append(items, String(k))
+				}
+			}
+		} else if obj.Kind() == KindString && s.of {
+			for _, r := range obj.StringValue() {
+				items = append(items, String(string(r)))
+			}
+		}
+		for _, it := range items {
+			*slot = it
+			comp, _, err := vm.execStmt(s.body, inner, this)
+			if err != nil {
+				return completion{}, Undefined(), err
+			}
+			if comp.ctrl == ctrlBreak {
+				break
+			}
+			if comp.ctrl == ctrlReturn {
+				return comp, Undefined(), nil
+			}
+		}
+		return completion{}, Undefined(), nil
+	case whileStmt:
+		for {
+			c, err := vm.eval(s.cond, env, this)
+			if err != nil {
+				return completion{}, Undefined(), err
+			}
+			if !c.Truthy() {
+				break
+			}
+			comp, _, err := vm.execStmt(s.body, env, this)
+			if err != nil {
+				return completion{}, Undefined(), err
+			}
+			if comp.ctrl == ctrlBreak {
+				break
+			}
+			if comp.ctrl == ctrlReturn {
+				return comp, Undefined(), nil
+			}
+			if err := vm.step(s.line()); err != nil {
+				return completion{}, Undefined(), err
+			}
+		}
+		return completion{}, Undefined(), nil
+	case returnStmt:
+		var v Value
+		if s.value != nil {
+			var err error
+			v, err = vm.eval(s.value, env, this)
+			if err != nil {
+				return completion{}, Undefined(), err
+			}
+		}
+		return completion{ctrl: ctrlReturn, val: v}, Undefined(), nil
+	case breakStmt:
+		return completion{ctrl: ctrlBreak}, Undefined(), nil
+	case continueStmt:
+		return completion{ctrl: ctrlContinue}, Undefined(), nil
+	case throwStmt:
+		v, err := vm.eval(s.value, env, this)
+		if err != nil {
+			return completion{}, Undefined(), err
+		}
+		return completion{}, Undefined(), &Error{Value: v, Where: fmt.Sprintf("line %d", s.line())}
+	case tryStmt:
+		comp, _, err := vm.execStmt(s.body, env, this)
+		if err != nil {
+			if jsErr, ok := err.(*Error); ok && s.catchBody != nil {
+				inner := env.child()
+				if s.catchVar != "" {
+					inner.declare(s.catchVar, jsErr.Value)
+				}
+				comp, _, err = vm.execStmt(s.catchBody, inner, this)
+			}
+		}
+		if s.finally != nil {
+			fcomp, _, ferr := vm.execStmt(s.finally, env, this)
+			if ferr != nil {
+				return completion{}, Undefined(), ferr
+			}
+			if fcomp.ctrl != ctrlNone {
+				return fcomp, Undefined(), nil
+			}
+		}
+		return comp, Undefined(), err
+	case funcDecl:
+		env.declare(s.fn.name, vm.makeFunction(s.fn, env))
+		return completion{}, Undefined(), nil
+	default:
+		return completion{}, Undefined(), fmt.Errorf("jsvm: line %d: unknown statement %T", st.line(), st)
+	}
+}
+
+func (vm *VM) eval(e node, env *scope, this Value) (Value, error) {
+	if err := vm.step(e.line()); err != nil {
+		return Undefined(), err
+	}
+	switch x := e.(type) {
+	case numberLit:
+		return Number(x.val), nil
+	case stringLit:
+		return String(x.val), nil
+	case boolLit:
+		return Bool(x.val), nil
+	case nullLit:
+		return Null(), nil
+	case undefinedLit:
+		return Undefined(), nil
+	case thisExpr:
+		return this, nil
+	case identExpr:
+		if v, ok := env.lookup(x.name); ok {
+			return *v, nil
+		}
+		return Undefined(), throwError("%s is not defined", x.name)
+	case arrayLit:
+		arr := NewArray()
+		for _, el := range x.elems {
+			v, err := vm.eval(el, env, this)
+			if err != nil {
+				return Undefined(), err
+			}
+			arr.Append(v)
+		}
+		return ObjectValue(arr), nil
+	case objectLit:
+		o := NewObject()
+		for _, p := range x.props {
+			v, err := vm.eval(p.val, env, this)
+			if err != nil {
+				return Undefined(), err
+			}
+			o.Set(p.key, v)
+		}
+		return ObjectValue(o), nil
+	case funcLit:
+		return vm.makeFunction(&x, env), nil
+	case memberExpr:
+		obj, err := vm.eval(x.obj, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		return vm.getMember(obj, x, env, this)
+	case callExpr:
+		return vm.evalCall(x, env, this)
+	case newExpr:
+		callee, err := vm.eval(x.callee, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		args, err := vm.evalArgs(x.args, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		o := callee.Object()
+		if o == nil || !o.IsCallable() {
+			return Undefined(), throwError("not a constructor")
+		}
+		inst := NewObject()
+		ret, err := vm.invoke(callee, ObjectValue(inst), args, x.line())
+		if err != nil {
+			return Undefined(), err
+		}
+		if ret.Object() != nil {
+			return ret, nil
+		}
+		return ObjectValue(inst), nil
+	case unaryExpr:
+		if x.op == "typeof" {
+			// typeof tolerates undefined identifiers.
+			if id, ok := x.expr.(identExpr); ok {
+				if v, found := env.lookup(id.name); found {
+					return String(v.TypeOf()), nil
+				}
+				return String("undefined"), nil
+			}
+		}
+		v, err := vm.eval(x.expr, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		switch x.op {
+		case "!":
+			return Bool(!v.Truthy()), nil
+		case "-":
+			return Number(-v.NumberValue()), nil
+		case "+":
+			return Number(v.NumberValue()), nil
+		case "~":
+			return Number(float64(^toInt32(v.NumberValue()))), nil
+		case "typeof":
+			return String(v.TypeOf()), nil
+		case "void":
+			return Undefined(), nil
+		case "delete":
+			if m, ok := x.expr.(memberExpr); ok {
+				obj, err := vm.eval(m.obj, env, this)
+				if err != nil {
+					return Undefined(), err
+				}
+				if o := obj.Object(); o != nil && m.prop != "" {
+					delete(o.props, m.prop)
+				}
+			}
+			return Bool(true), nil
+		}
+		return Undefined(), throwError("unknown unary %s", x.op)
+	case updateExpr:
+		old, err := vm.eval(x.target, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		delta := 1.0
+		if x.op == "--" {
+			delta = -1
+		}
+		nv := Number(old.NumberValue() + delta)
+		if err := vm.assignTo(x.target, nv, env, this); err != nil {
+			return Undefined(), err
+		}
+		if x.prefix {
+			return nv, nil
+		}
+		return Number(old.NumberValue()), nil
+	case binaryExpr:
+		l, err := vm.eval(x.left, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		r, err := vm.eval(x.right, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		return binaryOp(x.op, l, r)
+	case logicalExpr:
+		l, err := vm.eval(x.left, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		switch x.op {
+		case "&&":
+			if !l.Truthy() {
+				return l, nil
+			}
+		case "||":
+			if l.Truthy() {
+				return l, nil
+			}
+		case "??":
+			if !l.IsNullish() {
+				return l, nil
+			}
+		}
+		return vm.eval(x.right, env, this)
+	case condExpr:
+		c, err := vm.eval(x.cond, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		if c.Truthy() {
+			return vm.eval(x.then, env, this)
+		}
+		return vm.eval(x.alt, env, this)
+	case assignExpr:
+		var v Value
+		var err error
+		if x.op == "=" {
+			v, err = vm.eval(x.value, env, this)
+		} else {
+			var old, rhs Value
+			old, err = vm.eval(x.target, env, this)
+			if err != nil {
+				return Undefined(), err
+			}
+			rhs, err = vm.eval(x.value, env, this)
+			if err != nil {
+				return Undefined(), err
+			}
+			v, err = binaryOp(strings.TrimSuffix(x.op, "="), old, rhs)
+		}
+		if err != nil {
+			return Undefined(), err
+		}
+		if err := vm.assignTo(x.target, v, env, this); err != nil {
+			return Undefined(), err
+		}
+		return v, nil
+	case seqExpr:
+		var last Value
+		for _, sub := range x.exprs {
+			v, err := vm.eval(sub, env, this)
+			if err != nil {
+				return Undefined(), err
+			}
+			last = v
+		}
+		return last, nil
+	default:
+		return Undefined(), fmt.Errorf("jsvm: line %d: unknown expression %T", e.line(), e)
+	}
+}
+
+func (vm *VM) assignTo(target node, v Value, env *scope, this Value) error {
+	switch t := target.(type) {
+	case identExpr:
+		if slot, ok := env.lookup(t.name); ok {
+			*slot = v
+			return nil
+		}
+		// Implicit global.
+		vm.Global.Set(t.name, v)
+		return nil
+	case memberExpr:
+		obj, err := vm.eval(t.obj, env, this)
+		if err != nil {
+			return err
+		}
+		o := obj.Object()
+		if o == nil {
+			return throwError("cannot set property of %s", obj.TypeOf())
+		}
+		if t.computed != nil {
+			idx, err := vm.eval(t.computed, env, this)
+			if err != nil {
+				return err
+			}
+			if o.IsArray() && idx.Kind() == KindNumber {
+				o.SetIndex(int(idx.NumberValue()), v)
+				return nil
+			}
+			o.Set(idx.StringValue(), v)
+			return nil
+		}
+		o.Set(t.prop, v)
+		return nil
+	default:
+		return throwError("invalid assignment target")
+	}
+}
+
+func (vm *VM) evalArgs(args []node, env *scope, this Value) ([]Value, error) {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := vm.eval(a, env, this)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (vm *VM) evalCall(x callExpr, env *scope, this Value) (Value, error) {
+	// Method calls bind `this` to the receiver.
+	if m, ok := x.callee.(memberExpr); ok {
+		recv, err := vm.eval(m.obj, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		fn, err := vm.getMember(recv, m, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		args, err := vm.evalArgs(x.args, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		return vm.invoke(fn, recv, args, x.line())
+	}
+	fn, err := vm.eval(x.callee, env, this)
+	if err != nil {
+		return Undefined(), err
+	}
+	args, err := vm.evalArgs(x.args, env, this)
+	if err != nil {
+		return Undefined(), err
+	}
+	return vm.invoke(fn, Undefined(), args, x.line())
+}
+
+func (vm *VM) invoke(fn Value, this Value, args []Value, ln int) (Value, error) {
+	o := fn.Object()
+	if o == nil || !o.IsCallable() {
+		return Undefined(), throwError("line %d: %s is not a function", ln, fn.StringValue())
+	}
+	if o.host != nil {
+		return o.host(Call{VM: vm, This: this, Args: args})
+	}
+	env := o.env.child()
+	for i, p := range o.fn.params {
+		if i < len(args) {
+			env.declare(p, args[i])
+		} else {
+			env.declare(p, Undefined())
+		}
+	}
+	argsArr := NewArray(args...)
+	env.declare("arguments", ObjectValue(argsArr))
+	// Hoist inner function declarations.
+	for _, st := range o.fn.body {
+		if fd, ok := st.(funcDecl); ok {
+			env.declare(fd.fn.name, vm.makeFunction(fd.fn, env))
+		}
+	}
+	for _, st := range o.fn.body {
+		if _, ok := st.(funcDecl); ok {
+			continue
+		}
+		comp, _, err := vm.execStmt(st, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		if comp.ctrl == ctrlReturn {
+			return comp.val, nil
+		}
+	}
+	return Undefined(), nil
+}
+
+// getMember reads obj.prop or obj[idx], including string/array built-in
+// members.
+func (vm *VM) getMember(obj Value, m memberExpr, env *scope, this Value) (Value, error) {
+	name := m.prop
+	if m.computed != nil {
+		idx, err := vm.eval(m.computed, env, this)
+		if err != nil {
+			return Undefined(), err
+		}
+		if o := obj.Object(); o != nil && o.IsArray() && idx.Kind() == KindNumber {
+			return o.Index(int(idx.NumberValue())), nil
+		}
+		name = idx.StringValue()
+	}
+	return vm.getProp(obj, name, m.line())
+}
+
+func (vm *VM) getProp(obj Value, name string, ln int) (Value, error) {
+	switch obj.Kind() {
+	case KindObject:
+		o := obj.Object()
+		if o.IsArray() {
+			if v, ok := arrayMethod(o, name); ok {
+				return v, nil
+			}
+		}
+		if o.Has(name) {
+			return o.Get(name), nil
+		}
+		if o.IsArray() && name == "length" {
+			return Number(float64(len(o.elems))), nil
+		}
+		if fn, ok := objectMethod(o, name); ok {
+			return fn, nil
+		}
+		return Undefined(), nil
+	case KindString:
+		return stringMember(obj.StringValue(), name)
+	case KindNumber:
+		if name == "toFixed" {
+			n := obj.NumberValue()
+			return ObjectValue(NewHostFunc("toFixed", func(c Call) (Value, error) {
+				digits := int(c.Arg(0).NumberValue())
+				return String(strconv.FormatFloat(n, 'f', digits, 64)), nil
+			})), nil
+		}
+		if name == "toString" {
+			n := obj.NumberValue()
+			return ObjectValue(NewHostFunc("toString", func(c Call) (Value, error) {
+				return String(formatNumber(n)), nil
+			})), nil
+		}
+		return Undefined(), nil
+	case KindUndefined, KindNull:
+		return Undefined(), throwError("line %d: cannot read property %q of %s", ln, name, obj.StringValue())
+	default:
+		return Undefined(), nil
+	}
+}
+
+func binaryOp(op string, l, r Value) (Value, error) {
+	switch op {
+	case "+":
+		if l.Kind() == KindString || r.Kind() == KindString ||
+			(l.Kind() == KindObject && !l.IsNullish()) || (r.Kind() == KindObject && !r.IsNullish()) {
+			return String(l.StringValue() + r.StringValue()), nil
+		}
+		return Number(l.NumberValue() + r.NumberValue()), nil
+	case "-":
+		return Number(l.NumberValue() - r.NumberValue()), nil
+	case "*":
+		return Number(l.NumberValue() * r.NumberValue()), nil
+	case "/":
+		return Number(l.NumberValue() / r.NumberValue()), nil
+	case "%":
+		return Number(math.Mod(l.NumberValue(), r.NumberValue())), nil
+	case "==", "===":
+		return Bool(looseEquals(l, r, op == "===")), nil
+	case "!=", "!==":
+		return Bool(!looseEquals(l, r, op == "!==")), nil
+	case "<", "<=", ">", ">=":
+		if l.Kind() == KindString && r.Kind() == KindString {
+			a, b := l.StringValue(), r.StringValue()
+			switch op {
+			case "<":
+				return Bool(a < b), nil
+			case "<=":
+				return Bool(a <= b), nil
+			case ">":
+				return Bool(a > b), nil
+			default:
+				return Bool(a >= b), nil
+			}
+		}
+		a, b := l.NumberValue(), r.NumberValue()
+		switch op {
+		case "<":
+			return Bool(a < b), nil
+		case "<=":
+			return Bool(a <= b), nil
+		case ">":
+			return Bool(a > b), nil
+		default:
+			return Bool(a >= b), nil
+		}
+	case "&":
+		return Number(float64(toInt32(l.NumberValue()) & toInt32(r.NumberValue()))), nil
+	case "|":
+		return Number(float64(toInt32(l.NumberValue()) | toInt32(r.NumberValue()))), nil
+	case "^":
+		return Number(float64(toInt32(l.NumberValue()) ^ toInt32(r.NumberValue()))), nil
+	case "<<":
+		return Number(float64(toInt32(l.NumberValue()) << (uint32(toInt32(r.NumberValue())) & 31))), nil
+	case ">>":
+		return Number(float64(toInt32(l.NumberValue()) >> (uint32(toInt32(r.NumberValue())) & 31))), nil
+	case ">>>":
+		return Number(float64(uint32(toInt32(l.NumberValue())) >> (uint32(toInt32(r.NumberValue())) & 31))), nil
+	case "in":
+		if o := r.Object(); o != nil {
+			return Bool(o.Has(l.StringValue())), nil
+		}
+		return Bool(false), nil
+	case "instanceof":
+		return Bool(false), nil // prototypes are not modelled
+	default:
+		return Undefined(), throwError("unknown operator %q", op)
+	}
+}
+
+func looseEquals(l, r Value, strict bool) bool {
+	if l.Kind() == r.Kind() {
+		switch l.Kind() {
+		case KindUndefined, KindNull:
+			return true
+		case KindBool:
+			return l.b == r.b
+		case KindNumber:
+			return l.n == r.n
+		case KindString:
+			return l.s == r.s
+		case KindObject:
+			return l.o == r.o
+		}
+	}
+	if strict {
+		return false
+	}
+	// Loose cross-kind cases.
+	if l.IsNullish() && r.IsNullish() {
+		return true
+	}
+	if l.IsNullish() || r.IsNullish() {
+		return false
+	}
+	return l.NumberValue() == r.NumberValue()
+}
+
+func toInt32(f float64) int32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int32(int64(f))
+}

@@ -1,0 +1,161 @@
+package manifest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+)
+
+func sample() *Manifest {
+	return &Manifest{
+		Package:     "com.example.app",
+		VersionCode: 42,
+		VersionName: "4.2.0",
+		MinSDK:      21,
+		TargetSDK:   33,
+		Components: []Component{
+			{
+				Kind:     KindActivity,
+				Name:     "com.example.app.MainActivity",
+				Exported: true,
+				Filters: []IntentFilter{{
+					Actions:    []string{android.ActionMain},
+					Categories: []string{android.CategoryLauncher},
+				}},
+			},
+			{
+				Kind:     KindActivity,
+				Name:     "com.example.app.LinkActivity",
+				Exported: true,
+				Filters: []IntentFilter{{
+					Actions:    []string{android.ActionView},
+					Categories: []string{android.CategoryBrowsable, android.CategoryDefault},
+					Data:       []DataSpec{{Scheme: "https", Host: "example.com"}},
+				}},
+			},
+			{
+				Kind: KindActivity,
+				Name: "com.example.app.WebActivity",
+			},
+			{
+				Kind: KindService,
+				Name: "com.example.app.SyncService",
+			},
+			{
+				Kind:     KindReceiver,
+				Name:     "com.example.app.BootReceiver",
+				Exported: true,
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sample()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestDeepLinkDetection(t *testing.T) {
+	m := sample()
+	got := m.DeepLinkActivities()
+	want := []string{"com.example.app.LinkActivity"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DeepLinkActivities = %v, want %v", got, want)
+	}
+}
+
+func TestDeepLinkRequiresExported(t *testing.T) {
+	m := sample()
+	m.Components[1].Exported = false
+	if got := m.DeepLinkActivities(); got != nil {
+		t.Errorf("non-exported activity classified as deep link: %v", got)
+	}
+}
+
+func TestDeepLinkRequiresWebScheme(t *testing.T) {
+	m := sample()
+	m.Components[1].Filters[0].Data = []DataSpec{{Scheme: "myapp"}}
+	if got := m.DeepLinkActivities(); got != nil {
+		t.Errorf("custom-scheme activity classified as deep link: %v", got)
+	}
+}
+
+func TestDeepLinkRequiresBrowsable(t *testing.T) {
+	m := sample()
+	m.Components[1].Filters[0].Categories = []string{android.CategoryDefault}
+	if got := m.DeepLinkActivities(); got != nil {
+		t.Errorf("non-BROWSABLE activity classified as deep link: %v", got)
+	}
+}
+
+func TestLauncherActivity(t *testing.T) {
+	m := sample()
+	if got := m.LauncherActivity(); got != "com.example.app.MainActivity" {
+		t.Errorf("LauncherActivity = %q", got)
+	}
+	m.Components[0].Filters = nil
+	if got := m.LauncherActivity(); got != "" {
+		t.Errorf("LauncherActivity without filter = %q, want empty", got)
+	}
+}
+
+func TestComponentByName(t *testing.T) {
+	m := sample()
+	if c := m.ComponentByName("com.example.app.SyncService"); c == nil || c.Kind != KindService {
+		t.Errorf("ComponentByName returned %+v", c)
+	}
+	if c := m.ComponentByName("nope"); c != nil {
+		t.Errorf("ComponentByName(nope) = %+v, want nil", c)
+	}
+}
+
+func TestValidateRejectsEmptyPackage(t *testing.T) {
+	if err := (&Manifest{}).Validate(); err == nil {
+		t.Error("Validate accepted empty package")
+	}
+}
+
+func TestValidateRejectsUnnamedComponent(t *testing.T) {
+	m := &Manifest{Package: "a", Components: []Component{{Kind: KindActivity}}}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted unnamed component")
+	}
+}
+
+func TestEncodeProducesXMLHeader(t *testing.T) {
+	data, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<?xml") {
+		t.Error("Encode output missing XML header")
+	}
+	if !strings.Contains(string(data), `package="com.example.app"`) {
+		t.Error("Encode output missing package attribute")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not xml at all")); err == nil {
+		t.Error("Decode accepted garbage")
+	}
+}
+
+func TestActivitiesFilter(t *testing.T) {
+	m := sample()
+	if n := len(m.Activities()); n != 3 {
+		t.Errorf("Activities() returned %d, want 3", n)
+	}
+}

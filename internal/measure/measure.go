@@ -1,0 +1,167 @@
+// Package measure implements the paper's controlled measurement
+// infrastructure (§3.2.2): an HTTP server hosting the HTML5 test page
+// (after Bracco et al. [46]) instrumented with a Trace.js-style script that
+// overrides Web-API methods and reports every interception back to the
+// server, where it is recorded per app. WebView visits are attributed by
+// the X-Requested-With header the WebView stamps on every request.
+package measure
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/android"
+	"repro/internal/browsersim"
+)
+
+// Trace is one intercepted Web-API call, attributed to the app whose
+// WebView made the page visit.
+type Trace struct {
+	App       string `json:"app"`
+	Interface string `json:"interface"`
+	Method    string `json:"method"`
+}
+
+// Server hosts the controlled page and collects traces.
+type Server struct {
+	mu     sync.Mutex
+	traces []Trace
+}
+
+// NewServer returns an empty collection server.
+func NewServer() *Server { return &Server{} }
+
+// Handler returns the HTTP surface:
+//
+//	GET /            the instrumented HTML5 test page
+//	GET /trace.js    the Web-API interception script
+//	GET /collect     one interception report (query: iface, method)
+//	POST /collect    batched reports (JSON array of Trace)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, TestPageHTML)
+	})
+	mux.HandleFunc("GET /trace.js", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, TraceJS)
+	})
+	mux.HandleFunc("GET /collect", func(w http.ResponseWriter, r *http.Request) {
+		s.record(Trace{
+			App:       r.Header.Get(android.XRequestedWithHeader),
+			Interface: r.URL.Query().Get("iface"),
+			Method:    r.URL.Query().Get("method"),
+		})
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /collect", func(w http.ResponseWriter, r *http.Request) {
+		var batch []Trace
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&batch); err != nil {
+			http.Error(w, "bad batch", http.StatusBadRequest)
+			return
+		}
+		app := r.Header.Get(android.XRequestedWithHeader)
+		for _, tr := range batch {
+			if tr.App == "" {
+				tr.App = app
+			}
+			s.record(tr)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func (s *Server) record(tr Trace) {
+	if tr.Interface == "" && tr.Method == "" {
+		return
+	}
+	s.mu.Lock()
+	s.traces = append(s.traces, tr)
+	s.mu.Unlock()
+}
+
+// Traces returns every collected trace.
+func (s *Server) Traces() []Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Trace(nil), s.traces...)
+}
+
+// ForApp returns the distinct (interface, method) pairs recorded for one
+// app, sorted — the rows of Table 9.
+func (s *Server) ForApp(app string) []Trace {
+	seen := make(map[Trace]bool)
+	var out []Trace
+	for _, tr := range s.Traces() {
+		if tr.App != app {
+			continue
+		}
+		key := Trace{Interface: tr.Interface, Method: tr.Method}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Interface != out[j].Interface {
+			return out[i].Interface < out[j].Interface
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// Reset clears collected traces between experiments.
+func (s *Server) Reset() {
+	s.mu.Lock()
+	s.traces = nil
+	s.mu.Unlock()
+}
+
+// ReportAPICalls uploads the Element-level API calls the page runtime
+// recorded natively (the parts Trace.js cannot wrap because element
+// wrappers are created per node) as a batch.
+func ReportAPICalls(client *http.Client, collectURL, app string, calls []browsersim.APICall) error {
+	batch := make([]Trace, 0, len(calls))
+	for _, c := range calls {
+		batch = append(batch, Trace{App: app, Interface: c.Interface, Method: c.Method})
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, collectURL, newReader(body))
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(android.XRequestedWithHeader, app)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("measure: %w", err)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func newReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,133 @@
+package measure
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/webview"
+)
+
+func setup(t *testing.T) (*Server, *httptest.Server, *webview.WebView) {
+	t.Helper()
+	srv := NewServer()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	wv := webview.New(webview.Config{ID: "wv", AppPackage: "com.facebook.katana", Client: hs.Client()})
+	wv.GetSettings().JavaScriptEnabled = true
+	return srv, hs, wv
+}
+
+func TestTestPageLoadsAndInstallsTrace(t *testing.T) {
+	srv, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatalf("LoadURL: %v", err)
+	}
+	page := wv.Page()
+	if page.Doc.Title != "HTML5 Test Page" {
+		t.Errorf("title = %q", page.Doc.Title)
+	}
+	if got := page.VM.Global.Get("__traceInstalled").Truthy(); !got {
+		t.Fatalf("trace.js did not install (console: %v)", page.Console)
+	}
+	_ = srv
+}
+
+func TestInjectedCallsAreReported(t *testing.T) {
+	srv, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	// Injected code uses document APIs; the wrapped methods must phone
+	// home with the app attribution from X-Requested-With.
+	err := wv.EvaluateJavascript(`
+document.getElementById("checkout-form");
+document.createElement("script");
+document.querySelectorAll("input");`, nil)
+	if err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	traces := srv.ForApp("com.facebook.katana")
+	want := map[[2]string]bool{
+		{"Document", "getElementById"}:   false,
+		{"Document", "createElement"}:    false,
+		{"Document", "querySelectorAll"}: false,
+	}
+	for _, tr := range traces {
+		key := [2]string{tr.Interface, tr.Method}
+		if _, ok := want[key]; ok {
+			want[key] = true
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("trace %v not collected (have %+v)", key, traces)
+		}
+	}
+}
+
+func TestWrappedMethodsStillWork(t *testing.T) {
+	_, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	var result string
+	if err := wv.EvaluateJavascript(`document.getElementById("top").tagName`, func(r string) { result = r }); err != nil {
+		t.Fatal(err)
+	}
+	if result != "BODY" {
+		t.Errorf("wrapped getElementById broken: %q", result)
+	}
+}
+
+func TestBatchReport(t *testing.T) {
+	srv, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.EvaluateJavascript(`
+var metas = document.getElementsByTagName("meta");
+metas[0].getAttribute("charset");`, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Upload the runtime-recorded element-level calls.
+	if err := ReportAPICalls(hs.Client(), hs.URL+"/collect", "com.facebook.katana", wv.Page().APICalls()); err != nil {
+		t.Fatalf("ReportAPICalls: %v", err)
+	}
+	var sawElementCall bool
+	for _, tr := range srv.ForApp("com.facebook.katana") {
+		if tr.Interface == "HTMLMetaElement" && tr.Method == "getAttribute" {
+			sawElementCall = true
+		}
+	}
+	if !sawElementCall {
+		t.Errorf("element-level trace missing: %+v", srv.ForApp("com.facebook.katana"))
+	}
+}
+
+func TestNoInjectionNoTraces(t *testing.T) {
+	srv, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	// A plain page load makes no wrapped calls after trace installation:
+	// Snapchat/Twitter/Reddit show empty Table 9 rows.
+	if got := srv.ForApp("com.facebook.katana"); len(got) != 0 {
+		t.Errorf("traces without injection: %+v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	srv, hs, wv := setup(t)
+	if err := wv.LoadURL(context.Background(), hs.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	_ = wv.EvaluateJavascript(`document.createElement("div")`, nil)
+	if len(srv.Traces()) == 0 {
+		t.Fatal("no traces to reset")
+	}
+	srv.Reset()
+	if len(srv.Traces()) != 0 {
+		t.Error("Reset left traces")
+	}
+}

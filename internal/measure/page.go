@@ -1,0 +1,100 @@
+package measure
+
+// TestPageHTML is the controlled page: an HTML5 kitchen-sink of common
+// elements (after Bracco et al.'s html5-test-page [46]) whose only script
+// is the Trace.js interceptor. Injected code operating on this page
+// exercises the full element variety the paper's Table 9 records.
+const TestPageHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+  <meta charset="utf-8">
+  <meta name="viewport" content="width=device-width, initial-scale=1">
+  <meta name="description" content="HTML5 test page for WebView measurements">
+  <title>HTML5 Test Page</title>
+  <script src="/trace.js"></script>
+</head>
+<body id="top">
+  <header id="header" class="page-header">
+    <h1>HTML5 Test Page</h1>
+    <nav><ul>
+      <li><a href="#text">Text</a></li>
+      <li><a href="#embedded">Embedded</a></li>
+      <li><a href="#forms">Forms</a></li>
+    </ul></nav>
+  </header>
+  <main id="content">
+    <section id="text">
+      <h2>Text elements</h2>
+      <p>A <a href="https://example.com/">link</a>, <em>emphasis</em>,
+         <strong>strong</strong>, <code>code</code>, <mark>mark</mark>,
+         <small>small</small> and a line<br>break.</p>
+      <blockquote cite="https://example.com/quote">A quotation block.</blockquote>
+      <ol><li>Ordered one</li><li>Ordered two</li></ol>
+      <ul><li>Unordered one</li><li>Unordered two</li></ul>
+      <dl><dt>Term</dt><dd>Definition</dd></dl>
+      <table>
+        <caption>A table</caption>
+        <thead><tr><th>Head A</th><th>Head B</th></tr></thead>
+        <tbody><tr><td>Cell 1</td><td>Cell 2</td></tr></tbody>
+      </table>
+      <pre>preformatted   text</pre>
+      <hr>
+    </section>
+    <section id="embedded">
+      <h2>Embedded content</h2>
+      <img src="/pixel.png" alt="a pixel" width="1" height="1">
+      <figure><img src="/pixel.png" alt="figure"><figcaption>Caption</figcaption></figure>
+      <video controls width="320"><source src="/clip.mp4" type="video/mp4"></video>
+      <audio controls><source src="/tone.ogg" type="audio/ogg"></audio>
+      <iframe src="/frame.html" title="frame" width="100" height="50"></iframe>
+    </section>
+    <section id="forms">
+      <h2>Forms</h2>
+      <form action="/submit" method="post" id="checkout-form">
+        <label>Name <input type="text" name="name" placeholder="Full name"></label>
+        <label>Email <input type="email" name="email"></label>
+        <label>Card <input type="text" name="card" autocomplete="cc-number"></label>
+        <label>Address <textarea name="address"></textarea></label>
+        <select name="country"><option>US</option><option>ES</option></select>
+        <input type="checkbox" name="save" id="save"><label for="save">Save</label>
+        <button type="submit">Buy</button>
+      </form>
+    </section>
+  </main>
+  <footer id="footer"><p>Footer text</p></footer>
+</body>
+</html>
+`
+
+// TraceJS is the interception script: it wraps the Web-API methods on
+// document, window and navigator so that any later (injected) caller is
+// reported to the collection server, exactly like the Trace.js gist the
+// paper deploys [64]. Element-level methods are reported by the runtime
+// batch upload (ReportAPICalls) since element wrappers are per-node.
+const TraceJS = `
+(function() {
+    function report(iface, method) {
+        try {
+            var xhr = new XMLHttpRequest();
+            xhr.open("GET", "/collect?iface=" + iface + "&method=" + method);
+            xhr.send();
+        } catch (e) { }
+    }
+    function wrap(obj, iface, method) {
+        var orig = obj[method];
+        if (!orig) { return; }
+        obj[method] = function(a, b, c) {
+            report(iface, method);
+            return orig.call(obj, a, b, c);
+        };
+    }
+    var documentMethods = ["getElementById", "createElement", "querySelectorAll",
+        "querySelector", "getElementsByTagName", "addEventListener",
+        "removeEventListener"];
+    for (var i = 0; i < documentMethods.length; i++) {
+        wrap(document, "Document", documentMethods[i]);
+    }
+    wrap(navigator, "Navigator", "sendBeacon");
+    window.__traceInstalled = true;
+})();
+`

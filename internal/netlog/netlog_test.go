@@ -1,0 +1,86 @@
+package netlog
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	l := New()
+	l.Record(Event{Context: "wv-1", URL: "https://example.com/page", Method: "GET", Status: 200, Initiator: "page"})
+	l.Record(Event{Context: "wv-1", URL: "https://cdn.example.com/x.js", Status: 200, Initiator: "subresource"})
+	l.Record(Event{Context: "wv-2", URL: "https://ads.tracker.net/pixel", Status: 204, Initiator: "injection"})
+
+	if l.Len() != 3 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if got := len(l.ByContext("wv-1")); got != 2 {
+		t.Errorf("ByContext(wv-1) = %d", got)
+	}
+	if got := l.Hosts("wv-1"); !reflect.DeepEqual(got, []string{"cdn.example.com", "example.com"}) {
+		t.Errorf("Hosts = %v", got)
+	}
+	if got := l.Hosts(""); len(got) != 3 {
+		t.Errorf("all hosts = %v", got)
+	}
+	events := l.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Error("sequence numbers not increasing")
+		}
+	}
+}
+
+func TestHostsNotUnder(t *testing.T) {
+	l := New()
+	l.Record(Event{Context: "c", URL: "https://example.com/"})
+	l.Record(Event{Context: "c", URL: "https://static.example.com/app.js"})
+	l.Record(Event{Context: "c", URL: "https://cedexis-radar.net/probe"})
+	l.Record(Event{Context: "c", URL: "https://ads.mopub.com/bid"})
+	got := l.HostsNotUnder("c", "example.com")
+	want := []string{"ads.mopub.com", "cedexis-radar.net"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HostsNotUnder = %v, want %v", got, want)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	l := New()
+	l.Record(Event{URL: "https://a.example/"})
+	l.Purge()
+	if l.Len() != 0 {
+		t.Error("Purge left events")
+	}
+	l.Record(Event{URL: "https://b.example/"})
+	if l.Events()[0].Seq != 1 {
+		t.Error("Purge did not reset sequence")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(Event{Context: fmt.Sprintf("c%d", w), URL: "https://x.example/"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d, want 800", l.Len())
+	}
+}
+
+func TestHostDerivedFromURL(t *testing.T) {
+	l := New()
+	l.Record(Event{URL: "https://sub.domain.example:8443/path?q=1"})
+	if got := l.Events()[0].Host; got != "sub.domain.example:8443" {
+		t.Errorf("Host = %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package pageload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFigure7Ordering(t *testing.T) {
+	m := Default()
+	times := m.Compare(12)
+	// Figure 7: CT fastest, then Chrome, then the external browser, and
+	// the WebView slowest.
+	if !(times[ModeCustomTab] < times[ModeChrome] &&
+		times[ModeChrome] < times[ModeExternalBrowser] &&
+		times[ModeExternalBrowser] < times[ModeWebView]) {
+		t.Errorf("ordering wrong: %v", times)
+	}
+}
+
+func TestCTTwiceAsFastAsWebView(t *testing.T) {
+	m := Default()
+	s := m.Speedup(ModeCustomTab, ModeWebView, 12)
+	if s < 1.7 || s > 2.5 {
+		t.Errorf("CT speedup over WebView = %.2f, want ≈2.0", s)
+	}
+}
+
+func TestWarmupAndPreloadHelp(t *testing.T) {
+	m := Default()
+	cold := m.LoadTime(ModeCustomTab, 12, false, false)
+	warm := m.LoadTime(ModeCustomTab, 12, true, false)
+	preloaded := m.LoadTime(ModeCustomTab, 12, true, true)
+	if !(preloaded < warm && warm < cold) {
+		t.Errorf("cold=%v warm=%v preloaded=%v", cold, warm, preloaded)
+	}
+	// Warmup/preload are CT-only levers.
+	if m.LoadTime(ModeWebView, 12, true, true) != m.LoadTime(ModeWebView, 12, false, false) {
+		t.Error("warmup affected WebView timing")
+	}
+}
+
+func TestLoadTimeMonotoneInRequests(t *testing.T) {
+	m := Default()
+	prop := func(a, b uint8) bool {
+		ra, rb := int(a%64)+1, int(b%64)+1
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		for _, mode := range Modes {
+			if m.LoadTime(mode, ra, false, false) > m.LoadTime(mode, rb, false, false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroRequestsClamped(t *testing.T) {
+	m := Default()
+	if m.LoadTime(ModeWebView, 0, false, false) != m.LoadTime(ModeWebView, 1, false, false) {
+		t.Error("zero requests not clamped to one")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, mode := range Modes {
+		if mode.String() == "unknown" {
+			t.Errorf("mode %d has no name", mode)
+		}
+	}
+	if Mode(99).String() != "unknown" {
+		t.Error("out-of-range mode named")
+	}
+}

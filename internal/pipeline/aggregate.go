@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"sort"
+
+	"repro/internal/android"
+	"repro/internal/sdkindex"
+)
+
+// Aggregates condenses per-app results into the quantities the paper's
+// tables and figures report.
+type Aggregates struct {
+	Analyzed int
+
+	// App-level adoption (abstract, Table 7 head rows).
+	WebViewApps int
+	CTApps      int
+	BothApps    int
+	// ...and the subsets attributable to labeled ("top") SDKs.
+	WebViewViaSDK int
+	CTViaSDK      int
+	BothViaSDK    int
+
+	// Table 7 body: apps per WebView API method, total and via SDKs.
+	MethodApps       map[string]int
+	MethodViaSDKApps map[string]int
+
+	// Table 3 measured: distinct SDKs observed using WebViews / CTs / both.
+	SDKMatrix map[sdkindex.Category][3]int
+
+	// Tables 4/5: per-SDK app counts and per-category unions.
+	SDKWebViewApps map[string]int
+	SDKCTApps      map[string]int
+	SDKCategory    map[string]sdkindex.Category
+	CategoryWVApps map[sdkindex.Category]int
+	CategoryCTApps map[sdkindex.Category]int
+
+	// Figure 3: per Play category, apps using an SDK of each type.
+	PlayCategoryWV map[string]map[sdkindex.Category]int
+	PlayCategoryCT map[string]map[sdkindex.Category]int
+	PlayCategoryN  map[string]int
+
+	// Figure 4: per SDK category and method, the number of apps whose SDK
+	// of that category called the method (denominator: CategoryWVApps).
+	HeatmapCounts map[sdkindex.Category]map[string]int
+
+	// Custom WebView subclass statistics (§3.1.2).
+	AppsWithSubclasses int
+}
+
+// Aggregate computes all report quantities from a pipeline result.
+func Aggregate(res *Result) *Aggregates {
+	ag := &Aggregates{
+		Analyzed:         len(res.Apps),
+		MethodApps:       make(map[string]int),
+		MethodViaSDKApps: make(map[string]int),
+		SDKMatrix:        make(map[sdkindex.Category][3]int),
+		SDKWebViewApps:   make(map[string]int),
+		SDKCTApps:        make(map[string]int),
+		SDKCategory:      make(map[string]sdkindex.Category),
+		CategoryWVApps:   make(map[sdkindex.Category]int),
+		CategoryCTApps:   make(map[sdkindex.Category]int),
+		PlayCategoryWV:   make(map[string]map[sdkindex.Category]int),
+		PlayCategoryCT:   make(map[string]map[sdkindex.Category]int),
+		PlayCategoryN:    make(map[string]int),
+		HeatmapCounts:    make(map[sdkindex.Category]map[string]int),
+	}
+
+	sdkWV := make(map[string]bool)
+	sdkCT := make(map[string]bool)
+
+	for i := range res.Apps {
+		app := &res.Apps[i]
+		ag.PlayCategoryN[app.PlayCategory]++
+
+		if app.UsesWebView {
+			ag.WebViewApps++
+		}
+		if app.UsesCT {
+			ag.CTApps++
+		}
+		if app.UsesWebView && app.UsesCT {
+			ag.BothApps++
+		}
+		if len(app.WebViewSDKs) > 0 {
+			ag.WebViewViaSDK++
+		}
+		if len(app.CTSDKs) > 0 {
+			ag.CTViaSDK++
+		}
+		if len(app.WebViewSDKs) > 0 && len(app.CTSDKs) > 0 {
+			ag.BothViaSDK++
+		}
+		if len(app.Subclasses) > 0 {
+			ag.AppsWithSubclasses++
+		}
+
+		for _, m := range app.Methods {
+			ag.MethodApps[m]++
+		}
+		for _, m := range app.MethodsViaSDK {
+			ag.MethodViaSDKApps[m]++
+		}
+
+		wvCats := make(map[sdkindex.Category]bool)
+		// Per-app, per-category method sets: the Figure 4 heatmap counts an
+		// app once per (category, method) no matter how many SDKs of that
+		// category it embeds.
+		catMethods := make(map[sdkindex.Category]map[string]bool)
+		for _, hit := range app.WebViewSDKs {
+			sdkWV[hit.SDK] = true
+			ag.SDKCategory[hit.SDK] = hit.Category
+			ag.SDKWebViewApps[hit.SDK]++
+			if !wvCats[hit.Category] {
+				wvCats[hit.Category] = true
+				ag.CategoryWVApps[hit.Category]++
+			}
+			ms := catMethods[hit.Category]
+			if ms == nil {
+				ms = make(map[string]bool)
+				catMethods[hit.Category] = ms
+			}
+			for _, m := range hit.Methods {
+				ms[m] = true
+			}
+		}
+		for cat, ms := range catMethods {
+			hm := ag.HeatmapCounts[cat]
+			if hm == nil {
+				hm = make(map[string]int)
+				ag.HeatmapCounts[cat] = hm
+			}
+			for m := range ms {
+				hm[m]++
+			}
+		}
+		ctCats := make(map[sdkindex.Category]bool)
+		for _, hit := range app.CTSDKs {
+			sdkCT[hit.SDK] = true
+			ag.SDKCategory[hit.SDK] = hit.Category
+			ag.SDKCTApps[hit.SDK]++
+			if !ctCats[hit.Category] {
+				ctCats[hit.Category] = true
+				ag.CategoryCTApps[hit.Category]++
+			}
+		}
+
+		for cat := range wvCats {
+			inc2(ag.PlayCategoryWV, app.PlayCategory, cat)
+		}
+		for cat := range ctCats {
+			inc2(ag.PlayCategoryCT, app.PlayCategory, cat)
+		}
+	}
+
+	// Distinct-SDK matrix (Table 3 measured).
+	for name := range sdkWV {
+		cat := ag.SDKCategory[name]
+		v := ag.SDKMatrix[cat]
+		v[0]++
+		if sdkCT[name] {
+			v[2]++
+		}
+		ag.SDKMatrix[cat] = v
+	}
+	for name := range sdkCT {
+		cat := ag.SDKCategory[name]
+		v := ag.SDKMatrix[cat]
+		v[1]++
+		ag.SDKMatrix[cat] = v
+	}
+	return ag
+}
+
+func inc2(m map[string]map[sdkindex.Category]int, play string, cat sdkindex.Category) {
+	inner := m[play]
+	if inner == nil {
+		inner = make(map[sdkindex.Category]int)
+		m[play] = inner
+	}
+	inner[cat]++
+}
+
+// HeatmapRate returns the Figure 4 cell: the fraction of apps using an SDK
+// of the category whose SDK code called the method.
+func (ag *Aggregates) HeatmapRate(cat sdkindex.Category, method string) float64 {
+	n := ag.CategoryWVApps[cat]
+	if n == 0 {
+		return 0
+	}
+	return float64(ag.HeatmapCounts[cat][method]) / float64(n)
+}
+
+// TopSDKs returns the category's SDKs ranked by app count on the given
+// surface (ct=false: WebView, ct=true: CT), at most limit entries.
+func (ag *Aggregates) TopSDKs(cat sdkindex.Category, ct bool, limit int) []struct {
+	Name string
+	Apps int
+} {
+	src := ag.SDKWebViewApps
+	if ct {
+		src = ag.SDKCTApps
+	}
+	type row struct {
+		Name string
+		Apps int
+	}
+	var rows []row
+	for name, n := range src {
+		if ag.SDKCategory[name] == cat {
+			rows = append(rows, row{name, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Apps != rows[j].Apps {
+			return rows[i].Apps > rows[j].Apps
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > limit {
+		rows = rows[:limit]
+	}
+	out := make([]struct {
+		Name string
+		Apps int
+	}, len(rows))
+	for i, r := range rows {
+		out[i] = struct {
+			Name string
+			Apps int
+		}{r.Name, r.Apps}
+	}
+	return out
+}
+
+// MethodOrder returns Table 7's method rows in the paper's order.
+func MethodOrder() []string { return append([]string(nil), android.WebViewMethods...) }

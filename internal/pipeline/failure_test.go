@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/playstore"
+)
+
+// flakyRepo wraps in-memory corpus data with injectable failures.
+type flakyRepo struct {
+	c *corpus.Corpus
+	// failEveryNth makes every n-th download fail (0 = never).
+	failEveryNth int64
+	calls        atomic.Int64
+	listErr      error
+}
+
+func (r *flakyRepo) List(ctx context.Context) ([]string, error) {
+	if r.listErr != nil {
+		return nil, r.listErr
+	}
+	var out []string
+	for _, s := range r.c.Apps {
+		out = append(out, s.Package)
+	}
+	return out, nil
+}
+
+func (r *flakyRepo) Download(ctx context.Context, pkg string) ([]byte, error) {
+	n := r.calls.Add(1)
+	if r.failEveryNth > 0 && n%r.failEveryNth == 0 {
+		return nil, fmt.Errorf("flaky: transient download failure for %s", pkg)
+	}
+	spec := r.c.AppByPackage(pkg)
+	if spec == nil {
+		return nil, fmt.Errorf("flaky: unknown %s", pkg)
+	}
+	return corpus.BuildAPK(spec)
+}
+
+// memMeta serves metadata straight from specs.
+type memMeta struct {
+	c       *corpus.Corpus
+	failPkg string
+}
+
+func (m *memMeta) Metadata(ctx context.Context, pkg string) (playstore.Metadata, error) {
+	if pkg == m.failPkg {
+		return playstore.Metadata{}, fmt.Errorf("metadata backend exploded for %s", pkg)
+	}
+	spec := m.c.AppByPackage(pkg)
+	if spec == nil || !spec.OnPlayStore {
+		return playstore.Metadata{}, fmt.Errorf("%w: %s", playstore.ErrNotFound, pkg)
+	}
+	return playstore.Metadata{
+		Package: spec.Package, Title: spec.Title, Category: spec.PlayCategory,
+		Downloads: spec.Downloads, LastUpdated: spec.LastUpdated,
+	}, nil
+}
+
+func failureCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPipelineInMemoryBackends(t *testing.T) {
+	c := failureCorpus(t)
+	p := New(&flakyRepo{c: c}, &memMeta{c: c},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Funnel.Analyzed != c.Counts.Analyzed {
+		t.Errorf("analyzed = %d, want %d", res.Funnel.Analyzed, c.Counts.Analyzed)
+	}
+}
+
+func TestPipelinePropagatesDownloadFailure(t *testing.T) {
+	c := failureCorpus(t)
+	p := New(&flakyRepo{c: c, failEveryNth: 5}, &memMeta{c: c},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Workers: 3})
+	_, err := p.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "transient download failure") {
+		t.Errorf("err = %v, want transient download failure", err)
+	}
+}
+
+func TestPipelinePropagatesListFailure(t *testing.T) {
+	c := failureCorpus(t)
+	p := New(&flakyRepo{c: c, listErr: errors.New("snapshot unavailable")}, &memMeta{c: c},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff})
+	if _, err := p.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "snapshot unavailable") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPipelinePropagatesMetadataBackendFailure(t *testing.T) {
+	c := failureCorpus(t)
+	// Pick a real package so the failure hits mid-stream; ErrNotFound is
+	// tolerated but other errors must abort.
+	victim := c.Apps[len(c.Apps)/2].Package
+	p := New(&flakyRepo{c: c}, &memMeta{c: c, failPkg: victim},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Workers: 2})
+	if _, err := p.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPipelineContextTimeout(t *testing.T) {
+	c := failureCorpus(t)
+	p := New(&flakyRepo{c: c}, &slowMeta{c: c},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Run(ctx); err == nil {
+		t.Error("timed-out run succeeded")
+	}
+}
+
+type slowMeta struct{ c *corpus.Corpus }
+
+func (m *slowMeta) Metadata(ctx context.Context, pkg string) (playstore.Metadata, error) {
+	select {
+	case <-time.After(2 * time.Millisecond):
+	case <-ctx.Done():
+		return playstore.Metadata{}, ctx.Err()
+	}
+	return (&memMeta{c: m.c}).Metadata(ctx, pkg)
+}
+
+// The concurrent pipeline must be deterministic: two runs over the same
+// corpus yield identical sorted per-app results regardless of worker
+// scheduling.
+func TestPipelineDeterministicUnderConcurrency(t *testing.T) {
+	c := failureCorpus(t)
+	run := func(workers int) *Result {
+		p := New(&flakyRepo{c: c}, &memMeta{c: c},
+			Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Workers: workers})
+		res, err := p.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(1)
+	b := run(8)
+	if len(a.Apps) != len(b.Apps) {
+		t.Fatalf("app counts differ: %d vs %d", len(a.Apps), len(b.Apps))
+	}
+	for i := range a.Apps {
+		x, y := a.Apps[i], b.Apps[i]
+		if x.Package != y.Package || x.UsesWebView != y.UsesWebView || x.UsesCT != y.UsesCT ||
+			len(x.WebViewSDKs) != len(y.WebViewSDKs) || len(x.Methods) != len(y.Methods) {
+			t.Fatalf("app %d differs between worker counts:\n1: %+v\n8: %+v", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package pipeline implements the paper's large-scale static-analysis
+// pipeline (Figure 1): fetch the AndroZoo snapshot, collect Play Store
+// metadata, filter to popular actively-maintained apps, download each APK,
+// decompile it, parse the Java source for custom WebView subclasses, build
+// the call graph, traverse it from every entry point recording WebView and
+// Custom Tabs usage, exclude deep-link-hosted first-party content, and
+// label the calling packages with the SDK index.
+//
+// The pipeline is concurrent: a bounded worker pool analyses APKs in
+// parallel, one app per task, and the collector aggregates results
+// deterministically (sorted by package) regardless of completion order.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/apk"
+	"repro/internal/callgraph"
+	"repro/internal/decompiler"
+	"repro/internal/javaparser"
+	"repro/internal/playstore"
+	"repro/internal/sdkindex"
+
+	"repro/internal/android"
+)
+
+// Repository is the APK source (AndroZoo).
+type Repository interface {
+	List(ctx context.Context) ([]string, error)
+	Download(ctx context.Context, pkg string) ([]byte, error)
+}
+
+// MetadataSource is the app-store metadata service (Play Store).
+type MetadataSource interface {
+	Metadata(ctx context.Context, pkg string) (playstore.Metadata, error)
+}
+
+// Config parameterises a run.
+type Config struct {
+	// MinDownloads and UpdatedAfter are the selection filter (§3.1.1).
+	MinDownloads int64
+	UpdatedAfter time.Time
+	// Workers bounds analysis concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Index labels calling packages; nil uses the default catalog.
+	Index *sdkindex.Index
+}
+
+// Pipeline wires the stages together.
+type Pipeline struct {
+	repo Repository
+	meta MetadataSource
+	cfg  Config
+}
+
+// New constructs a pipeline over the given services.
+func New(repo Repository, meta MetadataSource, cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Index == nil {
+		cfg.Index = sdkindex.Default()
+	}
+	return &Pipeline{repo: repo, meta: meta, cfg: cfg}
+}
+
+// SDKHit is one SDK observed driving a surface in one app.
+type SDKHit struct {
+	SDK      string
+	Category sdkindex.Category
+	// Methods are the WebView API methods this SDK's code called in this
+	// app (empty for pure CT hits).
+	Methods []string
+	CT      bool
+}
+
+// AppResult is the per-app outcome of static analysis.
+type AppResult struct {
+	Package      string
+	Title        string
+	PlayCategory string
+	Downloads    int64
+	Broken       bool
+
+	UsesWebView bool
+	UsesCT      bool
+	// Methods are the distinct WebView API methods reachable anywhere in
+	// the app (SDK or first-party), after deep-link exclusion.
+	Methods []string
+	// MethodsViaSDK are the methods called from labeled SDK packages.
+	MethodsViaSDK []string
+	// WebViewSDKs / CTSDKs name the labeled SDKs driving each surface.
+	WebViewSDKs []SDKHit
+	CTSDKs      []SDKHit
+	// Subclasses are custom WebView classes found by decompiling and
+	// parsing the Java source (§3.1.2).
+	Subclasses []string
+	// UnlabeledWebViewPackages counts calling packages no SDK-index entry
+	// matched (first-party app code or unknown libraries).
+	UnlabeledWebViewPackages int
+}
+
+// Funnel is the measured dataset funnel (Table 2).
+type Funnel struct {
+	Snapshot int // packages in the repository snapshot
+	OnPlay   int // found on the Play Store
+	Popular  int // download threshold passed
+	Filtered int // update filter passed
+	Broken   int // APKs that failed to parse
+	Analyzed int // successfully analysed
+}
+
+// Result is the aggregate outcome.
+type Result struct {
+	Funnel Funnel
+	Apps   []AppResult // analysed apps (excluding broken), sorted by package
+}
+
+// Run executes the full pipeline.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
+	pkgs, err := p.repo.List(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: list: %w", err)
+	}
+
+	res := &Result{}
+	res.Funnel.Snapshot = len(pkgs)
+
+	// Stage 1-2: metadata collection and filtering. Metadata fetches are
+	// parallelised with the same worker bound as analysis.
+	type metaOut struct {
+		pkg string
+		md  playstore.Metadata
+		ok  bool
+	}
+	metas := make([]metaOut, len(pkgs))
+	if err := p.forEach(ctx, len(pkgs), func(i int) error {
+		md, err := p.meta.Metadata(ctx, pkgs[i])
+		switch {
+		case err == nil:
+			metas[i] = metaOut{pkg: pkgs[i], md: md, ok: true}
+		case errors.Is(err, playstore.ErrNotFound):
+			metas[i] = metaOut{pkg: pkgs[i]}
+		default:
+			return err
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("pipeline: metadata: %w", err)
+	}
+
+	var selected []metaOut
+	for _, m := range metas {
+		if !m.ok {
+			continue
+		}
+		res.Funnel.OnPlay++
+		if m.md.Downloads < p.cfg.MinDownloads {
+			continue
+		}
+		res.Funnel.Popular++
+		if !m.md.LastUpdated.After(p.cfg.UpdatedAfter) {
+			continue
+		}
+		res.Funnel.Filtered++
+		selected = append(selected, m)
+	}
+
+	// Stage 3-5: download + analyse, bounded concurrency.
+	results := make([]*AppResult, len(selected))
+	var brokenCount sync.Map
+	if err := p.forEach(ctx, len(selected), func(i int) error {
+		m := selected[i]
+		img, err := p.repo.Download(ctx, m.pkg)
+		if err != nil {
+			return err
+		}
+		ar, err := p.analyzeOne(m, img)
+		if err != nil {
+			if errors.Is(err, apk.ErrBroken) {
+				brokenCount.Store(m.pkg, true)
+				return nil
+			}
+			return err
+		}
+		results[i] = ar
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("pipeline: analyze: %w", err)
+	}
+
+	brokenCount.Range(func(_, _ any) bool { res.Funnel.Broken++; return true })
+	for _, ar := range results {
+		if ar != nil {
+			res.Apps = append(res.Apps, *ar)
+		}
+	}
+	sort.Slice(res.Apps, func(i, j int) bool { return res.Apps[i].Package < res.Apps[j].Package })
+	res.Funnel.Analyzed = len(res.Apps)
+	return res, nil
+}
+
+// forEach runs fn(i) for i in [0,n) on the worker pool, stopping at the
+// first error or context cancellation.
+func (p *Pipeline) forEach(ctx context.Context, n int, fn func(int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := p.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		case err := <-errc:
+			close(idx)
+			wg.Wait()
+			return err
+		}
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// analyzeOne performs the per-APK static analysis.
+func (p *Pipeline) analyzeOne(m struct {
+	pkg string
+	md  playstore.Metadata
+	ok  bool
+}, img []byte) (*AppResult, error) {
+	a, err := apk.Open(img)
+	if err != nil {
+		return nil, err
+	}
+
+	// Decompile-and-parse round trip: custom WebView subclasses are found
+	// from the reconstructed Java source, as the paper does with JADX +
+	// javalang (§3.1.2).
+	var subclasses []string
+	for _, unit := range decompiler.Decompile(a.Dex) {
+		cu, err := javaparser.Parse(unit.Source)
+		if err != nil {
+			// A decompilation the parser cannot read counts as broken.
+			return nil, fmt.Errorf("%w: %s: %v", apk.ErrBroken, unit.Path, err)
+		}
+		for _, td := range cu.Types {
+			if td.Extends != "" && cu.Resolve(td.Extends) == android.WebViewClass {
+				subclasses = append(subclasses, cu.Resolve(td.Name))
+			}
+		}
+	}
+	sort.Strings(subclasses)
+
+	// Call-graph traversal with deep-link exclusion (§3.1.3).
+	excl := make(map[string]bool)
+	for _, dl := range a.Manifest.DeepLinkActivities() {
+		excl[dl] = true
+	}
+	g := callgraph.Build(a.Dex)
+	usage := g.AnalyzeUsage(excl)
+
+	ar := &AppResult{
+		Package:      m.md.Package,
+		Title:        m.md.Title,
+		PlayCategory: m.md.Category,
+		Downloads:    m.md.Downloads,
+		UsesWebView:  usage.UsesWebView(),
+		UsesCT:       usage.UsesCT(),
+		Methods:      usage.MethodsCalled(),
+		Subclasses:   subclasses,
+	}
+	p.attributeSDKs(ar, usage)
+	return ar, nil
+}
+
+// attributeSDKs labels call sites with the SDK index (§3.1.4). WebView
+// attribution follows the paper: the package owning the class that calls a
+// content-populating method (loadUrl/loadData/loadDataWithBaseURL) is the
+// WebView's driver; its other method calls ride along. CT attribution keys
+// on launchUrl and CustomTabsIntent construction.
+func (p *Pipeline) attributeSDKs(ar *AppResult, usage *callgraph.Usage) {
+	type agg struct {
+		sdk     *sdkindex.SDK
+		methods map[string]bool
+		loads   bool
+		ct      bool
+	}
+	bySDK := make(map[string]*agg)
+	unlabeled := make(map[string]bool)
+	viaSDKMethods := make(map[string]bool)
+
+	for _, call := range usage.WebViewCalls {
+		pkg := call.CallerPackage()
+		sdk, ok := p.cfg.Index.Lookup(pkg)
+		if !ok || sdk.Excluded {
+			unlabeled[pkg] = true
+			continue
+		}
+		a := bySDK[sdk.Name]
+		if a == nil {
+			a = &agg{sdk: sdk, methods: make(map[string]bool)}
+			bySDK[sdk.Name] = a
+		}
+		a.methods[call.Target.Name] = true
+		viaSDKMethods[call.Target.Name] = true
+		if android.IsLoadMethod(call.Target.Name) {
+			a.loads = true
+		}
+	}
+	for _, call := range usage.CTCalls {
+		pkg := call.CallerPackage()
+		sdk, ok := p.cfg.Index.Lookup(pkg)
+		if !ok || sdk.Excluded {
+			continue
+		}
+		if call.Target.Name == android.MethodLaunchURL || call.Target.Name == "<init>" || call.Target.Name == "build" {
+			a := bySDK[sdk.Name]
+			if a == nil {
+				a = &agg{sdk: sdk, methods: make(map[string]bool)}
+				bySDK[sdk.Name] = a
+			}
+			a.ct = true
+		}
+	}
+
+	names := make([]string, 0, len(bySDK))
+	for name := range bySDK {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := bySDK[name]
+		if a.loads {
+			hit := SDKHit{SDK: name, Category: a.sdk.Category, Methods: sortedKeys(a.methods)}
+			ar.WebViewSDKs = append(ar.WebViewSDKs, hit)
+		}
+		if a.ct {
+			ar.CTSDKs = append(ar.CTSDKs, SDKHit{SDK: name, Category: a.sdk.Category, CT: true})
+		}
+	}
+	ar.MethodsViaSDK = sortedKeys(viaSDKMethods)
+	ar.UnlabeledWebViewPackages = len(unlabeled)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

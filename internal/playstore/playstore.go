@@ -1,0 +1,117 @@
+// Package playstore simulates the Google Play Store metadata service the
+// paper scrapes (step 1 of Figure 1): install counts, category and
+// last-update time per app. It exposes an HTTP server over a generated
+// corpus and a typed client, so the pipeline performs real network fetches
+// with real not-found handling (2.45M of the 6.5M AndroZoo apps are not on
+// the Play Store).
+package playstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// Metadata is the Play Store listing data the pipeline filters on.
+type Metadata struct {
+	Package     string    `json:"package"`
+	Title       string    `json:"title"`
+	Category    string    `json:"category"`
+	Downloads   int64     `json:"downloads"`
+	LastUpdated time.Time `json:"lastUpdated"`
+}
+
+// ErrNotFound reports that an app is not listed on the store.
+var ErrNotFound = errors.New("playstore: app not found")
+
+// Server serves store metadata for a corpus.
+type Server struct {
+	byPkg map[string]*corpus.Spec
+}
+
+// NewServer indexes the corpus for serving.
+func NewServer(c *corpus.Corpus) *Server {
+	s := &Server{byPkg: make(map[string]*corpus.Spec, len(c.Apps))}
+	for _, app := range c.Apps {
+		s.byPkg[app.Package] = app
+	}
+	return s
+}
+
+// Handler returns the HTTP handler: GET /v1/apps/{package}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/apps/", s.handleApp)
+	return mux
+}
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	pkg := strings.TrimPrefix(r.URL.Path, "/v1/apps/")
+	if pkg == "" {
+		http.Error(w, "missing package", http.StatusBadRequest)
+		return
+	}
+	spec, ok := s.byPkg[pkg]
+	if !ok || !spec.OnPlayStore {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(Metadata{
+		Package:     spec.Package,
+		Title:       spec.Title,
+		Category:    spec.PlayCategory,
+		Downloads:   spec.Downloads,
+		LastUpdated: spec.LastUpdated,
+	}); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+// Client fetches metadata from a Server (or anything with its API).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Metadata fetches one app's listing. Returns ErrNotFound for apps absent
+// from the store.
+func (c *Client) Metadata(ctx context.Context, pkg string) (Metadata, error) {
+	var md Metadata
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/apps/"+pkg, nil)
+	if err != nil {
+		return md, fmt.Errorf("playstore: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return md, fmt.Errorf("playstore: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&md); err != nil {
+			return md, fmt.Errorf("playstore: decode %s: %w", pkg, err)
+		}
+		return md, nil
+	case http.StatusNotFound:
+		return md, fmt.Errorf("%w: %s", ErrNotFound, pkg)
+	default:
+		return md, fmt.Errorf("playstore: %s: unexpected status %s", pkg, resp.Status)
+	}
+}

@@ -1,0 +1,79 @@
+package playstore
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c).Handler())
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func TestMetadataFound(t *testing.T) {
+	srv, c := testServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	want := c.Filtered()[0]
+	md, err := client.Metadata(context.Background(), want.Package)
+	if err != nil {
+		t.Fatalf("Metadata: %v", err)
+	}
+	if md.Package != want.Package || md.Downloads != want.Downloads ||
+		md.Category != want.PlayCategory || !md.LastUpdated.Equal(want.LastUpdated) {
+		t.Errorf("metadata = %+v, want spec %+v", md, want)
+	}
+}
+
+func TestMetadataNotFound(t *testing.T) {
+	srv, _ := testServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	_, err := client.Metadata(context.Background(), "com.never.existed")
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOffPlayAppsAreNotFound(t *testing.T) {
+	srv, c := testServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	var offPlay string
+	for _, s := range c.Apps {
+		if !s.OnPlayStore {
+			offPlay = s.Package
+			break
+		}
+	}
+	if offPlay == "" {
+		t.Skip("corpus has no off-play apps at this scale")
+	}
+	if _, err := client.Metadata(context.Background(), offPlay); !errors.Is(err, ErrNotFound) {
+		t.Errorf("off-play app err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMetadataContextCancel(t *testing.T) {
+	srv, c := testServer(t)
+	client := NewClient(srv.URL, srv.Client())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.Metadata(ctx, c.Apps[0].Package); err == nil {
+		t.Error("cancelled context did not fail")
+	}
+}
+
+func TestMetadataBadBase(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1", nil)
+	if _, err := client.Metadata(context.Background(), "x"); err == nil {
+		t.Error("unreachable server did not fail")
+	}
+}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/crux"
+	"repro/internal/measure"
+	"repro/internal/pageload"
+	"repro/internal/sitereview"
+)
+
+// Table6 renders the hyperlink-behaviour classification against the
+// paper's Table 6.
+func Table6(t6 *core.Table6) string {
+	t := newTable("Table 6: hyperlink behaviour in the top 1K apps")
+	t.row("classification", "measured", "paper")
+	t.row("Users can post links", t6.CanPostLinks, 38)
+	t.row("  Link opens in browser", t6.OpensBrowser, 27)
+	t.row("  Link opens in a WebView", t6.OpensWebView, 10)
+	t.row("  Link opens in CT", t6.OpensCustomTab, 1)
+	t.row("Users can not post links", t6.NoUserContent, 905)
+	t.row("Browser apps", t6.BrowserApps, 9)
+	t.row("Could not classify app", t6.Unclassifiable, 48)
+	t.row("  Required a phone number", t6.RequiredPhone, 24)
+	t.row("  App incompatibility error", t6.Incompatible, 22)
+	t.row("  Required paid account", t6.RequiredPaid, 2)
+	return t.String()
+}
+
+// Table8 renders the IAB deep-probe rows.
+func Table8(rows []core.Table8Row) string {
+	t := newTable("Table 8: WebView-based IAB injection behaviour")
+	t.row("downloads", "app", "via", "bridges", "HTML/JS intent", "bridge intent")
+	for _, r := range rows {
+		t.row(humanCount(r.Downloads), r.Title, r.Surface,
+			strings.Join(r.Bridges, " "), r.HTMLJSIntent, r.BridgeIntent)
+	}
+	return t.String()
+}
+
+// Table9 renders the Web-API traces collected by the controlled page.
+func Table9(rows []core.Table8Row) string {
+	t := newTable("Table 9: Web APIs accessed on the controlled page")
+	t.row("app", "interface", "method")
+	for _, r := range rows {
+		if len(r.WebAPITraces) == 0 {
+			continue
+		}
+		for i, tr := range r.WebAPITraces {
+			name := ""
+			if i == 0 {
+				name = r.Title
+			}
+			t.row(name, tr.Interface, tr.Method)
+		}
+	}
+	return t.String()
+}
+
+// Table9Traces renders raw measurement-server traces per app.
+func Table9Traces(srv *measure.Server, apps map[string]string) string {
+	t := newTable("Table 9: Web APIs accessed (collection server view)")
+	t.row("app", "interface", "method")
+	pkgs := make([]string, 0, len(apps))
+	for pkg := range apps {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		for i, tr := range srv.ForApp(pkg) {
+			name := ""
+			if i == 0 {
+				name = apps[pkg]
+			}
+			t.row(name, tr.Interface, tr.Method)
+		}
+	}
+	return t.String()
+}
+
+// Figure6 renders the per-site-category endpoint distribution for one app.
+func Figure6(res *crawler.Result, app, title string) string {
+	t := newTable(fmt.Sprintf("Figure 6: endpoints contacted by %s's IAB per site type", title))
+	kinds := []sitereview.Kind{
+		sitereview.Tracker, sitereview.AdNetwork, sitereview.CDN,
+		sitereview.OwnService, sitereview.Content,
+	}
+	header := []any{"site type", "avg endpoints"}
+	for _, k := range kinds {
+		header = append(header, string(k))
+	}
+	t.row(header...)
+	avg := res.AverageEndpoints(app)
+	for _, cat := range crux.Categories() {
+		if avg[cat] == nil {
+			continue
+		}
+		cols := []any{cat, fmt.Sprintf("%.1f", res.TotalAverage(app, cat))}
+		for _, k := range kinds {
+			cols = append(cols, fmt.Sprintf("%.1f", avg[cat][k]))
+		}
+		t.row(cols...)
+	}
+	return t.String()
+}
+
+// Figure7 renders the page-load-time comparison.
+func Figure7(m pageload.Model, requests int) string {
+	t := newTable(fmt.Sprintf("Figure 7: page load time by rendering path (%d-request page)", requests))
+	t.row("path", "load time", "vs Custom Tab")
+	times := m.Compare(requests)
+	base := times[pageload.ModeCustomTab]
+	for _, mode := range pageload.Modes {
+		t.row(mode.String(), times[mode], fmt.Sprintf("%.2fx", float64(times[mode])/float64(base)))
+	}
+	t.row("", "", "")
+	t.row("paper's relationship", "CT ≈ 2x faster than WebView", fmt.Sprintf("measured %.2fx", m.Speedup(pageload.ModeCustomTab, pageload.ModeWebView, requests)))
+	return t.String()
+}
+
+func humanCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2gB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.3gM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.3gK", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/crux"
+	"repro/internal/measure"
+	"repro/internal/pageload"
+	"repro/internal/sitereview"
+)
+
+func TestTable6Rendering(t *testing.T) {
+	t6 := &core.Table6{
+		CanPostLinks: 38, OpensBrowser: 27, OpensWebView: 10, OpensCustomTab: 1,
+		NoUserContent: 905, BrowserApps: 9,
+		Unclassifiable: 48, RequiredPhone: 24, Incompatible: 22, RequiredPaid: 2,
+	}
+	out := Table6(t6)
+	for _, want := range []string{"Table 6", "38", "905", "Required a phone number", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func sampleRows() []core.Table8Row {
+	return []core.Table8Row{
+		{
+			Package: "com.facebook.katana", Title: "Facebook", Downloads: 8_400_000_000,
+			Surface: "Post", InjectedJSCount: 4,
+			Bridges:      []string{"fbpayIAWBridge", "_AutofillExtensions"},
+			HTMLJSIntent: "Returns DOM tag counts", BridgeIntent: "Meta Checkout",
+			Redirector: "lm.facebook.com/l.php",
+			WebAPITraces: []measure.Trace{
+				{Interface: "Document", Method: "getElementById"},
+				{Interface: "Element", Method: "insertBefore"},
+			},
+		},
+		{
+			Package: "com.snapchat.android", Title: "Snapchat", Downloads: 2_340_000_000,
+			Surface: "Story", HTMLJSIntent: "No injection", BridgeIntent: "No injection",
+		},
+	}
+}
+
+func TestTable8Rendering(t *testing.T) {
+	out := Table8(sampleRows())
+	for _, want := range []string{"Table 8", "8.4B", "Facebook", "fbpayIAWBridge", "Snapchat", "No injection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable9Rendering(t *testing.T) {
+	out := Table9(sampleRows())
+	for _, want := range []string{"Table 9", "Facebook", "getElementById", "insertBefore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table9 missing %q:\n%s", want, out)
+		}
+	}
+	// Snapchat has no traces and must not appear with rows.
+	if strings.Contains(out, "Snapchat") {
+		t.Error("Table9 renders apps without traces")
+	}
+}
+
+func TestTable9TracesRendering(t *testing.T) {
+	srv := measure.NewServer()
+	out := Table9Traces(srv, map[string]string{"com.x": "X App"})
+	if !strings.Contains(out, "Table 9") {
+		t.Errorf("missing title:\n%s", out)
+	}
+}
+
+func TestFigure6Rendering(t *testing.T) {
+	res := &crawler.Result{
+		Visits: []crawler.Visit{
+			{
+				App:  "kik.android",
+				Site: crux.Site{Host: "news-01.example", Category: "News"},
+				Mode: "webview", Context: "wv-1",
+				ExternalHosts: []string{"ads.mopub.com", "a.cedexis-radar.net"},
+				EndpointKinds: map[sitereview.Kind]int{sitereview.AdNetwork: 1, sitereview.Tracker: 1},
+			},
+			{
+				App:  "kik.android",
+				Site: crux.Site{Host: "search-01.example", Category: "Search"},
+				Mode: "webview", Context: "wv-2",
+				ExternalHosts: []string{"ads.mopub.com"},
+				EndpointKinds: map[sitereview.Kind]int{sitereview.AdNetwork: 1},
+			},
+		},
+	}
+	out := Figure6(res, "kik.android", "Kik")
+	for _, want := range []string{"Figure 6", "Kik", "News", "Search", "2.0", "1.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	out := Figure7(pageload.Default(), 12)
+	for _, want := range []string{"Figure 7", "Custom Tab", "WebView", "1.00x", "2x faster"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		8_400_000_000: "8.4B",
+		289_000_000:   "289M",
+		97_500_000:    "97.5M",
+		1_500:         "1.5K",
+		42:            "42",
+	}
+	for in, want := range cases {
+		if got := humanCount(in); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package report renders the paper's tables and figures from pipeline
+// aggregates, printing measured values next to the paper's published
+// numbers (scaled to the corpus size) so shape agreement is auditable at a
+// glance. All output is plain text via text/tabwriter.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/android"
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/sdkindex"
+)
+
+// paper-side constants for Table 7.
+var paperTable7 = map[string][2]int{
+	"apps_webview":                          {81720, 54833},
+	android.MethodLoadURL:                   {77930, 50984},
+	android.MethodAddJavascriptInterface:    {36899, 23087},
+	android.MethodLoadDataWithBaseURL:       {35680, 27474},
+	android.MethodEvaluateJavascript:        {26891, 18716},
+	android.MethodRemoveJavascriptInterface: {19684, 15034},
+	android.MethodLoadData:                  {8275, 918},
+	android.MethodPostURL:                   {5028, 2678},
+	"apps_ct":                               {29130, 27891},
+	"apps_both":                             {21938, 16810},
+}
+
+type table struct {
+	sb strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.sb.WriteString(title)
+	t.sb.WriteByte('\n')
+	t.sb.WriteString(strings.Repeat("=", len(title)))
+	t.sb.WriteByte('\n')
+	t.tw = tabwriter.NewWriter(&t.sb, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cols ...any) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	fmt.Fprintln(t.tw, strings.Join(parts, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	t.sb.WriteByte('\n')
+	return t.sb.String()
+}
+
+func ratio(measured, paper int, scale int) string {
+	if paper == 0 {
+		return "-"
+	}
+	expected := float64(paper) / float64(scale)
+	if expected == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(measured)/expected)
+}
+
+// Table2 renders the dataset funnel against the paper's Table 2.
+func Table2(f pipeline.Funnel, scale int) string {
+	t := newTable(fmt.Sprintf("Table 2: dataset funnel (scale 1/%d)", scale))
+	t.row("stage", "measured", "paper", "paper/scale", "ratio")
+	rows := []struct {
+		name     string
+		measured int
+		paper    int
+	}{
+		{"Play Store apps in AndroZoo", f.Snapshot, corpus.PaperAndrozooApps},
+		{"Apps found on Play Store", f.OnPlay, corpus.PaperOnPlayApps},
+		{"Apps with 100k+ downloads", f.Popular, corpus.PaperPopularApps},
+		{"... and updated after 2021", f.Filtered, corpus.PaperFilteredApps},
+		{"Broken APKs", f.Broken, corpus.PaperBrokenAPKs},
+		{"Apps successfully analyzed", f.Analyzed, corpus.PaperAnalyzedApps},
+	}
+	for _, r := range rows {
+		t.row(r.name, r.measured, r.paper, (r.paper+scale/2)/scale, ratio(r.measured, r.paper, scale))
+	}
+	return t.String()
+}
+
+// Table3 renders the SDK-count matrix against the paper's Table 3.
+func Table3(ag *pipeline.Aggregates) string {
+	t := newTable("Table 3: SDKs using WebViews / CTs / both (measured vs paper)")
+	t.row("SDK type", "WV", "CT", "both", "", "paper WV", "paper CT", "paper both")
+	paper := sdkindex.Table3()
+	var mw, mc, mb, pw, pc, pb int
+	for _, cat := range sdkindex.Categories {
+		m := ag.SDKMatrix[cat]
+		p := paper[cat]
+		t.row(cat, m[0], m[1], m[2], "", p[0], p[1], p[2])
+		mw, mc, mb = mw+m[0], mc+m[1], mb+m[2]
+		pw, pc, pb = pw+p[0], pc+p[1], pb+p[2]
+	}
+	t.row("Total", mw, mc, mb, "", pw, pc, pb)
+	return t.String()
+}
+
+// paperTop lists the paper's Tables 4/5 top-SDK rows for side-by-side
+// rendering.
+var paperTable4 = map[sdkindex.Category][]struct {
+	Name string
+	Apps int
+}{
+	sdkindex.Advertising:    {{"AppLovin", 27397}, {"ironSource", 16326}, {"ByteDance", 13080}},
+	sdkindex.Engagement:     {{"Open Measurement", 11333}, {"SafeDK", 7427}, {"Airship", 652}},
+	sdkindex.DevTools:       {{"Flutter", 5568}, {"InAppWebView", 1868}, {"Corona", 449}},
+	sdkindex.Payments:       {{"Stripe", 1171}, {"RazorPay", 484}, {"PayTM", 400}},
+	sdkindex.UserSupport:    {{"Zendesk", 1000}, {"Freshchat", 438}, {"LicensesDialog", 129}},
+	sdkindex.Social:         {{"VK", 456}, {"NAVER", 406}, {"Kakao", 347}},
+	sdkindex.Utility:        {{"NAVER Maps", 130}, {"Barcode Scanner", 129}, {"Ticketmaster", 64}},
+	sdkindex.Authentication: {{"Gigya", 120}, {"NAVER Identity", 90}, {"Amazon Identity", 37}},
+	sdkindex.Hybrid:         {{"Baby Panda World", 194}, {"SoftCraft", 15}, {"Cube Storm", 14}},
+}
+
+var paperTable5 = map[sdkindex.Category][]struct {
+	Name string
+	Apps int
+}{
+	sdkindex.Social:         {{"Facebook", 23234}, {"NAVER", 157}, {"Kakao", 54}},
+	sdkindex.Authentication: {{"Google Firebase", 7565}, {"NAVER Identity", 81}, {"AdobePass", 55}},
+	sdkindex.Advertising:    {{"HyprMX", 1257}, {"Linkvertise", 383}, {"Taboola", 317}},
+	sdkindex.Payments:       {{"Juspay", 77}, {"Ticketmaster Checkout", 47}, {"Checkout", 47}},
+	sdkindex.DevTools:       {{"android-customtabs", 53}, {"GoodBarber", 48}, {"Mobiroller", 27}},
+	sdkindex.Hybrid:         {{"Cube Storm", 14}, {"Scripps News", 13}},
+	sdkindex.Utility:        {{"Ticketmaster", 55}, {"MyChart", 16}},
+}
+
+// TopSDKTable renders Table 4 (ct=false) or Table 5 (ct=true): per SDK
+// category, the union of apps and the top SDKs, measured vs paper.
+func TopSDKTable(ag *pipeline.Aggregates, ct bool, scale int) string {
+	title := "Table 4: popular SDKs using WebViews"
+	paperRows := paperTable4
+	catApps := ag.CategoryWVApps
+	if ct {
+		title = "Table 5: popular SDKs using CTs"
+		paperRows = paperTable5
+		catApps = ag.CategoryCTApps
+	}
+	t := newTable(fmt.Sprintf("%s (scale 1/%d)", title, scale))
+	t.row("SDK type", "total apps", "SDK", "apps", "paper apps", "paper/scale")
+
+	// Order categories by measured union, descending, to mirror the paper.
+	cats := make([]sdkindex.Category, 0, len(catApps))
+	for cat := range catApps {
+		cats = append(cats, cat)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if catApps[cats[i]] != catApps[cats[j]] {
+			return catApps[cats[i]] > catApps[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	for _, cat := range cats {
+		if cat == sdkindex.Unknown {
+			continue
+		}
+		top := ag.TopSDKs(cat, ct, 3)
+		paper := paperRows[cat]
+		for i, row := range top {
+			total := ""
+			if i == 0 {
+				total = fmt.Sprint(catApps[cat])
+			}
+			pApps, pScaled := "-", "-"
+			for _, p := range paper {
+				if p.Name == row.Name {
+					pApps = fmt.Sprint(p.Apps)
+					pScaled = fmt.Sprint((p.Apps + scale/2) / scale)
+				}
+			}
+			t.row(cat, total, row.Name, row.Apps, pApps, pScaled)
+		}
+	}
+	return t.String()
+}
+
+// Table7 renders API-method usage against the paper's Table 7.
+func Table7(ag *pipeline.Aggregates, scale int) string {
+	t := newTable(fmt.Sprintf("Table 7: WebView/CT API usage (scale 1/%d)", scale))
+	t.row("row", "apps", "via SDKs", "paper apps", "paper via SDKs", "ratio")
+	emit := func(name string, apps, via int, key string) {
+		p := paperTable7[key]
+		t.row(name, apps, via, p[0], p[1], ratio(apps, p[0], scale))
+	}
+	emit("Apps using WebViews", ag.WebViewApps, ag.WebViewViaSDK, "apps_webview")
+	for _, m := range pipeline.MethodOrder() {
+		emit("  "+m, ag.MethodApps[m], ag.MethodViaSDKApps[m], m)
+	}
+	emit("Apps using CTs", ag.CTApps, ag.CTViaSDK, "apps_ct")
+	emit("Apps using both", ag.BothApps, ag.BothViaSDK, "apps_both")
+	return t.String()
+}
+
+// Figure3 renders the per-Play-category SDK-type distribution: for the ten
+// Play categories with the most WebView-SDK (resp. CT-SDK) apps, the share
+// of each SDK type.
+func Figure3(ag *pipeline.Aggregates) string {
+	var sb strings.Builder
+	sb.WriteString(figure3Side(ag.PlayCategoryWV, "Figure 3a: WebView SDK use-cases per app category"))
+	sb.WriteString(figure3Side(ag.PlayCategoryCT, "Figure 3b: CT SDK use-cases per app category"))
+	return sb.String()
+}
+
+func figure3Side(data map[string]map[sdkindex.Category]int, title string) string {
+	t := newTable(title)
+	type row struct {
+		play  string
+		total int
+	}
+	var rows []row
+	for play, m := range data {
+		total := 0
+		for _, n := range m {
+			total += n
+		}
+		rows = append(rows, row{play, total})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].play < rows[j].play
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	header := []any{"app category", "apps"}
+	for _, cat := range sdkindex.Categories {
+		header = append(header, shortCat(cat))
+	}
+	t.row(header...)
+	for _, r := range rows {
+		cols := []any{r.play, r.total}
+		for _, cat := range sdkindex.Categories {
+			share := 0.0
+			if r.total > 0 {
+				share = float64(data[r.play][cat]) / float64(r.total)
+			}
+			cols = append(cols, fmt.Sprintf("%.0f%%", share*100))
+		}
+		t.row(cols...)
+	}
+	return t.String()
+}
+
+// Figure4 renders the WebView API-method heatmap per SDK category.
+func Figure4(ag *pipeline.Aggregates) string {
+	t := newTable("Figure 4: share of apps calling each WebView API method, per SDK type")
+	header := []any{"SDK type", "apps"}
+	for _, m := range pipeline.MethodOrder() {
+		header = append(header, m)
+	}
+	t.row(header...)
+	for _, cat := range sdkindex.Categories {
+		n := ag.CategoryWVApps[cat]
+		if n == 0 {
+			continue
+		}
+		cols := []any{cat, n}
+		for _, m := range pipeline.MethodOrder() {
+			cols = append(cols, fmt.Sprintf("%.0f%%", ag.HeatmapRate(cat, m)*100))
+		}
+		t.row(cols...)
+	}
+	return t.String()
+}
+
+func shortCat(c sdkindex.Category) string {
+	switch c {
+	case sdkindex.Advertising:
+		return "Ads"
+	case sdkindex.Engagement:
+		return "Engage"
+	case sdkindex.DevTools:
+		return "DevT"
+	case sdkindex.Payments:
+		return "Pay"
+	case sdkindex.UserSupport:
+		return "Supp"
+	case sdkindex.Social:
+		return "Social"
+	case sdkindex.Utility:
+		return "Util"
+	case sdkindex.Authentication:
+		return "Auth"
+	case sdkindex.Hybrid:
+		return "Hybrid"
+	default:
+		return "Unk"
+	}
+}

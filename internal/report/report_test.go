@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/pipeline"
+	"repro/internal/sdkindex"
+)
+
+func sampleAggregates() *pipeline.Aggregates {
+	res := &pipeline.Result{
+		Apps: []pipeline.AppResult{
+			{
+				Package: "a.one", PlayCategory: "Puzzle", UsesWebView: true, UsesCT: true,
+				Methods:       []string{android.MethodLoadURL, android.MethodAddJavascriptInterface},
+				MethodsViaSDK: []string{android.MethodLoadURL},
+				WebViewSDKs: []pipeline.SDKHit{{
+					SDK: "AppLovin", Category: sdkindex.Advertising,
+					Methods: []string{android.MethodLoadURL, android.MethodAddJavascriptInterface},
+				}},
+				CTSDKs: []pipeline.SDKHit{{SDK: "Facebook", Category: sdkindex.Social, CT: true}},
+			},
+			{
+				Package: "a.two", PlayCategory: "Education", UsesWebView: true,
+				Methods:       []string{android.MethodLoadDataWithBaseURL},
+				MethodsViaSDK: []string{android.MethodLoadDataWithBaseURL},
+				WebViewSDKs: []pipeline.SDKHit{{
+					SDK: "Zendesk", Category: sdkindex.UserSupport,
+					Methods: []string{android.MethodLoadDataWithBaseURL},
+				}},
+			},
+			{Package: "a.three", PlayCategory: "Tools"},
+		},
+	}
+	return pipeline.Aggregate(res)
+}
+
+func TestTable2Rendering(t *testing.T) {
+	f := pipeline.Funnel{Snapshot: 65072, OnPlay: 24545, Popular: 1983, Filtered: 1468, Broken: 2, Analyzed: 1466}
+	out := Table2(f, 100)
+	for _, want := range []string{"Table 2", "AndroZoo", "65072", "6507222", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	out := Table3(sampleAggregates())
+	for _, want := range []string{"Advertising", "User Support", "Total", "125", "45", "34"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopSDKTables(t *testing.T) {
+	ag := sampleAggregates()
+	t4 := TopSDKTable(ag, false, 100)
+	if !strings.Contains(t4, "AppLovin") || !strings.Contains(t4, "27397") {
+		t.Errorf("Table 4 missing AppLovin row:\n%s", t4)
+	}
+	t5 := TopSDKTable(ag, true, 100)
+	if !strings.Contains(t5, "Facebook") || !strings.Contains(t5, "23234") {
+		t.Errorf("Table 5 missing Facebook row:\n%s", t5)
+	}
+}
+
+func TestTable7Rendering(t *testing.T) {
+	out := Table7(sampleAggregates(), 100)
+	for _, want := range []string{"loadUrl", "addJavascriptInterface", "postUrl", "Apps using CTs", "77930"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	out := Figure3(sampleAggregates())
+	for _, want := range []string{"Figure 3a", "Figure 3b", "Puzzle", "Education"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	out := Figure4(sampleAggregates())
+	if !strings.Contains(out, "Advertising") || !strings.Contains(out, "100%") {
+		t.Errorf("Figure4 output:\n%s", out)
+	}
+	// User-support SDK row must show loadDataWithBaseURL at 100%.
+	if !strings.Contains(out, "User Support") {
+		t.Errorf("Figure4 missing User Support row:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+package safebrowsing_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/customtabs"
+	"repro/internal/internet"
+	"repro/internal/safebrowsing"
+	"repro/internal/webview"
+)
+
+// maliciousAdNet builds an internet hosting a malicious ad landing page
+// (the Liu et al. scenario of §4.1.1).
+func maliciousAdNet() (*internet.Internet, *safebrowsing.List) {
+	net := internet.New()
+	net.RegisterFunc("malicious-ads.example", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html><head><title>You won!</title></head><body>install this apk</body></html>"))
+	})
+	list := safebrowsing.NewList()
+	list.Add("malicious-ads.example", safebrowsing.Malware)
+	return net, list
+}
+
+// The paper's asymmetry: a Custom Tab always blocks listed URLs; an ad
+// SDK's WebView can turn Safe Browsing off and load them.
+func TestCustomTabAlwaysBlocks(t *testing.T) {
+	net, list := maliciousAdNet()
+	b := customtabs.NewBrowser("chrome", nil)
+	b.Client.Transport = net
+	b.SafeBrowsing = list
+	var blocked *safebrowsing.BlockedError
+	_, err := b.LaunchURL(context.Background(), customtabs.Intent{}, "https://malicious-ads.example/win")
+	if !errors.As(err, &blocked) {
+		t.Fatalf("CT loaded a listed URL: %v", err)
+	}
+	if blocked.Verdict != safebrowsing.Malware {
+		t.Errorf("verdict = %s", blocked.Verdict)
+	}
+}
+
+func TestWebViewBlocksOnlyWhileEnabled(t *testing.T) {
+	net, list := maliciousAdNet()
+	wv := webview.New(webview.Config{
+		ID: "wv", AppPackage: "com.adhost.app",
+		Client: net.Client(), SafeBrowsing: list,
+	})
+	wv.GetSettings().JavaScriptEnabled = true
+
+	// Default: Safe Browsing on -> blocked.
+	var blocked *safebrowsing.BlockedError
+	err := wv.LoadURL(context.Background(), "https://malicious-ads.example/win")
+	if !errors.As(err, &blocked) {
+		t.Fatalf("WebView with SB on loaded a listed URL: %v", err)
+	}
+
+	// The ad SDK disables Safe Browsing -> the page loads.
+	wv.GetSettings().SafeBrowsingEnabled = false
+	if err := wv.LoadURL(context.Background(), "https://malicious-ads.example/win"); err != nil {
+		t.Fatalf("WebView with SB off failed: %v", err)
+	}
+	if wv.Page().Doc.Title != "You won!" {
+		t.Errorf("title = %q", wv.Page().Doc.Title)
+	}
+}

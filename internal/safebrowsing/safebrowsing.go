@@ -1,0 +1,101 @@
+// Package safebrowsing models Google Safe Browsing (§4.1.1): real-time
+// threat intelligence that browsers — and therefore Custom Tabs — always
+// consult, but that WebViews can have disabled by the embedding app. The
+// paper argues this asymmetry is one reason ad SDKs' WebView use exposes
+// users: malicious ad landing pages that a browser would block load
+// silently in a WebView with Safe Browsing turned off.
+package safebrowsing
+
+import (
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// Verdict is a Safe Browsing lookup result.
+type Verdict int
+
+// Verdicts.
+const (
+	Safe Verdict = iota
+	Malware
+	SocialEngineering // phishing
+	UnwantedSoftware
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Malware:
+		return "MALWARE"
+	case SocialEngineering:
+		return "SOCIAL_ENGINEERING"
+	case UnwantedSoftware:
+		return "UNWANTED_SOFTWARE"
+	default:
+		return "SAFE"
+	}
+}
+
+// List is a threat list: host (or host-suffix) → verdict. Lookups are
+// concurrency-safe; updates mirror the incremental list updates the real
+// service pushes.
+type List struct {
+	mu      sync.RWMutex
+	entries map[string]Verdict
+}
+
+// NewList returns an empty threat list.
+func NewList() *List {
+	return &List{entries: make(map[string]Verdict)}
+}
+
+// Add flags a host (and its subdomains) with a verdict.
+func (l *List) Add(host string, v Verdict) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[strings.ToLower(host)] = v
+}
+
+// Remove clears a host's entry.
+func (l *List) Remove(host string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.entries, strings.ToLower(host))
+}
+
+// Check looks up a URL. Unknown hosts are Safe; flagged hosts cover their
+// subdomains, as real list matching does.
+func (l *List) Check(rawURL string) Verdict {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return Safe
+	}
+	host := strings.ToLower(u.Hostname())
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for host != "" {
+		if v, ok := l.entries[host]; ok {
+			return v
+		}
+		dot := strings.IndexByte(host, '.')
+		if dot < 0 {
+			return Safe
+		}
+		host = host[dot+1:]
+	}
+	return Safe
+}
+
+// Blocked reports whether a verdict warrants an interstitial.
+func (v Verdict) Blocked() bool { return v != Safe }
+
+// BlockedError is returned by navigation layers when Safe Browsing
+// intercepts a load.
+type BlockedError struct {
+	URL     string
+	Verdict Verdict
+}
+
+func (e *BlockedError) Error() string {
+	return "safebrowsing: blocked " + e.URL + " (" + e.Verdict.String() + ")"
+}

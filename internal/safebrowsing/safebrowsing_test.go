@@ -1,0 +1,43 @@
+package safebrowsing
+
+import "testing"
+
+func TestListLookup(t *testing.T) {
+	l := NewList()
+	l.Add("evil.example", Malware)
+	l.Add("phish.example", SocialEngineering)
+	cases := []struct {
+		url  string
+		want Verdict
+	}{
+		{"https://evil.example/landing", Malware},
+		{"https://sub.deep.evil.example/x", Malware}, // subdomain coverage
+		{"https://phish.example/", SocialEngineering},
+		{"https://good.example/", Safe},
+		{"http://EVIL.example/", Malware}, // case-insensitive
+		{"::not a url::", Safe},
+	}
+	for _, c := range cases {
+		if got := l.Check(c.url); got != c.want {
+			t.Errorf("Check(%q) = %s, want %s", c.url, got, c.want)
+		}
+	}
+	l.Remove("evil.example")
+	if l.Check("https://evil.example/") != Safe {
+		t.Error("Remove had no effect")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Safe: "SAFE", Malware: "MALWARE",
+		SocialEngineering: "SOCIAL_ENGINEERING", UnwantedSoftware: "UNWANTED_SOFTWARE",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %s", v, v.String())
+		}
+	}
+	if Safe.Blocked() || !Malware.Blocked() {
+		t.Error("Blocked() wrong")
+	}
+}

@@ -1,0 +1,242 @@
+package sdkindex
+
+import "fmt"
+
+// The catalog construction below reproduces the paper's SDK landscape. Named
+// entries carry the exact app counts of Tables 4 and 5; filler entries pad
+// each category to the SDK counts of Table 3:
+//
+//	Category        WV  CT  both      Category        WV  CT  both
+//	Advertising     46   3   3        Authentication   7  10   6
+//	Payments        15   6   5        Unknown         10   4   4
+//	Dev Tools       11   7   5        Hybrid           6   7   5
+//	Engagement      12   0   0        Utility          4   2   2
+//	Social          10   6   4        User Support     4   0   0
+//	                                  Total          125  45  34
+//
+// ("Use WebViews"/"Use CT" are inclusive of "both", matching the abstract's
+// 125/45/34 phrasing.)
+
+// table3 is the SDK-count matrix the catalog must satisfy.
+var table3 = map[Category][3]int{
+	Advertising:    {46, 3, 3},
+	Payments:       {15, 6, 5},
+	DevTools:       {11, 7, 5},
+	Engagement:     {12, 0, 0},
+	Social:         {10, 6, 4},
+	Authentication: {7, 10, 6},
+	Unknown:        {10, 4, 4},
+	Hybrid:         {6, 7, 5},
+	Utility:        {4, 2, 2},
+	UserSupport:    {4, 0, 0},
+}
+
+// Table3 returns a copy of the target SDK-count matrix (WebView, CT, both).
+func Table3() map[Category][3]int {
+	out := make(map[Category][3]int, len(table3))
+	for k, v := range table3 {
+		out[k] = v
+	}
+	return out
+}
+
+// named SDKs, straight from Tables 4 and 5. An entry present in both tables
+// (NAVER, Kakao, Ticketmaster, Cube Storm, …) carries both counts and is a
+// "both" SDK. A handful of named SDKs are marked both to satisfy the Table 3
+// matrix even where the paper reports only one side (their other-side count
+// is set to a small value): HyprMX, Linkvertise and Taboola "also utilized
+// WebViews" (§4.1.1); Juspay/Ticketmaster/Checkout "also support WebViews"
+// (§4.1.4); android-customtabs exists to fall back to WebViews (§4.1.3).
+var named = []SDK{
+	// Advertising — WebView (Table 4).
+	{Name: "AppLovin", Package: "com.applovin", Category: Advertising, WebViewApps: 27397},
+	{Name: "ironSource", Package: "com.ironsource", Category: Advertising, WebViewApps: 16326},
+	{Name: "ByteDance", Package: "com.bytedance.sdk", Category: Advertising, WebViewApps: 13080},
+	{Name: "InMobi", Package: "com.inmobi", Category: Advertising, WebViewApps: 10066},
+	{Name: "Digital Turbine", Package: "com.fyber", Category: Advertising, WebViewApps: 8654},
+	// Advertising — CT (Table 5); all three also use WebViews.
+	{Name: "HyprMX", Package: "com.hyprmx", Category: Advertising, WebViewApps: 1257, CTApps: 1257},
+	{Name: "Linkvertise", Package: "com.linkvertise", Category: Advertising, WebViewApps: 383, CTApps: 383},
+	{Name: "Taboola", Package: "com.taboola", Category: Advertising, WebViewApps: 317, CTApps: 317},
+
+	// Engagement — WebView only (Table 4; no CT engagement SDKs found).
+	{Name: "Open Measurement", Package: "com.iab.omid", Category: Engagement, WebViewApps: 11333},
+	{Name: "SafeDK", Package: "com.safedk", Category: Engagement, WebViewApps: 7427},
+	{Name: "Airship", Package: "com.urbanairship", Category: Engagement, WebViewApps: 652},
+	{Name: "Branch", Package: "io.branch", Category: Engagement, WebViewApps: 514},
+
+	// Development Tools.
+	{Name: "Flutter", Package: "io.flutter", Category: DevTools, WebViewApps: 5568},
+	{Name: "InAppWebView", Package: "com.pichillilorenzo.flutter_inappwebview", Category: DevTools, WebViewApps: 1868},
+	{Name: "Corona", Package: "com.ansca.corona", Category: DevTools, WebViewApps: 449},
+	{Name: "AdvancedWebView", Package: "im.delight.android.webview", Category: DevTools, WebViewApps: 386},
+	{Name: "android-customtabs", Package: "saschpe.android.customtabs", Category: DevTools, WebViewApps: 53, CTApps: 53},
+	{Name: "GoodBarber", Package: "com.goodbarber", Category: DevTools, CTApps: 48},
+	{Name: "Mobiroller", Package: "com.mobiroller", Category: DevTools, CTApps: 27},
+
+	// Payments.
+	{Name: "Stripe", Package: "com.stripe", Category: Payments, WebViewApps: 1171},
+	{Name: "RazorPay", Package: "com.razorpay", Category: Payments, WebViewApps: 484},
+	{Name: "PayTM", Package: "net.one97.paytm", Category: Payments, WebViewApps: 400},
+	{Name: "Juspay", Package: "in.juspay", Category: Payments, WebViewApps: 77, CTApps: 77},
+	{Name: "Ticketmaster Checkout", Package: "com.ticketmaster.checkout", Category: Payments, WebViewApps: 47, CTApps: 47},
+	{Name: "Checkout", Package: "com.checkout", Category: Payments, WebViewApps: 47, CTApps: 47},
+
+	// User Support — WebView only.
+	{Name: "Zendesk", Package: "zendesk.core", Category: UserSupport, WebViewApps: 1000},
+	{Name: "Freshchat", Package: "com.freshchat", Category: UserSupport, WebViewApps: 438},
+	{Name: "LicensesDialog", Package: "de.psdev.licensesdialog", Category: UserSupport, WebViewApps: 129},
+
+	// Social.
+	{Name: "VK", Package: "com.vk.sdk", Category: Social, WebViewApps: 456},
+	{Name: "NAVER", Package: "com.navercorp.nid", Category: Social, WebViewApps: 406, CTApps: 157},
+	{Name: "Kakao", Package: "com.kakao.sdk", Category: Social, WebViewApps: 347, CTApps: 54},
+	{Name: "Facebook", Package: "com.facebook", Category: Social, CTApps: 23234},
+
+	// Utility.
+	{Name: "NAVER Maps", Package: "com.naver.maps", Category: Utility, WebViewApps: 130},
+	{Name: "Barcode Scanner", Package: "com.google.zxing", Category: Utility, WebViewApps: 129},
+	{Name: "Ticketmaster", Package: "com.ticketmaster.tickets", Category: Utility, WebViewApps: 64, CTApps: 55},
+	{Name: "MyChart", Package: "epic.mychart", Category: Utility, WebViewApps: 16, CTApps: 16},
+
+	// Authentication.
+	{Name: "Gigya", Package: "com.gigya", Category: Authentication, WebViewApps: 120},
+	{Name: "NAVER Identity", Package: "com.navercorp.nid.identity", Category: Authentication, WebViewApps: 90, CTApps: 81},
+	{Name: "Amazon Identity", Package: "com.amazon.identity", Category: Authentication, WebViewApps: 37, CTApps: 11},
+	{Name: "Google Firebase", Package: "com.google.firebase.auth", Category: Authentication, CTApps: 7565},
+	{Name: "AdobePass", Package: "com.adobe.adobepass", Category: Authentication, CTApps: 55},
+
+	// Hybrid Functionality.
+	{Name: "Baby Panda World", Package: "com.sinyee.babybus", Category: Hybrid, WebViewApps: 194},
+	{Name: "SoftCraft", Package: "com.softcraft", Category: Hybrid, WebViewApps: 15, CTApps: 12},
+	{Name: "Cube Storm", Package: "com.cubestorm", Category: Hybrid, WebViewApps: 14, CTApps: 14},
+	{Name: "Scripps News", Package: "com.scripps.news", Category: Hybrid, CTApps: 13},
+}
+
+// Catalog returns the full SDK catalog: named entries, deterministic filler
+// entries padding each category to the Table 3 matrix, and the excluded
+// com.google.android entry. It panics if the construction cannot satisfy
+// the matrix (a programming error caught by tests).
+func Catalog() []SDK {
+	out := make([]SDK, 0, 160)
+	out = append(out, named...)
+
+	for _, cat := range Categories {
+		want := table3[cat]
+		have := countFor(out, cat)
+		slug := slugOf(cat)
+
+		// Filler "both" SDKs first, then WebView-only, then CT-only.
+		serial := 0
+		mk := func(kind string, wv, ct int) SDK {
+			serial++
+			return SDK{
+				Name:        fmt.Sprintf("%s %s %02d", displayOf(cat), kind, serial),
+				Package:     fmt.Sprintf("com.%s.%s%02d", slug, kind, serial),
+				Category:    cat,
+				WebViewApps: wv,
+				CTApps:      ct,
+				Obfuscated:  cat == Unknown && serial <= 4,
+			}
+		}
+		for have[2] < want[2] {
+			s := mk("dual", fillerCount(cat, serial), fillerCount(cat, serial+3)/2+101)
+			out = append(out, s)
+			have[0]++
+			have[1]++
+			have[2]++
+		}
+		for have[0] < want[0] {
+			out = append(out, mk("wv", fillerCount(cat, serial), 0))
+			have[0]++
+		}
+		for have[1] < want[1] {
+			out = append(out, mk("ct", 0, fillerCount(cat, serial)))
+			have[1]++
+		}
+		if have != want {
+			panic(fmt.Sprintf("sdkindex: category %s has %v SDKs, want %v (named entries overfill the matrix)", cat, have, want))
+		}
+	}
+
+	out = append(out, SDK{
+		Name:     "Google Android SDK",
+		Package:  "com.google.android",
+		Category: Unknown,
+		Excluded: true,
+	})
+	return out
+}
+
+func countFor(sdks []SDK, cat Category) [3]int {
+	var v [3]int
+	for i := range sdks {
+		s := &sdks[i]
+		if s.Category != cat || s.Excluded {
+			continue
+		}
+		if s.UsesWebView() {
+			v[0]++
+		}
+		if s.UsesCT() {
+			v[1]++
+		}
+		if s.UsesBoth() {
+			v[2]++
+		}
+	}
+	return v
+}
+
+// fillerCount produces decreasing app counts for filler SDKs, always above
+// the paper's >100-apps package threshold and below the smallest named SDK
+// of large categories.
+func fillerCount(cat Category, serial int) int {
+	base := 2400
+	if cat == Advertising || cat == Engagement {
+		base = 4800
+	}
+	n := base / (serial + 1)
+	if n < 110 {
+		n = 110
+	}
+	return n
+}
+
+func slugOf(c Category) string {
+	switch c {
+	case Advertising:
+		return "adnet"
+	case Engagement:
+		return "measure"
+	case DevTools:
+		return "devkit"
+	case Payments:
+		return "payproc"
+	case UserSupport:
+		return "support"
+	case Social:
+		return "socialkit"
+	case Utility:
+		return "utilsdk"
+	case Authentication:
+		return "idp"
+	case Hybrid:
+		return "hybridfx"
+	default:
+		return "unknownpkg"
+	}
+}
+
+func displayOf(c Category) string {
+	switch c {
+	case DevTools:
+		return "DevTool"
+	case UserSupport:
+		return "Support"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return string(c)
+	}
+}

@@ -1,0 +1,164 @@
+package sdkindex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	idx := Default()
+	got := idx.Counts()
+	for cat, want := range Table3() {
+		if got[cat] != want {
+			t.Errorf("%s: counts = %v, want %v", cat, got[cat], want)
+		}
+	}
+	wv, ct, both := idx.Totals()
+	if wv != 125 || ct != 45 || both != 34 {
+		t.Errorf("totals = (%d, %d, %d), want (125, 45, 34)", wv, ct, both)
+	}
+}
+
+func TestCatalogNamedEntries(t *testing.T) {
+	idx := Default()
+	cases := []struct {
+		pkg  string
+		name string
+		cat  Category
+		wv   int
+		ct   int
+	}{
+		{"com.applovin.adview", "AppLovin", Advertising, 27397, 0},
+		{"com.facebook.login.widget", "Facebook", Social, 0, 23234},
+		{"com.google.firebase.auth.internal", "Google Firebase", Authentication, 0, 7565},
+		{"io.flutter.plugins.urllauncher", "Flutter", DevTools, 5568, 0},
+		{"com.iab.omid.library", "Open Measurement", Engagement, 11333, 0},
+		{"zendesk.core.ui", "Zendesk", UserSupport, 1000, 0},
+		{"com.navercorp.nid.oauth", "NAVER", Social, 406, 157},
+		{"com.navercorp.nid.identity.login", "NAVER Identity", Authentication, 90, 81},
+		{"in.juspay.hypersdk", "Juspay", Payments, 77, 77},
+	}
+	for _, c := range cases {
+		s, ok := idx.Lookup(c.pkg)
+		if !ok {
+			t.Errorf("Lookup(%q): no match", c.pkg)
+			continue
+		}
+		if s.Name != c.name || s.Category != c.cat || s.WebViewApps != c.wv || s.CTApps != c.ct {
+			t.Errorf("Lookup(%q) = %q/%s wv=%d ct=%d, want %q/%s wv=%d ct=%d",
+				c.pkg, s.Name, s.Category, s.WebViewApps, s.CTApps, c.name, c.cat, c.wv, c.ct)
+		}
+	}
+}
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	idx := Default()
+	// com.navercorp.nid.identity must beat the shorter com.navercorp.nid.
+	s, ok := idx.Lookup("com.navercorp.nid.identity")
+	if !ok || s.Name != "NAVER Identity" {
+		t.Errorf("Lookup = %+v", s)
+	}
+	// The shorter prefix still matches its own subtree.
+	s, ok = idx.Lookup("com.navercorp.nid.oauth.view")
+	if !ok || s.Name != "NAVER" {
+		t.Errorf("Lookup = %+v", s)
+	}
+}
+
+func TestLookupUnlabeled(t *testing.T) {
+	idx := Default()
+	for _, pkg := range []string{"com.example.app", "org.nonexistent", "a"} {
+		if s, ok := idx.Lookup(pkg); ok {
+			t.Errorf("Lookup(%q) unexpectedly matched %q", pkg, s.Name)
+		}
+	}
+}
+
+func TestGoogleAndroidExcluded(t *testing.T) {
+	idx := Default()
+	s, ok := idx.Lookup("com.google.android.gms")
+	if !ok || !s.Excluded {
+		t.Errorf("com.google.android = %+v, want excluded entry", s)
+	}
+	// Excluded entries must not contribute to the Table 3 matrix.
+	wv, ct, _ := idx.Totals()
+	if wv != 125 || ct != 45 {
+		t.Errorf("excluded entry leaked into totals: (%d, %d)", wv, ct)
+	}
+}
+
+func TestFillerCountsAboveThreshold(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.Excluded {
+			continue
+		}
+		if s.UsesWebView() && s.WebViewApps <= 100 && s.CTApps == 0 {
+			t.Errorf("%s: WebViewApps = %d, below the >100 package threshold", s.Name, s.WebViewApps)
+		}
+		if !s.UsesWebView() && !s.UsesCT() {
+			t.Errorf("%s: uses neither surface", s.Name)
+		}
+	}
+}
+
+func TestObfuscatedUnknownPackages(t *testing.T) {
+	n := 0
+	for _, s := range Catalog() {
+		if s.Obfuscated {
+			if s.Category != Unknown {
+				t.Errorf("obfuscated SDK %s in category %s", s.Name, s.Category)
+			}
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("obfuscated packages = %d, want 4", n)
+	}
+}
+
+func TestUniquePackagePrefixes(t *testing.T) {
+	seen := make(map[string]string)
+	for _, s := range Catalog() {
+		if prev, dup := seen[s.Package]; dup {
+			t.Errorf("package %q used by both %q and %q", s.Package, prev, s.Name)
+		}
+		seen[s.Package] = s.Name
+	}
+}
+
+func TestPackagesAreWellFormed(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.Package == "" || strings.HasPrefix(s.Package, ".") || strings.HasSuffix(s.Package, ".") {
+			t.Errorf("%s: malformed package %q", s.Name, s.Package)
+		}
+	}
+}
+
+func TestTargetsCoverEveryCategory(t *testing.T) {
+	for _, cat := range Categories {
+		tg := TargetFor(cat)
+		if tg.Category != cat {
+			t.Errorf("TargetFor(%s) missing", cat)
+		}
+	}
+	// Spot-check the headline unions.
+	if tg := TargetFor(Advertising); tg.WebViewApps != 39163 {
+		t.Errorf("Advertising WV union = %d", tg.WebViewApps)
+	}
+	if tg := TargetFor(Social); tg.CTApps != 23807 {
+		t.Errorf("Social CT union = %d", tg.CTApps)
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	idx := Default()
+	ads := idx.ByCategory(Advertising)
+	if len(ads) != 46 {
+		t.Errorf("Advertising SDKs = %d, want 46", len(ads))
+	}
+	for _, s := range ads {
+		if !s.UsesWebView() {
+			t.Errorf("ad SDK %s does not use WebViews", s.Name)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package simhash implements locality-sensitive hashing of text and DOM
+// structure in the style of Cloaker Catcher [53], which Facebook and
+// Instagram's WebView-based IABs inject to detect client-side cloaking
+// (Table 8): similar pages produce hashes at small Hamming distance,
+// letting a server compare the page a user saw against the page its
+// crawler saw.
+package simhash
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Hash is a 64-bit similarity-preserving fingerprint.
+type Hash uint64
+
+// HammingDistance counts differing bits between two hashes.
+func HammingDistance(a, b Hash) int {
+	return bits.OnesCount64(uint64(a) ^ uint64(b))
+}
+
+// Similar reports whether two hashes are within the given Hamming radius.
+func Similar(a, b Hash, radius int) bool { return HammingDistance(a, b) <= radius }
+
+// features hashes each feature string and accumulates the signed bit
+// histogram that defines simhash.
+func fromFeatures(feats []string) Hash {
+	if len(feats) == 0 {
+		return 0
+	}
+	var counts [64]int
+	for _, f := range feats {
+		h := fnv.New64a()
+		h.Write([]byte(f))
+		v := h.Sum64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return Hash(out)
+}
+
+// Text fingerprints a text using word-level shingles (size 3), the
+// Cloaker Catcher text representation.
+func Text(text string) Hash {
+	words := strings.Fields(strings.ToLower(text))
+	if len(words) == 0 {
+		return 0
+	}
+	var feats []string
+	if len(words) < 3 {
+		feats = words
+	} else {
+		for i := 0; i+3 <= len(words); i++ {
+			feats = append(feats, strings.Join(words[i:i+3], " "))
+		}
+	}
+	return fromFeatures(feats)
+}
+
+// DOM fingerprints the element structure: parent→child tag bigrams, which
+// capture layout without content.
+func DOM(d *dom.Document) Hash {
+	var feats []string
+	d.Root.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		parent := "#root"
+		if n.Parent != nil && n.Parent.Type == dom.ElementNode {
+			parent = n.Parent.Tag
+		}
+		feats = append(feats, parent+">"+n.Tag)
+		return true
+	})
+	return fromFeatures(feats)
+}
+
+// TextAndDOM combines both representations, the third hash the FB/IG
+// injection reports.
+func TextAndDOM(d *dom.Document) Hash {
+	text := Text(d.Root.Text())
+	structure := DOM(d)
+	// Interleave bits from the two hashes so both views contribute.
+	var out uint64
+	for b := 0; b < 64; b++ {
+		var src Hash
+		if b%2 == 0 {
+			src = text
+		} else {
+			src = structure
+		}
+		if src&(1<<uint(b)) != 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return Hash(out)
+}

@@ -1,0 +1,78 @@
+package simhash
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+)
+
+const article = `The quick brown fox jumps over the lazy dog while the
+sun sets behind the distant mountains and the river flows quietly through
+the valley carrying leaves and memories of the long summer days`
+
+func TestIdenticalTextsCollide(t *testing.T) {
+	if Text(article) != Text(article) {
+		t.Error("identical texts hash differently")
+	}
+}
+
+func TestSimilarTextsAreClose(t *testing.T) {
+	perturbed := strings.Replace(article, "quick", "fast", 1)
+	d := HammingDistance(Text(article), Text(perturbed))
+	if d > 16 {
+		t.Errorf("one-word change moved hash by %d bits", d)
+	}
+	if !Similar(Text(article), Text(perturbed), 16) {
+		t.Error("similar texts not Similar")
+	}
+}
+
+func TestDissimilarTextsAreFar(t *testing.T) {
+	other := `completely different content about cryptographic protocols
+and their formal verification using model checking temporal logic and
+abstract interpretation frameworks in distributed systems research papers`
+	d := HammingDistance(Text(article), Text(other))
+	if d < 10 {
+		t.Errorf("unrelated texts only %d bits apart", d)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Text("") != 0 {
+		t.Error("empty text hash non-zero")
+	}
+	if Text("one two") == 0 {
+		t.Error("short text hash zero")
+	}
+}
+
+func TestDOMHashing(t *testing.T) {
+	a := dom.Parse(`<html><body><div><p>x</p><p>y</p></div></body></html>`)
+	b := dom.Parse(`<html><body><div><p>different text</p><p>entirely</p></div></body></html>`)
+	c := dom.Parse(`<html><body><table><tr><td>x</td></tr></table><ul><li>q</li></ul></body></html>`)
+	// Same structure, different text: identical DOM hash.
+	if DOM(a) != DOM(b) {
+		t.Error("same-structure documents hash differently")
+	}
+	if HammingDistance(DOM(a), DOM(c)) < 8 {
+		t.Error("different structures too close")
+	}
+	// Combined hash differs when text differs.
+	if TextAndDOM(a) == TextAndDOM(b) {
+		t.Error("combined hash ignores text")
+	}
+}
+
+func TestHammingDistanceProperties(t *testing.T) {
+	prop := func(a, b uint64) bool {
+		d := HammingDistance(Hash(a), Hash(b))
+		return d >= 0 && d <= 64 &&
+			d == HammingDistance(Hash(b), Hash(a)) &&
+			(a != b || d == 0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

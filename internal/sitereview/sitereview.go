@@ -1,0 +1,82 @@
+// Package sitereview classifies network endpoints by kind, standing in for
+// the Symantec Sitereview domain-classification service the paper uses to
+// type the endpoints its IAB crawls contacted (Figure 6, [93]).
+package sitereview
+
+import "strings"
+
+// Kind is an endpoint class.
+type Kind string
+
+// Endpoint kinds distinguished in Figure 6.
+const (
+	Tracker      Kind = "Tracker"       // measurement/telemetry collectors
+	AdNetwork    Kind = "Ad Network"    // bidding, serving, impression endpoints
+	CDN          Kind = "CDN"           // content delivery
+	OwnService   Kind = "Own Service"   // the embedding app's own backend
+	SearchEngine Kind = "Search Engine" //
+	Content      Kind = "Content"       // ordinary web content
+)
+
+// trackerMarkers and adMarkers are keyword heuristics over host names, the
+// same granularity a domain-classification service provides.
+var trackerMarkers = []string{
+	"radar", "cedexis", "beacon", "pixel", "metrics", "collector",
+	"telemetry", "perf.", "px.", "analytics", "cookie-sync", "imp-track",
+}
+
+var adMarkers = []string{
+	"ads.", "adx.", "doubleclick", "mopub", "inmobi", "bid", "rtb",
+	"vast", "banner", "pop.", "supply", "dsp", "ssp", "openbidder",
+	"header-wrap", "preroll", "fill-rate", "video-mediate", "adnet",
+	"cross-bid", "fallback-fill", "pagead",
+}
+
+var cdnMarkers = []string{
+	"cdn", "cloudfront", "akamai", "fastly", "edgecast", "static.",
+}
+
+var searchMarkers = []string{"search", "google.com", "bing.com"}
+
+// Classify types one endpoint host. ownDomains lists the embedding app's
+// own domains (e.g. linkedin.com, licdn.com for LinkedIn): endpoints under
+// them classify as OwnService even when they would otherwise look like
+// trackers (perf.linkedin.com is LinkedIn's own performance monitoring).
+func Classify(host string, ownDomains []string) Kind {
+	h := strings.ToLower(host)
+	for _, own := range ownDomains {
+		if h == own || strings.HasSuffix(h, "."+own) {
+			return OwnService
+		}
+	}
+	for _, m := range trackerMarkers {
+		if strings.Contains(h, m) {
+			return Tracker
+		}
+	}
+	for _, m := range adMarkers {
+		if strings.Contains(h, m) {
+			return AdNetwork
+		}
+	}
+	for _, m := range cdnMarkers {
+		if strings.Contains(h, m) {
+			return CDN
+		}
+	}
+	for _, m := range searchMarkers {
+		if strings.Contains(h, m) {
+			return SearchEngine
+		}
+	}
+	return Content
+}
+
+// Histogram counts hosts per kind.
+func Histogram(hosts []string, ownDomains []string) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, h := range hosts {
+		out[Classify(h, ownDomains)]++
+	}
+	return out
+}

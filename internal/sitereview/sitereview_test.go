@@ -1,0 +1,55 @@
+package sitereview
+
+import "testing"
+
+func TestClassifyKnownEndpoints(t *testing.T) {
+	cases := []struct {
+		host string
+		own  []string
+		want Kind
+	}{
+		{"a.cedexis-radar.net", nil, Tracker},
+		{"radar.cedexis.com", nil, Tracker},
+		{"beacon.imp-track.net", nil, Tracker},
+		{"ads.mopub.com", nil, AdNetwork},
+		{"supply.inmobicdn.net", nil, AdNetwork},
+		{"googleads.g.doubleclick.net", nil, AdNetwork},
+		{"rtb.supply-side.net", nil, AdNetwork},
+		{"d2mxb7.cloudfront.net", nil, CDN},
+		{"img-cdn.licdn.com", []string{"licdn.com"}, OwnService},
+		{"perf.linkedin.com", []string{"linkedin.com", "licdn.com"}, OwnService},
+		{"px.ads.linkedin.com", []string{"linkedin.com"}, OwnService},
+		{"perf.linkedin.com", nil, Tracker}, // without own-domain knowledge
+		{"www.google.com", nil, SearchEngine},
+		{"news-site-01.example", nil, Content},
+	}
+	for _, c := range cases {
+		if got := Classify(c.host, c.own); got != c.want {
+			t.Errorf("Classify(%q, %v) = %s, want %s", c.host, c.own, got, c.want)
+		}
+	}
+}
+
+func TestOwnDomainsTrumpHeuristics(t *testing.T) {
+	// A tracker-looking host under the app's own domain is OwnService.
+	if got := Classify("metrics.myapp.com", []string{"myapp.com"}); got != OwnService {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	hosts := []string{
+		"ads.mopub.com", "supply.inmobicdn.net", "a.cedexis-radar.net",
+		"d2mxb7.cloudfront.net", "plain-content.example",
+	}
+	h := Histogram(hosts, nil)
+	if h[AdNetwork] != 2 || h[Tracker] != 1 || h[CDN] != 1 || h[Content] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestClassifyCaseInsensitive(t *testing.T) {
+	if got := Classify("ADS.MoPub.COM", nil); got != AdNetwork {
+		t.Errorf("got %s", got)
+	}
+}

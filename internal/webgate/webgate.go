@@ -1,0 +1,91 @@
+// Package webgate implements the website-side countermeasures the paper
+// recommends (§5): every request a WebView makes carries an
+// X-Requested-With header with the embedding app's package name (and a
+// "; wv" user-agent marker), so sites can detect in-app WebView sessions
+// and warn or refuse sensitive actions — the way Facebook disables login
+// from WebViews (Figure 5) while the same flow works in a Custom Tab.
+package webgate
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/android"
+)
+
+// Detection describes how a request's browsing context was identified.
+type Detection struct {
+	IsWebView  bool
+	AppPackage string // from X-Requested-With, when present
+	ViaUA      bool   // the "; wv" user-agent marker matched
+}
+
+// Detect classifies one request.
+func Detect(r *http.Request) Detection {
+	d := Detection{AppPackage: r.Header.Get(android.XRequestedWithHeader)}
+	if d.AppPackage != "" {
+		d.IsWebView = true
+	}
+	if strings.Contains(r.UserAgent(), "; wv") {
+		d.IsWebView = true
+		d.ViaUA = true
+	}
+	return d
+}
+
+// Policy selects the countermeasure.
+type Policy int
+
+// Policies, in escalating strictness (§5's range from prompting to
+// Facebook's outright block).
+const (
+	// Allow serves WebView sessions normally.
+	Allow Policy = iota
+	// Warn serves the page with an interstitial notice.
+	Warn
+	// Block refuses the action for WebView sessions (Figure 5).
+	Block
+)
+
+// Gate wraps sensitive handlers with WebView detection.
+type Gate struct {
+	Policy Policy
+	// BlockedHTML is served on Block; empty uses the Figure 5-style page.
+	BlockedHTML string
+	// OnDetect observes every detection (for telemetry/tests).
+	OnDetect func(Detection)
+}
+
+// DefaultBlockedHTML mirrors Facebook's "Log in Disabled" interstitial.
+const DefaultBlockedHTML = `<!DOCTYPE html>
+<html><head><title>Log in Disabled</title></head><body>
+<h1>For your account security, logging in within embedded browsers is disabled.</h1>
+<p>Open this page in your browser to continue.</p>
+</body></html>`
+
+// Middleware wraps next with the gate.
+func (g *Gate) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := Detect(r)
+		if g.OnDetect != nil {
+			g.OnDetect(d)
+		}
+		if !d.IsWebView || g.Policy == Allow {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch g.Policy {
+		case Warn:
+			w.Header().Set("X-WebView-Warning", "embedded-browser-session")
+			next.ServeHTTP(w, r)
+		default: // Block
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			w.WriteHeader(http.StatusForbidden)
+			html := g.BlockedHTML
+			if html == "" {
+				html = DefaultBlockedHTML
+			}
+			w.Write([]byte(html))
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package webgate
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/customtabs"
+	"repro/internal/internet"
+	"repro/internal/webview"
+)
+
+// loginSite wires facebook.example with a gated login page.
+func loginSite(policy Policy) (*internet.Internet, *[]Detection) {
+	var detections []Detection
+	gate := &Gate{Policy: policy, OnDetect: func(d Detection) { detections = append(detections, d) }}
+	login := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>Log in</title></head><body><form id="login"><input name="email"></form></body></html>`))
+	})
+	net := internet.New()
+	net.Register("facebook.example", gate.Middleware(login))
+	return net, &detections
+}
+
+// Figure 5: login from a WebView is refused; the same URL in a Custom Tab
+// works.
+func TestFigure5LoginDisabledInWebView(t *testing.T) {
+	net, detections := loginSite(Block)
+
+	wv := webview.New(webview.Config{ID: "wv", AppPackage: "com.some.app", Client: net.Client()})
+	wv.GetSettings().JavaScriptEnabled = true
+	if err := wv.LoadURL(context.Background(), "https://facebook.example/login"); err == nil {
+		t.Fatal("blocked login page loaded without error")
+	} else if !strings.Contains(err.Error(), "403") {
+		t.Fatalf("err = %v, want 403", err)
+	}
+
+	b := customtabs.NewBrowser("chrome", nil)
+	b.Client.Transport = net
+	sess, err := b.LaunchURL(context.Background(), customtabs.Intent{}, "https://facebook.example/login")
+	if err != nil {
+		t.Fatalf("CT login failed: %v", err)
+	}
+	if sess.Title != "Log in" {
+		t.Errorf("CT login title = %q", sess.Title)
+	}
+
+	// The site detected the WebView via the header WebViews cannot remove.
+	var sawWV, sawCT bool
+	for _, d := range *detections {
+		if d.IsWebView && d.AppPackage == "com.some.app" {
+			sawWV = true
+		}
+		if !d.IsWebView {
+			sawCT = true
+		}
+	}
+	if !sawWV || !sawCT {
+		t.Errorf("detections = %+v", *detections)
+	}
+}
+
+func TestDetectViaUserAgentOnly(t *testing.T) {
+	req, _ := http.NewRequest("GET", "https://x.example/", nil)
+	req.Header.Set("User-Agent", "Mozilla/5.0 (Linux; Android 12) Chrome/110.0 Mobile Safari/537.36; wv")
+	d := Detect(req)
+	if !d.IsWebView || !d.ViaUA {
+		t.Errorf("detection = %+v", d)
+	}
+	req2, _ := http.NewRequest("GET", "https://x.example/", nil)
+	req2.Header.Set("User-Agent", "Mozilla/5.0 Chrome/110.0")
+	if Detect(req2).IsWebView {
+		t.Error("plain browser detected as WebView")
+	}
+}
+
+func TestWarnPolicyServesWithHeader(t *testing.T) {
+	net, _ := loginSite(Warn)
+	wv := webview.New(webview.Config{ID: "wv", AppPackage: "com.some.app", Client: net.Client()})
+	if err := wv.LoadURL(context.Background(), "https://facebook.example/login"); err != nil {
+		t.Fatalf("warn policy blocked the load: %v", err)
+	}
+	if wv.Page().Doc.Title != "Log in" {
+		t.Errorf("title = %q", wv.Page().Doc.Title)
+	}
+	// Direct check of the warning header.
+	resp, err := net.Client().Do(mustReq(t, "https://facebook.example/login", "com.some.app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.Header.Get("X-WebView-Warning") == "" {
+		t.Error("warning header missing")
+	}
+}
+
+func TestAllowPolicy(t *testing.T) {
+	net, _ := loginSite(Allow)
+	wv := webview.New(webview.Config{ID: "wv", AppPackage: "com.some.app", Client: net.Client()})
+	if err := wv.LoadURL(context.Background(), "https://facebook.example/login"); err != nil {
+		t.Fatalf("allow policy failed: %v", err)
+	}
+}
+
+func TestBlockedPageContent(t *testing.T) {
+	net, _ := loginSite(Block)
+	resp, err := net.Client().Do(mustReq(t, "https://facebook.example/login", "com.app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "Log in Disabled") {
+		t.Errorf("body = %s", body)
+	}
+}
+
+func mustReq(t *testing.T, url, app string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Requested-With", app)
+	return req
+}

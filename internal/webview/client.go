@@ -1,0 +1,86 @@
+package webview
+
+import (
+	"net/http"
+	"net/url"
+)
+
+// WebViewClient mirrors android.webkit.WebViewClient: the callback object
+// through which the embedding app observes and intercepts navigation.
+// shouldOverrideUrlLoading is how real IABs capture link taps, and
+// onPageFinished is where they trigger their injections — the control
+// points the paper's threat model turns on.
+type WebViewClient struct {
+	// ShouldOverrideURLLoading returns true when the app consumes the
+	// navigation itself (the WebView then does not load it).
+	ShouldOverrideURLLoading func(url string) bool
+	// OnPageStarted fires before a page load begins.
+	OnPageStarted func(url string)
+	// OnPageFinished fires after the page (and its resources) loaded.
+	OnPageFinished func(url string)
+	// OnReceivedError fires when a load fails.
+	OnReceivedError func(url string, err error)
+}
+
+// SetWebViewClient installs the navigation callback object
+// (WebView.setWebViewClient).
+func (w *WebView) SetWebViewClient(c *WebViewClient) {
+	w.fire("setWebViewClient")
+	w.mu.Lock()
+	w.webViewClient = c
+	w.mu.Unlock()
+}
+
+func (w *WebView) client0() *WebViewClient {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.webViewClient
+}
+
+// CookieManager mirrors android.webkit.CookieManager: the embedding app
+// can read (and plant) every cookie its WebView holds — including session
+// cookies set by third-party sites the user logs into. This is the
+// cookie/credential-theft vector of Table 1 that a Custom Tab structurally
+// prevents (the app never sees the browser's jar).
+type CookieManager struct {
+	jar http.CookieJar
+}
+
+// CookieManager returns the app-visible cookie store of this WebView.
+func (w *WebView) CookieManager() *CookieManager {
+	return &CookieManager{jar: w.client.Jar}
+}
+
+// GetCookie returns the Cookie header value the WebView would send to the
+// URL ("" when none or the store is absent), as CookieManager.getCookie.
+func (cm *CookieManager) GetCookie(rawURL string) string {
+	if cm.jar == nil {
+		return ""
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	cookies := cm.jar.Cookies(u)
+	out := ""
+	for i, c := range cookies {
+		if i > 0 {
+			out += "; "
+		}
+		out += c.Name + "=" + c.Value
+	}
+	return out
+}
+
+// SetCookie plants a cookie for the URL's host, as CookieManager.setCookie.
+func (cm *CookieManager) SetCookie(rawURL, name, value string) bool {
+	if cm.jar == nil {
+		return false
+	}
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return false
+	}
+	cm.jar.SetCookies(u, []*http.Cookie{{Name: name, Value: value}})
+	return true
+}

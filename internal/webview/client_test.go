@@ -1,0 +1,203 @@
+package webview
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jsvm"
+)
+
+func clientSite(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.SetCookie(w, &http.Cookie{Name: "sid", Value: "secret-session-token"})
+		w.Write([]byte(`<html><head><title>Bank</title></head><body><p>balance</p></body></html>`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestWebViewClientCallbacks(t *testing.T) {
+	srv := clientSite(t)
+	wv := New(Config{ID: "wv", AppPackage: "app", Client: srv.Client()})
+	var events []string
+	wv.SetWebViewClient(&WebViewClient{
+		OnPageStarted:  func(u string) { events = append(events, "started:"+u) },
+		OnPageFinished: func(u string) { events = append(events, "finished:"+u) },
+	})
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != "started:"+srv.URL+"/" || events[1] != "finished:"+srv.URL+"/" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestShouldOverrideURLLoading(t *testing.T) {
+	srv := clientSite(t)
+	wv := New(Config{ID: "wv", AppPackage: "app", Client: srv.Client()})
+	intercepted := []string{}
+	wv.SetWebViewClient(&WebViewClient{
+		ShouldOverrideURLLoading: func(u string) bool {
+			intercepted = append(intercepted, u)
+			return true // app consumes every navigation
+		},
+	})
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Page() != nil {
+		t.Error("overridden navigation still loaded a page")
+	}
+	if len(intercepted) != 1 {
+		t.Errorf("intercepted = %v", intercepted)
+	}
+}
+
+func TestOnReceivedError(t *testing.T) {
+	wv := New(Config{ID: "wv", AppPackage: "app"})
+	var failed string
+	wv.SetWebViewClient(&WebViewClient{
+		OnReceivedError: func(u string, err error) { failed = u },
+	})
+	if err := wv.LoadURL(context.Background(), "http://127.0.0.1:1/x"); err == nil {
+		t.Fatal("load succeeded")
+	}
+	if failed != "http://127.0.0.1:1/x" {
+		t.Errorf("OnReceivedError url = %q", failed)
+	}
+}
+
+// Table 1's cookie-theft vector: the embedding app reads the session
+// cookie a third-party site set inside its WebView — the capability a
+// Custom Tab structurally withholds from apps.
+func TestCookieManagerExposesThirdPartySessions(t *testing.T) {
+	srv := clientSite(t)
+	jar, _ := cookiejar.New(nil)
+	wv := New(Config{ID: "wv", AppPackage: "com.host.app",
+		Client: &http.Client{Jar: jar, Transport: srv.Client().Transport}})
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	got := wv.CookieManager().GetCookie(srv.URL + "/")
+	if got != "sid=secret-session-token" {
+		t.Errorf("GetCookie = %q — the app should see the site's session", got)
+	}
+}
+
+func TestCookieManagerSetCookie(t *testing.T) {
+	srv := clientSite(t)
+	jar, _ := cookiejar.New(nil)
+	wv := New(Config{ID: "wv", AppPackage: "app",
+		Client: &http.Client{Jar: jar, Transport: srv.Client().Transport}})
+	cm := wv.CookieManager()
+	if !cm.SetCookie(srv.URL+"/", "planted", "by-app") {
+		t.Fatal("SetCookie failed")
+	}
+	if got := cm.GetCookie(srv.URL + "/"); got != "planted=by-app" {
+		t.Errorf("GetCookie = %q", got)
+	}
+	if cm.SetCookie("::bad::", "a", "b") {
+		t.Error("SetCookie accepted malformed URL")
+	}
+}
+
+func TestCookieManagerNoJar(t *testing.T) {
+	srv := clientSite(t)
+	// srv.Client() has no jar: GetCookie must degrade to "".
+	wv := New(Config{ID: "wv", AppPackage: "app", Client: srv.Client()})
+	if got := wv.CookieManager().GetCookie(srv.URL + "/"); got != "" {
+		t.Errorf("GetCookie without jar = %q", got)
+	}
+}
+
+// The Luo et al. threat model inverted: a MALICIOUS PAGE calling an
+// over-privileged bridge a benign app exposed. The page's own script (not
+// injected code) reaches the app's Java object.
+func TestMaliciousPageCallsExposedBridge(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>evil</title></head><body>
+<script>
+if (typeof UserDataBridge !== "undefined") {
+    var stolen = UserDataBridge.getContactInfo();
+    window.__exfil = stolen;
+}
+</script></body></html>`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	wv := New(Config{ID: "wv", AppPackage: "com.benign.app", Client: srv.Client()})
+	wv.GetSettings().JavaScriptEnabled = true
+	bridge := jsvm.NewObject()
+	bridge.SetFunc("getContactInfo", func(c jsvm.Call) (jsvm.Value, error) {
+		return jsvm.String("alice@example.com"), nil
+	})
+	wv.AddJavascriptInterface(bridge, "UserDataBridge")
+
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if got := wv.Page().VM.Global.Get("__exfil").StringValue(); got != "alice@example.com" {
+		t.Errorf("__exfil = %q — page script should reach the bridge", got)
+	}
+}
+
+func TestErrorsPreserveSentinelWrapping(t *testing.T) {
+	wv := New(Config{ID: "wv", AppPackage: "app"})
+	err := wv.LoadURL(context.Background(), "http://127.0.0.1:1/x")
+	var urlErr error = err
+	if urlErr == nil || errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGoBack(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/a", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>A</title></head><body><a href="/b">b</a></body></html>`))
+	})
+	mux.HandleFunc("/b", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`<html><head><title>B</title></head><body>second</body></html>`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	wv := New(Config{ID: "wv", AppPackage: "app", Client: srv.Client()})
+	ctx := context.Background()
+	if wv.CanGoBack() {
+		t.Error("CanGoBack before any load")
+	}
+	if err := wv.GoBack(ctx); err != nil {
+		t.Fatalf("no-op GoBack errored: %v", err)
+	}
+	if err := wv.LoadURL(ctx, srv.URL+"/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.LoadURL(ctx, srv.URL+"/b"); err != nil {
+		t.Fatal(err)
+	}
+	if !wv.CanGoBack() {
+		t.Fatal("CanGoBack = false with two entries")
+	}
+	if err := wv.GoBack(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Page().Doc.Title != "A" {
+		t.Errorf("after GoBack title = %q", wv.Page().Doc.Title)
+	}
+	// The simple history model drops the forward entry on back-navigation.
+	if got := wv.History(); len(got) != 1 || !strings.HasSuffix(got[0], "/a") {
+		t.Errorf("history = %v", got)
+	}
+	if wv.CanGoBack() {
+		t.Error("CanGoBack after returning to the first entry")
+	}
+}

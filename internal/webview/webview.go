@@ -1,0 +1,326 @@
+// Package webview simulates android.webkit.WebView: the embeddable web
+// renderer whose API surface the paper measures. It exposes exactly the
+// methods of Table 7 — loadUrl (including the javascript: scheme),
+// loadData, loadDataWithBaseURL, postUrl, evaluateJavascript,
+// addJavascriptInterface, removeJavascriptInterface — over the browser
+// simulation, with the properties that make WebViews risky for third-party
+// content: the app can inject script into any page, expose Java objects to
+// page JavaScript, intercept requests, and the cookie store is per-app
+// rather than shared with the user's browser.
+package webview
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"sync"
+
+	"repro/internal/android"
+	"repro/internal/browsersim"
+	"repro/internal/jsvm"
+	"repro/internal/netlog"
+	"repro/internal/safebrowsing"
+)
+
+// Settings mirrors the WebSettings knobs the paper discusses: apps can
+// enable JS (required for injection) and disable Safe Browsing — something
+// a Custom Tab never allows.
+type Settings struct {
+	JavaScriptEnabled   bool
+	SafeBrowsingEnabled bool
+	DOMStorageEnabled   bool
+}
+
+// MethodCall is one WebView API invocation, as observed by attached hooks
+// (package frida records these).
+type MethodCall struct {
+	Method string
+	Args   []string
+}
+
+// Hook observes API calls; hooks run before the call executes.
+type Hook func(MethodCall)
+
+// WebView is one WebView instance embedded in an app.
+type WebView struct {
+	// ID names the instance in network logs.
+	ID string
+	// AppPackage stamps the X-Requested-With header on every request (§5).
+	AppPackage string
+
+	mu            sync.Mutex
+	settings      Settings
+	loader        *browsersim.Loader
+	page          *browsersim.Page
+	bridges       map[string]*jsvm.Object
+	hooks         []Hook
+	history       []string
+	client        *http.Client
+	safeBrowsing  *safebrowsing.List
+	webViewClient *WebViewClient
+}
+
+// Config creates a WebView.
+type Config struct {
+	ID         string
+	AppPackage string
+	// Client issues requests; nil uses a fresh client with an isolated
+	// cookie jar (the WebView cookie store is per-app, not the browser's).
+	Client *http.Client
+	// Log receives network events; nil disables logging.
+	Log *netlog.Log
+	// SafeBrowsing is the device threat list; consulted only while the
+	// app leaves Settings.SafeBrowsingEnabled on — the asymmetry §4.1.1
+	// warns about (a Custom Tab cannot opt out).
+	SafeBrowsing *safebrowsing.List
+}
+
+// New constructs a WebView with default (Android-like) settings:
+// JavaScript disabled until the app enables it, Safe Browsing on.
+func New(cfg Config) *WebView {
+	client := cfg.Client
+	if client == nil {
+		jar, _ := cookiejar.New(nil)
+		client = &http.Client{Jar: jar}
+	}
+	wv := &WebView{
+		ID:           cfg.ID,
+		AppPackage:   cfg.AppPackage,
+		settings:     Settings{SafeBrowsingEnabled: true},
+		bridges:      make(map[string]*jsvm.Object),
+		client:       client,
+		safeBrowsing: cfg.SafeBrowsing,
+	}
+	wv.loader = &browsersim.Loader{
+		Client:  client,
+		Log:     cfg.Log,
+		Context: cfg.ID,
+		Headers: map[string]string{android.XRequestedWithHeader: cfg.AppPackage},
+		UserAgent: "Mozilla/5.0 (Linux; Android 12; Pixel 3) AppleWebKit/537.36 " +
+			"(KHTML, like Gecko) Version/4.0 Chrome/110.0 Mobile Safari/537.36; wv",
+	}
+	return wv
+}
+
+// GetSettings returns the mutable settings (as on Android).
+func (w *WebView) GetSettings() *Settings {
+	return &w.settings
+}
+
+// AddHook attaches a method-call observer.
+func (w *WebView) AddHook(h Hook) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hooks = append(w.hooks, h)
+}
+
+func (w *WebView) fire(method string, args ...string) {
+	w.mu.Lock()
+	hooks := append([]Hook(nil), w.hooks...)
+	w.mu.Unlock()
+	for _, h := range hooks {
+		h(MethodCall{Method: method, Args: args})
+	}
+}
+
+// Page returns the currently loaded page (nil before any load).
+func (w *WebView) Page() *browsersim.Page {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.page
+}
+
+// History returns the visited URLs in order.
+func (w *WebView) History() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.history...)
+}
+
+// LoadURL implements WebView.loadUrl. A "javascript:" URL executes script
+// in the current page — the second injection channel the paper measures
+// (§3.2.2).
+func (w *WebView) LoadURL(ctx context.Context, rawURL string) error {
+	w.fire(android.MethodLoadURL, rawURL)
+	if len(rawURL) > len("javascript:") && rawURL[:len("javascript:")] == "javascript:" {
+		if !w.settings.JavaScriptEnabled {
+			return nil // silently ignored, as on Android
+		}
+		page := w.Page()
+		if page == nil {
+			return fmt.Errorf("webview: javascript: URL with no page loaded")
+		}
+		_, err := page.Execute(rawURL[len("javascript:"):])
+		return err
+	}
+	if c := w.client0(); c != nil && c.ShouldOverrideURLLoading != nil && c.ShouldOverrideURLLoading(rawURL) {
+		return nil // the app consumed the navigation
+	}
+	if w.settings.SafeBrowsingEnabled && w.safeBrowsing != nil {
+		if v := w.safeBrowsing.Check(rawURL); v.Blocked() {
+			return &safebrowsing.BlockedError{URL: rawURL, Verdict: v}
+		}
+	}
+	if c := w.client0(); c != nil && c.OnPageStarted != nil {
+		c.OnPageStarted(rawURL)
+	}
+	w.mu.Lock()
+	w.loader.Globals = make(map[string]*jsvm.Object, len(w.bridges))
+	for k, v := range w.bridges {
+		w.loader.Globals[k] = v
+	}
+	w.mu.Unlock()
+	page, err := w.loader.LoadWithScripts(ctx, rawURL, w.settings.JavaScriptEnabled)
+	if err != nil {
+		if c := w.client0(); c != nil && c.OnReceivedError != nil {
+			c.OnReceivedError(rawURL, err)
+		}
+		return fmt.Errorf("webview: %w", err)
+	}
+	w.mu.Lock()
+	w.page = page
+	w.history = append(w.history, rawURL)
+	bridges := make(map[string]*jsvm.Object, len(w.bridges))
+	for k, v := range w.bridges {
+		bridges[k] = v
+	}
+	w.mu.Unlock()
+	// Re-expose registered bridges on the new page's VM.
+	for name, obj := range bridges {
+		page.VM.Global.Set(name, jsvm.ObjectValue(obj))
+	}
+	if c := w.client0(); c != nil && c.OnPageFinished != nil {
+		c.OnPageFinished(rawURL)
+	}
+	return nil
+}
+
+// LoadData implements WebView.loadData: renders in-memory HTML with no
+// base URL (subresources cannot resolve).
+func (w *WebView) LoadData(data, mimeType, encoding string) error {
+	w.fire(android.MethodLoadData, data, mimeType, encoding)
+	return w.loadLocal(data, "about:blank")
+}
+
+// LoadDataWithBaseURL implements WebView.loadDataWithBaseURL: local HTML
+// rendered as if it came from baseURL — how user-support SDKs blend app
+// data into web UI (§4.1.5).
+func (w *WebView) LoadDataWithBaseURL(baseURL, data, mimeType, encoding, historyURL string) error {
+	w.fire(android.MethodLoadDataWithBaseURL, baseURL, data, mimeType, encoding, historyURL)
+	if baseURL == "" {
+		baseURL = "about:blank"
+	}
+	return w.loadLocal(data, baseURL)
+}
+
+func (w *WebView) loadLocal(data, baseURL string) error {
+	w.mu.Lock()
+	w.loader.Globals = make(map[string]*jsvm.Object, len(w.bridges))
+	for k, v := range w.bridges {
+		w.loader.Globals[k] = v
+	}
+	w.mu.Unlock()
+	page := browsersim.NewLocalPage(w.loader, baseURL, data, w.settings.JavaScriptEnabled)
+	w.mu.Lock()
+	w.page = page
+	w.history = append(w.history, baseURL)
+	bridges := make(map[string]*jsvm.Object, len(w.bridges))
+	for k, v := range w.bridges {
+		bridges[k] = v
+	}
+	w.mu.Unlock()
+	for name, obj := range bridges {
+		page.VM.Global.Set(name, jsvm.ObjectValue(obj))
+	}
+	return nil
+}
+
+// CanGoBack reports whether back navigation is possible
+// (WebView.canGoBack).
+func (w *WebView) CanGoBack() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.history) > 1
+}
+
+// GoBack re-navigates to the previous history entry (WebView.goBack). It
+// is a no-op when there is nothing to go back to, as on Android.
+func (w *WebView) GoBack(ctx context.Context) error {
+	w.fire("goBack")
+	w.mu.Lock()
+	if len(w.history) < 2 {
+		w.mu.Unlock()
+		return nil
+	}
+	prev := w.history[len(w.history)-2]
+	w.history = w.history[:len(w.history)-2] // LoadURL re-appends prev
+	w.mu.Unlock()
+	return w.LoadURL(ctx, prev)
+}
+
+// PostURL implements WebView.postUrl (the body is recorded but, like the
+// paper's pipeline, we only observe the navigation).
+func (w *WebView) PostURL(ctx context.Context, rawURL string, body []byte) error {
+	w.fire(android.MethodPostURL, rawURL, string(body))
+	return w.LoadURL(ctx, rawURL)
+}
+
+// EvaluateJavascript implements WebView.evaluateJavascript: runs script in
+// the page and delivers the result asynchronously via callback (here:
+// synchronously, there is no looper).
+func (w *WebView) EvaluateJavascript(script string, callback func(result string)) error {
+	w.fire(android.MethodEvaluateJavascript, script)
+	if !w.settings.JavaScriptEnabled {
+		return fmt.Errorf("webview: JavaScript disabled")
+	}
+	page := w.Page()
+	if page == nil {
+		return fmt.Errorf("webview: no page loaded")
+	}
+	out, err := page.Execute(script)
+	if err != nil {
+		return err
+	}
+	if callback != nil {
+		callback(out)
+	}
+	return nil
+}
+
+// AddJavascriptInterface implements WebView.addJavascriptInterface: the
+// app-side object becomes reachable from page JavaScript under the given
+// name — the JS bridge whose exposure Figure 4 quantifies.
+func (w *WebView) AddJavascriptInterface(obj *jsvm.Object, name string) {
+	w.fire(android.MethodAddJavascriptInterface, name)
+	w.mu.Lock()
+	w.bridges[name] = obj
+	page := w.page
+	w.mu.Unlock()
+	if page != nil {
+		page.VM.Global.Set(name, jsvm.ObjectValue(obj))
+	}
+}
+
+// RemoveJavascriptInterface implements WebView.removeJavascriptInterface.
+func (w *WebView) RemoveJavascriptInterface(name string) {
+	w.fire(android.MethodRemoveJavascriptInterface, name)
+	w.mu.Lock()
+	delete(w.bridges, name)
+	page := w.page
+	w.mu.Unlock()
+	if page != nil {
+		page.VM.Global.Set(name, jsvm.Undefined())
+	}
+}
+
+// Bridges lists the currently exposed JS bridge names.
+func (w *WebView) Bridges() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.bridges))
+	for name := range w.bridges {
+		out = append(out, name)
+	}
+	return out
+}

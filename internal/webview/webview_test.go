@@ -1,0 +1,245 @@
+package webview
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jsvm"
+	"repro/internal/netlog"
+)
+
+func site(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.SetCookie(w, &http.Cookie{Name: "session", Value: "abc"})
+		w.Write([]byte(`<html><head><title>Home</title></head>
+<body><h1 id="h">Hi</h1><a href="/next">next</a></body></html>`))
+	})
+	mux.HandleFunc("/whoami", func(w http.ResponseWriter, r *http.Request) {
+		if c, err := r.Cookie("session"); err == nil {
+			w.Write([]byte("<html><body>cookie:" + c.Value + "</body></html>"))
+			return
+		}
+		w.Write([]byte("<html><body>no-cookie</body></html>"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newWV(t *testing.T, srv *httptest.Server, log *netlog.Log) *WebView {
+	t.Helper()
+	wv := New(Config{ID: "wv-test", AppPackage: "com.example.host", Client: srv.Client(), Log: log})
+	wv.GetSettings().JavaScriptEnabled = true
+	return wv
+}
+
+func TestLoadURL(t *testing.T) {
+	srv := site(t)
+	log := netlog.New()
+	wv := newWV(t, srv, log)
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatalf("LoadURL: %v", err)
+	}
+	if wv.Page() == nil || wv.Page().Doc.Title != "Home" {
+		t.Error("page not loaded")
+	}
+	if got := wv.History(); len(got) != 1 {
+		t.Errorf("history = %v", got)
+	}
+	// Every request carries the app's X-Requested-With.
+	for _, e := range log.Events() {
+		if e.Header["X-Requested-With"] != "com.example.host" {
+			t.Errorf("missing X-Requested-With on %s", e.URL)
+		}
+	}
+}
+
+func TestEvaluateJavascript(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	var result string
+	err := wv.EvaluateJavascript(`document.getElementById("h").tagName`, func(r string) { result = r })
+	if err != nil {
+		t.Fatalf("EvaluateJavascript: %v", err)
+	}
+	if result != "H1" {
+		t.Errorf("result = %q", result)
+	}
+}
+
+func TestEvaluateJavascriptRequiresJSEnabled(t *testing.T) {
+	srv := site(t)
+	wv := New(Config{ID: "x", AppPackage: "p", Client: srv.Client()})
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.EvaluateJavascript("1+1", nil); err == nil {
+		t.Error("evaluateJavascript succeeded with JS disabled")
+	}
+}
+
+func TestJavascriptSchemeLoadURL(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.LoadURL(context.Background(), `javascript:window.__inj = document.title;`); err != nil {
+		t.Fatalf("javascript: load: %v", err)
+	}
+	if got := wv.Page().VM.Global.Get("__inj").StringValue(); got != "Home" {
+		t.Errorf("__inj = %q", got)
+	}
+	// History must not record the javascript: pseudo-navigation.
+	if got := wv.History(); len(got) != 1 {
+		t.Errorf("history = %v", got)
+	}
+}
+
+func TestJSBridgeExposure(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+
+	var fromPage []string
+	bridge := jsvm.NewObject()
+	bridge.SetFunc("postMessage", func(c jsvm.Call) (jsvm.Value, error) {
+		fromPage = append(fromPage, c.Arg(0).StringValue())
+		return jsvm.Undefined(), nil
+	})
+	// Bridge registered before load must survive navigation.
+	wv.AddJavascriptInterface(bridge, "NativeBridge")
+	if err := wv.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv.EvaluateJavascript(`NativeBridge.postMessage("hello-from-page")`, nil); err != nil {
+		t.Fatalf("bridge call: %v", err)
+	}
+	if len(fromPage) != 1 || fromPage[0] != "hello-from-page" {
+		t.Errorf("bridge messages = %v", fromPage)
+	}
+
+	wv.RemoveJavascriptInterface("NativeBridge")
+	if err := wv.EvaluateJavascript(`typeof NativeBridge`, func(r string) {
+		if r != "undefined" {
+			t.Errorf("bridge still visible after removal: %s", r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := wv.Bridges(); len(got) != 0 {
+		t.Errorf("Bridges = %v", got)
+	}
+}
+
+func TestLoadDataWithBaseURL(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	html := `<html><body><div id="local">support chat</div>
+<script>window.__localRan = 1;</script></body></html>`
+	if err := wv.LoadDataWithBaseURL(srv.URL+"/support", html, "text/html", "utf-8", ""); err != nil {
+		t.Fatalf("LoadDataWithBaseURL: %v", err)
+	}
+	if wv.Page().Doc.GetElementByID("local") == nil {
+		t.Error("local content not rendered")
+	}
+	if got := wv.Page().VM.Global.Get("__localRan").NumberValue(); got != 1 {
+		t.Error("local script did not run")
+	}
+}
+
+func TestLoadData(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	if err := wv.LoadData("<html><body><p>inline</p></body></html>", "text/html", "utf-8"); err != nil {
+		t.Fatal(err)
+	}
+	if len(wv.Page().Doc.GetElementsByTagName("p")) != 1 {
+		t.Error("loadData content missing")
+	}
+}
+
+func TestCookieIsolationPerWebView(t *testing.T) {
+	srv := site(t)
+	// First WebView gets a session cookie.
+	wv1 := newWV(t, srv, nil)
+	// Fresh client with its own jar per WebView: construct without the
+	// test server client (which shares a jar-less transport).
+	wv1 = New(Config{ID: "wv1", AppPackage: "app1"})
+	wv1.GetSettings().JavaScriptEnabled = true
+	swapTransport(wv1, srv)
+	if err := wv1.LoadURL(context.Background(), srv.URL+"/"); err != nil {
+		t.Fatal(err)
+	}
+	if err := wv1.LoadURL(context.Background(), srv.URL+"/whoami"); err != nil {
+		t.Fatal(err)
+	}
+	if got := wv1.Page().Doc.Body().Text(); got != "cookie:abc" {
+		t.Errorf("wv1 sees %q, want its own cookie", got)
+	}
+	// A different WebView (different app) has no cookie: stores are
+	// isolated per instance, unlike CT's shared browser jar.
+	wv2 := New(Config{ID: "wv2", AppPackage: "app2"})
+	wv2.GetSettings().JavaScriptEnabled = true
+	swapTransport(wv2, srv)
+	if err := wv2.LoadURL(context.Background(), srv.URL+"/whoami"); err != nil {
+		t.Fatal(err)
+	}
+	if got := wv2.Page().Doc.Body().Text(); got != "no-cookie" {
+		t.Errorf("wv2 sees %q, want no-cookie", got)
+	}
+}
+
+// swapTransport points the WebView's own cookie-jar client at the test TLS
+// server.
+func swapTransport(wv *WebView, srv *httptest.Server) {
+	wv.client.Transport = srv.Client().Transport
+}
+
+func TestPostURL(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	if err := wv.PostURL(context.Background(), srv.URL+"/", []byte("k=v")); err != nil {
+		t.Fatal(err)
+	}
+	if wv.Page() == nil {
+		t.Error("postUrl did not navigate")
+	}
+}
+
+func TestHooksObserveCalls(t *testing.T) {
+	srv := site(t)
+	wv := newWV(t, srv, nil)
+	var calls []string
+	wv.AddHook(func(c MethodCall) { calls = append(calls, c.Method) })
+	_ = wv.LoadURL(context.Background(), srv.URL+"/")
+	_ = wv.EvaluateJavascript("1", nil)
+	wv.AddJavascriptInterface(jsvm.NewObject(), "B")
+	joined := strings.Join(calls, ",")
+	for _, want := range []string{"loadUrl", "evaluateJavascript", "addJavascriptInterface"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("hook missed %s (saw %s)", want, joined)
+		}
+	}
+}
+
+func TestLoadFailures(t *testing.T) {
+	wv := New(Config{ID: "x", AppPackage: "p"})
+	wv.GetSettings().JavaScriptEnabled = true
+	if err := wv.LoadURL(context.Background(), "http://127.0.0.1:1/nope"); err == nil {
+		t.Error("unreachable load succeeded")
+	}
+	if err := wv.EvaluateJavascript("1", nil); err == nil {
+		t.Error("evaluate with no page succeeded")
+	}
+	if err := wv.LoadURL(context.Background(), "javascript:1"); err == nil {
+		t.Error("javascript: with no page succeeded")
+	}
+}
