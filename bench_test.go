@@ -29,6 +29,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/playstore"
 	"repro/internal/report"
+	"repro/internal/resultcache"
 )
 
 var (
@@ -167,6 +168,137 @@ func BenchmarkFigure4MethodHeatmap(b *testing.B) {
 	benchAggregate(b, "figure4", func(r *core.StaticResult) string {
 		return report.Figure4(r.Aggregates)
 	})
+}
+
+// --- Pipeline performance: streaming + result cache -----------------------
+
+// benchBackends pre-builds every APK image and metadata record so the
+// pipeline benchmarks below measure pipeline work — filtering, digesting,
+// decompiling, parsing, traversal — rather than corpus synthesis or
+// loopback networking.
+type benchBackends struct {
+	c    *corpus.Corpus
+	pkgs []string
+	imgs map[string][]byte
+	md   map[string]playstore.Metadata
+}
+
+func (r *benchBackends) List(ctx context.Context) ([]string, error) { return r.pkgs, nil }
+
+func (r *benchBackends) Download(ctx context.Context, pkg string) ([]byte, error) {
+	img, ok := r.imgs[pkg]
+	if !ok {
+		return nil, fmt.Errorf("bench repo: unknown package %s", pkg)
+	}
+	return img, nil
+}
+
+func (r *benchBackends) Metadata(ctx context.Context, pkg string) (playstore.Metadata, error) {
+	md, ok := r.md[pkg]
+	if !ok {
+		return playstore.Metadata{}, playstore.ErrNotFound
+	}
+	return md, nil
+}
+
+var (
+	benchPipeOnce sync.Once
+	benchPipeFix  *benchBackends
+)
+
+func benchSetup(b *testing.B) *benchBackends {
+	b.Helper()
+	benchPipeOnce.Do(func() {
+		c, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 2500})
+		if err != nil {
+			panic(err)
+		}
+		fix := &benchBackends{
+			c:    c,
+			imgs: make(map[string][]byte, len(c.Apps)),
+			md:   make(map[string]playstore.Metadata, len(c.Apps)),
+		}
+		for _, s := range c.Apps {
+			fix.pkgs = append(fix.pkgs, s.Package)
+			img, err := corpus.BuildAPK(s)
+			if err != nil {
+				panic(err)
+			}
+			fix.imgs[s.Package] = img
+			if s.OnPlayStore {
+				fix.md[s.Package] = playstore.Metadata{
+					Package: s.Package, Title: s.Title, Category: s.PlayCategory,
+					Downloads: s.Downloads, LastUpdated: s.LastUpdated,
+				}
+			}
+		}
+		benchPipeFix = fix
+	})
+	return benchPipeFix
+}
+
+func benchPipeline(b *testing.B, cache *resultcache.Cache[pipeline.Analysis]) *pipeline.Result {
+	b.Helper()
+	fix := benchSetup(b)
+	p := pipeline.New(fix, fix, pipeline.Config{
+		MinDownloads: corpus.MinDownloads,
+		UpdatedAfter: corpus.UpdateCutoff,
+		Cache:        cache,
+	})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Funnel.Analyzed != fix.c.Counts.Analyzed {
+		b.Fatalf("funnel drifted: %+v", res.Funnel)
+	}
+	return res
+}
+
+// BenchmarkPipelineCold measures a full pipeline run with an empty result
+// cache every iteration: list, filter, download, decompile, parse,
+// call-graph traversal and SDK labeling for every selected APK.
+func BenchmarkPipelineCold(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPipeline(b, resultcache.New[pipeline.Analysis](0))
+	}
+}
+
+// BenchmarkPipelineWarmCache measures the same run against a pre-warmed
+// cache: every APK's analysis is served by content digest and the
+// decompile/parse/callgraph stages are skipped entirely.
+func BenchmarkPipelineWarmCache(b *testing.B) {
+	cache := resultcache.New[pipeline.Analysis](0)
+	benchPipeline(b, cache) // warm it
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchPipeline(b, cache)
+		if res.Stats.CacheHitRate() != 1.0 {
+			b.Fatalf("warm run not fully cached: %+v", res.Stats)
+		}
+	}
+}
+
+// BenchmarkAnalyzeOneAllocs measures the per-APK analysis path alone —
+// the unit of work the cache memoises — and tracks its allocations.
+func BenchmarkAnalyzeOneAllocs(b *testing.B) {
+	fix := benchSetup(b)
+	img := fix.imgs[fix.c.Filtered()[0].Package]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := pipeline.AnalyzeImage(nil, img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if an.Broken {
+			b.Fatal("fixture APK analysed as broken")
+		}
+	}
 }
 
 // --- Table 6: top-1K classification --------------------------------------

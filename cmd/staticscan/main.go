@@ -7,11 +7,18 @@
 //
 // Usage:
 //
-//	staticscan [-scale N] [-seed N] [-workers N]
+//	staticscan [-scale N] [-seed N] [-workers N] [-cachedir DIR] [-stats]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
 // seconds with the same shapes.
+//
+// With -cachedir, per-APK analyses are cached on disk keyed by APK content
+// digest: a re-run over an unchanged corpus downloads each APK but skips
+// its decompile/parse/callgraph work entirely (the stats line reports the
+// hit rate). Edit the SDK catalog or the corpus and the affected entries
+// miss and recompute. -stats prints the per-stage pipeline summary to
+// stderr.
 package main
 
 import (
@@ -25,22 +32,26 @@ import (
 	"repro/internal/androzoo"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/pipeline"
 	"repro/internal/playstore"
 	"repro/internal/report"
+	"repro/internal/resultcache"
 )
 
 func main() {
 	scale := flag.Int("scale", 200, "population divisor (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	cachedir := flag.String("cachedir", "", "persistent analysis-cache directory (empty = no cache)")
+	stats := flag.Bool("stats", false, "print per-stage pipeline statistics to stderr")
 	flag.Parse()
 
-	if err := run(*scale, *seed, *workers); err != nil {
+	if err := run(*scale, *seed, *workers, *cachedir, *stats); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scale int, seed int64, workers int) error {
+func run(scale int, seed int64, workers int, cachedir string, stats bool) error {
 	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", seed, scale)
 	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
 	if err != nil {
@@ -52,15 +63,30 @@ func run(scale int, seed int64, workers int) error {
 	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 	defer psSrv.Close()
 
+	cfg := core.StaticConfig{Workers: workers}
+	if cachedir != "" {
+		store, err := resultcache.NewDirStore(cachedir)
+		if err != nil {
+			return fmt.Errorf("open cache dir: %w", err)
+		}
+		cfg.Cache = resultcache.NewPersistent[pipeline.Analysis](0, store, nil)
+	}
 	study := core.NewStaticStudy(
 		androzoo.NewClient(azSrv.URL, azSrv.Client()),
 		playstore.NewClient(psSrv.URL, psSrv.Client()),
-		core.StaticConfig{Workers: workers},
+		cfg,
 	)
 	fmt.Fprintf(os.Stderr, "running pipeline over %d repository entries...\n", c.Counts.Total)
 	res, err := study.Run(context.Background())
 	if err != nil {
 		return err
+	}
+	if cachedir != "" {
+		fmt.Fprintf(os.Stderr, "analysis cache: %d hits, %d misses (%.0f%% hit rate)\n",
+			res.Stats.CacheHits, res.Stats.CacheMisses, 100*res.Stats.CacheHitRate())
+	}
+	if stats {
+		fmt.Fprintln(os.Stderr, res.Stats.String())
 	}
 
 	fmt.Print(report.Table2(res.Funnel, scale))

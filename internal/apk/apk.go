@@ -189,6 +189,52 @@ func DigestOf(data []byte) (string, error) {
 	return "", fmt.Errorf("%w: missing %s", ErrBroken, DigestEntry)
 }
 
+// ComputeDigest hashes the archive's manifest and dex payloads directly,
+// yielding the same digest Pack records in META-INF/DIGEST — but derived
+// from the actual content rather than trusted from the archive. It is the
+// content address used to key analysis-result caches: it never lies about
+// the payload, so a digest mismatch (a broken APK) still maps to a key of
+// its own instead of poisoning the entry of the APK it claims to be.
+// ComputeDigest does not validate the manifest or bytecode structure.
+func ComputeDigest(data []byte) (string, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBroken, err)
+	}
+	var manifestXML, dexBytes []byte
+	read := func(f *zip.File) ([]byte, error) {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %s: %v", ErrBroken, f.Name, err)
+		}
+		defer rc.Close()
+		b, err := io.ReadAll(rc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: entry %s: %v", ErrBroken, f.Name, err)
+		}
+		return b, nil
+	}
+	for _, f := range zr.File {
+		switch f.Name {
+		case ManifestEntry:
+			if manifestXML, err = read(f); err != nil {
+				return "", err
+			}
+		case DexEntry:
+			if dexBytes, err = read(f); err != nil {
+				return "", err
+			}
+		}
+	}
+	if manifestXML == nil {
+		return "", fmt.Errorf("%w: missing %s", ErrBroken, ManifestEntry)
+	}
+	if dexBytes == nil {
+		return "", fmt.Errorf("%w: missing %s", ErrBroken, DexEntry)
+	}
+	return payloadDigest(manifestXML, dexBytes), nil
+}
+
 func payloadDigest(manifestXML, dexBytes []byte) string {
 	h := sha256.New()
 	h.Write(manifestXML)

@@ -15,14 +15,20 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/dalvik"
+	"repro/internal/intern"
 )
 
-// Graph is a call graph over one sdex file.
+// Graph is a call graph over one sdex file. A Graph is not safe for
+// concurrent use: hierarchy queries memoise their results.
 type Graph struct {
 	dex     *dalvik.File
 	classes map[string]*dalvik.Class
 	// defined maps every in-file method to its definition.
 	defined map[dalvik.MethodRef]*dalvik.Method
+	// webview / component memoise the superclass-chain walks, which
+	// AnalyzeUsage would otherwise repeat for every invoke instruction.
+	webview   map[string]bool
+	component map[string]bool
 }
 
 // Build constructs the graph. It never fails: unresolved targets are simply
@@ -70,16 +76,25 @@ func (g *Graph) IsSubclassOf(name, root string) bool {
 // IsWebViewClass reports whether name is android.webkit.WebView or an
 // in-file subclass of it (a "custom WebView", §3.1.2).
 func (g *Graph) IsWebViewClass(name string) bool {
-	return g.IsSubclassOf(name, android.WebViewClass)
+	if v, ok := g.webview[name]; ok {
+		return v
+	}
+	v := g.IsSubclassOf(name, android.WebViewClass)
+	if g.webview == nil {
+		g.webview = make(map[string]bool, 16)
+	}
+	g.webview[name] = v
+	return v
 }
 
 // WebViewSubclasses lists the in-file classes that extend WebView,
-// directly or transitively, sorted by name.
+// directly or transitively, sorted by name. Names are interned: subclass
+// lists are retained in analysis results long after the dex is dropped.
 func (g *Graph) WebViewSubclasses() []string {
 	var out []string
 	for name := range g.classes {
 		if name != android.WebViewClass && g.IsWebViewClass(name) {
-			out = append(out, name)
+			out = append(out, intern.String(name))
 		}
 	}
 	sort.Strings(out)
@@ -98,12 +113,21 @@ var componentRoots = []string{
 // isComponent reports whether the class transitively extends one of the
 // four Android component base classes.
 func (g *Graph) isComponent(name string) bool {
+	if v, ok := g.component[name]; ok {
+		return v
+	}
+	v := false
 	for _, root := range componentRoots {
 		if g.IsSubclassOf(name, root) {
-			return true
+			v = true
+			break
 		}
 	}
-	return false
+	if g.component == nil {
+		g.component = make(map[string]bool, 8)
+	}
+	g.component[name] = v
+	return v
 }
 
 var entryPointNames = func() map[string]bool {
@@ -175,8 +199,8 @@ func (g *Graph) Reachable(roots ...dalvik.MethodRef) map[dalvik.MethodRef]bool {
 	if len(roots) == 0 {
 		roots = g.EntryPoints()
 	}
-	seen := make(map[dalvik.MethodRef]bool)
-	var stack []dalvik.MethodRef
+	seen := make(map[dalvik.MethodRef]bool, len(g.defined))
+	stack := make([]dalvik.MethodRef, 0, len(roots))
 	push := func(r dalvik.MethodRef) {
 		if res, ok := g.resolve(r); ok && !seen[res] {
 			seen[res] = true
@@ -231,14 +255,15 @@ func (u *Usage) UsesWebView() bool { return len(u.WebViewCalls) > 0 }
 func (u *Usage) UsesCT() bool { return len(u.CTCalls) > 0 }
 
 // MethodsCalled returns the distinct WebView method names called, sorted.
+// Names are interned: they outlive the dex file in analysis results.
 func (u *Usage) MethodsCalled() []string {
-	set := make(map[string]bool)
+	set := make(map[string]bool, 8)
 	for _, c := range u.WebViewCalls {
 		set[c.Target.Name] = true
 	}
 	out := make([]string, 0, len(set))
 	for m := range set {
-		out = append(out, m)
+		out = append(out, intern.String(m))
 	}
 	sort.Strings(out)
 	return out

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/pipeline"
+	"repro/internal/resultcache"
 	"repro/internal/sdkindex"
 )
 
@@ -31,6 +32,9 @@ type StaticConfig struct {
 	Workers int
 	// Index labels SDK packages (nil = the built-in catalog).
 	Index *sdkindex.Index
+	// Cache, when non-nil, memoises per-APK analyses by content digest so
+	// repeated runs over an unchanged corpus skip download-side CPU work.
+	Cache *resultcache.Cache[pipeline.Analysis]
 }
 
 // StaticStudy runs the large-scale static analysis.
@@ -43,6 +47,9 @@ type StaticResult struct {
 	Funnel     pipeline.Funnel
 	Apps       []pipeline.AppResult
 	Aggregates *pipeline.Aggregates
+	// Stats reports per-stage wall time, throughput, cache effectiveness
+	// and the peak number of APK bytes held in flight.
+	Stats pipeline.Stats
 }
 
 // NewStaticStudy wires the pipeline over the given services.
@@ -59,6 +66,7 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 			UpdatedAfter: cfg.UpdatedAfter,
 			Workers:      cfg.Workers,
 			Index:        cfg.Index,
+			Cache:        cfg.Cache,
 		}),
 	}
 }
@@ -73,5 +81,6 @@ func (s *StaticStudy) Run(ctx context.Context) (*StaticResult, error) {
 		Funnel:     res.Funnel,
 		Apps:       res.Apps,
 		Aggregates: pipeline.Aggregate(res),
+		Stats:      res.Stats,
 	}, nil
 }

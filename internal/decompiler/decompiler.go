@@ -10,9 +10,11 @@
 package decompiler
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dalvik"
 )
@@ -38,20 +40,27 @@ func Decompile(f *dalvik.File) []Unit {
 	return units
 }
 
+// bufPool recycles the render buffer across classes: decompilation runs
+// once per class per APK on the pipeline's hottest path, and reusing the
+// grown buffer avoids re-paying the append-doubling allocations every time.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // DecompileClass renders a single class definition as Java-like source.
 func DecompileClass(c *dalvik.Class) string {
-	var sb strings.Builder
+	sb := bufPool.Get().(*bytes.Buffer)
+	sb.Reset()
+	defer bufPool.Put(sb)
 	pkg := c.Package()
 	simple := simpleName(c.Name)
 
-	fmt.Fprintf(&sb, "// Decompiled with sjadx from %s\n", sourceOf(c))
+	fmt.Fprintf(sb, "// Decompiled with sjadx from %s\n", sourceOf(c))
 	if pkg != "" {
-		fmt.Fprintf(&sb, "package %s;\n\n", pkg)
+		fmt.Fprintf(sb, "package %s;\n\n", pkg)
 	}
 
 	imports := collectImports(c, pkg)
 	for _, imp := range imports {
-		fmt.Fprintf(&sb, "import %s;\n", imp)
+		fmt.Fprintf(sb, "import %s;\n", imp)
 	}
 	if len(imports) > 0 {
 		sb.WriteByte('\n')
@@ -80,20 +89,20 @@ func DecompileClass(c *dalvik.Class) string {
 	sb.WriteString(" {\n")
 
 	for _, fl := range c.Fields {
-		fmt.Fprintf(&sb, "    %s%s %s;\n", modifiers(fl.Flags), simpleName(fl.Type), fl.Name)
+		fmt.Fprintf(sb, "    %s%s %s;\n", modifiers(fl.Flags), simpleName(fl.Type), fl.Name)
 	}
 	if len(c.Fields) > 0 && len(c.Methods) > 0 {
 		sb.WriteByte('\n')
 	}
 
 	for i := range c.Methods {
-		writeMethod(&sb, &c.Methods[i])
+		writeMethod(sb, &c.Methods[i])
 		if i != len(c.Methods)-1 {
 			sb.WriteByte('\n')
 		}
 	}
 	sb.WriteString("}\n")
-	return sb.String()
+	return sb.String() // copies out of the pooled buffer
 }
 
 func sourceOf(c *dalvik.Class) string {
@@ -146,7 +155,7 @@ func collectImports(c *dalvik.Class, pkg string) []string {
 	return out
 }
 
-func writeMethod(sb *strings.Builder, m *dalvik.Method) {
+func writeMethod(sb *bytes.Buffer, m *dalvik.Method) {
 	ret, params := splitSignature(m.Signature)
 	fmt.Fprintf(sb, "    %s%s %s(%s) {\n", modifiers(m.Flags), ret, m.Name, params)
 	writeBody(sb, m.Code)
@@ -157,7 +166,7 @@ func writeMethod(sb *strings.Builder, m *dalvik.Method) {
 // instructions open and close scopes so the output nests plausibly; an
 // invoke following a new-instance of the same class renders as a
 // constructor call.
-func writeBody(sb *strings.Builder, code []dalvik.Instruction) {
+func writeBody(sb *bytes.Buffer, code []dalvik.Instruction) {
 	indent := 2
 	depth := 0 // open if-blocks
 	var pendingNew string

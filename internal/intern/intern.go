@@ -1,0 +1,78 @@
+// Package intern deduplicates frequently-repeated strings across the
+// static-analysis hot path. Decompiling and parsing thousands of APKs
+// produces the same class names, method names and package prefixes over and
+// over ("android.webkit.WebView", "onCreate", "com.applovin", …); interning
+// collapses every occurrence to one shared string, cutting retained memory
+// for in-flight analyses and cached results.
+//
+// The pool is sharded to keep lock contention negligible under the
+// pipeline's worker parallelism, and every stored string is cloned so that
+// interning a substring never pins its (much larger) parent — e.g. an
+// identifier sliced out of a whole decompiled source file.
+package intern
+
+import (
+	"strings"
+	"sync"
+)
+
+const shardCount = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+var shards [shardCount]shard
+
+func init() {
+	for i := range shards {
+		shards[i].m = make(map[string]string)
+	}
+}
+
+// fnv32a hashes s with 32-bit FNV-1a (inlined to avoid a hash.Hash alloc).
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// String returns the canonical copy of s, storing a clone on first sight.
+func String(s string) string {
+	if s == "" {
+		return ""
+	}
+	sh := &shards[fnv32a(s)&(shardCount-1)]
+	sh.mu.RLock()
+	v, ok := sh.m[s]
+	sh.mu.RUnlock()
+	if ok {
+		return v
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[s]; ok {
+		return v
+	}
+	// Clone so the pool never pins a larger backing array (s is often a
+	// slice of a decompiled source file).
+	c := strings.Clone(s)
+	sh.m[c] = c
+	return c
+}
+
+// Len reports the number of distinct strings interned, for tests and
+// observability.
+func Len() int {
+	n := 0
+	for i := range shards {
+		shards[i].mu.RLock()
+		n += len(shards[i].m)
+		shards[i].mu.RUnlock()
+	}
+	return n
+}

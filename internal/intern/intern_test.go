@@ -1,0 +1,60 @@
+package intern
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStringCanonical(t *testing.T) {
+	a := String("android.webkit.WebView")
+	b := String("android.webkit." + "WebView")
+	if a != b {
+		t.Fatalf("values differ: %q vs %q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("interned copies do not share backing data")
+	}
+	if String("") != "" {
+		t.Error("empty string not identity")
+	}
+}
+
+func TestSubstringDoesNotPinParent(t *testing.T) {
+	parent := "package com.example; class Foo extends WebView {}"
+	i := strings.Index(parent, "WebView")
+	sub := parent[i : i+len("WebView")]
+	got := String(sub)
+	if got != "WebView" {
+		t.Fatalf("got %q", got)
+	}
+	if unsafe.StringData(got) == unsafe.StringData(sub) {
+		t.Error("interned string shares backing array with parent slice")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([][]string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]string, 100)
+			for i := range out {
+				out[i] = String(fmt.Sprintf("com.sdk%d.ads", i))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range results[g] {
+			if unsafe.StringData(results[g][i]) != unsafe.StringData(results[0][i]) {
+				t.Fatalf("goroutine %d entry %d not canonical", g, i)
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package javaparser
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // Call is a method invocation found inside a body: Receiver is the text to
@@ -171,15 +173,23 @@ func (p *parser) parseUnit() (*CompilationUnit, error) {
 	return u, nil
 }
 
+// parseQualifiedName consumes a dotted identifier chain. The result is
+// interned: package names, imports and superclass names repeat across
+// thousands of decompiled units, and interning both dedups them and stops
+// a retained name from pinning the whole source string it was sliced from.
 func (p *parser) parseQualifiedName() (string, error) {
 	if p.tok.kind != tokIdent {
 		return "", fmt.Errorf("line %d: expected identifier, found %q", p.tok.line, p.tok.text)
 	}
-	var sb strings.Builder
-	sb.WriteString(p.tok.text)
+	first := p.tok.text
 	if err := p.advance(); err != nil {
 		return "", err
 	}
+	if p.tok.kind != tokPunct || p.tok.text != "." {
+		return intern.String(first), nil // common single-identifier case: no builder
+	}
+	var sb strings.Builder
+	sb.WriteString(first)
 	for p.tok.kind == tokPunct && p.tok.text == "." {
 		if err := p.advance(); err != nil {
 			return "", err
@@ -193,7 +203,7 @@ func (p *parser) parseQualifiedName() (string, error) {
 			return "", err
 		}
 	}
-	return sb.String(), nil
+	return intern.String(sb.String()), nil
 }
 
 var modifierWords = map[string]bool{
@@ -248,7 +258,7 @@ func (p *parser) parseTypeDecl() (*TypeDecl, error) {
 	if p.tok.kind != tokIdent {
 		return nil, fmt.Errorf("line %d: expected type name, found %q", p.tok.line, p.tok.text)
 	}
-	td.Name = p.tok.text
+	td.Name = intern.String(p.tok.text)
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -361,7 +371,7 @@ func (p *parser) parseMember(td *TypeDecl) error {
 					}
 				}
 			}
-			m := MethodDecl{Name: lastIdent}
+			m := MethodDecl{Name: intern.String(lastIdent)}
 			switch {
 			case p.tok.kind == tokPunct && p.tok.text == "{":
 				calls, err := p.parseMethodBody()
@@ -472,8 +482,8 @@ func (p *parser) parseMethodBody() ([]Call, error) {
 		case p.tok.kind == tokPunct && p.tok.text == "(":
 			if len(chain) >= 2 {
 				calls = append(calls, Call{
-					Receiver: strings.Join(chain[:len(chain)-1], "."),
-					Name:     chain[len(chain)-1],
+					Receiver: intern.String(strings.Join(chain[:len(chain)-1], ".")),
+					Name:     intern.String(chain[len(chain)-1]),
 					Line:     p.tok.line,
 				})
 			}

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// TestCancelMidRunNoGoroutineLeak cancels the context while the pipeline
+// is mid-stream — metadata, download and analysis workers all live — and
+// requires Run to return promptly with context.Canceled and every worker
+// goroutine to unwind.
+func TestCancelMidRunNoGoroutineLeak(t *testing.T) {
+	c := failureCorpus(t)
+	before := runtime.NumGoroutine()
+
+	p := New(&flakyRepo{c: c}, &slowMeta{c: c},
+		Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Long enough for all stages to be in flight (slowMeta throttles each
+		// lookup by 2ms and there are ~2600), far shorter than a full run.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	res, err := p.Run(ctx)
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatalf("cancelled run succeeded: %+v", res.Funnel)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("Run took %v to notice cancellation", elapsed)
+	}
+
+	// Workers unwind asynchronously after Run returns its error; give the
+	// scheduler a moment before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}

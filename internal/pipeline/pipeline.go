@@ -6,13 +6,25 @@
 // Custom Tabs usage, exclude deep-link-hosted first-party content, and
 // label the calling packages with the SDK index.
 //
-// The pipeline is concurrent: a bounded worker pool analyses APKs in
-// parallel, one app per task, and the collector aggregates results
-// deterministically (sorted by package) regardless of completion order.
+// The pipeline streams: metadata fetch, APK download and CPU-bound
+// analysis run as overlapping bounded-channel stages, so peak memory is
+// bounded by Config.Workers in-flight APK images rather than the corpus
+// size, and the slowest stage — not the sum of stages — sets the wall
+// time. Results are still aggregated deterministically (sorted by package)
+// regardless of completion order.
+//
+// An optional content-addressed result cache (internal/resultcache), keyed
+// by the APK payload digest plus the SDK-index fingerprint, lets a warm
+// re-run over an unchanged snapshot skip the analysis stage entirely and
+// an incremental snapshot re-analyse only changed APKs. Run instruments
+// itself via Stats (per-stage wall time, cache traffic, peak in-flight
+// bytes) threaded into the Result.
 package pipeline
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
@@ -23,8 +35,10 @@ import (
 	"repro/internal/apk"
 	"repro/internal/callgraph"
 	"repro/internal/decompiler"
+	"repro/internal/intern"
 	"repro/internal/javaparser"
 	"repro/internal/playstore"
+	"repro/internal/resultcache"
 	"repro/internal/sdkindex"
 
 	"repro/internal/android"
@@ -46,17 +60,22 @@ type Config struct {
 	// MinDownloads and UpdatedAfter are the selection filter (§3.1.1).
 	MinDownloads int64
 	UpdatedAfter time.Time
-	// Workers bounds analysis concurrency; 0 means GOMAXPROCS.
+	// Workers bounds per-stage concurrency and the number of APK images
+	// held in memory at once; 0 means GOMAXPROCS.
 	Workers int
 	// Index labels calling packages; nil uses the default catalog.
 	Index *sdkindex.Index
+	// Cache, when non-nil, memoises per-APK analysis results keyed by
+	// content digest; a warm run over unchanged APKs skips analysis.
+	Cache *resultcache.Cache[Analysis]
 }
 
 // Pipeline wires the stages together.
 type Pipeline struct {
-	repo Repository
-	meta MetadataSource
-	cfg  Config
+	repo    Repository
+	meta    MetadataSource
+	cfg     Config
+	indexFP string // cache-key component: invalidates on catalog change
 }
 
 // New constructs a pipeline over the given services.
@@ -67,7 +86,7 @@ func New(repo Repository, meta MetadataSource, cfg Config) *Pipeline {
 	if cfg.Index == nil {
 		cfg.Index = sdkindex.Default()
 	}
-	return &Pipeline{repo: repo, meta: meta, cfg: cfg}
+	return &Pipeline{repo: repo, meta: meta, cfg: cfg, indexFP: cfg.Index.Fingerprint()}
 }
 
 // SDKHit is one SDK observed driving a surface in one app.
@@ -78,6 +97,35 @@ type SDKHit struct {
 	// app (empty for pure CT hits).
 	Methods []string
 	CT      bool
+}
+
+// Analysis is the content-addressed part of a per-app result: everything
+// derived from the APK bytes and the SDK index, and nothing from store
+// metadata. It is what the result cache stores — valid for as long as the
+// APK digest and index fingerprint both match, however many runs later.
+type Analysis struct {
+	// Broken marks an APK that failed structural parsing; broken outcomes
+	// are cached too, so a warm run re-counts them without re-parsing.
+	Broken bool `json:",omitempty"`
+
+	UsesWebView bool
+	UsesCT      bool
+	// Methods are the distinct WebView API methods reachable anywhere in
+	// the app (SDK or first-party), after deep-link exclusion.
+	Methods []string
+	// MethodsViaSDK are the methods called from labeled SDK packages.
+	MethodsViaSDK []string
+	// WebViewSDKs / CTSDKs name the labeled SDKs driving each surface.
+	WebViewSDKs []SDKHit
+	CTSDKs      []SDKHit
+	// Subclasses are custom WebView classes found by decompiling and
+	// parsing the Java source (§3.1.2).
+	Subclasses []string
+	// UnlabeledWebViewPackages counts calling packages no SDK-index entry
+	// matched (first-party app code or unknown libraries). Packages whose
+	// entry is marked Excluded are labeled — just not reported — and are
+	// counted in neither statistic.
+	UnlabeledWebViewPackages int
 }
 
 // AppResult is the per-app outcome of static analysis.
@@ -106,6 +154,24 @@ type AppResult struct {
 	UnlabeledWebViewPackages int
 }
 
+// appResult joins store metadata with the content-addressed analysis.
+func appResult(md playstore.Metadata, an *Analysis) AppResult {
+	return AppResult{
+		Package:                  md.Package,
+		Title:                    md.Title,
+		PlayCategory:             md.Category,
+		Downloads:                md.Downloads,
+		UsesWebView:              an.UsesWebView,
+		UsesCT:                   an.UsesCT,
+		Methods:                  an.Methods,
+		MethodsViaSDK:            an.MethodsViaSDK,
+		WebViewSDKs:              an.WebViewSDKs,
+		CTSDKs:                   an.CTSDKs,
+		Subclasses:               an.Subclasses,
+		UnlabeledWebViewPackages: an.UnlabeledWebViewPackages,
+	}
+}
+
 // Funnel is the measured dataset funnel (Table 2).
 type Funnel struct {
 	Snapshot int // packages in the repository snapshot
@@ -120,237 +186,436 @@ type Funnel struct {
 type Result struct {
 	Funnel Funnel
 	Apps   []AppResult // analysed apps (excluding broken), sorted by package
+	Stats  Stats       // run instrumentation (stage timings, cache traffic)
 }
 
-// Run executes the full pipeline.
+// Run executes the full pipeline as overlapping streaming stages.
 func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
-	pkgs, err := p.repo.List(ctx)
+	t0 := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &Result{}
+	listStart := time.Now()
+	pkgs, err := p.repo.List(runCtx)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: list: %w", err)
 	}
-
-	res := &Result{}
 	res.Funnel.Snapshot = len(pkgs)
+	res.Stats.List = StageStats{Wall: time.Since(listStart), In: len(pkgs), Out: len(pkgs)}
+	res.Stats.Metadata.In = len(pkgs)
 
-	// Stage 1-2: metadata collection and filtering. Metadata fetches are
-	// parallelised with the same worker bound as analysis.
-	type metaOut struct {
-		pkg string
-		md  playstore.Metadata
-		ok  bool
-	}
-	metas := make([]metaOut, len(pkgs))
-	if err := p.forEach(ctx, len(pkgs), func(i int) error {
-		md, err := p.meta.Metadata(ctx, pkgs[i])
-		switch {
-		case err == nil:
-			metas[i] = metaOut{pkg: pkgs[i], md: md, ok: true}
-		case errors.Is(err, playstore.ErrNotFound):
-			metas[i] = metaOut{pkg: pkgs[i]}
-		default:
-			return err
-		}
-		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("pipeline: metadata: %w", err)
-	}
-
-	var selected []metaOut
-	for _, m := range metas {
-		if !m.ok {
-			continue
-		}
-		res.Funnel.OnPlay++
-		if m.md.Downloads < p.cfg.MinDownloads {
-			continue
-		}
-		res.Funnel.Popular++
-		if !m.md.LastUpdated.After(p.cfg.UpdatedAfter) {
-			continue
-		}
-		res.Funnel.Filtered++
-		selected = append(selected, m)
-	}
-
-	// Stage 3-5: download + analyse, bounded concurrency.
-	results := make([]*AppResult, len(selected))
-	var brokenCount sync.Map
-	if err := p.forEach(ctx, len(selected), func(i int) error {
-		m := selected[i]
-		img, err := p.repo.Download(ctx, m.pkg)
-		if err != nil {
-			return err
-		}
-		ar, err := p.analyzeOne(m, img)
-		if err != nil {
-			if errors.Is(err, apk.ErrBroken) {
-				brokenCount.Store(m.pkg, true)
-				return nil
-			}
-			return err
-		}
-		results[i] = ar
-		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("pipeline: analyze: %w", err)
-	}
-
-	brokenCount.Range(func(_, _ any) bool { res.Funnel.Broken++; return true })
-	for _, ar := range results {
-		if ar != nil {
-			res.Apps = append(res.Apps, *ar)
-		}
-	}
-	sort.Slice(res.Apps, func(i, j int) bool { return res.Apps[i].Package < res.Apps[j].Package })
-	res.Funnel.Analyzed = len(res.Apps)
-	return res, nil
-}
-
-// forEach runs fn(i) for i in [0,n) on the worker pool, stopping at the
-// first error or context cancellation.
-func (p *Pipeline) forEach(ctx context.Context, n int, fn func(int) error) error {
-	if n == 0 {
-		return nil
-	}
 	workers := p.cfg.Workers
-	if workers > n {
-		workers = n
+
+	var (
+		mu      sync.Mutex // guards funnel, apps, broken, stats, in-flight bytes
+		apps    []AppResult
+		broken  int // plain counter: the keys of the old sync.Map were never read
+		inBytes int64
+	)
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	// fail records the first real failure and cancels the run. Errors that
+	// merely reflect that cancellation (workers unwinding with a context
+	// error) never reach here: callers check runCtx first.
+	fail := func(stage string, err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("pipeline: %s: %w", stage, err)
+			cancel()
+		}
+		errMu.Unlock()
 	}
-	idx := make(chan int)
-	errc := make(chan error, workers)
-	var wg sync.WaitGroup
+
+	streamStart := time.Now()
+
+	// sem bounds the number of APK images alive at once: a download worker
+	// acquires a token before fetching and the consuming stage releases it
+	// when the image is dropped. Whatever the corpus size, at most Workers
+	// images are in flight.
+	sem := make(chan struct{}, workers)
+
+	type selected struct {
+		pkg string // snapshot package name, used for download
+		md  playstore.Metadata
+	}
+	type task struct {
+		md  playstore.Metadata
+		img []byte
+		key string // content-address cache key ("" when caching is off)
+	}
+	// The snapshot is fed in chunks: per-package channel operations dominate
+	// the metadata stage once the backend is fast (warm cache, local mirror),
+	// and batching cuts them by two orders of magnitude.
+	const feedChunk = 64
+	pkgCh := make(chan []string)
+	selCh := make(chan selected, workers)
+	anCh := make(chan task)
+
+	// Feeder: snapshot packages into the metadata stage.
+	go func() {
+		defer close(pkgCh)
+		for len(pkgs) > 0 {
+			n := min(feedChunk, len(pkgs))
+			select {
+			case pkgCh <- pkgs[:n]:
+				pkgs = pkgs[n:]
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 1-2: metadata collection and selection filtering (§3.1.1).
+	// Funnel counters accumulate per worker and merge once on exit; the
+	// counts are additive, so the result is identical to locking per item.
+	var metaWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
+		metaWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if err := fn(i); err != nil {
-					select {
-					case errc <- err:
-					default:
+			defer metaWG.Done()
+			var onPlay, popular, filtered int
+			defer func() {
+				mu.Lock()
+				res.Funnel.OnPlay += onPlay
+				res.Funnel.Popular += popular
+				res.Funnel.Filtered += filtered
+				res.Stats.Metadata.Out += filtered
+				mu.Unlock()
+			}()
+			for chunk := range pkgCh {
+				for _, pkg := range chunk {
+					md, err := p.meta.Metadata(runCtx, pkg)
+					if err != nil {
+						if errors.Is(err, playstore.ErrNotFound) {
+							continue
+						}
+						if runCtx.Err() == nil {
+							fail("metadata", err)
+						}
+						return
 					}
+					if md.Downloads < p.cfg.MinDownloads {
+						onPlay++
+						continue
+					}
+					if !md.LastUpdated.After(p.cfg.UpdatedAfter) {
+						onPlay++
+						popular++
+						continue
+					}
+					onPlay++
+					popular++
+					filtered++
+					select {
+					case selCh <- selected{pkg: pkg, md: md}:
+					case <-runCtx.Done():
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Stage 3: APK download + content-addressed cache lookup. Hits are
+	// finished right here — the image is dropped and the analysis stage
+	// never sees them.
+	var dlWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		dlWG.Add(1)
+		go func() {
+			defer dlWG.Done()
+			for sel := range selCh {
+				select {
+				case sem <- struct{}{}:
+				case <-runCtx.Done():
+					return
+				}
+				img, err := p.repo.Download(runCtx, sel.pkg)
+				if err != nil {
+					<-sem
+					if runCtx.Err() == nil {
+						fail("download", err)
+					}
+					return
+				}
+				mu.Lock()
+				res.Stats.Download.In++
+				inBytes += int64(len(img))
+				if inBytes > res.Stats.PeakInFlightBytes {
+					res.Stats.PeakInFlightBytes = inBytes
+				}
+				mu.Unlock()
+
+				var key string
+				if p.cfg.Cache != nil {
+					key = p.contentKey(img)
+					if an, ok := p.cfg.Cache.Get(key); ok {
+						mu.Lock()
+						res.Stats.CacheHits++
+						inBytes -= int64(len(img))
+						if an.Broken {
+							broken++
+						} else {
+							apps = append(apps, appResult(sel.md, &an))
+						}
+						mu.Unlock()
+						<-sem
+						continue
+					}
+					mu.Lock()
+					res.Stats.CacheMisses++
+					mu.Unlock()
+				}
+				select {
+				case anCh <- task{md: sel.md, img: img, key: key}:
+					mu.Lock()
+					res.Stats.Download.Out++
+					mu.Unlock()
+				case <-runCtx.Done():
+					mu.Lock()
+					inBytes -= int64(len(img))
+					mu.Unlock()
+					<-sem
 					return
 				}
 			}
 		}()
 	}
-feed:
-	for i := 0; i < n; i++ {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		case err := <-errc:
-			close(idx)
-			wg.Wait()
-			return err
-		}
-	}
-	close(idx)
-	wg.Wait()
-	select {
-	case err := <-errc:
-		return err
-	default:
-	}
-	return ctx.Err()
-}
 
-// analyzeOne performs the per-APK static analysis.
-func (p *Pipeline) analyzeOne(m struct {
-	pkg string
-	md  playstore.Metadata
-	ok  bool
-}, img []byte) (*AppResult, error) {
-	a, err := apk.Open(img)
+	// Stage 4-6: decompile, parse, call-graph traversal, SDK attribution.
+	var anWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		anWG.Add(1)
+		go func() {
+			defer anWG.Done()
+			for t := range anCh {
+				an, err := analyzeImage(p.cfg.Index, t.img)
+				n := int64(len(t.img))
+				t.img = nil
+				mu.Lock()
+				inBytes -= n
+				res.Stats.Analyze.In++
+				mu.Unlock()
+				<-sem
+				if err != nil {
+					if runCtx.Err() == nil {
+						fail("analyze", err)
+					}
+					return
+				}
+				if p.cfg.Cache != nil {
+					p.cfg.Cache.Put(t.key, *an)
+				}
+				mu.Lock()
+				if an.Broken {
+					broken++
+				} else {
+					apps = append(apps, appResult(t.md, an))
+					res.Stats.Analyze.Out++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Drain the stages in order. Each close releases the next pool's range
+	// loop; the waits overlap with downstream stages still working.
+	metaWG.Wait()
+	mu.Lock()
+	res.Stats.Metadata.Wall = time.Since(streamStart)
+	mu.Unlock()
+	close(selCh)
+	dlWG.Wait()
+	mu.Lock()
+	res.Stats.Download.Wall = time.Since(streamStart)
+	mu.Unlock()
+	close(anCh)
+	anWG.Wait()
+	res.Stats.Analyze.Wall = time.Since(streamStart)
+	res.Stats.Total = time.Since(t0)
+
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+
+	res.Funnel.Broken = broken
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Package < apps[j].Package })
+	res.Apps = apps
+	res.Funnel.Analyzed = len(apps)
+	return res, nil
+}
+
+// contentKey derives the cache key for an APK image: the payload digest
+// (recomputed from content, so a tampered DIGEST entry cannot poison
+// another APK's slot) plus the SDK-index fingerprint, so changing the
+// catalog invalidates all cached attributions. Images too broken to digest
+// fall back to a hash of the raw bytes — still content-addressed, so even
+// broken APKs hit the cache on a warm run.
+func (p *Pipeline) contentKey(img []byte) string {
+	d, err := apk.ComputeDigest(img)
+	if err != nil {
+		sum := sha256.Sum256(img)
+		d = "raw-" + hex.EncodeToString(sum[:])
+	}
+	return d + "@" + p.indexFP
+}
+
+// scratch holds per-APK temporaries reused across analyses via a pool.
+type scratch struct {
+	excl       map[string]bool
+	subclasses []string
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{excl: make(map[string]bool, 4)}
+}}
+
+// AnalyzeImage performs the per-APK static analysis — decompile, parse,
+// call-graph traversal, SDK attribution — against the given index (nil
+// uses the default catalog). A structurally broken APK yields
+// Analysis{Broken: true}, not an error.
+func AnalyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
+	if idx == nil {
+		idx = sdkindex.Default()
+	}
+	return analyzeImage(idx, img)
+}
+
+func analyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
+	a, err := apk.Open(img)
+	if err != nil {
+		if errors.Is(err, apk.ErrBroken) {
+			return &Analysis{Broken: true}, nil
+		}
+		return nil, err
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
 
 	// Decompile-and-parse round trip: custom WebView subclasses are found
 	// from the reconstructed Java source, as the paper does with JADX +
 	// javalang (§3.1.2).
-	var subclasses []string
+	subclasses := sc.subclasses[:0]
 	for _, unit := range decompiler.Decompile(a.Dex) {
 		cu, err := javaparser.Parse(unit.Source)
 		if err != nil {
 			// A decompilation the parser cannot read counts as broken.
-			return nil, fmt.Errorf("%w: %s: %v", apk.ErrBroken, unit.Path, err)
+			sc.subclasses = subclasses
+			return &Analysis{Broken: true}, nil
 		}
 		for _, td := range cu.Types {
 			if td.Extends != "" && cu.Resolve(td.Extends) == android.WebViewClass {
-				subclasses = append(subclasses, cu.Resolve(td.Name))
+				subclasses = append(subclasses, intern.String(cu.Resolve(td.Name)))
 			}
 		}
 	}
 	sort.Strings(subclasses)
+	sc.subclasses = subclasses
 
 	// Call-graph traversal with deep-link exclusion (§3.1.3).
-	excl := make(map[string]bool)
+	excl := sc.excl
+	clear(excl)
 	for _, dl := range a.Manifest.DeepLinkActivities() {
 		excl[dl] = true
 	}
 	g := callgraph.Build(a.Dex)
 	usage := g.AnalyzeUsage(excl)
 
-	ar := &AppResult{
-		Package:      m.md.Package,
-		Title:        m.md.Title,
-		PlayCategory: m.md.Category,
-		Downloads:    m.md.Downloads,
-		UsesWebView:  usage.UsesWebView(),
-		UsesCT:       usage.UsesCT(),
-		Methods:      usage.MethodsCalled(),
-		Subclasses:   subclasses,
+	an := &Analysis{
+		UsesWebView: usage.UsesWebView(),
+		UsesCT:      usage.UsesCT(),
+		Methods:     usage.MethodsCalled(),
 	}
-	p.attributeSDKs(ar, usage)
-	return ar, nil
+	if len(subclasses) > 0 {
+		an.Subclasses = append([]string(nil), subclasses...)
+	}
+	attributeSDKs(idx, an, usage)
+	an.normalize()
+	return an, nil
+}
+
+// normalize maps empty slices to nil so that a fresh analysis and one
+// decoded from a persistent cache blob (where JSON turns absent into nil)
+// are deeply equal — warm and cold runs must produce identical Results.
+func (an *Analysis) normalize() {
+	if len(an.Methods) == 0 {
+		an.Methods = nil
+	}
+	if len(an.MethodsViaSDK) == 0 {
+		an.MethodsViaSDK = nil
+	}
+	if len(an.WebViewSDKs) == 0 {
+		an.WebViewSDKs = nil
+	}
+	if len(an.CTSDKs) == 0 {
+		an.CTSDKs = nil
+	}
+	if len(an.Subclasses) == 0 {
+		an.Subclasses = nil
+	}
 }
 
 // attributeSDKs labels call sites with the SDK index (§3.1.4). WebView
 // attribution follows the paper: the package owning the class that calls a
 // content-populating method (loadUrl/loadData/loadDataWithBaseURL) is the
 // WebView's driver; its other method calls ride along. CT attribution keys
-// on launchUrl and CustomTabsIntent construction.
-func (p *Pipeline) attributeSDKs(ar *AppResult, usage *callgraph.Usage) {
+// on launchUrl and CustomTabsIntent construction. Excluded index entries
+// (e.g. com.google.android) are labeled packages deliberately left out of
+// SDK statistics — they count as neither an SDK hit nor an unlabeled
+// package.
+func attributeSDKs(idx *sdkindex.Index, an *Analysis, usage *callgraph.Usage) {
 	type agg struct {
 		sdk     *sdkindex.SDK
 		methods map[string]bool
 		loads   bool
 		ct      bool
 	}
-	bySDK := make(map[string]*agg)
-	unlabeled := make(map[string]bool)
-	viaSDKMethods := make(map[string]bool)
+	bySDK := make(map[string]*agg, 8)
+	unlabeled := make(map[string]bool, 8)
+	viaSDKMethods := make(map[string]bool, len(android.WebViewMethods))
 
 	for _, call := range usage.WebViewCalls {
 		pkg := call.CallerPackage()
-		sdk, ok := p.cfg.Index.Lookup(pkg)
-		if !ok || sdk.Excluded {
-			unlabeled[pkg] = true
+		sdk, ok := idx.Lookup(pkg)
+		if !ok {
+			unlabeled[intern.String(pkg)] = true
+			continue
+		}
+		if sdk.Excluded {
 			continue
 		}
 		a := bySDK[sdk.Name]
 		if a == nil {
-			a = &agg{sdk: sdk, methods: make(map[string]bool)}
+			a = &agg{sdk: sdk, methods: make(map[string]bool, 4)}
 			bySDK[sdk.Name] = a
 		}
-		a.methods[call.Target.Name] = true
-		viaSDKMethods[call.Target.Name] = true
-		if android.IsLoadMethod(call.Target.Name) {
+		name := intern.String(call.Target.Name)
+		a.methods[name] = true
+		viaSDKMethods[name] = true
+		if android.IsLoadMethod(name) {
 			a.loads = true
 		}
 	}
 	for _, call := range usage.CTCalls {
 		pkg := call.CallerPackage()
-		sdk, ok := p.cfg.Index.Lookup(pkg)
+		sdk, ok := idx.Lookup(pkg)
 		if !ok || sdk.Excluded {
 			continue
 		}
 		if call.Target.Name == android.MethodLaunchURL || call.Target.Name == "<init>" || call.Target.Name == "build" {
 			a := bySDK[sdk.Name]
 			if a == nil {
-				a = &agg{sdk: sdk, methods: make(map[string]bool)}
+				a = &agg{sdk: sdk, methods: make(map[string]bool, 4)}
 				bySDK[sdk.Name] = a
 			}
 			a.ct = true
@@ -366,17 +631,22 @@ func (p *Pipeline) attributeSDKs(ar *AppResult, usage *callgraph.Usage) {
 		a := bySDK[name]
 		if a.loads {
 			hit := SDKHit{SDK: name, Category: a.sdk.Category, Methods: sortedKeys(a.methods)}
-			ar.WebViewSDKs = append(ar.WebViewSDKs, hit)
+			an.WebViewSDKs = append(an.WebViewSDKs, hit)
 		}
 		if a.ct {
-			ar.CTSDKs = append(ar.CTSDKs, SDKHit{SDK: name, Category: a.sdk.Category, CT: true})
+			an.CTSDKs = append(an.CTSDKs, SDKHit{SDK: name, Category: a.sdk.Category, CT: true})
 		}
 	}
-	ar.MethodsViaSDK = sortedKeys(viaSDKMethods)
-	ar.UnlabeledWebViewPackages = len(unlabeled)
+	an.MethodsViaSDK = sortedKeys(viaSDKMethods)
+	an.UnlabeledWebViewPackages = len(unlabeled)
 }
 
+// sortedKeys returns the map's keys sorted, or nil for an empty map (so
+// cache round trips through JSON stay deeply equal).
 func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StageStats describes one streaming stage of a run.
+type StageStats struct {
+	// Wall is the time from pipeline start until the stage drained — with
+	// overlapping stages the differences between stages, not the sum,
+	// describe the run.
+	Wall time.Duration
+	// In counts items entering the stage, Out items it passed downstream
+	// (or, for Analyze, completed successfully).
+	In  int
+	Out int
+}
+
+// Stats instruments a pipeline run: per-stage wall time and item counts,
+// cache traffic, and the high-water mark of APK bytes held in memory. It
+// is how the streaming pipeline's behaviour is observed rather than
+// asserted.
+type Stats struct {
+	// List covers the snapshot fetch (serial, before streaming starts).
+	List StageStats
+	// Metadata covers store-metadata fetch + selection filtering.
+	Metadata StageStats
+	// Download covers APK fetch and cache lookup. Out counts images handed
+	// to analysis, i.e. cache misses; hits skip the Analyze stage.
+	Download StageStats
+	// Analyze covers decompile → parse → call graph → attribution. In is
+	// the number of cache misses analysed; Out excludes broken APKs.
+	Analyze StageStats
+	// Total is the end-to-end wall time of Run.
+	Total time.Duration
+
+	// CacheHits / CacheMisses count content-addressed result-cache
+	// lookups (both zero when no cache is configured).
+	CacheHits   int
+	CacheMisses int
+
+	// PeakInFlightBytes is the high-water mark of APK image bytes held by
+	// the download and analyze stages simultaneously — bounded by the
+	// Workers largest images, not the corpus size.
+	PeakInFlightBytes int64
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s *Stats) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// String renders the stats as a compact multi-line summary.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	row := func(name string, st StageStats) {
+		fmt.Fprintf(&sb, "  %-8s wall=%-12v in=%-6d out=%d\n", name, st.Wall.Round(time.Microsecond), st.In, st.Out)
+	}
+	fmt.Fprintf(&sb, "pipeline stats (total %v):\n", s.Total.Round(time.Microsecond))
+	row("list", s.List)
+	row("metadata", s.Metadata)
+	row("download", s.Download)
+	row("analyze", s.Analyze)
+	fmt.Fprintf(&sb, "  cache    hits=%d misses=%d rate=%.1f%%\n",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	fmt.Fprintf(&sb, "  memory   peak in-flight APK bytes=%d\n", s.PeakInFlightBytes)
+	return sb.String()
+}

@@ -1,0 +1,175 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+type result struct {
+	Pkg     string
+	Methods []string
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %d, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: nothing evicted
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("a = %d, want 10", v)
+	}
+}
+
+func TestPersistentTierPromotion(t *testing.T) {
+	store := NewMemStore()
+	c1 := NewPersistent[result](10, store, nil)
+	want := result{Pkg: "com.example", Methods: []string{"loadUrl", "postUrl"}}
+	c1.Put("k", want)
+
+	// A fresh cache over the same store — as after a process restart.
+	c2 := NewPersistent[result](10, store, nil)
+	got, ok := c2.Get("k")
+	if !ok {
+		t.Fatal("persistent tier missed")
+	}
+	if got.Pkg != want.Pkg || len(got.Methods) != 2 || got.Methods[0] != "loadUrl" {
+		t.Errorf("got %+v", got)
+	}
+	st := c2.Stats()
+	if st.StoreHits != 1 || st.MemHits != 0 {
+		t.Errorf("first lookup stats = %+v", st)
+	}
+	// Promoted: the second lookup is a memory hit.
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("promoted entry missed")
+	}
+	if st := c2.Stats(); st.MemHits != 1 {
+		t.Errorf("post-promotion stats = %+v", st)
+	}
+}
+
+func TestEvictionKeepsPersistentCopy(t *testing.T) {
+	store := NewMemStore()
+	c := NewPersistent[int](1, store, nil)
+	c.Put("a", 1)
+	c.Put("b", 2) // evicts a from the LRU only
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a not recovered from store: %d, %v", v, ok)
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "0a1b2c@fp/../weird key"
+	if _, ok, err := store.Load(key); err != nil || ok {
+		t.Fatalf("empty load = %v, %v", ok, err)
+	}
+	if err := store.Store(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := store.Load(key)
+	if err != nil || !ok || string(b) != `{"x":1}` {
+		t.Fatalf("load = %q, %v, %v", b, ok, err)
+	}
+
+	c := NewPersistent[result](4, store, nil)
+	c.Put("digest@fp", result{Pkg: "p"})
+	c2 := NewPersistent[result](4, store, nil)
+	if v, ok := c2.Get("digest@fp"); !ok || v.Pkg != "p" {
+		t.Errorf("dir-backed roundtrip = %+v, %v", v, ok)
+	}
+}
+
+type failingStore struct{ err error }
+
+func (s failingStore) Load(string) ([]byte, bool, error) { return nil, false, s.err }
+func (s failingStore) Store(string, []byte) error        { return s.err }
+
+func TestStoreFailuresAreMisses(t *testing.T) {
+	c := NewPersistent[int](4, failingStore{err: errors.New("disk on fire")}, nil)
+	c.Put("k", 7)
+	// Memory tier still works despite the failing store.
+	if v, ok := c.Get("k"); !ok || v != 7 {
+		t.Fatalf("mem tier broken: %d, %v", v, ok)
+	}
+	if _, ok := c.Get("other"); ok {
+		t.Error("failing store produced a hit")
+	}
+	st := c.Stats()
+	if st.Errors == 0 || st.Misses == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New[int](4)
+	if r := c.Stats().HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v", r)
+	}
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	c.Get("missing")
+	if r := c.Stats().HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", r)
+	}
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("reset stats = %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewPersistent[int](32, NewMemStore(), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%50)
+				if v, ok := c.Get(key); ok && v != i%50 {
+					t.Errorf("key %s = %d", key, v)
+					return
+				}
+				c.Put(key, i%50)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 32 {
+		t.Errorf("len = %d, want bound 32", c.Len())
+	}
+}

@@ -1,0 +1,110 @@
+package resultcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// MemStore is an in-memory BlobStore, useful for tests and for modelling a
+// remote blob service without I/O.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Load implements BlobStore.
+func (s *MemStore) Load(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.m[key]
+	return b, ok, nil
+}
+
+// Store implements BlobStore.
+func (s *MemStore) Store(key string, blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+// Len reports the number of stored blobs.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// DirStore is a BlobStore that keeps one file per key under a root
+// directory — the simplest durable tier for warm re-runs of the pipeline.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore creates the directory if needed and returns a store over it.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &DirStore{root: root}, nil
+}
+
+// path maps a key to a file name, escaping anything outside [A-Za-z0-9._-]
+// so digest-shaped keys ("<hex>@<fingerprint>") stay readable and arbitrary
+// keys stay safe.
+func (s *DirStore) path(key string) string {
+	var sb strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+			sb.WriteByte(c)
+		default:
+			fmt.Fprintf(&sb, "%%%02x", c)
+		}
+	}
+	return filepath.Join(s.root, sb.String()+".blob")
+}
+
+// Load implements BlobStore.
+func (s *DirStore) Load(key string) ([]byte, bool, error) {
+	b, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("resultcache: %w", err)
+	}
+	return b, true, nil
+}
+
+// Store implements BlobStore. The blob is written to a temp file and
+// renamed so concurrent readers never observe a partial write.
+func (s *DirStore) Store(key string, blob []byte) error {
+	dst := s.path(key)
+	tmp, err := os.CreateTemp(s.root, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}

@@ -12,8 +12,12 @@
 package sdkindex
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Category classifies an SDK's primary function, following the paper's
@@ -108,6 +112,9 @@ type Index struct {
 	sdks     []SDK
 	prefixes []string // sorted for deterministic longest-prefix search
 	byPrefix map[string]int
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewIndex builds an index over the given catalog entries.
@@ -121,8 +128,18 @@ func NewIndex(sdks []SDK) *Index {
 	return idx
 }
 
-// Default returns an index over the full built-in catalog.
-func Default() *Index { return NewIndex(Catalog()) }
+var (
+	defaultOnce sync.Once
+	defaultIdx  *Index
+)
+
+// Default returns an index over the full built-in catalog. The index is
+// immutable and shared: building it regenerates the whole catalog, which
+// is far too expensive to repeat on a per-APK path.
+func Default() *Index {
+	defaultOnce.Do(func() { defaultIdx = NewIndex(Catalog()) })
+	return defaultIdx
+}
 
 // All returns the catalog entries (excluding none).
 func (x *Index) All() []SDK { return x.sdks }
@@ -142,6 +159,24 @@ func (x *Index) Lookup(pkg string) (*SDK, bool) {
 		pkg = pkg[:dot]
 	}
 	return nil, false
+}
+
+// Fingerprint returns a short stable hash over everything in the catalog
+// that labeling depends on (prefix, name, category, exclusion and
+// obfuscation flags). Content-addressed result caches mix it into their
+// keys, so swapping or editing the SDK index invalidates every cached
+// attribution instead of silently serving labels from the old catalog.
+func (x *Index) Fingerprint() string {
+	x.fpOnce.Do(func() {
+		h := sha256.New()
+		for i := range x.sdks {
+			s := &x.sdks[i]
+			fmt.Fprintf(h, "%s\x00%s\x00%s\x00%t\x00%t\n",
+				s.Package, s.Name, s.Category, s.Excluded, s.Obfuscated)
+		}
+		x.fp = hex.EncodeToString(h.Sum(nil))[:16]
+	})
+	return x.fp
 }
 
 // ByCategory returns the catalog entries of one category, in catalog order.
