@@ -135,7 +135,10 @@ func BenchmarkAblationPipelineWorkersN(b *testing.B) { benchPipelineWorkers(b, 0
 
 func benchPipelineWorkers(b *testing.B, workers int) {
 	fix := staticSetup(b)
-	study := core.NewStaticStudy(fix.repo, fix.meta, core.StaticConfig{Workers: workers})
+	study, err := core.NewStaticStudy(fix.repo, fix.meta, core.StaticConfig{Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := study.Run(context.Background())

@@ -30,6 +30,7 @@ import (
 	"repro/internal/playstore"
 	"repro/internal/report"
 	"repro/internal/resultcache"
+	"repro/internal/webviewlint"
 )
 
 var (
@@ -65,7 +66,10 @@ func staticSetup(b *testing.B) *staticFixture {
 		psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 		repo := androzoo.NewClient(azSrv.URL, azSrv.Client())
 		meta := playstore.NewClient(psSrv.URL, psSrv.Client())
-		study := core.NewStaticStudy(repo, meta, core.StaticConfig{})
+		study, err := core.NewStaticStudy(repo, meta, core.StaticConfig{})
+		if err != nil {
+			panic(err)
+		}
 		res, err := study.Run(context.Background())
 		if err != nil {
 			panic(err)
@@ -292,6 +296,72 @@ func BenchmarkAnalyzeOneAllocs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		an, err := pipeline.AnalyzeImage(nil, img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if an.Broken {
+			b.Fatal("fixture APK analysed as broken")
+		}
+	}
+}
+
+// --- Lint stage: WebView misconfiguration analysis -----------------------
+
+func benchLintPipeline(b *testing.B, cache *resultcache.Cache[pipeline.Analysis]) *pipeline.Result {
+	b.Helper()
+	fix := benchSetup(b)
+	lint, err := webviewlint.New(webviewlint.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pipeline.New(fix, fix, pipeline.Config{
+		MinDownloads: corpus.MinDownloads,
+		UpdatedAfter: corpus.UpdateCutoff,
+		Cache:        cache,
+		Lint:         lint,
+	})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Funnel.Analyzed != fix.c.Counts.Analyzed {
+		b.Fatalf("funnel drifted: %+v", res.Funnel)
+	}
+	return res
+}
+
+// BenchmarkPipelineLintCold measures the full pipeline with the lint stage
+// enabled and an empty cache: the delta against BenchmarkPipelineCold is
+// the end-to-end cost of the misconfiguration analysis. Reports findings/op.
+func BenchmarkPipelineLintCold(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var findings int
+	for i := 0; i < b.N; i++ {
+		res := benchLintPipeline(b, resultcache.New[pipeline.Analysis](0))
+		if res.Stats.LintFindings == 0 {
+			b.Fatal("lint run produced no findings over the seeded corpus")
+		}
+		findings = res.Stats.LintFindings
+	}
+	b.ReportMetric(float64(findings), "findings/op")
+}
+
+// BenchmarkAnalyzeAndLintOne measures the per-APK analyze+lint path — the
+// unit of work the cache memoises under a lint-bearing key. The delta
+// against BenchmarkAnalyzeOneAllocs is the per-APK lint cost.
+func BenchmarkAnalyzeAndLintOne(b *testing.B) {
+	fix := benchSetup(b)
+	lint, err := webviewlint.New(webviewlint.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := fix.imgs[fix.c.Filtered()[0].Package]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := pipeline.AnalyzeAndLint(nil, lint, img)
 		if err != nil {
 			b.Fatal(err)
 		}

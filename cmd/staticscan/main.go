@@ -8,6 +8,7 @@
 // Usage:
 //
 //	staticscan [-scale N] [-seed N] [-workers N] [-cachedir DIR] [-stats]
+//	           [-lint] [-lint-rules LIST] [-lint-json FILE]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
@@ -19,15 +20,24 @@
 // hit rate). Edit the SDK catalog or the corpus and the affected entries
 // miss and recompute. -stats prints the per-stage pipeline summary to
 // stderr.
+//
+// -lint adds the WebView misconfiguration lint stage and prints the
+// per-rule prevalence table. -lint-rules runs only the named
+// comma-separated rule IDs (implies -lint); -lint-json writes the findings
+// machine-readably to FILE ("-" for stdout, implies -lint). The lint
+// configuration is part of the cache key, so toggling rules invalidates
+// only lint-bearing cache entries.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http/httptest"
 	"os"
+	"strings"
 
 	"repro/internal/androzoo"
 	"repro/internal/core"
@@ -36,6 +46,7 @@ import (
 	"repro/internal/playstore"
 	"repro/internal/report"
 	"repro/internal/resultcache"
+	"repro/internal/webviewlint"
 )
 
 func main() {
@@ -44,16 +55,60 @@ func main() {
 	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
 	cachedir := flag.String("cachedir", "", "persistent analysis-cache directory (empty = no cache)")
 	stats := flag.Bool("stats", false, "print per-stage pipeline statistics to stderr")
+	lint := flag.Bool("lint", false, "run the WebView misconfiguration lint stage")
+	lintRules := flag.String("lint-rules", "", "comma-separated lint rule IDs (implies -lint; empty = all rules)")
+	lintJSON := flag.String("lint-json", "", "write lint findings as JSON to this file, \"-\" for stdout (implies -lint)")
 	flag.Parse()
 
-	if err := run(*scale, *seed, *workers, *cachedir, *stats); err != nil {
+	opts := options{
+		scale: *scale, seed: *seed, workers: *workers,
+		cachedir: *cachedir, stats: *stats,
+		lint:     *lint || *lintRules != "" || *lintJSON != "",
+		lintJSON: *lintJSON,
+	}
+	if *lintRules != "" {
+		opts.lintRules = strings.Split(*lintRules, ",")
+	}
+	if err := run(os.Stdout, opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scale int, seed int64, workers int, cachedir string, stats bool) error {
-	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", seed, scale)
-	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+type options struct {
+	scale     int
+	seed      int64
+	workers   int
+	cachedir  string
+	stats     bool
+	lint      bool
+	lintRules []string
+	lintJSON  string
+}
+
+// lintReport is the machine-readable -lint-json document.
+type lintReport struct {
+	Scale int               `json:"scale"`
+	Seed  int64             `json:"seed"`
+	Rules []lintRuleSummary `json:"rules"`
+	Apps  []lintAppFindings `json:"apps"`
+}
+
+type lintRuleSummary struct {
+	ID       string `json:"id"`
+	Severity string `json:"severity"`
+	Findings int    `json:"findings"`
+	Apps     int    `json:"apps"`
+	ViaSDK   int    `json:"viaSdk"`
+}
+
+type lintAppFindings struct {
+	Package  string                `json:"package"`
+	Findings []webviewlint.Finding `json:"findings"`
+}
+
+func run(out *os.File, o options) error {
+	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", o.seed, o.scale)
+	c, err := corpus.Generate(corpus.Config{Seed: o.seed, Scale: o.scale})
 	if err != nil {
 		return err
 	}
@@ -63,38 +118,85 @@ func run(scale int, seed int64, workers int, cachedir string, stats bool) error 
 	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 	defer psSrv.Close()
 
-	cfg := core.StaticConfig{Workers: workers}
-	if cachedir != "" {
-		store, err := resultcache.NewDirStore(cachedir)
+	cfg := core.StaticConfig{Workers: o.workers, Lint: o.lint, LintRules: o.lintRules}
+	if o.cachedir != "" {
+		store, err := resultcache.NewDirStore(o.cachedir)
 		if err != nil {
 			return fmt.Errorf("open cache dir: %w", err)
 		}
 		cfg.Cache = resultcache.NewPersistent[pipeline.Analysis](0, store, nil)
 	}
-	study := core.NewStaticStudy(
+	study, err := core.NewStaticStudy(
 		androzoo.NewClient(azSrv.URL, azSrv.Client()),
 		playstore.NewClient(psSrv.URL, psSrv.Client()),
 		cfg,
 	)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "running pipeline over %d repository entries...\n", c.Counts.Total)
 	res, err := study.Run(context.Background())
 	if err != nil {
 		return err
 	}
-	if cachedir != "" {
+	if o.cachedir != "" {
 		fmt.Fprintf(os.Stderr, "analysis cache: %d hits, %d misses (%.0f%% hit rate)\n",
 			res.Stats.CacheHits, res.Stats.CacheMisses, 100*res.Stats.CacheHitRate())
 	}
-	if stats {
+	if o.stats {
 		fmt.Fprintln(os.Stderr, res.Stats.String())
 	}
 
-	fmt.Print(report.Table2(res.Funnel, scale))
-	fmt.Print(report.Table3(res.Aggregates))
-	fmt.Print(report.TopSDKTable(res.Aggregates, false, scale))
-	fmt.Print(report.TopSDKTable(res.Aggregates, true, scale))
-	fmt.Print(report.Table7(res.Aggregates, scale))
-	fmt.Print(report.Figure3(res.Aggregates))
-	fmt.Print(report.Figure4(res.Aggregates))
+	fmt.Fprint(out, report.Table2(res.Funnel, o.scale))
+	fmt.Fprint(out, report.Table3(res.Aggregates))
+	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, false, o.scale))
+	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, true, o.scale))
+	fmt.Fprint(out, report.Table7(res.Aggregates, o.scale))
+	fmt.Fprint(out, report.Figure3(res.Aggregates))
+	fmt.Fprint(out, report.Figure4(res.Aggregates))
+	if o.lint {
+		fmt.Fprint(out, report.LintTable(res.Aggregates))
+	}
+	if o.lintJSON != "" {
+		doc := buildLintReport(o, res)
+		w := out
+		if o.lintJSON != "-" {
+			f, err := os.Create(o.lintJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// buildLintReport assembles the deterministic JSON document: rules in
+// registry order, apps in package order (the pipeline already sorts them),
+// findings in the analyzer's (class, line, rule) order.
+func buildLintReport(o options, res *core.StaticResult) *lintReport {
+	doc := &lintReport{Scale: o.scale, Seed: o.seed}
+	for _, r := range webviewlint.Rules() {
+		doc.Rules = append(doc.Rules, lintRuleSummary{
+			ID:       r.ID,
+			Severity: string(r.Severity),
+			Findings: res.Aggregates.LintRuleFindings[r.ID],
+			Apps:     res.Aggregates.LintRuleApps[r.ID],
+			ViaSDK:   res.Aggregates.LintRuleViaSDK[r.ID],
+		})
+	}
+	for i := range res.Apps {
+		app := &res.Apps[i]
+		if len(app.Lint) == 0 {
+			continue
+		}
+		doc.Apps = append(doc.Apps, lintAppFindings{Package: app.Package, Findings: app.Lint})
+	}
+	return doc
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestLintJSONGolden runs the full staticscan path with -lint-json over a
+// small fixed corpus and compares the machine-readable findings document
+// byte-for-byte against the checked-in golden file: the lint output is part
+// of the tool's contract and must stay deterministic across refactors.
+// Regenerate with: go test ./cmd/staticscan -run TestLintJSONGolden -update
+func TestLintJSONGolden(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "lint.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	o := options{scale: 5000, seed: 1, workers: 2, lint: true, lintJSON: jsonPath}
+	if err := run(devnull, o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "lint_scale5000_seed1.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("lint JSON drifted from golden file %s\ngot:\n%s", golden, got)
+	}
+
+	// Sanity beyond byte equality: the document decodes and carries the
+	// full rule registry plus at least one flagged app.
+	var doc lintReport
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("golden output is not valid JSON: %v", err)
+	}
+	if len(doc.Rules) < 8 {
+		t.Errorf("document lists %d rules, want the full registry (>=8)", len(doc.Rules))
+	}
+	if len(doc.Apps) == 0 {
+		t.Error("document flags no apps over the seeded corpus")
+	}
+}

@@ -33,11 +33,14 @@ func main() {
 	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 	defer psSrv.Close()
 
-	study := core.NewStaticStudy(
+	study, err := core.NewStaticStudy(
 		androzoo.NewClient(azSrv.URL, azSrv.Client()),
 		playstore.NewClient(psSrv.URL, psSrv.Client()),
 		core.StaticConfig{},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := study.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)

@@ -59,6 +59,23 @@ const (
 	MethodLaunchURL = "launchUrl"
 )
 
+// WebView configuration surface the misconfiguration lint audits (§5
+// security discussion): the WebSettings toggles, the remote-debugging
+// switch and the SslErrorHandler callback protocol.
+const (
+	WebSettingsClass     = "android.webkit.WebSettings"
+	SslErrorHandlerClass = "android.webkit.SslErrorHandler"
+
+	MethodGetSettings                         = "getSettings"
+	MethodSetJavaScriptEnabled                = "setJavaScriptEnabled"
+	MethodSetAllowFileAccess                  = "setAllowFileAccess"
+	MethodSetAllowFileAccessFromFileURLs      = "setAllowFileAccessFromFileURLs"
+	MethodSetAllowUniversalAccessFromFileURLs = "setAllowUniversalAccessFromFileURLs"
+	MethodSetMixedContentMode                 = "setMixedContentMode"
+	MethodSetWebContentsDebuggingEnabled      = "setWebContentsDebuggingEnabled"
+	MethodOnReceivedSslError                  = "onReceivedSslError"
+)
+
 // Intent actions and categories used in deep-link / Web-URI handling.
 const (
 	ActionView        = "android.intent.action.VIEW"

@@ -193,6 +193,41 @@ func (g *Graph) resolve(ref dalvik.MethodRef) (dalvik.MethodRef, bool) {
 	return dalvik.MethodRef{}, false
 }
 
+// Callees returns the in-file methods any overload of class.method
+// invokes, resolved through the in-file superclass chain, in first-call
+// order without duplicates. External targets are omitted. This is the edge
+// set interprocedural lint rules (unsafe-load-url) follow; like the
+// hierarchy queries it is not safe for concurrent use.
+func (g *Graph) Callees(class, method string) []dalvik.MethodRef {
+	c := g.classes[class]
+	if c == nil {
+		return nil
+	}
+	var out []dalvik.MethodRef
+	var seen map[dalvik.MethodRef]bool
+	for j := range c.Methods {
+		m := &c.Methods[j]
+		if m.Name != method {
+			continue
+		}
+		for _, ins := range m.Code {
+			if !ins.Op.IsInvoke() {
+				continue
+			}
+			res, ok := g.resolve(ins.Target)
+			if !ok || seen[res] {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[dalvik.MethodRef]bool, 4)
+			}
+			seen[res] = true
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 // Reachable computes the set of defined methods reachable from the given
 // roots (defaulting to EntryPoints when none are passed).
 func (g *Graph) Reachable(roots ...dalvik.MethodRef) map[dalvik.MethodRef]bool {

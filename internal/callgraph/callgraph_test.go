@@ -47,6 +47,22 @@ func appDex(t *testing.T) *dalvik.File {
 	return b.MustBuild()
 }
 
+func TestCallees(t *testing.T) {
+	g := Build(appDex(t))
+	got := g.Callees("com.app.MainActivity", "onCreate")
+	want := []dalvik.MethodRef{{Class: "com.app.Helper", Name: "show", Signature: "()void"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Callees(onCreate) = %v, want %v", got, want)
+	}
+	// Helper.show only calls the external WebView method: no in-file edges.
+	if c := g.Callees("com.app.Helper", "show"); c != nil {
+		t.Errorf("Callees(Helper.show) = %v, want nil", c)
+	}
+	if c := g.Callees("com.app.Missing", "x"); c != nil {
+		t.Errorf("Callees(missing class) = %v, want nil", c)
+	}
+}
+
 func TestEntryPoints(t *testing.T) {
 	g := Build(appDex(t))
 	eps := g.EntryPoints()

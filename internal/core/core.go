@@ -20,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/resultcache"
 	"repro/internal/sdkindex"
+	"repro/internal/webviewlint"
 )
 
 // StaticConfig parameterises the static study.
@@ -35,6 +36,10 @@ type StaticConfig struct {
 	// Cache, when non-nil, memoises per-APK analyses by content digest so
 	// repeated runs over an unchanged corpus skip download-side CPU work.
 	Cache *resultcache.Cache[pipeline.Analysis]
+	// Lint enables the WebView misconfiguration lint stage; LintRules
+	// restricts it to the named rule IDs (nil = every registry rule).
+	Lint      bool
+	LintRules []string
 }
 
 // StaticStudy runs the large-scale static analysis.
@@ -52,13 +57,21 @@ type StaticResult struct {
 	Stats pipeline.Stats
 }
 
-// NewStaticStudy wires the pipeline over the given services.
-func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg StaticConfig) *StaticStudy {
+// NewStaticStudy wires the pipeline over the given services. It returns an
+// error only for an invalid lint configuration (an unknown rule ID).
+func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg StaticConfig) (*StaticStudy, error) {
 	if cfg.MinDownloads == 0 {
 		cfg.MinDownloads = corpus.MinDownloads
 	}
 	if cfg.UpdatedAfter.IsZero() {
 		cfg.UpdatedAfter = corpus.UpdateCutoff
+	}
+	var lint *webviewlint.Analyzer
+	if cfg.Lint || cfg.LintRules != nil {
+		var err error
+		if lint, err = webviewlint.New(webviewlint.Config{Rules: cfg.LintRules}); err != nil {
+			return nil, err
+		}
 	}
 	return &StaticStudy{
 		pipe: pipeline.New(repo, meta, pipeline.Config{
@@ -67,8 +80,9 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 			Workers:      cfg.Workers,
 			Index:        cfg.Index,
 			Cache:        cfg.Cache,
+			Lint:         lint,
 		}),
-	}
+	}, nil
 }
 
 // Run executes the study.

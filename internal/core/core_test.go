@@ -22,11 +22,14 @@ func TestStaticStudyEndToEnd(t *testing.T) {
 	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 	defer psSrv.Close()
 
-	study := NewStaticStudy(
+	study, err := NewStaticStudy(
 		androzoo.NewClient(azSrv.URL, azSrv.Client()),
 		playstore.NewClient(psSrv.URL, psSrv.Client()),
 		StaticConfig{},
 	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := study.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/apk"
 	"repro/internal/dalvik"
 	"repro/internal/manifest"
+	"repro/internal/webviewlint"
 )
 
 // BuildAPK synthesises the APK image for a spec. The build is a pure
@@ -105,7 +106,9 @@ func buildDex(s *Spec) (*dalvik.File, error) {
 		buildSDKClasses(b, s, use)
 	}
 
-	// First-party WebView activity.
+	// First-party WebView activity. Planted misconfigurations append their
+	// WebSettings calls after the API calls so the operand stack feeding the
+	// existing call arguments is untouched.
 	if len(s.OwnMethods) > 0 {
 		body := []dalvik.Instruction{
 			dalvik.ConstString("https://" + appHost(s.Package) + "/home"),
@@ -115,10 +118,12 @@ func buildDex(s *Spec) (*dalvik.File, error) {
 		} else {
 			body = append(body, webViewCalls(android.WebViewClass, s.OwnMethods)...)
 		}
+		body = append(body, misconfigSettings(android.WebViewClass, s.Misconfigs)...)
 		b.Class(s.Package+".web.WebActivity", android.ActivityClass, dalvik.AccPublic).
 			Source("WebActivity.java").
 			Method("preload", "()void", dalvik.AccPublic|dalvik.AccStatic, dalvik.Return()).
 			VoidMethod("onCreate", body...)
+		buildMisconfigClasses(b, s)
 	}
 	if s.OwnCT {
 		b.Class(s.Package+".web.TabHelper", android.ObjectClass, dalvik.AccPublic).
@@ -195,6 +200,7 @@ func buildSDKClasses(b *dalvik.Builder, s *Spec, use SDKUse) {
 		} else {
 			body = append(body, webViewCalls(webViewClass, use.WebViewMethods)...)
 		}
+		body = append(body, misconfigSettings(webViewClass, use.Misconfigs)...)
 		b.Class(use.Package+".internal.WebController", android.ObjectClass, dalvik.AccPublic).
 			Source("WebController.java").
 			VoidMethod("open", body...)
@@ -230,6 +236,108 @@ func buildSDKClasses(b *dalvik.Builder, s *Spec, use SDKUse) {
 			dalvik.Return(),
 		)
 	}
+}
+
+// misconfigSettings renders the WebSettings-style misconfiguration calls
+// for the planted rules: a getSettings() lookup followed by one enabling
+// setter per settings rule, plus the static remote-debugging switch. The
+// sequence is self-contained on the operand stack (every setter consumes
+// the constant pushed just before it), so it composes with any body.
+func misconfigSettings(webViewClass string, planted []string) []dalvik.Instruction {
+	var setters, statics []dalvik.Instruction
+	setter := func(name string) {
+		setters = append(setters,
+			dalvik.ConstInt(1),
+			dalvik.InvokeVirtual(android.WebSettingsClass, name, "(boolean)void"))
+	}
+	for _, rule := range planted {
+		switch rule {
+		case webviewlint.RuleJSEnabled:
+			setter(android.MethodSetJavaScriptEnabled)
+		case webviewlint.RuleFileAccess:
+			setter(android.MethodSetAllowFileAccess)
+		case webviewlint.RuleFileURLAccess:
+			setter(android.MethodSetAllowFileAccessFromFileURLs)
+		case webviewlint.RuleUniversalFileAccess:
+			setter(android.MethodSetAllowUniversalAccessFromFileURLs)
+		case webviewlint.RuleMixedContent:
+			setters = append(setters,
+				dalvik.ConstInt(0), // MIXED_CONTENT_ALWAYS_ALLOW
+				dalvik.InvokeVirtual(android.WebSettingsClass, android.MethodSetMixedContentMode, "(int)void"))
+		case webviewlint.RuleDebuggableWebView:
+			statics = append(statics,
+				dalvik.ConstInt(1),
+				dalvik.InvokeStatic(android.WebViewClass, android.MethodSetWebContentsDebuggingEnabled, "(boolean)void"))
+		}
+	}
+	var out []dalvik.Instruction
+	if len(setters) > 0 {
+		out = append(out,
+			dalvik.InvokeVirtual(webViewClass, android.MethodGetSettings, "()WebSettings"),
+			dalvik.Instruction{Op: dalvik.OpMoveResult})
+		out = append(out, setters...)
+	}
+	return append(out, statics...)
+}
+
+// buildMisconfigClasses emits the first-party misconfiguration idioms that
+// live in their own classes: a WebViewClient that swallows TLS errors and an
+// intent-data-to-loadUrl deep-link flow. Apps without the planted rule get a
+// safe variant at a deterministic stride — the lint rules need real negative
+// code (a cancel()ing handler, a constant-URL router), not just absence.
+// Neither class is reachable from an entry point, so the §3.1.3 usage
+// traversal and every existing table are unaffected.
+func buildMisconfigClasses(b *dalvik.Builder, s *Spec) {
+	switch {
+	case hasMisconfig(s.Misconfigs, webviewlint.RuleSSLErrorProceed):
+		sslGuard(b, s, "proceed")
+	case !s.Obfuscated && pkgHash(s.Package)%3 == 1:
+		sslGuard(b, s, "cancel")
+	}
+	switch {
+	case hasMisconfig(s.Misconfigs, webviewlint.RuleUnsafeLoadURL):
+		deepLinkFlow(b, s, false)
+	case !s.Obfuscated && pkgHash(s.Package)%5 == 2:
+		deepLinkFlow(b, s, true)
+	}
+}
+
+// sslGuard plants a WebViewClient subclass whose onReceivedSslError either
+// proceeds (the ssl-error-proceed violation) or cancels (the safe negative).
+func sslGuard(b *dalvik.Builder, s *Spec, action string) {
+	b.Class(s.Package+".web.SslGuard", android.WebViewClientClass, dalvik.AccPublic).
+		Source("SslGuard.java").
+		VoidMethod(android.MethodOnReceivedSslError,
+			dalvik.InvokeVirtual(android.SslErrorHandlerClass, action, "()void"),
+		)
+}
+
+// deepLinkFlow plants the interprocedural unsafe-load-url chain: an opener
+// method reads the intent's data string and passes it across a static call
+// into Router.route, whose loadUrl sink the lint's taint walk must reach by
+// following the call-graph edge. The safe variant routes a constant URL
+// instead, leaving the intent read as a decoy.
+func deepLinkFlow(b *dalvik.Builder, s *Spec, safe bool) {
+	b.Class(s.Package+".link.LinkOpener", android.ActivityClass, dalvik.AccPublic).
+		Source("LinkOpener.java").
+		VoidMethod("openDeepLink",
+			dalvik.InvokeVirtual(android.ActivityClass, "getIntent", "()Intent"),
+			dalvik.Instruction{Op: dalvik.OpMoveResult},
+			dalvik.InvokeVirtual(android.IntentClass, "getDataString", "()String"),
+			dalvik.Instruction{Op: dalvik.OpMoveResult},
+			dalvik.InvokeStatic(s.Package+".link.Router", "route", "(String)void"),
+		)
+	route := []dalvik.Instruction{}
+	if safe {
+		route = append(route, dalvik.ConstString("https://"+appHost(s.Package)+"/landing"))
+	}
+	route = append(route,
+		dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+		dalvik.Return(),
+	)
+	b.Class(s.Package+".link.Router", android.ObjectClass, dalvik.AccPublic).
+		Source("Router.java").
+		Method("route", "(String)void", dalvik.AccPublic|dalvik.AccStatic, route...)
 }
 
 // webViewCalls renders one invoke per planted method, each preceded by a

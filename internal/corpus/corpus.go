@@ -171,6 +171,7 @@ func Generate(cfg Config) (*Corpus, error) {
 				brokenAssigned++
 			}
 			assignStatic(spec, idx, cfg.Seed)
+			assignMisconfigs(spec, cfg.Seed)
 		}
 		c.Apps = append(c.Apps, spec)
 	}

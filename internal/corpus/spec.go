@@ -74,6 +74,10 @@ type SDKUse struct {
 	Package        string // the SDK's package prefix
 	WebViewMethods []string
 	UsesCT         bool
+	// Misconfigs lists the webviewlint rule IDs this SDK copy's code
+	// violates (settings rules only); the APK builder plants matching
+	// WebSettings calls inside the SDK's own package.
+	Misconfigs []string
 }
 
 // Spec fully determines one generated app: its metadata and the code the
@@ -96,6 +100,13 @@ type Spec struct {
 	OwnMethods  []string // WebView methods called by first-party app code
 	OwnCT       bool     // first-party Custom Tabs use
 	HasDeepLink bool     // exported BROWSABLE activity (excluded, §3.1.3)
+	// Misconfigs lists the webviewlint rule IDs the app's first-party
+	// WebView code violates. The APK builder plants the matching
+	// misconfiguration code (WebSettings calls, a proceed-ing
+	// WebViewClient, an intent-to-loadUrl flow) so the lint stage has real
+	// code to find; obfuscated apps never carry misconfigs (their WebView
+	// surface is hidden behind reflection).
+	Misconfigs []string
 
 	// Dynamic ground truth (top apps only).
 	Dynamic Dynamic

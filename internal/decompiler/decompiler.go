@@ -162,14 +162,31 @@ func writeMethod(sb *bytes.Buffer, m *dalvik.Method) {
 	sb.WriteString("    }\n")
 }
 
+// operand is one value on the symbolic operand stack writeBody keeps while
+// rendering: the expression text a later invoke can consume as an argument.
+type operand struct {
+	text  string
+	isInt bool
+	num   int64
+}
+
 // writeBody reconstructs statements from the instruction stream. Branch
 // instructions open and close scopes so the output nests plausibly; an
 // invoke following a new-instance of the same class renders as a
 // constructor call.
+//
+// Constants and invoke results are additionally tracked on a symbolic
+// operand stack: a preceding const-string/const-int feeds the trailing
+// arguments of the next invoke, so the output reads
+// setJavaScriptEnabled(true) or loadUrl("https://…") instead of opaque
+// placeholders — the argument expressions the lint rules match on. The
+// stack is cleared at branch boundaries: this linear reconstruction cannot
+// prove a value flows across them.
 func writeBody(sb *bytes.Buffer, code []dalvik.Instruction) {
 	indent := 2
 	depth := 0 // open if-blocks
 	var pendingNew string
+	var ops []operand
 	emit := func(format string, args ...any) {
 		sb.WriteString(strings.Repeat("    ", indent))
 		fmt.Fprintf(sb, format, args...)
@@ -184,53 +201,131 @@ func writeBody(sb *bytes.Buffer, code []dalvik.Instruction) {
 			emit("}")
 		}
 	}
-	for _, ins := range code {
+	// finishInvoke renders a non-constructor invoke expression. A directly
+	// following move-result becomes an assignment whose variable goes back
+	// on the operand stack — that is how getIntent()/getDataString() chains
+	// stay visible as def-use edges in the source.
+	finishInvoke := func(i int, expr string) int {
+		if i+1 < len(code) && code[i+1].Op == dalvik.OpMoveResult {
+			varN++
+			lastVar = fmt.Sprintf("v%d", varN)
+			emit("Object %s = %s;", lastVar, expr)
+			ops = append(ops, operand{text: lastVar})
+			return i + 1
+		}
+		emit("%s;", expr)
+		return i
+	}
+	for i := 0; i < len(code); i++ {
+		ins := code[i]
 		switch ins.Op {
 		case dalvik.OpConstString:
 			varN++
 			emit("String s%d = %q;", varN, ins.Str)
+			ops = append(ops, operand{text: fmt.Sprintf("%q", ins.Str)})
 		case dalvik.OpConstInt:
 			varN++
 			emit("int i%d = %d;", varN, ins.Int)
+			ops = append(ops, operand{text: fmt.Sprintf("%d", ins.Int), isInt: true, num: ins.Int})
 		case dalvik.OpNewInstance:
 			pendingNew = ins.Type
 		case dalvik.OpInvokeDirect:
 			if pendingNew == ins.Target.Class && ins.Target.Name == "<init>" {
 				varN++
 				lastVar = fmt.Sprintf("v%d", varN)
+				// Constructor operands come from caller registers in the
+				// builder idiom, not the tracked stack: keep placeholders so
+				// a preceding URL constant stays available for the load call
+				// it actually feeds.
 				emit("%s %s = new %s(%s);", simpleName(pendingNew), lastVar, simpleName(pendingNew), argList(ins.Target.Signature))
 				pendingNew = ""
 				continue
 			}
-			emit("%s.%s(%s);", lastVar, ins.Target.Name, argList(ins.Target.Signature))
+			i = finishInvoke(i, fmt.Sprintf("%s.%s(%s)", lastVar, ins.Target.Name, takeArgs(&ops, ins.Target.Signature)))
 		case dalvik.OpInvokeVirtual, dalvik.OpInvokeInterface:
-			recv := lastVar
-			emit("%s.%s(%s);", recv, ins.Target.Name, argList(ins.Target.Signature))
+			i = finishInvoke(i, fmt.Sprintf("%s.%s(%s)", lastVar, ins.Target.Name, takeArgs(&ops, ins.Target.Signature)))
 		case dalvik.OpInvokeStatic:
-			emit("%s.%s(%s);", simpleName(ins.Target.Class), ins.Target.Name, argList(ins.Target.Signature))
+			i = finishInvoke(i, fmt.Sprintf("%s.%s(%s)", simpleName(ins.Target.Class), ins.Target.Name, takeArgs(&ops, ins.Target.Signature)))
 		case dalvik.OpMoveResult:
+			// Not directly after an invoke (corrupt or hand-built streams):
+			// keep the legacy placeholder form.
 			varN++
 			lastVar = fmt.Sprintf("v%d", varN)
 			emit("Object %s = __result;", lastVar)
+			ops = append(ops, operand{text: lastVar})
 		case dalvik.OpIfZ:
 			emit("if (__cond != 0) {")
 			indent++
 			depth++
+			ops = ops[:0]
 		case dalvik.OpGoto:
 			emit("// goto %+d", ins.Int)
+			ops = ops[:0]
 		case dalvik.OpReturnVoid:
 			closeBlocks()
 			emit("return;")
+			ops = ops[:0]
 		case dalvik.OpReturnValue:
 			closeBlocks()
 			emit("return %s;", lastVar)
+			ops = ops[:0]
 		case dalvik.OpThrow:
 			emit("throw new RuntimeException();")
+			ops = ops[:0]
 		case dalvik.OpNop:
 			// nothing
 		}
 	}
 	closeBlocks()
+}
+
+// takeArgs renders an invoke's argument list, consuming up to nparams
+// tracked operands for the trailing parameters (the most recent operand is
+// the last argument) and placeholders for the rest. An int operand in a
+// boolean slot renders as true/false, matching javac's encoding of boolean
+// literals as const ints.
+func takeArgs(ops *[]operand, sig string) string {
+	types := paramTypes(sig)
+	n := len(types)
+	if n == 0 {
+		return ""
+	}
+	take := len(*ops)
+	if take > n {
+		take = n
+	}
+	args := make([]string, n)
+	for i := 0; i < n-take; i++ {
+		args[i] = fmt.Sprintf("a%d", i)
+	}
+	popped := (*ops)[len(*ops)-take:]
+	*ops = (*ops)[:len(*ops)-take]
+	for i, op := range popped {
+		s := op.text
+		if op.isInt && types[n-take+i] == "boolean" {
+			if op.num == 0 {
+				s = "false"
+			} else {
+				s = "true"
+			}
+		}
+		args[n-take+i] = s
+	}
+	return strings.Join(args, ", ")
+}
+
+// paramTypes returns the simple parameter type names of "(String,int)void".
+func paramTypes(sig string) []string {
+	open := strings.IndexByte(sig, '(')
+	close := strings.LastIndexByte(sig, ')')
+	if open < 0 || close < open || close == open+1 {
+		return nil
+	}
+	parts := strings.Split(sig[open+1:close], ",")
+	for i := range parts {
+		parts[i] = simpleName(strings.TrimSpace(parts[i]))
+	}
+	return parts
 }
 
 // splitSignature turns "(String,int)void" into ("void", "String a0, int a1").

@@ -64,7 +64,7 @@ func TestDecompiledSourceShape(t *testing.T) {
 		"public void onCreate() {",
 		`String s2 = "https://example.com";`,
 		"BrowserView v1 = new BrowserView(a0);",
-		"v1.loadUrl(a0);",
+		`v1.loadUrl("https://example.com");`,
 		"if (__cond != 0) {",
 	} {
 		if !strings.Contains(src, want) {
@@ -140,6 +140,54 @@ func TestDecompileStaticCall(t *testing.T) {
 	}
 	if !strings.Contains(src, "import com.other.Util;") {
 		t.Errorf("missing import:\n%s", src)
+	}
+}
+
+// Constants must surface as argument expressions: boolean parameters render
+// int consts as true/false, and a move-result var feeds later calls — the
+// def-use text the WebView lint rules match on.
+func TestArgumentRendering(t *testing.T) {
+	f := dalvik.NewBuilder().
+		Class("com.app.P", "java.lang.Object", dalvik.AccPublic).
+		VoidMethod("apply",
+			dalvik.InvokeVirtual(android.WebViewClass, "getSettings", "()WebSettings"),
+			dalvik.Instruction{Op: dalvik.OpMoveResult},
+			dalvik.ConstInt(1),
+			dalvik.InvokeVirtual("android.webkit.WebSettings", "setJavaScriptEnabled", "(boolean)void"),
+			dalvik.ConstInt(0),
+			dalvik.InvokeVirtual("android.webkit.WebSettings", "setMixedContentMode", "(int)void"),
+			dalvik.Return(),
+		).
+		MustBuild()
+	src := DecompileClass(&f.Classes[0])
+	for _, want := range []string{
+		"Object v1 = this.getSettings();",
+		"v1.setJavaScriptEnabled(true);",
+		"v1.setMixedContentMode(0);",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("source missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := javaparser.Parse(src); err != nil {
+		t.Errorf("rendered source does not parse: %v\n%s", err, src)
+	}
+}
+
+// Operands must not leak across branch boundaries: a constant pushed before
+// an if cannot feed a call inside it.
+func TestOperandStackClearedAtBranches(t *testing.T) {
+	f := dalvik.NewBuilder().
+		Class("com.app.B", "java.lang.Object", dalvik.AccPublic).
+		VoidMethod("go",
+			dalvik.ConstInt(1),
+			dalvik.Instruction{Op: dalvik.OpIfZ, Int: 2},
+			dalvik.InvokeVirtual("android.webkit.WebSettings", "setJavaScriptEnabled", "(boolean)void"),
+		).
+		MustBuild()
+	src := DecompileClass(&f.Classes[0])
+	if !strings.Contains(src, "setJavaScriptEnabled(a0);") {
+		t.Errorf("stale operand crossed the branch:\n%s", src)
 	}
 }
 

@@ -1,0 +1,67 @@
+package javaparser
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the whole parser with arbitrary source. Parse must never
+// panic or hang; when it succeeds, the unit must be structurally sane
+// (non-empty type and method names, call receivers/names interned slices of
+// real text).
+func FuzzParse(f *testing.F) {
+	f.Add("package p; class C { void m() { a.b(); } }")
+	f.Add(src) // the canonical decompiled-shape fixture
+	f.Add("class X {")
+	f.Add(`package p; import a.B; interface I { void m(String s); }`)
+	f.Add("package p; class C { int x = f(1, \"a;b\", g(2)); void m() {} }")
+	f.Add("package p; class O { class N { void m() { this.go(); } } }")
+	f.Add("package é; class C { void m() { \"\\\"\"; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, td := range u.Types {
+			if td.Name == "" {
+				t.Errorf("empty type name in %q", src)
+			}
+			for _, m := range td.Methods {
+				if m.Name == "" {
+					t.Errorf("empty method name in %q", src)
+				}
+				for _, c := range m.Calls {
+					if c.Name == "" {
+						t.Errorf("empty call name in %q", src)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzCallArgs embeds arbitrary text as a method-body statement and checks
+// the argument-expression capture: no panic, and no captured argument is
+// the empty string (a bare comma never yields one).
+func FuzzCallArgs(f *testing.F) {
+	f.Add(`v.loadUrl("https://x/", true, intent.getData())`)
+	f.Add("settings.setJavaScriptEnabled(true)")
+	f.Add("f(g(a, b), (String) c, a + (b))")
+	f.Add("Object v1 = this.getIntent()")
+	f.Add("x.y(,,)")
+	f.Add("a.b(\"unterminated")
+	f.Fuzz(func(t *testing.T, stmt string) {
+		u, err := Parse("package p;\nclass F { void m() {\n" + stmt + ";\n} }")
+		if err != nil {
+			return
+		}
+		for _, m := range u.Types[0].Methods {
+			for _, c := range m.Calls {
+				for _, a := range c.Args {
+					if a == "" {
+						t.Errorf("empty arg captured from %q: %#v", stmt, c.Args)
+					}
+				}
+			}
+		}
+	})
+}

@@ -14,12 +14,23 @@ type Call struct {
 	Receiver string
 	Name     string
 	Line     int
+	// Args holds the textual argument expressions, one per top-level comma:
+	// literals ("true", "0", `"https://…"`), identifiers ("v2") or chains
+	// ("intent.getDataString()"). Configuration-sensitive lint rules match
+	// on these.
+	Args []string
+	// Assign names the local variable a statement-level call's result is
+	// assigned to ("v1" in `Object v1 = this.getIntent();`), or "".
+	Assign string
 }
 
 // MethodDecl is a method found in a type body.
 type MethodDecl struct {
-	Name  string
-	Calls []Call
+	Name string
+	// Params holds the declared parameter names in order — the def-use
+	// entry points interprocedural taint propagates into.
+	Params []string
+	Calls  []Call
 }
 
 // TypeKind distinguishes classes from interfaces.
@@ -357,7 +368,11 @@ func (p *parser) parseMember(td *TypeDecl) error {
 			}
 		case p.tok.kind == tokPunct && p.tok.text == "(":
 			// Method declaration: name is lastIdent.
-			if err := p.skipBalanced("(", ")"); err != nil {
+			if lastIdent == "" {
+				return fmt.Errorf("line %d: '(' without a member name in %s", p.tok.line, td.Name)
+			}
+			params, err := p.parseParams()
+			if err != nil {
 				return err
 			}
 			// throws clause
@@ -371,7 +386,7 @@ func (p *parser) parseMember(td *TypeDecl) error {
 					}
 				}
 			}
-			m := MethodDecl{Name: intern.String(lastIdent)}
+			m := MethodDecl{Name: intern.String(lastIdent), Params: params}
 			switch {
 			case p.tok.kind == tokPunct && p.tok.text == "{":
 				calls, err := p.parseMethodBody()
@@ -453,8 +468,73 @@ func (p *parser) skipBalanced(open, close string) error {
 	}
 }
 
-// parseMethodBody walks a balanced '{ … }' region recording every
-// qualified call: a dotted identifier chain immediately followed by '('.
+// parseParams consumes a method declaration's '(' … ')' and returns the
+// parameter names: the last identifier of each top-level comma-separated
+// segment ("final Map<String, Integer> opts" → "opts").
+func (p *parser) parseParams() ([]string, error) {
+	if p.tok.kind != tokPunct || p.tok.text != "(" {
+		return nil, fmt.Errorf("line %d: expected '('", p.tok.line)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var names []string
+	depth := 0 // nested (), [] and <> — commas inside are not separators
+	last := ""
+	for {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, fmt.Errorf("unexpected EOF in parameter list")
+		case p.tok.kind == tokIdent:
+			last = p.tok.text
+		case p.tok.kind == tokPunct && (p.tok.text == "(" || p.tok.text == "[" || p.tok.text == "<"):
+			depth++
+		case p.tok.kind == tokPunct && (p.tok.text == "]" || p.tok.text == ">"):
+			if depth > 0 {
+				depth--
+			}
+		case p.tok.kind == tokPunct && p.tok.text == ")":
+			if depth == 0 {
+				if last != "" {
+					names = append(names, intern.String(last))
+				}
+				return names, p.advance()
+			}
+			depth--
+		case p.tok.kind == tokPunct && p.tok.text == "," && depth == 0:
+			if last != "" {
+				names = append(names, intern.String(last))
+			}
+			last = ""
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// bodyKeywords are identifiers that look like an unqualified call when
+// followed by '(' but are control flow or constructor syntax.
+var bodyKeywords = map[string]bool{
+	"if": true, "for": true, "while": true, "switch": true, "catch": true,
+	"return": true, "throw": true, "new": true, "synchronized": true,
+	"assert": true, "do": true, "else": true, "try": true, "finally": true,
+	"super": true,
+}
+
+// callFrame tracks one open parenthesis inside a method body. Frames whose
+// paren opened a call capture its argument expressions; grouping and
+// control parens carry callIdx -1.
+type callFrame struct {
+	callIdx int      // index into calls, -1 for non-call parens
+	args    []string // completed argument expressions
+	cur     []string // token texts of the argument being read
+}
+
+// parseMethodBody walks a balanced '{ … }' region recording every call: a
+// (possibly dotted) identifier chain immediately followed by '('. Argument
+// expressions are captured per call — tokens stream into every open frame,
+// so an inner call's text is part of the enclosing call's argument.
 func (p *parser) parseMethodBody() ([]Call, error) {
 	if p.tok.kind != tokPunct || p.tok.text != "{" {
 		return nil, fmt.Errorf("line %d: expected '{'", p.tok.line)
@@ -463,49 +543,137 @@ func (p *parser) parseMethodBody() ([]Call, error) {
 		return nil, err
 	}
 	var calls []Call
-	depth := 1
+	braces := 1
+	var frames []callFrame
 	var chain []string // pending identifier chain
 	chainDotted := false
-	flush := func() { chain = chain[:0]; chainDotted = false }
+	prevNew := false    // the chain was preceded by `new`
+	pendingAssign := "" // statement-level `name = …`: claims the next top-level call
+	flush := func() { chain = chain[:0]; chainDotted = false; prevNew = false }
+	// pushText appends a token's text to the in-progress argument of every
+	// open frame.
+	pushText := func(text string) {
+		for i := range frames {
+			frames[i].cur = append(frames[i].cur, text)
+		}
+	}
+	endArg := func(f *callFrame) {
+		if len(f.cur) > 0 {
+			f.args = append(f.args, intern.String(joinExpr(f.cur)))
+			f.cur = f.cur[:0]
+		}
+	}
 	for {
 		switch {
 		case p.tok.kind == tokEOF:
 			return nil, fmt.Errorf("unexpected EOF in method body")
 		case p.tok.kind == tokIdent:
 			if !chainDotted && len(chain) > 0 {
-				chain = chain[:0] // new statement word (e.g. "String s1")
+				// New statement word (e.g. "String s1"); remember whether the
+				// discarded word was `new` — then the coming name( is a
+				// constructor, not a call.
+				prevNew = len(chain) == 1 && chain[0] == "new"
+				chain = chain[:0]
 			}
 			chain = append(chain, p.tok.text)
 			chainDotted = false
+			pushText(p.tok.text)
 		case p.tok.kind == tokPunct && p.tok.text == ".":
 			chainDotted = true
+			pushText(".")
 		case p.tok.kind == tokPunct && p.tok.text == "(":
-			if len(chain) >= 2 {
-				calls = append(calls, Call{
-					Receiver: intern.String(strings.Join(chain[:len(chain)-1], ".")),
+			callIdx := -1
+			if !prevNew && len(chain) > 0 && !(len(chain) == 1 && bodyKeywords[chain[0]]) {
+				recv := ""
+				if len(chain) > 1 {
+					recv = intern.String(strings.Join(chain[:len(chain)-1], "."))
+				}
+				c := Call{
+					Receiver: recv,
 					Name:     intern.String(chain[len(chain)-1]),
 					Line:     p.tok.line,
-				})
+				}
+				if len(frames) == 0 && pendingAssign != "" {
+					c.Assign = pendingAssign
+					pendingAssign = ""
+				}
+				callIdx = len(calls)
+				calls = append(calls, c)
+			}
+			pushText("(") // before the new frame: the paren belongs to enclosing args
+			frames = append(frames, callFrame{callIdx: callIdx})
+			flush()
+		case p.tok.kind == tokPunct && p.tok.text == ")":
+			if n := len(frames); n > 0 {
+				f := &frames[n-1]
+				endArg(f)
+				if f.callIdx >= 0 {
+					calls[f.callIdx].Args = f.args
+				}
+				frames = frames[:n-1]
+			}
+			pushText(")")
+			flush()
+		case p.tok.kind == tokPunct && p.tok.text == ",":
+			if n := len(frames); n > 0 {
+				endArg(&frames[n-1])
+				for i := 0; i < n-1; i++ {
+					frames[i].cur = append(frames[i].cur, ",")
+				}
 			}
 			flush()
-			depth++
-		case p.tok.kind == tokPunct && p.tok.text == ")":
-			depth--
+		case p.tok.kind == tokPunct && p.tok.text == "=":
+			if len(frames) == 0 && len(chain) > 0 {
+				pendingAssign = intern.String(chain[len(chain)-1])
+			}
+			pushText("=")
+			flush()
+		case p.tok.kind == tokPunct && p.tok.text == ";":
+			if len(frames) == 0 {
+				pendingAssign = ""
+			}
+			pushText(";")
 			flush()
 		case p.tok.kind == tokPunct && p.tok.text == "{":
-			depth++
+			braces++
 			flush()
 		case p.tok.kind == tokPunct && p.tok.text == "}":
-			depth--
-			if depth == 0 {
+			braces--
+			if braces == 0 {
 				return calls, p.advance()
 			}
 			flush()
 		default:
+			pushText(p.tok.text)
 			flush()
 		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// joinExpr renders captured argument tokens back to compact expression
+// text: tight around member access and call punctuation, spaced elsewhere.
+func joinExpr(toks []string) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 && needSpace(toks[i-1], t) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(t)
+	}
+	return sb.String()
+}
+
+func needSpace(prev, cur string) bool {
+	switch cur {
+	case ".", ",", "(", ")", "]", ";":
+		return false
+	}
+	switch prev {
+	case ".", "(", "[", "!":
+		return false
+	}
+	return true
 }

@@ -116,6 +116,137 @@ func TestResolve(t *testing.T) {
 	}
 }
 
+// TestResolveTable pins Resolve's edge cases against hand-built units:
+// Outer.Inner against an imported outer type, same-package fallback with
+// and without a package declaration, names that are already qualified, and
+// the import-shadowing order.
+func TestResolveTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		pkg     string
+		imports []string
+		in      string
+		want    string
+	}{
+		{"outer-inner via import", "p", []string{"androidx.browser.customtabs.CustomTabsIntent"},
+			"CustomTabsIntent.Builder", "androidx.browser.customtabs.CustomTabsIntent.Builder"},
+		{"outer-inner unimported stays as written", "p", nil,
+			"Outer.Inner", "Outer.Inner"},
+		{"dotted name never falls back to package", "p", nil,
+			"a.B", "a.B"},
+		{"already fully qualified", "p", []string{"android.webkit.WebView"},
+			"android.webkit.WebView", "android.webkit.WebView"},
+		{"simple name via import", "p", []string{"android.webkit.WebView"},
+			"WebView", "android.webkit.WebView"},
+		{"same-package fallback", "com.example.app", []string{"android.webkit.WebView"},
+			"Helper", "com.example.app.Helper"},
+		{"import wins over package fallback", "com.example.app", []string{"other.pkg.Helper"},
+			"Helper", "other.pkg.Helper"},
+		{"first matching import wins", "p", []string{"a.X", "b.X"},
+			"X", "a.X"},
+		{"default package, no import", "", nil,
+			"Lone", "Lone"},
+		{"default package outer-inner via import", "", []string{"lib.Outer"},
+			"Outer.Inner", "lib.Outer.Inner"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := &CompilationUnit{Package: c.pkg, Imports: c.imports}
+			if got := u.Resolve(c.in); got != c.want {
+				t.Errorf("Resolve(%q) = %q, want %q", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// The argument expressions and assignment targets feeding the webviewlint
+// rules: literals, identifiers, nested calls, and def-use chains.
+func TestCallArgumentCapture(t *testing.T) {
+	u, err := Parse(`package p;
+class C {
+    void m(Bundle saved, String url) {
+        settings.setJavaScriptEnabled(true);
+        settings.setMixedContentMode(0);
+        Object v1 = this.getIntent();
+        Object v2 = v1.getDataString();
+        router.route(v2, "fallback");
+        view.loadUrl(v1.getDataString());
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := u.Types[0].Methods[0]
+	if !reflect.DeepEqual(m.Params, []string{"saved", "url"}) {
+		t.Errorf("Params = %v", m.Params)
+	}
+	byName := map[string]Call{}
+	for _, c := range m.Calls {
+		// First occurrence wins: v1.getDataString() appears again nested
+		// inside the loadUrl argument.
+		if _, ok := byName[c.Receiver+"."+c.Name]; !ok {
+			byName[c.Receiver+"."+c.Name] = c
+		}
+	}
+	checks := []struct {
+		key    string
+		args   []string
+		assign string
+	}{
+		{"settings.setJavaScriptEnabled", []string{"true"}, ""},
+		{"settings.setMixedContentMode", []string{"0"}, ""},
+		{"this.getIntent", nil, "v1"},
+		{"v1.getDataString", nil, "v2"},
+		{"router.route", []string{"v2", `"fallback"`}, ""},
+		{"view.loadUrl", []string{"v1.getDataString()"}, ""},
+	}
+	for _, c := range checks {
+		got, ok := byName[c.key]
+		if !ok {
+			t.Errorf("call %s missing (have %v)", c.key, m.Calls)
+			continue
+		}
+		if !reflect.DeepEqual(got.Args, c.args) {
+			t.Errorf("%s Args = %#v, want %#v", c.key, got.Args, c.args)
+		}
+		if got.Assign != c.assign {
+			t.Errorf("%s Assign = %q, want %q", c.key, got.Assign, c.assign)
+		}
+	}
+	// The inner getDataString call is recorded too, inside the loadUrl arg.
+	if len(m.Calls) != 7 {
+		t.Errorf("calls = %d, want 7: %v", len(m.Calls), m.Calls)
+	}
+}
+
+// Unqualified calls are recorded with an empty receiver, while control-flow
+// keywords and constructors are not calls.
+func TestUnqualifiedCallsAndKeywords(t *testing.T) {
+	u, err := Parse(`package p;
+class C {
+    void m() {
+        WebView v = new WebView(ctx);
+        if (ready) {
+            configure(v, true);
+        }
+        for (int i = 0; i < n; i++) {
+            tick();
+        }
+        return;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, c := range u.Types[0].Methods[0].Calls {
+		got = append(got, c.Name)
+	}
+	if !reflect.DeepEqual(got, []string{"configure", "tick"}) {
+		t.Errorf("calls = %v", got)
+	}
+}
+
 func TestParseExtendsFQN(t *testing.T) {
 	u, err := Parse(`package p; public class W extends android.webkit.WebView { }`)
 	if err != nil {

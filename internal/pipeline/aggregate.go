@@ -46,6 +46,15 @@ type Aggregates struct {
 
 	// Custom WebView subclass statistics (§3.1.2).
 	AppsWithSubclasses int
+
+	// WebView misconfiguration prevalence (lint stage; all zero/empty when
+	// linting was off).
+	LintFindings     int            // total findings across all apps
+	LintAppsFlagged  int            // apps with at least one finding
+	LintRuleFindings map[string]int // findings per rule
+	LintRuleApps     map[string]int // apps with ≥1 finding, per rule
+	LintRuleViaSDK   map[string]int // findings attributed to SDK code, per rule
+	LintSDKFindings  map[string]int // findings per SDK name
 }
 
 // Aggregate computes all report quantities from a pipeline result.
@@ -64,6 +73,10 @@ func Aggregate(res *Result) *Aggregates {
 		PlayCategoryCT:   make(map[string]map[sdkindex.Category]int),
 		PlayCategoryN:    make(map[string]int),
 		HeatmapCounts:    make(map[sdkindex.Category]map[string]int),
+		LintRuleFindings: make(map[string]int),
+		LintRuleApps:     make(map[string]int),
+		LintRuleViaSDK:   make(map[string]int),
+		LintSDKFindings:  make(map[string]int),
 	}
 
 	sdkWV := make(map[string]bool)
@@ -100,6 +113,23 @@ func Aggregate(res *Result) *Aggregates {
 		}
 		for _, m := range app.MethodsViaSDK {
 			ag.MethodViaSDKApps[m]++
+		}
+
+		if len(app.Lint) > 0 {
+			ag.LintAppsFlagged++
+			ag.LintFindings += len(app.Lint)
+			appRules := make(map[string]bool, 4)
+			for _, f := range app.Lint {
+				ag.LintRuleFindings[f.Rule]++
+				appRules[f.Rule] = true
+				if f.SDK != "" {
+					ag.LintRuleViaSDK[f.Rule]++
+					ag.LintSDKFindings[f.SDK]++
+				}
+			}
+			for r := range appRules {
+				ag.LintRuleApps[r]++
+			}
 		}
 
 		wvCats := make(map[sdkindex.Category]bool)

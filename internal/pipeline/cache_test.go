@@ -157,9 +157,9 @@ func TestExcludedPackagesNotCountedUnlabeled(t *testing.T) {
 		}
 	}
 	usage := &callgraph.Usage{WebViewCalls: []callgraph.APICall{
-		call("com.applovin.adview", "loadUrl"),      // labeled SDK
-		call("com.google.android.gms", "loadUrl"),   // excluded: counted nowhere
-		call("com.example.mystery", "loadUrl"),      // unlabeled
+		call("com.applovin.adview", "loadUrl"),    // labeled SDK
+		call("com.google.android.gms", "loadUrl"), // excluded: counted nowhere
+		call("com.example.mystery", "loadUrl"),    // unlabeled
 		call("com.example.mystery", "evaluateJavascript"),
 	}}
 

@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/resultcache"
+	"repro/internal/webviewlint"
+)
+
+func lintAnalyzer(t *testing.T, rules ...string) *webviewlint.Analyzer {
+	t.Helper()
+	var cfg webviewlint.Config
+	if len(rules) > 0 {
+		cfg.Rules = rules
+	}
+	a, err := webviewlint.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestLintStageEndToEnd runs the full streaming pipeline with the lint
+// stage enabled and checks the stage accounting and the surfaced findings.
+func TestLintStageEndToEnd(t *testing.T) {
+	c := failureCorpus(t)
+	cfg := Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+		Workers: 4, Lint: lintAnalyzer(t)}
+	res, err := New(&flakyRepo{c: c}, &memMeta{c: c}, cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Stats.Lint.In != res.Stats.Analyze.Out {
+		t.Errorf("lint in = %d, want analyze out %d", res.Stats.Lint.In, res.Stats.Analyze.Out)
+	}
+	if res.Stats.Lint.Out != res.Stats.Lint.In {
+		t.Errorf("lint stage dropped items: in=%d out=%d", res.Stats.Lint.In, res.Stats.Lint.Out)
+	}
+	if res.Stats.Lint.Wall == 0 {
+		t.Error("lint stage wall time not recorded")
+	}
+
+	total := 0
+	for i := range res.Apps {
+		total += len(res.Apps[i].Lint)
+	}
+	if total == 0 {
+		t.Fatal("lint-enabled run produced no findings over the seeded corpus")
+	}
+	if res.Stats.LintFindings != total {
+		t.Errorf("Stats.LintFindings = %d, apps carry %d", res.Stats.LintFindings, total)
+	}
+
+	ag := Aggregate(res)
+	if ag.LintFindings != total || ag.LintAppsFlagged == 0 {
+		t.Errorf("aggregates: findings=%d (want %d), flagged=%d", ag.LintFindings, total, ag.LintAppsFlagged)
+	}
+	if len(ag.LintRuleFindings) == 0 || len(ag.LintSDKFindings) == 0 {
+		t.Errorf("aggregates missing rule/SDK breakdowns: %v / %v",
+			ag.LintRuleFindings, ag.LintSDKFindings)
+	}
+}
+
+// TestLintDeterministicUnderConcurrency: worker count must not change
+// lint output or its ordering.
+func TestLintDeterministicUnderConcurrency(t *testing.T) {
+	c := failureCorpus(t)
+	run := func(workers int) *Result {
+		cfg := Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+			Workers: workers, Lint: lintAnalyzer(t)}
+		res, err := New(&flakyRepo{c: c}, &memMeta{c: c}, cfg).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Apps, b.Apps) {
+		t.Error("lint results differ between 1 and 8 workers")
+	}
+}
+
+// TestWarmCacheWithLintIdentical: a second lint-enabled run over a shared
+// cache must hit for every APK, skip both the analyze and lint stages, and
+// still surface identical findings (they ride the cached Analysis).
+func TestWarmCacheWithLintIdentical(t *testing.T) {
+	c := failureCorpus(t)
+	cache := resultcache.New[Analysis](0)
+	cfg := Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+		Workers: 4, Cache: cache, Lint: lintAnalyzer(t)}
+	p := New(&flakyRepo{c: c}, &memMeta{c: c}, cfg)
+
+	cold, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheMisses != 0 || warm.Stats.CacheHits != warm.Funnel.Filtered {
+		t.Errorf("warm run: hits=%d misses=%d, want hits=%d misses=0",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, warm.Funnel.Filtered)
+	}
+	if warm.Stats.Lint.In != 0 || warm.Stats.LintFindings != 0 {
+		t.Errorf("warm run re-linted: in=%d findings=%d", warm.Stats.Lint.In, warm.Stats.LintFindings)
+	}
+	if !reflect.DeepEqual(cold.Apps, warm.Apps) {
+		t.Error("warm-run apps (incl. lint findings) differ from cold run")
+	}
+}
+
+// TestLintConfigChangeInvalidatesCache pins the cache-key contract: the
+// lint-rule configuration is part of the content key, so changing the rule
+// set (or turning linting off) must miss every cached entry, while an
+// unchanged configuration keeps hitting.
+func TestLintConfigChangeInvalidatesCache(t *testing.T) {
+	c := failureCorpus(t)
+	cache := resultcache.New[Analysis](0)
+	base := Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+		Workers: 4, Cache: cache}
+
+	full := base
+	full.Lint = lintAnalyzer(t)
+	if _, err := New(&flakyRepo{c: c}, &memMeta{c: c}, full).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same rule set: every entry hits.
+	again := base
+	again.Lint = lintAnalyzer(t)
+	res, err := New(&flakyRepo{c: c}, &memMeta{c: c}, again).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheMisses != 0 {
+		t.Errorf("identical lint config missed the cache %d times", res.Stats.CacheMisses)
+	}
+
+	// Restricted rule set: different fingerprint, no stale hits.
+	subset := base
+	subset.Lint = lintAnalyzer(t, webviewlint.RuleJSEnabled, webviewlint.RuleJSInterface)
+	res, err = New(&flakyRepo{c: c}, &memMeta{c: c}, subset).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != 0 {
+		t.Errorf("changed lint config hit the old cache %d times", res.Stats.CacheHits)
+	}
+	for i := range res.Apps {
+		for _, f := range res.Apps[i].Lint {
+			if f.Rule != webviewlint.RuleJSEnabled && f.Rule != webviewlint.RuleJSInterface {
+				t.Fatalf("restricted run surfaced disabled rule %q", f.Rule)
+			}
+		}
+	}
+
+	// Lint off: keys drop the lint fingerprint entirely, so the lint-bearing
+	// entries must not be served (they would leak findings into a non-lint run).
+	plain := base
+	res, err = New(&flakyRepo{c: c}, &memMeta{c: c}, plain).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != 0 {
+		t.Errorf("lint-off run hit lint-keyed cache entries %d times", res.Stats.CacheHits)
+	}
+	for i := range res.Apps {
+		if len(res.Apps[i].Lint) != 0 {
+			t.Fatalf("lint-off run surfaced findings for %s", res.Apps[i].Package)
+		}
+	}
+}

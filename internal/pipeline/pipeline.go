@@ -40,6 +40,7 @@ import (
 	"repro/internal/playstore"
 	"repro/internal/resultcache"
 	"repro/internal/sdkindex"
+	"repro/internal/webviewlint"
 
 	"repro/internal/android"
 )
@@ -68,6 +69,12 @@ type Config struct {
 	// Cache, when non-nil, memoises per-APK analysis results keyed by
 	// content digest; a warm run over unchanged APKs skips analysis.
 	Cache *resultcache.Cache[Analysis]
+	// Lint, when non-nil, runs the WebView misconfiguration linter as an
+	// extra streaming stage after analysis. Its rule-config fingerprint is
+	// mixed into cache keys, so changing the lint configuration invalidates
+	// cached results while leaving pure-analysis caches of lint-off runs
+	// untouched.
+	Lint *webviewlint.Analyzer
 }
 
 // Pipeline wires the stages together.
@@ -76,6 +83,7 @@ type Pipeline struct {
 	meta    MetadataSource
 	cfg     Config
 	indexFP string // cache-key component: invalidates on catalog change
+	lintFP  string // cache-key component: invalidates on lint-config change
 }
 
 // New constructs a pipeline over the given services.
@@ -86,7 +94,11 @@ func New(repo Repository, meta MetadataSource, cfg Config) *Pipeline {
 	if cfg.Index == nil {
 		cfg.Index = sdkindex.Default()
 	}
-	return &Pipeline{repo: repo, meta: meta, cfg: cfg, indexFP: cfg.Index.Fingerprint()}
+	p := &Pipeline{repo: repo, meta: meta, cfg: cfg, indexFP: cfg.Index.Fingerprint()}
+	if cfg.Lint != nil {
+		p.lintFP = cfg.Lint.Fingerprint()
+	}
+	return p
 }
 
 // SDKHit is one SDK observed driving a surface in one app.
@@ -126,6 +138,10 @@ type Analysis struct {
 	// entry is marked Excluded are labeled — just not reported — and are
 	// counted in neither statistic.
 	UnlabeledWebViewPackages int
+	// Lint holds the WebView misconfiguration findings when the lint stage
+	// is enabled (nil otherwise — and the cache key differs, so lint-on and
+	// lint-off runs never share entries).
+	Lint []webviewlint.Finding `json:",omitempty"`
 }
 
 // AppResult is the per-app outcome of static analysis.
@@ -152,6 +168,9 @@ type AppResult struct {
 	// UnlabeledWebViewPackages counts calling packages no SDK-index entry
 	// matched (first-party app code or unknown libraries).
 	UnlabeledWebViewPackages int
+	// Lint holds the app's WebView misconfiguration findings (lint stage
+	// enabled only), sorted by (class, line, rule).
+	Lint []webviewlint.Finding
 }
 
 // appResult joins store metadata with the content-addressed analysis.
@@ -169,6 +188,7 @@ func appResult(md playstore.Metadata, an *Analysis) AppResult {
 		CTSDKs:                   an.CTSDKs,
 		Subclasses:               an.Subclasses,
 		UnlabeledWebViewPackages: an.UnlabeledWebViewPackages,
+		Lint:                     an.Lint,
 	}
 }
 
@@ -246,6 +266,15 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		img []byte
 		key string // content-address cache key ("" when caching is off)
 	}
+	// lintTask carries a finished analysis plus the retained parsed sources
+	// and call graph into the lint stage. The APK image itself is already
+	// dropped: parsed units are a small fraction of its size.
+	type lintTask struct {
+		md     playstore.Metadata
+		an     *Analysis
+		parsed *parsedAPK
+		key    string
+	}
 	// The snapshot is fed in chunks: per-package channel operations dominate
 	// the metadata stage once the backend is fast (warm cache, local mirror),
 	// and batching cuts them by two orders of magnitude.
@@ -253,6 +282,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	pkgCh := make(chan []string)
 	selCh := make(chan selected, workers)
 	anCh := make(chan task)
+	lintCh := make(chan lintTask, workers)
+	linting := p.cfg.Lint != nil
 
 	// Feeder: snapshot packages into the metadata stage.
 	go func() {
@@ -386,13 +417,16 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	}
 
 	// Stage 4-6: decompile, parse, call-graph traversal, SDK attribution.
+	// With linting on, non-broken analyses are forwarded to the lint stage
+	// together with their parsed sources; broken ones finish (and cache)
+	// here, since there is nothing to lint.
 	var anWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		anWG.Add(1)
 		go func() {
 			defer anWG.Done()
 			for t := range anCh {
-				an, err := analyzeImage(p.cfg.Index, t.img)
+				an, parsed, err := analyzeImage(p.cfg.Index, t.img, linting)
 				n := int64(len(t.img))
 				t.img = nil
 				mu.Lock()
@@ -405,6 +439,17 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 						fail("analyze", err)
 					}
 					return
+				}
+				if linting && !an.Broken {
+					mu.Lock()
+					res.Stats.Analyze.Out++
+					mu.Unlock()
+					select {
+					case lintCh <- lintTask{md: t.md, an: an, parsed: parsed, key: t.key}:
+					case <-runCtx.Done():
+						return
+					}
+					continue
 				}
 				if p.cfg.Cache != nil {
 					p.cfg.Cache.Put(t.key, *an)
@@ -421,6 +466,38 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		}()
 	}
 
+	// Stage 7: WebView misconfiguration linting over the retained parsed
+	// sources and call graph. The completed analysis (now including lint
+	// findings) is cached here, so a warm run serves findings without
+	// re-linting — until the rule-config fingerprint changes the key.
+	var lintWG sync.WaitGroup
+	if linting {
+		for w := 0; w < workers; w++ {
+			lintWG.Add(1)
+			go func() {
+				defer lintWG.Done()
+				for t := range lintCh {
+					findings := p.cfg.Lint.Analyze(webviewlint.App{
+						Units: t.parsed.units,
+						Graph: t.parsed.graph,
+						Index: p.cfg.Index,
+					})
+					t.an.Lint = findings
+					t.an.normalize()
+					if p.cfg.Cache != nil {
+						p.cfg.Cache.Put(t.key, *t.an)
+					}
+					mu.Lock()
+					res.Stats.Lint.In++
+					res.Stats.Lint.Out++
+					res.Stats.LintFindings += len(findings)
+					apps = append(apps, appResult(t.md, t.an))
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+
 	// Drain the stages in order. Each close releases the next pool's range
 	// loop; the waits overlap with downstream stages still working.
 	metaWG.Wait()
@@ -434,7 +511,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	mu.Unlock()
 	close(anCh)
 	anWG.Wait()
+	mu.Lock()
 	res.Stats.Analyze.Wall = time.Since(streamStart)
+	mu.Unlock()
+	close(lintCh)
+	lintWG.Wait()
+	if linting {
+		res.Stats.Lint.Wall = time.Since(streamStart)
+	}
 	res.Stats.Total = time.Since(t0)
 
 	errMu.Lock()
@@ -459,14 +543,21 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 // another APK's slot) plus the SDK-index fingerprint, so changing the
 // catalog invalidates all cached attributions. Images too broken to digest
 // fall back to a hash of the raw bytes — still content-addressed, so even
-// broken APKs hit the cache on a warm run.
+// broken APKs hit the cache on a warm run. With linting enabled the
+// rule-config fingerprint is appended too: cached entries then include lint
+// findings, and editing the rule set (or toggling lint) moves to fresh keys
+// instead of serving stale findings.
 func (p *Pipeline) contentKey(img []byte) string {
 	d, err := apk.ComputeDigest(img)
 	if err != nil {
 		sum := sha256.Sum256(img)
 		d = "raw-" + hex.EncodeToString(sum[:])
 	}
-	return d + "@" + p.indexFP
+	key := d + "@" + p.indexFP
+	if p.lintFP != "" {
+		key += "@lint:" + p.lintFP
+	}
+	return key
 }
 
 // scratch holds per-APK temporaries reused across analyses via a pool.
@@ -479,6 +570,16 @@ var scratchPool = sync.Pool{New: func() any {
 	return &scratch{excl: make(map[string]bool, 4)}
 }}
 
+// parsedAPK is the per-APK intermediate the lint stage consumes: the parsed
+// decompiled sources and the bytecode call graph. Both are produced by the
+// analyze stage anyway; retaining them (only when linting) avoids a second
+// decompile-and-parse pass. Handed from the analyze worker to exactly one
+// lint worker, so the graph's non-concurrency-safe memoisation is fine.
+type parsedAPK struct {
+	units []*javaparser.CompilationUnit
+	graph *callgraph.Graph
+}
+
 // AnalyzeImage performs the per-APK static analysis — decompile, parse,
 // call-graph traversal, SDK attribution — against the given index (nil
 // uses the default catalog). A structurally broken APK yields
@@ -487,16 +588,33 @@ func AnalyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
 	if idx == nil {
 		idx = sdkindex.Default()
 	}
-	return analyzeImage(idx, img)
+	an, _, err := analyzeImage(idx, img, false)
+	return an, err
 }
 
-func analyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
+// AnalyzeAndLint performs the per-APK static analysis and runs the lint
+// engine over the retained parsed sources, exactly as the pipeline's
+// analyze + lint stages do for one image.
+func AnalyzeAndLint(idx *sdkindex.Index, lint *webviewlint.Analyzer, img []byte) (*Analysis, error) {
+	if idx == nil {
+		idx = sdkindex.Default()
+	}
+	an, parsed, err := analyzeImage(idx, img, true)
+	if err != nil || an.Broken {
+		return an, err
+	}
+	an.Lint = lint.Analyze(webviewlint.App{Units: parsed.units, Graph: parsed.graph, Index: idx})
+	an.normalize()
+	return an, nil
+}
+
+func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool) (*Analysis, *parsedAPK, error) {
 	a, err := apk.Open(img)
 	if err != nil {
 		if errors.Is(err, apk.ErrBroken) {
-			return &Analysis{Broken: true}, nil
+			return &Analysis{Broken: true}, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	sc := scratchPool.Get().(*scratch)
@@ -505,13 +623,20 @@ func analyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
 	// Decompile-and-parse round trip: custom WebView subclasses are found
 	// from the reconstructed Java source, as the paper does with JADX +
 	// javalang (§3.1.2).
+	var parsed *parsedAPK
+	if keepParsed {
+		parsed = &parsedAPK{units: make([]*javaparser.CompilationUnit, 0, len(a.Dex.Classes))}
+	}
 	subclasses := sc.subclasses[:0]
 	for _, unit := range decompiler.Decompile(a.Dex) {
 		cu, err := javaparser.Parse(unit.Source)
 		if err != nil {
 			// A decompilation the parser cannot read counts as broken.
 			sc.subclasses = subclasses
-			return &Analysis{Broken: true}, nil
+			return &Analysis{Broken: true}, nil, nil
+		}
+		if keepParsed {
+			parsed.units = append(parsed.units, cu)
 		}
 		for _, td := range cu.Types {
 			if td.Extends != "" && cu.Resolve(td.Extends) == android.WebViewClass {
@@ -529,6 +654,9 @@ func analyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
 		excl[dl] = true
 	}
 	g := callgraph.Build(a.Dex)
+	if keepParsed {
+		parsed.graph = g
+	}
 	usage := g.AnalyzeUsage(excl)
 
 	an := &Analysis{
@@ -541,7 +669,7 @@ func analyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
 	}
 	attributeSDKs(idx, an, usage)
 	an.normalize()
-	return an, nil
+	return an, parsed, nil
 }
 
 // normalize maps empty slices to nil so that a fresh analysis and one
@@ -562,6 +690,9 @@ func (an *Analysis) normalize() {
 	}
 	if len(an.Subclasses) == 0 {
 		an.Subclasses = nil
+	}
+	if len(an.Lint) == 0 {
+		an.Lint = nil
 	}
 }
 

@@ -33,6 +33,13 @@ type Stats struct {
 	// Analyze covers decompile → parse → call graph → attribution. In is
 	// the number of cache misses analysed; Out excludes broken APKs.
 	Analyze StageStats
+	// Lint covers the WebView misconfiguration stage over the retained
+	// parsed sources (all zero when linting is off or every app hit the
+	// cache).
+	Lint StageStats
+	// LintFindings counts the findings produced by the lint stage this run
+	// (cache hits excluded: their findings were produced by an earlier run).
+	LintFindings int
 	// Total is the end-to-end wall time of Run.
 	Total time.Duration
 
@@ -67,6 +74,10 @@ func (s *Stats) String() string {
 	row("metadata", s.Metadata)
 	row("download", s.Download)
 	row("analyze", s.Analyze)
+	if s.Lint.In > 0 || s.Lint.Wall > 0 {
+		row("lint", s.Lint)
+		fmt.Fprintf(&sb, "  lint     findings=%d\n", s.LintFindings)
+	}
 	fmt.Fprintf(&sb, "  cache    hits=%d misses=%d rate=%.1f%%\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
 	fmt.Fprintf(&sb, "  memory   peak in-flight APK bytes=%d\n", s.PeakInFlightBytes)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/pipeline"
 	"repro/internal/sdkindex"
+	"repro/internal/webviewlint"
 )
 
 // paper-side constants for Table 7.
@@ -302,4 +303,40 @@ func shortCat(c sdkindex.Category) string {
 	default:
 		return "Unk"
 	}
+}
+
+// LintTable renders the WebView misconfiguration prevalence found by the
+// lint stage: per rule, the number of findings, the number of affected
+// apps, and how many findings sit in SDK-attributed code. Rules appear in
+// registry order; rows the run produced no findings for are kept, so the
+// table shape is stable across corpora.
+func LintTable(ag *pipeline.Aggregates) string {
+	t := newTable("WebView misconfigurations (lint stage)")
+	t.row("rule", "severity", "findings", "apps", "via SDK")
+	for _, r := range webviewlint.Rules() {
+		t.row(r.ID, r.Severity,
+			ag.LintRuleFindings[r.ID], ag.LintRuleApps[r.ID], ag.LintRuleViaSDK[r.ID])
+	}
+	t.row("total", "", ag.LintFindings, ag.LintAppsFlagged, "")
+	if len(ag.LintSDKFindings) > 0 {
+		names := make([]string, 0, len(ag.LintSDKFindings))
+		for n := range ag.LintSDKFindings {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if ag.LintSDKFindings[names[i]] != ag.LintSDKFindings[names[j]] {
+				return ag.LintSDKFindings[names[i]] > ag.LintSDKFindings[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		t.row("", "", "", "", "")
+		t.row("top SDKs by findings", "", "", "", "")
+		for i, n := range names {
+			if i == 5 {
+				break
+			}
+			t.row("  "+n, "", ag.LintSDKFindings[n], "", "")
+		}
+	}
+	return t.String()
 }

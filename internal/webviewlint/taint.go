@@ -1,0 +1,213 @@
+package webviewlint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The unsafe-load-url rule is a def-use taint walk over the decompiled
+// sources. Sources are intent accessors (attacker-controlled deep-link
+// data), derivers propagate taint through value-preserving transformations,
+// and sinks are the WebView content-loading methods. Within a method the
+// walk follows assignment chains (`Object v1 = this.getIntent(); Object v2
+// = v1.getDataString();`); across methods it follows the bytecode call
+// graph: a tainted argument at position k taints the callee's k-th declared
+// parameter, and the callee is re-analysed until a fixpoint.
+
+// taintSources start a taint chain when their result is assigned.
+var taintSources = map[string]bool{
+	"getIntent": true,
+}
+
+// taintDerivers propagate taint from receiver or argument to result.
+var taintDerivers = map[string]bool{
+	"getData": true, "getDataString": true, "getStringExtra": true,
+	"getExtras": true, "getString": true, "getQueryParameter": true,
+	"toString": true, "trim": true, "concat": true,
+}
+
+// taintSinks load attacker-controllable strings into a WebView.
+var taintSinks = map[string]bool{
+	"loadUrl": true, "evaluateJavascript": true, "loadData": true,
+	"loadDataWithBaseURL": true, "postUrl": true,
+}
+
+type methodKey struct{ class, method string }
+
+// taintFindings runs the interprocedural walk and returns a finding for
+// every sink call receiving a tainted argument.
+func (a *Analyzer) taintFindings(app App, classes map[string]*classInfo, order []string) []Finding {
+	if !a.enabled[RuleUnsafeLoadURL] {
+		return nil
+	}
+	// paramTaint accumulates interprocedurally-tainted parameter names.
+	paramTaint := make(map[methodKey]map[string]bool)
+	reported := make(map[methodKey]map[int]bool) // sink lines already emitted
+
+	var work []methodKey
+	queued := make(map[methodKey]bool)
+	push := func(k methodKey) {
+		if !queued[k] {
+			queued[k] = true
+			work = append(work, k)
+		}
+	}
+	// Seed: every method runs once; only methods containing a source or a
+	// tainted parameter produce anything, the rest are a cheap linear scan.
+	for _, name := range order {
+		for _, m := range classes[name].td.Methods {
+			push(methodKey{name, m.Name})
+		}
+	}
+
+	var out []Finding
+	for len(work) > 0 {
+		k := work[0]
+		work = work[1:]
+		queued[k] = false
+		ci := classes[k.class]
+		if ci == nil {
+			continue
+		}
+		for mi := range ci.td.Methods {
+			m := &ci.td.Methods[mi]
+			if m.Name != k.method {
+				continue
+			}
+			tainted := make(map[string]bool, 4)
+			for p := range paramTaint[k] {
+				tainted[p] = true
+			}
+			// calleeByName resolves source-level call names to in-file
+			// classes through the bytecode call graph, lazily per method.
+			var calleeByName map[string]string
+			callees := func() map[string]string {
+				if calleeByName != nil {
+					return calleeByName
+				}
+				calleeByName = make(map[string]string, 4)
+				if app.Graph != nil {
+					for _, ref := range app.Graph.Callees(k.class, k.method) {
+						if _, in := classes[ref.Class]; !in {
+							continue
+						}
+						if _, dup := calleeByName[ref.Name]; !dup {
+							calleeByName[ref.Name] = ref.Class
+						}
+					}
+				}
+				return calleeByName
+			}
+			for ci2 := range m.Calls {
+				c := &m.Calls[ci2]
+				switch {
+				case taintSources[c.Name]:
+					if c.Assign != "" {
+						tainted[c.Assign] = true
+					}
+				case taintDerivers[c.Name]:
+					src := rootTainted(c.Receiver, tainted)
+					for _, arg := range c.Args {
+						src = src || exprTainted(arg, tainted)
+					}
+					if src && c.Assign != "" {
+						tainted[c.Assign] = true
+					}
+				}
+				for ai, arg := range c.Args {
+					if !exprTainted(arg, tainted) {
+						continue
+					}
+					if taintSinks[c.Name] {
+						if reported[k] == nil {
+							reported[k] = make(map[int]bool, 1)
+						}
+						if reported[k][c.Line] {
+							continue
+						}
+						reported[k][c.Line] = true
+						def, _ := RuleByID(RuleUnsafeLoadURL)
+						out = append(out, Finding{
+							Rule: RuleUnsafeLoadURL, Severity: def.Severity,
+							Class: k.class, Method: k.method, Line: c.Line,
+							Detail: fmt.Sprintf("%s(%s): argument derived from intent data", c.Name, arg),
+						})
+						continue
+					}
+					// Interprocedural edge: taint the callee's parameter.
+					if cls, ok := callees()[c.Name]; ok {
+						ck := methodKey{cls, c.Name}
+						if cci := classes[cls]; cci != nil {
+							for _, cm := range cci.td.Methods {
+								if cm.Name != c.Name || ai >= len(cm.Params) {
+									continue
+								}
+								p := cm.Params[ai]
+								if paramTaint[ck] == nil {
+									paramTaint[ck] = make(map[string]bool, 2)
+								}
+								if !paramTaint[ck][p] {
+									paramTaint[ck][p] = true
+									push(ck)
+								}
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// rootTainted reports whether the leading identifier of a receiver chain
+// ("v1" in "v1.getExtras") is tainted.
+func rootTainted(recv string, tainted map[string]bool) bool {
+	if recv == "" {
+		return false
+	}
+	if i := strings.IndexByte(recv, '.'); i >= 0 {
+		recv = recv[:i]
+	}
+	return tainted[recv]
+}
+
+// exprTainted reports whether an argument expression carries taint: its
+// root identifier is tainted and every method applied in the chain is a
+// value-preserving deriver ("v1.getDataString().trim()" stays tainted,
+// "Sanitizer.clean(v1)" does not — its root is the sanitizer class).
+func exprTainted(expr string, tainted map[string]bool) bool {
+	root := leadingIdent(expr)
+	if root == "" || !tainted[root] {
+		return false
+	}
+	// Every name immediately preceding a '(' must be a deriver.
+	rest := expr[len(root):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] != '(' {
+			continue
+		}
+		j := i
+		for j > 0 && isIdentByte(rest[j-1]) {
+			j--
+		}
+		if name := rest[j:i]; name != "" && !taintDerivers[name] {
+			return false
+		}
+	}
+	return true
+}
+
+func leadingIdent(s string) string {
+	i := 0
+	for i < len(s) && isIdentByte(s[i]) {
+		i++
+	}
+	return s[:i]
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b == '$' ||
+		'a' <= b && b <= 'z' || 'A' <= b && b <= 'Z' || '0' <= b && b <= '9'
+}
