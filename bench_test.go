@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/adb"
 	"repro/internal/androzoo"
@@ -25,11 +26,13 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/crawler"
 	"repro/internal/crux"
+	"repro/internal/faults"
 	"repro/internal/pageload"
 	"repro/internal/pipeline"
 	"repro/internal/playstore"
 	"repro/internal/report"
 	"repro/internal/resultcache"
+	"repro/internal/retry"
 	"repro/internal/webviewlint"
 )
 
@@ -285,6 +288,41 @@ func BenchmarkPipelineWarmCache(b *testing.B) {
 			b.Fatalf("warm run not fully cached: %+v", res.Stats)
 		}
 	}
+}
+
+// BenchmarkPipelineFaulted measures the cold pipeline under seeded fault
+// injection (10% transient errors on every repository and metadata call)
+// with retries absorbing the damage — the throughput cost of running
+// degraded, against BenchmarkPipelineCold as the fault-free baseline.
+// Backoff sleeps are a no-op so the benchmark measures retry work, not
+// timer waits.
+func BenchmarkPipelineFaulted(b *testing.B) {
+	fix := benchSetup(b)
+	fcfg := faults.Config{Seed: 7, ErrorRate: 0.1}
+	repo := faults.NewRepository(fix, fcfg)
+	meta := faults.NewMetadataSource(fix, fcfg)
+	nop := func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	var retries int64
+	for i := 0; i < b.N; i++ {
+		m := &retry.Metrics{}
+		p := pipeline.New(repo, meta, pipeline.Config{
+			MinDownloads: corpus.MinDownloads,
+			UpdatedAfter: corpus.UpdateCutoff,
+			Cache:        resultcache.New[pipeline.Analysis](0),
+			Retry:        &retry.Policy{MaxAttempts: 8, Seed: 1, Metrics: m, Sleep: nop},
+		})
+		res, err := p.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Funnel.Analyzed != fix.c.Counts.Analyzed || len(res.Quarantined) != 0 {
+			b.Fatalf("faulted run degraded: funnel %+v, %d quarantined", res.Funnel, len(res.Quarantined))
+		}
+		retries = res.Stats.Retries
+	}
+	b.ReportMetric(float64(retries), "retries/op")
 }
 
 // BenchmarkAnalyzeOneAllocs measures the per-APK analysis path alone —

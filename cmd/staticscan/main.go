@@ -9,6 +9,8 @@
 //
 //	staticscan [-scale N] [-seed N] [-workers N] [-cachedir DIR] [-stats]
 //	           [-lint] [-lint-rules LIST] [-lint-json FILE]
+//	           [-retries N] [-max-failure-frac F] [-faults SPEC]
+//	           [-journal FILE] [-resume]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
@@ -27,6 +29,18 @@
 // machine-readably to FILE ("-" for stdout, implies -lint). The lint
 // configuration is part of the cache key, so toggling rules invalidates
 // only lint-bearing cache entries.
+//
+// Fault tolerance: -retries N retries each network operation up to N
+// extra times with exponential backoff; -max-failure-frac F lets up to
+// that fraction of the snapshot be quarantined (after retries) without
+// aborting the run, with casualties summarised on stderr. -journal FILE
+// checkpoints completed packages as JSONL; re-running with -resume skips
+// them, so an interrupted corpus run picks up where it died. -faults
+// injects deterministic failures for testing the above, e.g.
+// "seed=7,err=0.1,lat=1ms,latrate=0.05,trunc=0.02,corrupt=0.02":
+// err/latrate perturb the repository and metadata interfaces, trunc and
+// corrupt damage HTTP payloads beneath the client's integrity checks,
+// and err/corrupt also harass the persistent cache tier.
 package main
 
 import (
@@ -35,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -42,10 +57,12 @@ import (
 	"repro/internal/androzoo"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/playstore"
 	"repro/internal/report"
 	"repro/internal/resultcache"
+	"repro/internal/retry"
 	"repro/internal/webviewlint"
 )
 
@@ -58,6 +75,11 @@ func main() {
 	lint := flag.Bool("lint", false, "run the WebView misconfiguration lint stage")
 	lintRules := flag.String("lint-rules", "", "comma-separated lint rule IDs (implies -lint; empty = all rules)")
 	lintJSON := flag.String("lint-json", "", "write lint findings as JSON to this file, \"-\" for stdout (implies -lint)")
+	retries := flag.Int("retries", 3, "extra attempts per failed network operation (0 = no retry)")
+	maxFailureFrac := flag.Float64("max-failure-frac", 0, "fraction of packages that may fail without aborting the run")
+	faultsSpec := flag.String("faults", "", "inject deterministic faults, e.g. \"seed=7,err=0.1,lat=1ms\" (testing)")
+	journalPath := flag.String("journal", "", "checkpoint completed packages to this JSONL file")
+	resume := flag.Bool("resume", false, "resume from an existing -journal file instead of refusing to overwrite it")
 	flag.Parse()
 
 	opts := options{
@@ -65,6 +87,8 @@ func main() {
 		cachedir: *cachedir, stats: *stats,
 		lint:     *lint || *lintRules != "" || *lintJSON != "",
 		lintJSON: *lintJSON,
+		retries:  *retries, maxFailureFrac: *maxFailureFrac,
+		faults: *faultsSpec, journal: *journalPath, resume: *resume,
 	}
 	if *lintRules != "" {
 		opts.lintRules = strings.Split(*lintRules, ",")
@@ -75,14 +99,19 @@ func main() {
 }
 
 type options struct {
-	scale     int
-	seed      int64
-	workers   int
-	cachedir  string
-	stats     bool
-	lint      bool
-	lintRules []string
-	lintJSON  string
+	scale          int
+	seed           int64
+	workers        int
+	cachedir       string
+	stats          bool
+	lint           bool
+	lintRules      []string
+	lintJSON       string
+	retries        int
+	maxFailureFrac float64
+	faults         string
+	journal        string
+	resume         bool
 }
 
 // lintReport is the machine-readable -lint-json document.
@@ -118,19 +147,73 @@ func run(out *os.File, o options) error {
 	psSrv := httptest.NewServer(playstore.NewServer(c).Handler())
 	defer psSrv.Close()
 
-	cfg := core.StaticConfig{Workers: o.workers, Lint: o.lint, LintRules: o.lintRules}
+	fcfg, err := faults.ParseSpec(o.faults)
+	if err != nil {
+		return err
+	}
+	injecting := o.faults != ""
+
+	cfg := core.StaticConfig{
+		Workers: o.workers, Lint: o.lint, LintRules: o.lintRules,
+		MaxFailureFrac: o.maxFailureFrac,
+	}
+	if o.retries > 0 {
+		cfg.Retry = &retry.Policy{MaxAttempts: o.retries + 1, Metrics: &retry.Metrics{}}
+	}
 	if o.cachedir != "" {
 		store, err := resultcache.NewDirStore(o.cachedir)
 		if err != nil {
 			return fmt.Errorf("open cache dir: %w", err)
 		}
-		cfg.Cache = resultcache.NewPersistent[pipeline.Analysis](0, store, nil)
+		var blobs resultcache.BlobStore = store
+		if injecting {
+			// The cache tier sees load errors and blob corruption; the
+			// cache's purge-on-corrupt path turns both into recomputes.
+			blobs = faults.NewStore(store, faults.Config{
+				Seed: fcfg.Seed, ErrorRate: fcfg.ErrorRate, CorruptRate: fcfg.CorruptRate,
+			})
+		}
+		cfg.Cache = resultcache.NewPersistent[pipeline.Analysis](0, blobs, nil)
 	}
-	study, err := core.NewStaticStudy(
-		androzoo.NewClient(azSrv.URL, azSrv.Client()),
-		playstore.NewClient(psSrv.URL, psSrv.Client()),
-		cfg,
-	)
+	if o.journal != "" {
+		if !o.resume {
+			if _, err := os.Stat(o.journal); err == nil {
+				return fmt.Errorf("journal %s exists; pass -resume to continue it or remove it first", o.journal)
+			}
+		}
+		j, err := pipeline.OpenJournal(o.journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d packages already journaled\n", n)
+		}
+		cfg.Journal = j
+	}
+
+	// Payload damage (truncation, corruption) rides beneath the APK
+	// client's Content-Length/digest verification, which detects it and
+	// retries; interface-level errors and latency wrap the services and
+	// are retried by the pipeline.
+	azHC := azSrv.Client()
+	if injecting && (fcfg.TruncateRate > 0 || fcfg.CorruptRate > 0) {
+		azHC = &http.Client{Transport: faults.NewTransport(azHC.Transport, faults.Config{
+			Seed: fcfg.Seed, TruncateRate: fcfg.TruncateRate, CorruptRate: fcfg.CorruptRate,
+		})}
+	}
+	var repo pipeline.Repository = androzoo.NewClient(azSrv.URL, azHC).WithRetry(cfg.Retry)
+	var meta pipeline.MetadataSource = playstore.NewClient(psSrv.URL, psSrv.Client()).WithRetry(cfg.Retry)
+	if injecting && (fcfg.ErrorRate > 0 || fcfg.LatencyRate > 0) {
+		svcCfg := faults.Config{
+			Seed: fcfg.Seed, ErrorRate: fcfg.ErrorRate,
+			LatencyRate: fcfg.LatencyRate, Latency: fcfg.Latency,
+		}
+		repo = faults.NewRepository(repo, svcCfg)
+		meta = faults.NewMetadataSource(meta, svcCfg)
+	}
+
+	study, err := core.NewStaticStudy(repo, meta, cfg)
 	if err != nil {
 		return err
 	}
@@ -142,6 +225,17 @@ func run(out *os.File, o options) error {
 	if o.cachedir != "" {
 		fmt.Fprintf(os.Stderr, "analysis cache: %d hits, %d misses (%.0f%% hit rate)\n",
 			res.Stats.CacheHits, res.Stats.CacheMisses, 100*res.Stats.CacheHitRate())
+	}
+	if n := len(res.Quarantined); n > 0 {
+		fmt.Fprintf(os.Stderr, "degraded: %d of %d packages quarantined after retries (budget %.1f%%):\n",
+			n, res.Funnel.Snapshot, 100*o.maxFailureFrac)
+		for i, q := range res.Quarantined {
+			if i == 10 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", n-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %s (%s): %s\n", q.Package, q.Stage, q.Err)
+		}
 	}
 	if o.stats {
 		fmt.Fprintln(os.Stderr, res.Stats.String())

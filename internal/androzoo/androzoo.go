@@ -3,11 +3,18 @@
 // images are synthesised on demand from the corpus specs (deterministically,
 // so repeated downloads are byte-identical) and served with their digest,
 // the way AndroZoo indexes APKs by hash.
+//
+// The client verifies every download against the server-sent payload
+// digest and Content-Length, surfacing truncated or corrupted bodies as
+// retryable errors, and can wrap all its requests in a retry policy
+// (WithRetry) with backoff and per-endpoint circuit breaking.
 package androzoo
 
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,17 +22,27 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/retry"
 )
+
+// DigestHeader carries the hex SHA-256 of the response payload, the
+// repository's equivalent of AndroZoo's per-APK hash index. Clients use
+// it to detect corrupted downloads without trusting the APK's own
+// internal digest entry.
+const DigestHeader = "X-Payload-Sha256"
 
 // Server serves a corpus as an APK repository.
 type Server struct {
 	c     *corpus.Corpus
 	byPkg map[string]*corpus.Spec
+	// build synthesises one APK image; a test hook (defaults to
+	// corpus.BuildAPK) so handler failure paths are coverable.
+	build func(*corpus.Spec) ([]byte, error)
 }
 
 // NewServer indexes the corpus.
 func NewServer(c *corpus.Corpus) *Server {
-	s := &Server{c: c, byPkg: make(map[string]*corpus.Spec, len(c.Apps))}
+	s := &Server{c: c, byPkg: make(map[string]*corpus.Spec, len(c.Apps)), build: corpus.BuildAPK}
 	for _, app := range c.Apps {
 		s.byPkg[app.Package] = app
 	}
@@ -35,7 +52,7 @@ func NewServer(c *corpus.Corpus) *Server {
 // Handler returns the repository API:
 //
 //	GET /snapshot          newline-separated package list
-//	GET /apk/{package}     the APK image
+//	GET /apk/{package}     the APK image (digest in X-Payload-Sha256)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
@@ -60,20 +77,26 @@ func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown apk", http.StatusNotFound)
 		return
 	}
-	img, err := corpus.BuildAPK(spec)
+	img, err := s.build(spec)
 	if err != nil {
+		// Nothing has been written yet, so the status is authoritative and
+		// no digest header is set — the client must not mistake the error
+		// body for an APK.
 		http.Error(w, "build failed", http.StatusInternalServerError)
 		return
 	}
+	sum := sha256.Sum256(img)
 	w.Header().Set("Content-Type", "application/vnd.android.package-archive")
+	w.Header().Set(DigestHeader, hex.EncodeToString(sum[:]))
 	w.Header().Set("Content-Length", fmt.Sprint(len(img)))
 	w.Write(img)
 }
 
 // Client talks to a repository server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *retry.Policy
 }
 
 // NewClient returns a client for the repository at baseURL.
@@ -84,19 +107,32 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
+// WithRetry wraps every List and Download call in the given retry policy
+// (nil disables retrying) and returns the client.
+func (c *Client) WithRetry(p *retry.Policy) *Client {
+	c.retry = p
+	return c
+}
+
 // List streams the snapshot package list.
 func (c *Client) List(ctx context.Context) ([]string, error) {
+	return retry.Do(ctx, c.retry, c.list)
+}
+
+func (c *Client) list(ctx context.Context) ([]string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/snapshot", nil)
 	if err != nil {
-		return nil, fmt.Errorf("androzoo: %w", err)
+		return nil, retry.Permanent(fmt.Errorf("androzoo: %w", err))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("androzoo: %w", err)
+		// Connection-level failures (refused, reset, timeout) are the
+		// textbook transient class.
+		return nil, retry.Transient(fmt.Errorf("androzoo: %w", err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("androzoo: snapshot: unexpected status %s", resp.Status)
+		return nil, classifyStatus(resp.StatusCode, fmt.Errorf("androzoo: snapshot: unexpected status %s", resp.Status))
 	}
 	var pkgs []string
 	sc := bufio.NewScanner(resp.Body)
@@ -107,28 +143,54 @@ func (c *Client) List(ctx context.Context) ([]string, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("androzoo: snapshot: %w", err)
+		return nil, retry.Transient(fmt.Errorf("androzoo: snapshot: %w", err))
 	}
 	return pkgs, nil
 }
 
-// Download fetches one APK image.
+// Download fetches one APK image, verifying it against the server-sent
+// Content-Length and payload digest: a truncated or corrupted body is a
+// retryable error, never a silently corrupt image.
 func (c *Client) Download(ctx context.Context, pkg string) ([]byte, error) {
+	return retry.Do(ctx, c.retry, func(ctx context.Context) ([]byte, error) {
+		return c.download(ctx, pkg)
+	})
+}
+
+func (c *Client) download(ctx context.Context, pkg string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/apk/"+pkg, nil)
 	if err != nil {
-		return nil, fmt.Errorf("androzoo: %w", err)
+		return nil, retry.Permanent(fmt.Errorf("androzoo: %w", err))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("androzoo: %w", err)
+		return nil, retry.Transient(fmt.Errorf("androzoo: %s: %w", pkg, err))
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("androzoo: %s: unexpected status %s", pkg, resp.Status)
+		return nil, classifyStatus(resp.StatusCode, fmt.Errorf("androzoo: %s: unexpected status %s", pkg, resp.Status))
 	}
 	img, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, fmt.Errorf("androzoo: %s: %w", pkg, err)
+		return nil, retry.Transient(fmt.Errorf("androzoo: %s: truncated body: %w", pkg, err))
+	}
+	if cl := resp.ContentLength; cl >= 0 && int64(len(img)) != cl {
+		return nil, retry.Transient(fmt.Errorf("androzoo: %s: truncated body: got %d of %d bytes", pkg, len(img), cl))
+	}
+	if want := resp.Header.Get(DigestHeader); want != "" {
+		sum := sha256.Sum256(img)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, retry.Transient(fmt.Errorf("androzoo: %s: payload digest mismatch: got %s, want %s", pkg, got, want))
+		}
 	}
 	return img, nil
+}
+
+// classifyStatus marks 5xx responses transient (the server may recover)
+// and everything else permanent (the request itself is wrong).
+func classifyStatus(code int, err error) error {
+	if code >= 500 {
+		return retry.Transient(err)
+	}
+	return retry.Permanent(err)
 }

@@ -3,12 +3,21 @@ package androzoo
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/apk"
 	"repro/internal/corpus"
+	"repro/internal/retry"
 )
 
 func testSetup(t *testing.T) (*Client, *corpus.Corpus) {
@@ -108,5 +117,188 @@ func TestListContextCancel(t *testing.T) {
 	cancel()
 	if _, err := client.List(ctx); err == nil {
 		t.Error("cancelled context did not fail")
+	}
+}
+
+// --- server handler paths (404 / 500 / digest / truncation) --------------
+
+func TestHandleAPKSetsDigestHeader(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/apk/" + c.Apps[0].Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(body)
+	if got, want := resp.Header.Get(DigestHeader), hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("%s = %q, want payload digest %q", DigestHeader, got, want)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(body)) {
+		t.Errorf("Content-Length = %q for %d body bytes", cl, len(body))
+	}
+}
+
+func TestHandleAPKUnknownPackage404(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/apk/com.not.a.real.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %s, want 404", resp.Status)
+	}
+}
+
+func TestHandleAPKBuildFailure500(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(c)
+	s.build = func(*corpus.Spec) ([]byte, error) { return nil, errors.New("synthetic build explosion") }
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/apk/" + c.Apps[0].Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status = %s, want 500", resp.Status)
+	}
+	if resp.Header.Get(DigestHeader) != "" {
+		t.Error("error response carries a payload digest header")
+	}
+	// The client must refuse the error body rather than hand it on as an
+	// APK image; a 5xx is retryable.
+	client := NewClient(srv.URL, srv.Client())
+	_, derr := client.Download(context.Background(), c.Apps[0].Package)
+	if derr == nil {
+		t.Fatal("Download of a 500 succeeded")
+	}
+	if !retry.IsRetryable(derr) {
+		t.Errorf("5xx error %v is not retryable", derr)
+	}
+}
+
+// flakyAPKHandler serves a wrong or truncated payload for the first n
+// requests per path, then behaves.
+type flakyAPKHandler struct {
+	mu       sync.Mutex
+	failures map[string]int
+	n        int
+	payload  []byte
+	mode     string // "truncate", "corrupt" or "status"
+}
+
+func (h *flakyAPKHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.failures[r.URL.Path]++
+	misbehave := h.failures[r.URL.Path] <= h.n
+	h.mu.Unlock()
+	sum := sha256.Sum256(h.payload)
+	if misbehave && h.mode == "status" {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set(DigestHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Length", fmt.Sprint(len(h.payload)))
+	switch {
+	case misbehave && h.mode == "truncate":
+		w.(http.Flusher).Flush()
+		w.Write(h.payload[:len(h.payload)/2])
+		panic(http.ErrAbortHandler) // cut the connection mid-body
+	case misbehave && h.mode == "corrupt":
+		bad := append([]byte(nil), h.payload...)
+		bad[0] ^= 0xff
+		w.Write(bad)
+	default:
+		w.Write(h.payload)
+	}
+}
+
+func flakyServer(t *testing.T, mode string, n int) (*Client, *retry.Metrics) {
+	t.Helper()
+	h := &flakyAPKHandler{failures: make(map[string]int), n: n, payload: bytes.Repeat([]byte("apk!"), 1024), mode: mode}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	m := &retry.Metrics{}
+	p := &retry.Policy{
+		MaxAttempts: 4, Seed: 1, Metrics: m,
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+	return NewClient(srv.URL, srv.Client()).WithRetry(p), m
+}
+
+func TestDownloadTruncationDetectedAndRetried(t *testing.T) {
+	client, m := flakyServer(t, "truncate", 2)
+	img, err := client.Download(context.Background(), "com.truncated.app")
+	if err != nil {
+		t.Fatalf("Download did not recover from truncation: %v", err)
+	}
+	if len(img) != 4096 {
+		t.Errorf("recovered image is %d bytes, want 4096", len(img))
+	}
+	if m.Retries.Load() != 2 {
+		t.Errorf("retries = %d, want 2", m.Retries.Load())
+	}
+}
+
+func TestDownloadDigestMismatchDetectedAndRetried(t *testing.T) {
+	client, m := flakyServer(t, "corrupt", 1)
+	img, err := client.Download(context.Background(), "com.corrupt.app")
+	if err != nil {
+		t.Fatalf("Download did not recover from corruption: %v", err)
+	}
+	if img[0] != 'a' {
+		t.Error("recovered image still corrupt")
+	}
+	if m.Retries.Load() != 1 {
+		t.Errorf("retries = %d, want 1", m.Retries.Load())
+	}
+}
+
+func TestDownloadServerErrorRetried(t *testing.T) {
+	client, m := flakyServer(t, "status", 3)
+	if _, err := client.Download(context.Background(), "com.unsteady.app"); err != nil {
+		t.Fatalf("Download did not outlast 3 consecutive 503s: %v", err)
+	}
+	if m.Retries.Load() != 3 {
+		t.Errorf("retries = %d, want 3", m.Retries.Load())
+	}
+}
+
+func TestDownloadTruncationWithoutRetryIsRetryableError(t *testing.T) {
+	h := &flakyAPKHandler{failures: make(map[string]int), n: 1000, payload: bytes.Repeat([]byte("apk!"), 1024), mode: "corrupt"}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client()) // no retry policy
+	_, err := client.Download(context.Background(), "com.x")
+	if err == nil {
+		t.Fatal("corrupted download succeeded")
+	}
+	if !strings.Contains(err.Error(), "digest mismatch") {
+		t.Errorf("err = %v, want a digest mismatch", err)
+	}
+	if !retry.IsRetryable(err) {
+		t.Error("digest mismatch not classified retryable")
 	}
 }

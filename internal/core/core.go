@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/pipeline"
 	"repro/internal/resultcache"
+	"repro/internal/retry"
 	"repro/internal/sdkindex"
 	"repro/internal/webviewlint"
 )
@@ -40,6 +41,16 @@ type StaticConfig struct {
 	// restricts it to the named rule IDs (nil = every registry rule).
 	Lint      bool
 	LintRules []string
+	// Retry, when non-nil, wraps the pipeline's network edges (snapshot
+	// listing, metadata fetch, APK download) in retries with backoff.
+	Retry *retry.Policy
+	// MaxFailureFrac is the error budget: the fraction of snapshot packages
+	// that may be quarantined after retries before the run aborts (0 =
+	// abort on the first unrecovered failure).
+	MaxFailureFrac float64
+	// Journal, when non-nil, checkpoints completed packages so an
+	// interrupted run can resume without repeating finished work.
+	Journal *pipeline.Journal
 }
 
 // StaticStudy runs the large-scale static analysis.
@@ -52,6 +63,9 @@ type StaticResult struct {
 	Funnel     pipeline.Funnel
 	Apps       []pipeline.AppResult
 	Aggregates *pipeline.Aggregates
+	// Quarantined lists packages abandoned after retries (empty on a clean
+	// run); the run completed degraded but within its error budget.
+	Quarantined []pipeline.Quarantine
 	// Stats reports per-stage wall time, throughput, cache effectiveness
 	// and the peak number of APK bytes held in flight.
 	Stats pipeline.Stats
@@ -75,12 +89,15 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 	}
 	return &StaticStudy{
 		pipe: pipeline.New(repo, meta, pipeline.Config{
-			MinDownloads: cfg.MinDownloads,
-			UpdatedAfter: cfg.UpdatedAfter,
-			Workers:      cfg.Workers,
-			Index:        cfg.Index,
-			Cache:        cfg.Cache,
-			Lint:         lint,
+			MinDownloads:   cfg.MinDownloads,
+			UpdatedAfter:   cfg.UpdatedAfter,
+			Workers:        cfg.Workers,
+			Index:          cfg.Index,
+			Cache:          cfg.Cache,
+			Lint:           lint,
+			Retry:          cfg.Retry,
+			MaxFailureFrac: cfg.MaxFailureFrac,
+			Journal:        cfg.Journal,
 		}),
 	}, nil
 }
@@ -92,9 +109,10 @@ func (s *StaticStudy) Run(ctx context.Context) (*StaticResult, error) {
 		return nil, err
 	}
 	return &StaticResult{
-		Funnel:     res.Funnel,
-		Apps:       res.Apps,
-		Aggregates: pipeline.Aggregate(res),
-		Stats:      res.Stats,
+		Funnel:      res.Funnel,
+		Apps:        res.Apps,
+		Aggregates:  pipeline.Aggregate(res),
+		Quarantined: res.Quarantined,
+		Stats:       res.Stats,
 	}, nil
 }

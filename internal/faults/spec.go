@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the staticscan -faults value: comma-separated k=v
+// pairs, e.g. "seed=7,err=0.1,latrate=0.05,lat=2ms,trunc=0.02,corrupt=0.02".
+// Keys: seed (int64), err, latrate, trunc, corrupt (rates in [0,1]),
+// lat (duration). Unknown keys, malformed values and out-of-range rates
+// are errors. The empty string yields the zero Config.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: malformed spec entry %q (want key=value)", part)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "lat":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return cfg, fmt.Errorf("faults: bad latency %q: %v", v, err)
+			}
+			cfg.Latency = d
+		case "err", "latrate", "trunc", "corrupt":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r < 0 || r > 1 {
+				return cfg, fmt.Errorf("faults: bad rate %s=%q (want a number in [0,1])", k, v)
+			}
+			switch k {
+			case "err":
+				cfg.ErrorRate = r
+			case "latrate":
+				cfg.LatencyRate = r
+			case "trunc":
+				cfg.TruncateRate = r
+			case "corrupt":
+				cfg.CorruptRate = r
+			}
+		default:
+			return cfg, fmt.Errorf("faults: unknown spec key %q", k)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,371 @@
+// Chaos tests: seeded fault injection across the pipeline's layers, with
+// the headline invariant that a faulted run (faults within the error
+// budget, retries enabled) produces byte-identical report tables to a
+// fault-free run. They live in the external test package so they can
+// render through internal/report, which imports pipeline.
+package pipeline_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faults"
+	"repro/internal/pipeline"
+	"repro/internal/playstore"
+	"repro/internal/report"
+	"repro/internal/resultcache"
+	"repro/internal/retry"
+)
+
+// chaosRepo serves APKs straight from corpus specs, recording which
+// packages were downloaded.
+type chaosRepo struct {
+	c  *corpus.Corpus
+	mu sync.Mutex
+	dl map[string]int
+}
+
+func newChaosRepo(c *corpus.Corpus) *chaosRepo {
+	return &chaosRepo{c: c, dl: make(map[string]int)}
+}
+
+func (r *chaosRepo) List(ctx context.Context) ([]string, error) {
+	out := make([]string, 0, len(r.c.Apps))
+	for _, s := range r.c.Apps {
+		out = append(out, s.Package)
+	}
+	return out, nil
+}
+
+func (r *chaosRepo) Download(ctx context.Context, pkg string) ([]byte, error) {
+	r.mu.Lock()
+	r.dl[pkg]++
+	r.mu.Unlock()
+	spec := r.c.AppByPackage(pkg)
+	if spec == nil {
+		return nil, fmt.Errorf("chaos: unknown %s", pkg)
+	}
+	return corpus.BuildAPK(spec)
+}
+
+func (r *chaosRepo) downloaded() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.dl))
+	for k, v := range r.dl {
+		out[k] = v
+	}
+	return out
+}
+
+// chaosMeta serves metadata straight from corpus specs.
+type chaosMeta struct{ c *corpus.Corpus }
+
+func (m *chaosMeta) Metadata(ctx context.Context, pkg string) (playstore.Metadata, error) {
+	spec := m.c.AppByPackage(pkg)
+	if spec == nil || !spec.OnPlayStore {
+		return playstore.Metadata{}, fmt.Errorf("%w: %s", playstore.ErrNotFound, pkg)
+	}
+	return playstore.Metadata{
+		Package: spec.Package, Title: spec.Title, Category: spec.PlayCategory,
+		Downloads: spec.Downloads, LastUpdated: spec.LastUpdated,
+	}, nil
+}
+
+func chaosCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{Seed: 3, Scale: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func nopSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func chaosPolicy(m *retry.Metrics) *retry.Policy {
+	// Enough attempts that a 10% per-call fault rate failing 8 times in a
+	// row (p = 1e-8) cannot realistically quarantine anything.
+	return &retry.Policy{MaxAttempts: 8, Seed: 1, Metrics: m, Sleep: nopSleep}
+}
+
+// renderTables renders every static-study table and figure — the
+// byte-identical surface the chaos invariant is asserted over.
+func renderTables(res *pipeline.Result) string {
+	aggs := pipeline.Aggregate(res)
+	var sb strings.Builder
+	sb.WriteString(report.Table2(res.Funnel, 2500))
+	sb.WriteString(report.Table3(aggs))
+	sb.WriteString(report.TopSDKTable(aggs, false, 2500))
+	sb.WriteString(report.TopSDKTable(aggs, true, 2500))
+	sb.WriteString(report.Table7(aggs, 2500))
+	sb.WriteString(report.Figure3(aggs))
+	sb.WriteString(report.Figure4(aggs))
+	return sb.String()
+}
+
+func cleanRun(t *testing.T, c *corpus.Corpus) *pipeline.Result {
+	t.Helper()
+	p := pipeline.New(newChaosRepo(c), &chaosMeta{c: c},
+		pipeline.Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("fault-free run: %v", err)
+	}
+	return res
+}
+
+// TestChaosFaultedRunMatchesFaultFree is the headline invariant: a run
+// over backends injecting 10% transient errors plus latency, with retry
+// enabled, emits report tables byte-identical to a fault-free run — and
+// proves the faults actually fired via nonzero retry counters.
+func TestChaosFaultedRunMatchesFaultFree(t *testing.T) {
+	c := chaosCorpus(t)
+	want := renderTables(cleanRun(t, c))
+
+	fcfg := faults.Config{
+		Seed: 7, ErrorRate: 0.1,
+		LatencyRate: 0.1, Latency: 200 * time.Microsecond,
+	}
+	m := &retry.Metrics{}
+	p := pipeline.New(
+		faults.NewRepository(newChaosRepo(c), fcfg),
+		faults.NewMetadataSource(&chaosMeta{c: c}, fcfg),
+		pipeline.Config{
+			MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+			Retry: chaosPolicy(m),
+		})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	if res.Stats.Retries == 0 {
+		t.Fatal("no retries recorded — the fault injection did not fire")
+	}
+	if len(res.Quarantined) != 0 {
+		t.Errorf("retries should have absorbed every fault; quarantined: %+v", res.Quarantined)
+	}
+	if got := renderTables(res); got != want {
+		t.Errorf("faulted run diverged from fault-free run:\n--- fault-free ---\n%s\n--- faulted ---\n%s", want, got)
+	}
+	t.Logf("recovered from %d transient faults via retries", res.Stats.Retries)
+}
+
+// TestChaosCacheCorruptionRecomputes aims fault injection at the
+// persistent cache tier: every load is corrupted, the cache purges and
+// recomputes, and the output still matches the fault-free run.
+func TestChaosCacheCorruptionRecomputes(t *testing.T) {
+	c := chaosCorpus(t)
+	want := renderTables(cleanRun(t, c))
+
+	blobs := resultcache.NewMemStore()
+	warm := pipeline.New(newChaosRepo(c), &chaosMeta{c: c}, pipeline.Config{
+		MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+		Cache: resultcache.NewPersistent[pipeline.Analysis](0, blobs, nil),
+	})
+	if _, err := warm.Run(context.Background()); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if blobs.Len() == 0 {
+		t.Fatal("warm run stored nothing")
+	}
+
+	// Fresh LRU tier, same persistent blobs — but every load comes back
+	// damaged. The cache must detect, purge and recompute every entry.
+	cache := resultcache.NewPersistent[pipeline.Analysis](0,
+		faults.NewStore(blobs, faults.Config{Seed: 7, CorruptRate: 1}), nil)
+	cold := pipeline.New(newChaosRepo(c), &chaosMeta{c: c}, pipeline.Config{
+		MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+		Cache: cache,
+	})
+	res, err := cold.Run(context.Background())
+	if err != nil {
+		t.Fatalf("corrupted-cache run: %v", err)
+	}
+	st := cache.Stats()
+	if st.Purged == 0 {
+		t.Error("no corrupt blobs purged — injection did not fire")
+	}
+	if st.Hits != 0 {
+		t.Errorf("%d corrupted blobs served as hits", st.Hits)
+	}
+	if got := renderTables(res); got != want {
+		t.Error("corrupted-cache run diverged from fault-free run")
+	}
+}
+
+// TestChaosQuarantineKeepsRunAlive disables retries so injected faults
+// land, and checks the error budget turns them into quarantined packages
+// rather than a dead run — with the casualties accounted for exactly.
+func TestChaosQuarantineKeepsRunAlive(t *testing.T) {
+	c := chaosCorpus(t)
+	fcfg := faults.Config{Seed: 11, ErrorRate: 0.05}
+	p := pipeline.New(
+		faults.NewRepository(newChaosRepo(c), fcfg),
+		faults.NewMetadataSource(&chaosMeta{c: c}, fcfg),
+		pipeline.Config{
+			MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+			MaxFailureFrac: 0.2,
+		})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run died despite a 20%% error budget: %v", err)
+	}
+	if len(res.Quarantined) == 0 {
+		t.Fatal("no quarantined packages — injection did not fire")
+	}
+	if got := res.Stats.QuarantinedTotal(); got != len(res.Quarantined) {
+		t.Errorf("stage counters sum to %d, Quarantined holds %d", got, len(res.Quarantined))
+	}
+	inApps := make(map[string]bool, len(res.Apps))
+	for _, a := range res.Apps {
+		inApps[a.Package] = true
+	}
+	for _, q := range res.Quarantined {
+		if q.Err == "" {
+			t.Errorf("quarantine entry for %s has no error", q.Package)
+		}
+		if inApps[q.Package] {
+			t.Errorf("%s is both quarantined and in Apps", q.Package)
+		}
+	}
+	t.Logf("degraded-complete: %d quarantined of %d snapshot packages",
+		len(res.Quarantined), res.Funnel.Snapshot)
+}
+
+// TestChaosBudgetExceededAborts: a fault rate far beyond the budget must
+// abort the run with the budget violation spelled out.
+func TestChaosBudgetExceededAborts(t *testing.T) {
+	c := chaosCorpus(t)
+	fcfg := faults.Config{Seed: 11, ErrorRate: 0.5}
+	p := pipeline.New(
+		faults.NewRepository(newChaosRepo(c), fcfg),
+		faults.NewMetadataSource(&chaosMeta{c: c}, fcfg),
+		pipeline.Config{
+			MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+			MaxFailureFrac: 0.005,
+		})
+	_, err := p.Run(context.Background())
+	if err == nil {
+		t.Fatal("run survived a 50% fault rate on a 0.5% budget")
+	}
+	if !strings.Contains(err.Error(), "error budget exceeded") {
+		t.Errorf("err = %v, want an error-budget violation", err)
+	}
+}
+
+// killRepo cancels the run once the journal holds at least K completed
+// packages, simulating a crash at a deterministic point of progress.
+type killRepo struct {
+	*chaosRepo
+	j      *pipeline.Journal
+	k      int
+	cancel context.CancelFunc
+}
+
+func (r *killRepo) Download(ctx context.Context, pkg string) ([]byte, error) {
+	if r.j.Len() >= r.k {
+		r.cancel()
+		return nil, ctx.Err()
+	}
+	return r.chaosRepo.Download(ctx, pkg)
+}
+
+// TestChaosJournalKillAndResume kills a journaled run mid-flight, resumes
+// it, and checks the resumed run re-downloads zero completed packages
+// while producing the same apps as an uninterrupted run.
+func TestChaosJournalKillAndResume(t *testing.T) {
+	c := chaosCorpus(t)
+	want := cleanRun(t, c)
+	path := filepath.Join(t.TempDir(), "run.journal")
+	cfg := pipeline.Config{MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff}
+
+	// Phase 1: run until ~12 packages are journaled, then die.
+	j1, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	kr := &killRepo{chaosRepo: newChaosRepo(c), j: j1, k: 12, cancel: cancel}
+	cfg1 := cfg
+	cfg1.Journal = j1
+	if _, err := pipeline.New(kr, &chaosMeta{c: c}, cfg1).Run(ctx); err == nil {
+		t.Fatal("killed run reported success")
+	}
+	j1.Close()
+	completed := j1.Len()
+	if completed < 12 {
+		t.Fatalf("only %d packages journaled before the kill", completed)
+	}
+
+	// Phase 2: resume over the same journal file.
+	j2, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != completed {
+		t.Fatalf("reloaded journal holds %d packages, expected %d", j2.Len(), completed)
+	}
+	journaled := make(map[string]bool, completed)
+	for _, pkg := range j2.Packages() {
+		journaled[pkg] = true
+	}
+	repo2 := newChaosRepo(c)
+	cfg2 := cfg
+	cfg2.Journal = j2
+	res, err := pipeline.New(repo2, &chaosMeta{c: c}, cfg2).Run(context.Background())
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	for pkg := range repo2.downloaded() {
+		if journaled[pkg] {
+			t.Errorf("resumed run re-downloaded journaled package %s", pkg)
+		}
+	}
+	if res.Stats.JournalSkips != completed {
+		t.Errorf("JournalSkips = %d, want %d", res.Stats.JournalSkips, completed)
+	}
+	if got, wantN := len(repo2.downloaded()), res.Funnel.Filtered-completed; got != wantN {
+		t.Errorf("resumed run downloaded %d packages, want %d (filtered %d - journaled %d)",
+			got, wantN, res.Funnel.Filtered, completed)
+	}
+	if res.Funnel != want.Funnel {
+		t.Errorf("resumed funnel = %+v, want %+v", res.Funnel, want.Funnel)
+	}
+	if !reflect.DeepEqual(res.Apps, want.Apps) {
+		t.Error("resumed run's apps differ from an uninterrupted run's")
+	}
+}
+
+// TestChaosJournalRefusesForeignConfig: a journal written under one
+// configuration must not be replayed under another.
+func TestChaosJournalRefusesForeignConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := os.WriteFile(path,
+		[]byte(`{"v":1,"key":"someone-elses-fingerprint"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c := chaosCorpus(t)
+	cfg := pipeline.Config{
+		MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff, Journal: j,
+	}
+	if _, err := pipeline.New(newChaosRepo(c), &chaosMeta{c: c}, cfg).Run(context.Background()); err == nil {
+		t.Fatal("run accepted a journal from a different configuration")
+	}
+}

@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is a JSONL checkpoint of completed per-package analyses. The
+// pipeline appends one line as each package finishes (analysis, lint and
+// cache-hit paths alike); a resumed run over the same journal skips the
+// download and analysis of every recorded package and replays its
+// Analysis instead, so an interrupted corpus-scale run loses only the
+// packages that were in flight when it died.
+//
+// The first line is a header binding the journal to the pipeline
+// configuration fingerprint (SDK index, lint rules): resuming with a
+// different configuration is refused rather than silently mixing results.
+// A partial trailing line — the signature of a killed writer — is
+// ignored on load. Quarantined packages are never recorded, so a resumed
+// run retries them.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	key       string // loaded or bound configuration fingerprint
+	hasHeader bool
+	done      map[string]Analysis
+}
+
+type journalHeader struct {
+	V   int    `json:"v"`
+	Key string `json:"key"`
+}
+
+type journalEntry struct {
+	Pkg string   `json:"pkg"`
+	An  Analysis `json:"an"`
+}
+
+// OpenJournal loads the journal at path (creating it if absent) and
+// opens it for appending. Call Close when done.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{done: make(map[string]Analysis)}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := j.load(b); err != nil {
+			return nil, fmt.Errorf("pipeline: journal %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load parses existing journal content: a header line then entries. A
+// malformed final line is tolerated (the writer died mid-append);
+// malformed content elsewhere is an error.
+func (j *Journal) load(b []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineno := 0
+	var pending string
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		// Defer judgment on each line until we know another follows: only
+		// the last line may be garbage.
+		if pending != "" {
+			if err := j.consume(pending); err != nil {
+				return err
+			}
+		}
+		pending = line
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if pending != "" {
+		// Ignore a final line that does not parse; it was cut off mid-write.
+		_ = j.consume(pending)
+	}
+	return nil
+}
+
+func (j *Journal) consume(line string) error {
+	if !j.hasHeader {
+		var h journalHeader
+		if err := json.Unmarshal([]byte(line), &h); err != nil || h.V != 1 {
+			return fmt.Errorf("bad header line %q", line)
+		}
+		j.key = h.Key
+		j.hasHeader = true
+		return nil
+	}
+	var e journalEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		return fmt.Errorf("bad entry %q: %v", line, err)
+	}
+	j.done[e.Pkg] = e.An
+	return nil
+}
+
+// Bind ties the journal to a configuration fingerprint. A fresh journal
+// writes the header; an existing one must have been written under the
+// same key, otherwise Bind fails (the journal describes a different
+// index/lint configuration and its entries cannot be replayed).
+func (j *Journal) Bind(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.hasHeader {
+		if j.key != key {
+			return fmt.Errorf("pipeline: journal written under configuration %q, current is %q", j.key, key)
+		}
+		return nil
+	}
+	b, err := json.Marshal(journalHeader{V: 1, Key: key})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("pipeline: journal: %w", err)
+	}
+	j.key = key
+	j.hasHeader = true
+	return nil
+}
+
+// Lookup returns the recorded analysis for pkg, if any.
+func (j *Journal) Lookup(pkg string) (Analysis, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	an, ok := j.done[pkg]
+	return an, ok
+}
+
+// Record appends pkg's completed analysis. Recording an already-journaled
+// package is a no-op, so cache hits on resumed packages stay idempotent.
+func (j *Journal) Record(pkg string, an Analysis) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[pkg]; ok {
+		return nil
+	}
+	b, err := json.Marshal(journalEntry{Pkg: pkg, An: an})
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("pipeline: journal: %w", err)
+	}
+	j.done[pkg] = an
+	return nil
+}
+
+// Len reports how many completed packages the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Packages returns the recorded package names (unordered).
+func (j *Journal) Packages() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.done))
+	for pkg := range j.done {
+		out = append(out, pkg)
+	}
+	return out
+}
+
+// Close releases the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

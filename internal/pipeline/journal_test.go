@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind("cfg-1"); err != nil {
+		t.Fatal(err)
+	}
+	a1 := Analysis{UsesWebView: true, Methods: []string{"loadUrl"}}
+	a2 := Analysis{Broken: true}
+	if err := j.Record("com.a", a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("com.b", a2); err != nil {
+		t.Fatal(err)
+	}
+	// Recording the same package again is a no-op, not a duplicate line.
+	if err := j.Record("com.a", Analysis{}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Bind("cfg-1"); err != nil {
+		t.Fatalf("rebinding the same key: %v", err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", j2.Len())
+	}
+	if an, ok := j2.Lookup("com.a"); !ok || !reflect.DeepEqual(an, a1) {
+		t.Errorf("com.a = %+v, %v", an, ok)
+	}
+	if an, ok := j2.Lookup("com.b"); !ok || !an.Broken {
+		t.Errorf("com.b = %+v, %v", an, ok)
+	}
+	pkgs := j2.Packages()
+	sort.Strings(pkgs)
+	if !reflect.DeepEqual(pkgs, []string{"com.a", "com.b"}) {
+		t.Errorf("Packages = %v", pkgs)
+	}
+}
+
+func TestJournalBindRefusesDifferentKey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Bind("cfg-1"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := j2.Bind("cfg-2"); err == nil {
+		t.Fatal("journal rebound across configurations")
+	}
+}
+
+func TestJournalToleratesPartialTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	content := `{"v":1,"key":"cfg"}` + "\n" +
+		`{"pkg":"com.done","an":{"UsesWebView":true,"UsesCT":false,"Methods":null,"MethodsViaSDK":null,"WebViewSDKs":null,"CTSDKs":null,"Subclasses":null,"UnlabeledWebViewPackages":0}}` + "\n" +
+		`{"pkg":"com.cut","an":{"UsesWebV` // killed mid-append
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("partial trailing line rejected: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (the torn entry must not count)", j.Len())
+	}
+	if _, ok := j.Lookup("com.cut"); ok {
+		t.Error("torn entry was loaded")
+	}
+	// The torn entry's package can be re-recorded after resuming.
+	if err := j.Bind("cfg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("com.cut", Analysis{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRejectsGarbageInTheMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	content := `{"v":1,"key":"cfg"}` + "\n" +
+		"this is not json\n" +
+		`{"pkg":"com.a","an":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}
+
+func TestJournalRejectsBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j")
+	// A file whose first line is an entry, not a header: refuse it rather
+	// than replaying entries of unknown provenance. Two lines, so the
+	// first is judged strictly.
+	content := `{"pkg":"com.a","an":{}}` + "\n" + `{"pkg":"com.b","an":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("err = %v, want a bad-header complaint", err)
+	}
+}

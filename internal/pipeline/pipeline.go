@@ -19,6 +19,15 @@
 // an incremental snapshot re-analyse only changed APKs. Run instruments
 // itself via Stats (per-stage wall time, cache traffic, peak in-flight
 // bytes) threaded into the Result.
+//
+// At corpus scale transient failures are the norm, so the pipeline
+// degrades gracefully instead of dying on the first error: network edges
+// are wrapped in retries with backoff (Config.Retry), a package whose
+// retries are exhausted is quarantined into Result.Quarantined while the
+// run continues, and an error budget (Config.MaxFailureFrac) bounds how
+// much degradation is acceptable before the run hard-aborts. An optional
+// JSONL journal (Config.Journal) checkpoints completed packages so an
+// interrupted run resumes without re-downloading finished work.
 package pipeline
 
 import (
@@ -39,6 +48,7 @@ import (
 	"repro/internal/javaparser"
 	"repro/internal/playstore"
 	"repro/internal/resultcache"
+	"repro/internal/retry"
 	"repro/internal/sdkindex"
 	"repro/internal/webviewlint"
 
@@ -75,6 +85,22 @@ type Config struct {
 	// cached results while leaving pure-analysis caches of lint-off runs
 	// untouched.
 	Lint *webviewlint.Analyzer
+	// Retry, when non-nil, wraps the snapshot listing, metadata fetches
+	// and APK downloads in retries with backoff; retryable failures are
+	// re-attempted before a package is quarantined.
+	Retry *retry.Policy
+	// MaxFailureFrac is the error budget: the fraction of snapshot
+	// packages that may be quarantined (after retries) before the run
+	// hard-aborts. 0 — the default — keeps the historical behaviour of
+	// failing the run on the first unrecovered error; a corpus-scale run
+	// might set 0.01 to tolerate up to 1% casualties and still produce a
+	// complete, quantified result.
+	MaxFailureFrac float64
+	// Journal, when non-nil, checkpoints each completed package to a JSONL
+	// file; a resumed run over the same journal skips their download and
+	// analysis entirely. The journal is bound to the index/lint
+	// fingerprint at Run start and refuses to resume across config changes.
+	Journal *Journal
 }
 
 // Pipeline wires the stages together.
@@ -202,11 +228,24 @@ type Funnel struct {
 	Analyzed int // successfully analysed
 }
 
+// Quarantine records one package the pipeline gave up on: the stage that
+// failed and the final error after retries. Quarantined packages are
+// excluded from Apps and the Analyzed funnel count but do not abort the
+// run while the error budget (Config.MaxFailureFrac) holds.
+type Quarantine struct {
+	Package string
+	Stage   string // "metadata", "download" or "analyze"
+	Err     string
+}
+
 // Result is the aggregate outcome.
 type Result struct {
 	Funnel Funnel
 	Apps   []AppResult // analysed apps (excluding broken), sorted by package
-	Stats  Stats       // run instrumentation (stage timings, cache traffic)
+	// Quarantined lists the packages abandoned after retries, sorted by
+	// (package, stage); empty on a clean run.
+	Quarantined []Quarantine
+	Stats       Stats // run instrumentation (stage timings, cache traffic)
 }
 
 // Run executes the full pipeline as overlapping streaming stages.
@@ -215,9 +254,21 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if p.cfg.Journal != nil {
+		if err := p.cfg.Journal.Bind(p.configKey()); err != nil {
+			return nil, err
+		}
+	}
+	var retriesStart int64
+	if p.cfg.Retry != nil && p.cfg.Retry.Metrics != nil {
+		retriesStart = p.cfg.Retry.Metrics.Retries.Load()
+	}
+
 	res := &Result{}
 	listStart := time.Now()
-	pkgs, err := p.repo.List(runCtx)
+	pkgs, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) ([]string, error) {
+		return p.repo.List(ctx)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: list: %w", err)
 	}
@@ -247,6 +298,43 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			cancel()
 		}
 		errMu.Unlock()
+	}
+
+	// quarantine abandons one package instead of the whole run: the
+	// failure is recorded in the Result and the stage moves on — unless
+	// the error budget is spent, in which case the run degrades to the
+	// historical abort-on-error behaviour. The budget is a fraction of
+	// snapshot packages; the default 0 aborts on the first casualty.
+	budget := int(p.cfg.MaxFailureFrac * float64(res.Funnel.Snapshot))
+	quarantine := func(stage, pkg string, qerr error) {
+		mu.Lock()
+		res.Quarantined = append(res.Quarantined, Quarantine{Package: pkg, Stage: stage, Err: qerr.Error()})
+		n := len(res.Quarantined)
+		switch stage {
+		case "metadata":
+			res.Stats.Metadata.Quarantined++
+		case "download":
+			res.Stats.Download.Quarantined++
+		case "analyze":
+			res.Stats.Analyze.Quarantined++
+		}
+		mu.Unlock()
+		if n > budget {
+			fail(stage, fmt.Errorf("error budget exceeded (%d quarantined > budget %d of %d packages): %w",
+				n, budget, res.Funnel.Snapshot, qerr))
+		}
+	}
+
+	// record checkpoints one completed package into the journal.
+	record := func(pkg string, an *Analysis) {
+		if p.cfg.Journal == nil {
+			return
+		}
+		if err := p.cfg.Journal.Record(pkg, *an); err != nil {
+			mu.Lock()
+			res.Stats.JournalErrors++
+			mu.Unlock()
+		}
 	}
 
 	streamStart := time.Now()
@@ -318,15 +406,23 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			}()
 			for chunk := range pkgCh {
 				for _, pkg := range chunk {
-					md, err := p.meta.Metadata(runCtx, pkg)
+					md, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) (playstore.Metadata, error) {
+						md, err := p.meta.Metadata(ctx, pkg)
+						if err != nil && errors.Is(err, playstore.ErrNotFound) {
+							// Absence is a fact, not a fault: never retried.
+							return md, retry.Permanent(err)
+						}
+						return md, err
+					})
 					if err != nil {
 						if errors.Is(err, playstore.ErrNotFound) {
 							continue
 						}
-						if runCtx.Err() == nil {
-							fail("metadata", err)
+						if runCtx.Err() != nil {
+							return
 						}
-						return
+						quarantine("metadata", pkg, err)
+						continue
 					}
 					if md.Downloads < p.cfg.MinDownloads {
 						onPlay++
@@ -359,18 +455,37 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer dlWG.Done()
 			for sel := range selCh {
+				// A journaled package already completed in an earlier
+				// (interrupted) run: replay its analysis without spending a
+				// download or an analysis slot on it.
+				if p.cfg.Journal != nil {
+					if an, ok := p.cfg.Journal.Lookup(sel.pkg); ok {
+						mu.Lock()
+						res.Stats.JournalSkips++
+						if an.Broken {
+							broken++
+						} else {
+							apps = append(apps, appResult(sel.md, &an))
+						}
+						mu.Unlock()
+						continue
+					}
+				}
 				select {
 				case sem <- struct{}{}:
 				case <-runCtx.Done():
 					return
 				}
-				img, err := p.repo.Download(runCtx, sel.pkg)
+				img, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) ([]byte, error) {
+					return p.repo.Download(ctx, sel.pkg)
+				})
 				if err != nil {
 					<-sem
-					if runCtx.Err() == nil {
-						fail("download", err)
+					if runCtx.Err() != nil {
+						return
 					}
-					return
+					quarantine("download", sel.pkg, err)
+					continue
 				}
 				mu.Lock()
 				res.Stats.Download.In++
@@ -393,6 +508,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 							apps = append(apps, appResult(sel.md, &an))
 						}
 						mu.Unlock()
+						record(sel.pkg, &an)
 						<-sem
 						continue
 					}
@@ -435,10 +551,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				mu.Unlock()
 				<-sem
 				if err != nil {
-					if runCtx.Err() == nil {
-						fail("analyze", err)
+					if runCtx.Err() != nil {
+						return
 					}
-					return
+					quarantine("analyze", t.md.Package, err)
+					continue
 				}
 				if linting && !an.Broken {
 					mu.Lock()
@@ -454,6 +571,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				if p.cfg.Cache != nil {
 					p.cfg.Cache.Put(t.key, *an)
 				}
+				record(t.md.Package, an)
 				mu.Lock()
 				if an.Broken {
 					broken++
@@ -487,6 +605,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					if p.cfg.Cache != nil {
 						p.cfg.Cache.Put(t.key, *t.an)
 					}
+					record(t.md.Package, t.an)
 					mu.Lock()
 					res.Stats.Lint.In++
 					res.Stats.Lint.Out++
@@ -535,7 +654,29 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	sort.Slice(apps, func(i, j int) bool { return apps[i].Package < apps[j].Package })
 	res.Apps = apps
 	res.Funnel.Analyzed = len(apps)
+	sort.Slice(res.Quarantined, func(i, j int) bool {
+		a, b := res.Quarantined[i], res.Quarantined[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Stage < b.Stage
+	})
+	if p.cfg.Retry != nil && p.cfg.Retry.Metrics != nil {
+		res.Stats.Retries = p.cfg.Retry.Metrics.Retries.Load() - retriesStart
+	}
 	return res, nil
+}
+
+// configKey fingerprints the analysis configuration (SDK index and,
+// when linting, the rule set) — the part of the cache key that does not
+// depend on APK content. The journal binds to it so resumed entries are
+// only replayed under the configuration that produced them.
+func (p *Pipeline) configKey() string {
+	key := p.indexFP
+	if p.lintFP != "" {
+		key += "@lint:" + p.lintFP
+	}
+	return key
 }
 
 // contentKey derives the cache key for an APK image: the payload digest
@@ -553,11 +694,7 @@ func (p *Pipeline) contentKey(img []byte) string {
 		sum := sha256.Sum256(img)
 		d = "raw-" + hex.EncodeToString(sum[:])
 	}
-	key := d + "@" + p.indexFP
-	if p.lintFP != "" {
-		key += "@lint:" + p.lintFP
-	}
-	return key
+	return d + "@" + p.configKey()
 }
 
 // scratch holds per-APK temporaries reused across analyses via a pool.

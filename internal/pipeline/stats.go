@@ -16,6 +16,9 @@ type StageStats struct {
 	// (or, for Analyze, completed successfully).
 	In  int
 	Out int
+	// Quarantined counts packages this stage abandoned after retries;
+	// they appear in Result.Quarantined rather than aborting the run.
+	Quarantined int
 }
 
 // Stats instruments a pipeline run: per-stage wall time and item counts,
@@ -48,10 +51,25 @@ type Stats struct {
 	CacheHits   int
 	CacheMisses int
 
+	// Retries counts backoff re-attempts performed during this run by the
+	// configured retry policy (zero when Config.Retry or its Metrics are
+	// unset).
+	Retries int64
+	// JournalSkips counts packages replayed from the checkpoint journal
+	// instead of being downloaded and analysed; JournalErrors counts
+	// best-effort journal appends that failed (the run continues).
+	JournalSkips  int
+	JournalErrors int
+
 	// PeakInFlightBytes is the high-water mark of APK image bytes held by
 	// the download and analyze stages simultaneously — bounded by the
 	// Workers largest images, not the corpus size.
 	PeakInFlightBytes int64
+}
+
+// QuarantinedTotal sums the per-stage quarantine counters.
+func (s *Stats) QuarantinedTotal() int {
+	return s.Metadata.Quarantined + s.Download.Quarantined + s.Analyze.Quarantined
 }
 
 // CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -67,7 +85,11 @@ func (s *Stats) CacheHitRate() float64 {
 func (s *Stats) String() string {
 	var sb strings.Builder
 	row := func(name string, st StageStats) {
-		fmt.Fprintf(&sb, "  %-8s wall=%-12v in=%-6d out=%d\n", name, st.Wall.Round(time.Microsecond), st.In, st.Out)
+		fmt.Fprintf(&sb, "  %-8s wall=%-12v in=%-6d out=%d", name, st.Wall.Round(time.Microsecond), st.In, st.Out)
+		if st.Quarantined > 0 {
+			fmt.Fprintf(&sb, " quarantined=%d", st.Quarantined)
+		}
+		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "pipeline stats (total %v):\n", s.Total.Round(time.Microsecond))
 	row("list", s.List)
@@ -80,6 +102,10 @@ func (s *Stats) String() string {
 	}
 	fmt.Fprintf(&sb, "  cache    hits=%d misses=%d rate=%.1f%%\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())
+	if s.Retries > 0 || s.QuarantinedTotal() > 0 || s.JournalSkips > 0 || s.JournalErrors > 0 {
+		fmt.Fprintf(&sb, "  faults   retries=%d quarantined=%d journal-skips=%d journal-errors=%d\n",
+			s.Retries, s.QuarantinedTotal(), s.JournalSkips, s.JournalErrors)
+	}
 	fmt.Fprintf(&sb, "  memory   peak in-flight APK bytes=%d\n", s.PeakInFlightBytes)
 	return sb.String()
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/retry"
 )
 
 // Metadata is the Play Store listing data the pipeline filters on.
@@ -78,8 +79,9 @@ func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
 
 // Client fetches metadata from a Server (or anything with its API).
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *retry.Policy
 }
 
 // NewClient returns a client for the service at baseURL.
@@ -90,28 +92,49 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
 }
 
+// WithRetry wraps every Metadata call in the given retry policy (nil
+// disables retrying) and returns the client. Not-found responses are
+// classified permanent — an app's absence is an answer, not a failure —
+// so they are never retried and never trip a circuit breaker into
+// mistaking 2.45M honest 404s for an outage.
+func (c *Client) WithRetry(p *retry.Policy) *Client {
+	c.retry = p
+	return c
+}
+
 // Metadata fetches one app's listing. Returns ErrNotFound for apps absent
-// from the store.
+// from the store. Server errors and truncated responses are retryable;
+// with a WithRetry policy they are re-attempted with backoff.
 func (c *Client) Metadata(ctx context.Context, pkg string) (Metadata, error) {
+	return retry.Do(ctx, c.retry, func(ctx context.Context) (Metadata, error) {
+		return c.metadata(ctx, pkg)
+	})
+}
+
+func (c *Client) metadata(ctx context.Context, pkg string) (Metadata, error) {
 	var md Metadata
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/apps/"+pkg, nil)
 	if err != nil {
-		return md, fmt.Errorf("playstore: %w", err)
+		return md, retry.Permanent(fmt.Errorf("playstore: %w", err))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return md, fmt.Errorf("playstore: %w", err)
+		return md, retry.Transient(fmt.Errorf("playstore: %w", err))
 	}
 	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
+	switch {
+	case resp.StatusCode == http.StatusOK:
 		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&md); err != nil {
-			return md, fmt.Errorf("playstore: decode %s: %w", pkg, err)
+			// A decode failure on a 200 is a truncated or garbled body —
+			// the transfer failed, not the request.
+			return md, retry.Transient(fmt.Errorf("playstore: decode %s: %w", pkg, err))
 		}
 		return md, nil
-	case http.StatusNotFound:
-		return md, fmt.Errorf("%w: %s", ErrNotFound, pkg)
+	case resp.StatusCode == http.StatusNotFound:
+		return md, retry.Permanent(fmt.Errorf("%w: %s", ErrNotFound, pkg))
+	case resp.StatusCode >= 500:
+		return md, retry.Transient(fmt.Errorf("playstore: %s: unexpected status %s", pkg, resp.Status))
 	default:
-		return md, fmt.Errorf("playstore: %s: unexpected status %s", pkg, resp.Status)
+		return md, retry.Permanent(fmt.Errorf("playstore: %s: unexpected status %s", pkg, resp.Status))
 	}
 }

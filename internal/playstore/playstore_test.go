@@ -3,10 +3,14 @@ package playstore
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
+	"repro/internal/retry"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *corpus.Corpus) {
@@ -75,5 +79,77 @@ func TestMetadataBadBase(t *testing.T) {
 	client := NewClient("http://127.0.0.1:1", nil)
 	if _, err := client.Metadata(context.Background(), "x"); err == nil {
 		t.Error("unreachable server did not fail")
+	}
+}
+
+// flakyStore 503s the first n requests per path, then proxies to real.
+type flakyStore struct {
+	mu       sync.Mutex
+	failures map[string]int
+	n        int
+	real     http.Handler
+}
+
+func (h *flakyStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.failures[r.URL.Path]++
+	misbehave := h.failures[r.URL.Path] <= h.n
+	h.mu.Unlock()
+	if misbehave {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	h.real.ServeHTTP(w, r)
+}
+
+func TestMetadataServerErrorRetried(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Seed: 1, Scale: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &flakyStore{failures: make(map[string]int), n: 2, real: NewServer(c).Handler()}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var onPlay string
+	for _, app := range c.Apps {
+		if app.OnPlayStore {
+			onPlay = app.Package
+			break
+		}
+	}
+	m := &retry.Metrics{}
+	client := NewClient(srv.URL, srv.Client()).WithRetry(&retry.Policy{
+		MaxAttempts: 4, Seed: 1, Metrics: m,
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	md, err := client.Metadata(context.Background(), onPlay)
+	if err != nil {
+		t.Fatalf("Metadata did not outlast 2 consecutive 503s: %v", err)
+	}
+	if md.Package != onPlay {
+		t.Errorf("md.Package = %q, want %q", md.Package, onPlay)
+	}
+	if m.Retries.Load() != 2 {
+		t.Errorf("retries = %d, want 2", m.Retries.Load())
+	}
+}
+
+func TestMetadataNotFoundIsNotRetried(t *testing.T) {
+	srv, _ := testServer(t)
+	m := &retry.Metrics{}
+	client := NewClient(srv.URL, srv.Client()).WithRetry(&retry.Policy{
+		MaxAttempts: 5, Seed: 1, Metrics: m,
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	})
+	_, err := client.Metadata(context.Background(), "com.definitely.absent")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if m.Retries.Load() != 0 {
+		t.Errorf("a 404 was retried %d times; absence is an answer", m.Retries.Load())
+	}
+	if m.Attempts.Load() != 1 {
+		t.Errorf("attempts = %d, want 1", m.Attempts.Load())
 	}
 }

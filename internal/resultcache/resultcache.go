@@ -27,6 +27,15 @@ type BlobStore interface {
 	Store(key string, blob []byte) error
 }
 
+// BlobDeleter is implemented by stores that can remove a blob. When the
+// persistent tier returns a corrupt or unreadable blob, the cache purges
+// it through this interface so the entry becomes an honest miss — the
+// value is recomputed and re-stored — instead of a permanent error.
+type BlobDeleter interface {
+	// Delete removes the blob for key; deleting an absent key is a no-op.
+	Delete(key string) error
+}
+
 // Codec converts cached values to and from persistent blobs.
 type Codec[V any] interface {
 	Marshal(v V) ([]byte, error)
@@ -54,6 +63,7 @@ type Stats struct {
 	StoreHits uint64 // answered by the persistent tier (and promoted)
 	Evictions uint64 // LRU entries dropped to respect MaxEntries
 	Errors    uint64 // persistent-tier failures (treated as misses)
+	Purged    uint64 // corrupt/undecodable persistent blobs deleted on read
 	Entries   int    // current LRU population
 }
 
@@ -130,7 +140,9 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	// not serialise on it.
 	blob, ok, err := store.Load(key)
 	if err != nil {
-		c.fault()
+		// An unreadable blob must not keep failing every future lookup:
+		// purge it so the recomputed value can be stored cleanly.
+		c.purge(store, key)
 		return zero, false
 	}
 	if !ok {
@@ -139,7 +151,8 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	}
 	v, err := c.codec.Unmarshal(blob)
 	if err != nil {
-		c.fault()
+		// Corrupt on disk — same treatment: a miss, not a poison pill.
+		c.purge(store, key)
 		return zero, false
 	}
 	c.mu.Lock()
@@ -195,6 +208,26 @@ func (c *Cache[V]) fault() {
 	c.mu.Lock()
 	c.stats.Misses++
 	c.stats.Errors++
+	c.mu.Unlock()
+}
+
+// purge counts a persistent-tier fault and, when the store supports
+// deletion, removes the offending blob so the slot is clean for the
+// recompute's Put.
+func (c *Cache[V]) purge(store BlobStore, key string) {
+	c.fault()
+	d, ok := store.(BlobDeleter)
+	if !ok {
+		return
+	}
+	if err := d.Delete(key); err != nil {
+		c.mu.Lock()
+		c.stats.Errors++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	c.stats.Purged++
 	c.mu.Unlock()
 }
 

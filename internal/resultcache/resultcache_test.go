@@ -3,6 +3,7 @@ package resultcache
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 )
@@ -171,5 +172,142 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if c.Len() != 32 {
 		t.Errorf("len = %d, want bound 32", c.Len())
+	}
+}
+
+func TestCorruptDirStoreBlobIsPurgedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewPersistent[result](8, store, nil)
+	warm.Put("k", result{Pkg: "com.app", Methods: []string{"loadUrl"}})
+
+	// Smash the on-disk blob the way a crashed writer or bit rot would.
+	if err := os.WriteFile(store.path("k"), []byte(`{"Pkg": truncat`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewPersistent[result](8, store, nil)
+	if _, ok := cold.Get("k"); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	st := cold.Stats()
+	if st.Purged != 1 {
+		t.Errorf("Purged = %d, want 1", st.Purged)
+	}
+	if _, err := os.Stat(store.path("k")); !os.IsNotExist(err) {
+		t.Errorf("corrupt blob still on disk (stat err %v)", err)
+	}
+	// The recompute path stores cleanly and the next lookup hits.
+	cold.Put("k", result{Pkg: "com.app", Methods: []string{"loadUrl"}})
+	third := NewPersistent[result](8, store, nil)
+	if v, ok := third.Get("k"); !ok || v.Pkg != "com.app" {
+		t.Errorf("recomputed value not durable: %+v, %v", v, ok)
+	}
+}
+
+func TestUnreadableBlobIsPurged(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewPersistent[result](8, store, nil)
+	warm.Put("k", result{Pkg: "com.app"})
+	// A directory where the blob file should be makes ReadFile error
+	// without os.IsNotExist, exercising the Load-error purge path.
+	if err := os.Remove(store.path("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(store.path("k"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewPersistent[result](8, store, nil)
+	if _, ok := cold.Get("k"); ok {
+		t.Fatal("unreadable blob served as a hit")
+	}
+	st := cold.Stats()
+	if st.Errors == 0 {
+		t.Error("Load error not counted")
+	}
+	if st.Purged != 1 {
+		t.Errorf("Purged = %d, want 1", st.Purged)
+	}
+	cold.Put("k", result{Pkg: "com.app"})
+	if v, ok := NewPersistent[result](8, store, nil).Get("k"); !ok || v.Pkg != "com.app" {
+		t.Errorf("slot not reusable after purge: %+v, %v", v, ok)
+	}
+}
+
+// deleterStore records Delete calls and can fail them.
+type deleterStore struct {
+	MemStore
+	deleted   []string
+	deleteErr error
+}
+
+func (s *deleterStore) Delete(key string) error {
+	if s.deleteErr != nil {
+		return s.deleteErr
+	}
+	s.deleted = append(s.deleted, key)
+	return s.MemStore.Delete(key)
+}
+
+func TestCorruptMemBlobPurgeUsesDeleter(t *testing.T) {
+	store := &deleterStore{MemStore: MemStore{m: map[string][]byte{"k": []byte("not json")}}}
+	c := NewPersistent[result](8, store, nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("garbage blob served as a hit")
+	}
+	if len(store.deleted) != 1 || store.deleted[0] != "k" {
+		t.Errorf("deleted = %v, want [k]", store.deleted)
+	}
+	if st := c.Stats(); st.Purged != 1 {
+		t.Errorf("Purged = %d, want 1", st.Purged)
+	}
+}
+
+func TestPurgeDeleteFailureCountsError(t *testing.T) {
+	store := &deleterStore{
+		MemStore:  MemStore{m: map[string][]byte{"k": []byte("not json")}},
+		deleteErr: errors.New("store is read-only"),
+	}
+	c := NewPersistent[result](8, store, nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("garbage blob served as a hit")
+	}
+	st := c.Stats()
+	if st.Purged != 0 {
+		t.Errorf("Purged = %d, want 0 when Delete fails", st.Purged)
+	}
+	if st.Errors < 2 {
+		t.Errorf("Errors = %d, want >= 2 (load fault + delete failure)", st.Errors)
+	}
+}
+
+func TestMemStoreDelete(t *testing.T) {
+	s := NewMemStore()
+	s.Store("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Load("k"); ok {
+		t.Error("blob survived Delete")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Errorf("deleting an absent key errored: %v", err)
+	}
+}
+
+func TestDirStoreDeleteAbsentKey(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Delete("never-stored"); err != nil {
+		t.Errorf("deleting an absent key errored: %v", err)
 	}
 }

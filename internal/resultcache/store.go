@@ -34,6 +34,14 @@ func (s *MemStore) Store(key string, blob []byte) error {
 	return nil
 }
 
+// Delete implements BlobDeleter.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
 // Len reports the number of stored blobs.
 func (s *MemStore) Len() int {
 	s.mu.RLock()
@@ -83,6 +91,14 @@ func (s *DirStore) Load(key string) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("resultcache: %w", err)
 	}
 	return b, true, nil
+}
+
+// Delete implements BlobDeleter; an absent key is not an error.
+func (s *DirStore) Delete(key string) error {
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
 }
 
 // Store implements BlobStore. The blob is written to a temp file and

@@ -1,0 +1,94 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned (wrapped) by Breaker.Allow while the breaker is
+// open. It is marked permanent: retrying into an open breaker is exactly
+// what the breaker exists to prevent.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a per-endpoint circuit breaker. After Threshold consecutive
+// failures it opens and rejects calls for Cooldown; the first call after
+// the cooldown is a probe — its success closes the breaker, its failure
+// re-opens it for another cooldown. A Breaker is safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	fails     int
+	openUntil time.Time
+	opens     int64
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// failures and cooling down for the given duration. threshold <= 0
+// defaults to 5, cooldown <= 0 to 30s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// WithClock replaces the breaker's clock (for deterministic tests) and
+// returns the breaker.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+	return b
+}
+
+// Allow reports whether a call may proceed; while open it returns an
+// error wrapping ErrOpen. After the cooldown elapses the next call is
+// allowed through as a probe.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openUntil.IsZero() && b.now().Before(b.openUntil) {
+		return Permanent(fmt.Errorf("%w (until %s)", ErrOpen, b.openUntil.Format(time.RFC3339)))
+	}
+	return nil
+}
+
+// Record feeds a call outcome into the breaker. Success closes it and
+// resets the failure streak; failure extends the streak and trips the
+// breaker at the threshold. Context cancellations are ignored — they say
+// nothing about endpoint health.
+func (b *Breaker) Record(err error) {
+	if err == nil {
+		b.mu.Lock()
+		b.fails = 0
+		b.openUntil = time.Time{}
+		b.mu.Unlock()
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.opens++
+	}
+	b.mu.Unlock()
+}
+
+// Opens reports how many times the breaker has tripped.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,116 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func failN(b *Breaker, n int, err error) {
+	for i := 0; i < n; i++ {
+		b.Record(err)
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Minute).WithClock(clk.now)
+	boom := errors.New("boom")
+	failN(b, 2, boom)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("breaker open before threshold: %v", err)
+	}
+	b.Record(boom)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow = %v, want ErrOpen", err)
+	}
+	if IsRetryable(b.Allow()) {
+		t.Error("breaker-open error must be permanent")
+	}
+	if b.Opens() != 1 {
+		t.Errorf("opens = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(2, time.Minute).WithClock(clk.now)
+	boom := errors.New("boom")
+	failN(b, 2, boom)
+	if b.Allow() == nil {
+		t.Fatal("breaker not open")
+	}
+	clk.advance(61 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not allowed after cooldown: %v", err)
+	}
+	// Failed probe re-opens immediately.
+	b.Record(boom)
+	if b.Allow() == nil {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	// Successful probe closes it.
+	clk.advance(61 * time.Second)
+	b.Record(nil)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("breaker still open after successful probe: %v", err)
+	}
+}
+
+func TestBreakerIgnoresContextErrors(t *testing.T) {
+	b := NewBreaker(1, time.Minute)
+	b.Record(context.Canceled)
+	b.Record(context.DeadlineExceeded)
+	if b.Allow() != nil {
+		t.Error("context errors tripped the breaker")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := NewBreaker(3, time.Minute)
+	boom := errors.New("boom")
+	failN(b, 2, boom)
+	b.Record(nil)
+	failN(b, 2, boom)
+	if b.Allow() != nil {
+		t.Error("streak not reset by success")
+	}
+}
+
+func TestDoWithOpenBreakerFailsFast(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute).WithClock(clk.now)
+	m := &Metrics{}
+	p := &Policy{MaxAttempts: 3, Sleep: func(ctx context.Context, d time.Duration) error { return nil }, Breaker: b, Metrics: m}
+	calls := 0
+	// First Do exhausts the breaker (threshold 1 trips on first failure;
+	// later attempts inside the same Do are rejected fast).
+	_, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		return 0, Transient(errors.New("down"))
+	})
+	if err == nil {
+		t.Fatal("Do against tripped breaker succeeded")
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (breaker rejects retries)", calls)
+	}
+	// Subsequent Do calls never reach the endpoint.
+	_, err = Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		return 0, nil
+	})
+	if !errors.Is(err, ErrOpen) || calls != 1 {
+		t.Errorf("err = %v, calls = %d; want fast ErrOpen rejection", err, calls)
+	}
+	if m.BreakerRejects.Load() == 0 {
+		t.Error("breaker rejects not counted")
+	}
+}
