@@ -1,13 +1,21 @@
 // Command crawlsites reproduces the paper's 100-top-site crawl (§3.2.2,
-// Figure 6): it boots a device whose internet serves synthetic CrUX top
-// sites, installs the WebView-IAB apps plus the System WebView Shell
-// baseline, starts an ADB server, and drives the crawl — launch, insert
-// URL, tap, scroll, wait, collect NetLog, purge — printing the Figure 6
-// endpoint distributions for LinkedIn and Kik.
+// Figure 6): it boots a fleet of devices whose shared internet serves
+// synthetic CrUX top sites, installs the WebView-IAB apps plus the System
+// WebView Shell baseline on every device, starts one ADB server per
+// device, and drives the crawl — launch, insert URL, tap, scroll, wait,
+// collect NetLog, purge — printing the Figure 6 endpoint distributions for
+// LinkedIn and Kik.
 //
 // Usage:
 //
-//	crawlsites [-sites N] [-ratelimit N]
+//	crawlsites [-sites N] [-ratelimit N] [-workers N] [-devices N]
+//	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// The crawl schedules one ordered lane per app; -workers bounds how many
+// visits are in flight at once across lanes and -devices splits the lanes
+// over that many simulated handsets. The defaults (1/1) reproduce the
+// paper's strictly sequential single-device crawl; any parallel setting
+// produces byte-identical report tables, just faster.
 package main
 
 import (
@@ -21,24 +29,39 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/crawler"
 	"repro/internal/crux"
+	"repro/internal/device"
+	"repro/internal/internet"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
 func main() {
 	sites := flag.Int("sites", 100, "number of top sites to crawl")
 	rateLimit := flag.Int("ratelimit", 40, "clicks before an account restriction (0 = off)")
+	workers := flag.Int("workers", 1, "max visits in flight across app lanes (1 = sequential)")
+	devices := flag.Int("devices", 1, "simulated handsets to split app lanes over")
+	var prof profiling.Flags
+	prof.Register(nil)
 	flag.Parse()
-	if err := run(*sites, *rateLimit); err != nil {
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := run(*sites, *rateLimit, *workers, *devices)
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(nSites, rateLimit int) error {
-	study := core.NewDynamicStudy()
+func run(nSites, rateLimit, workers, devices int) error {
+	net := internet.New()
 	siteList := crux.TopSites(nSites)
-	crux.RegisterAll(study.Net, siteList)
+	crux.RegisterAll(net, siteList)
+	fleet := device.NewFleet(net, devices)
 
-	// Install the ten IAB apps and the baseline shell.
+	// Install the ten IAB apps and the baseline shell on every device.
 	var apps []string
 	ownDomains := map[string][]string{
 		"com.linkedin.android": {"linkedin.com", "licdn.com"},
@@ -50,35 +73,40 @@ func run(nSites, rateLimit int) error {
 		}
 		spec := &corpus.Spec{Package: n.Package, Title: n.Title, Downloads: n.Downloads,
 			OnPlayStore: true, Dynamic: n.Dynamic}
-		if _, err := study.Device.Install(spec); err != nil {
+		if err := fleet.Install(spec); err != nil {
 			return err
 		}
 		apps = append(apps, n.Package)
 	}
 	baseline := core.BaselineShellSpec()
-	if _, err := study.Device.Install(baseline); err != nil {
+	if err := fleet.Install(baseline); err != nil {
 		return err
 	}
 	apps = append(apps, baseline.Package)
 
-	srv := adb.NewServer(study.Device)
+	farmCfg := adb.FarmConfig{}
 	if rateLimit > 0 {
 		// The paper's Facebook account restrictions.
-		srv.RateLimits = map[string]int{"com.facebook.katana": rateLimit}
+		farmCfg.RateLimits = map[string]int{"com.facebook.katana": rateLimit}
 	}
-	addr, err := srv.Listen("127.0.0.1:0")
+	farm, err := adb.StartFarm(fleet.Devices, farmCfg)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	client, err := adb.Dial(addr)
-	if err != nil {
-		return err
-	}
-	defer client.Close()
+	defer farm.Close()
 
-	fmt.Fprintf(os.Stderr, "crawling %d sites with %d apps over adb %s...\n", nSites, len(apps), addr)
-	cr := crawler.New(client, crawler.Config{Apps: apps, Sites: siteList, OwnDomains: ownDomains})
+	// One dedicated connection per app lane: lanes sharing a device can
+	// overlap their visits instead of serializing on one client.
+	clients, err := farm.LaneClients(len(apps))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "crawling %d sites with %d apps over %d device(s), %d worker(s)...\n",
+		nSites, len(apps), farm.Size(), workers)
+	cr := crawler.NewFleet(clients, crawler.Config{
+		Apps: apps, Sites: siteList, OwnDomains: ownDomains, Workers: workers,
+	})
 	res, err := cr.Run()
 	if err != nil {
 		return err

@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	dynprobe [-scale N] [-seed N] [-top N]
+//	dynprobe [-scale N] [-seed N] [-top N] [-workers N] [-devices N]
+//	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// -devices boots that many simulated handsets on one internet and pins
+// app probes to them round-robin; -workers bounds how many probes run at
+// once. Outcomes merge in app order, so the tables are identical to the
+// sequential (1/1) defaults.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -26,23 +33,34 @@ func main() {
 	scale := flag.Int("scale", 100, "corpus population divisor (must keep >= top apps)")
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	top := flag.Int("top", 1000, "number of top apps to classify")
+	workers := flag.Int("workers", 1, "max app probes in flight (1 = sequential)")
+	devices := flag.Int("devices", 1, "simulated handsets to pin app probes to")
+	var prof profiling.Flags
+	prof.Register(nil)
 	flag.Parse()
-
-	if err := run(*scale, *seed, *top); err != nil {
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := run(*scale, *seed, *top, *workers, *devices)
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scale int, seed int64, top int) error {
+func run(scale int, seed int64, top, workers, devices int) error {
 	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", seed, scale)
 	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
 	if err != nil {
 		return err
 	}
 	specs := c.Top(top)
-	fmt.Fprintf(os.Stderr, "classifying %d top apps on the device...\n", len(specs))
+	fmt.Fprintf(os.Stderr, "classifying %d top apps on %d device(s), %d worker(s)...\n",
+		len(specs), devices, workers)
 
-	study := core.NewDynamicStudy()
+	study := core.NewDynamicStudyFleet(devices, workers)
 	ctx := context.Background()
 	t6, err := study.ClassifyTopApps(ctx, specs)
 	if err != nil {

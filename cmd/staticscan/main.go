@@ -11,6 +11,7 @@
 //	           [-lint] [-lint-rules LIST] [-lint-json FILE]
 //	           [-retries N] [-max-failure-frac F] [-faults SPEC]
 //	           [-journal FILE] [-resume]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
@@ -60,6 +61,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/pipeline"
 	"repro/internal/playstore"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/resultcache"
 	"repro/internal/retry"
@@ -80,7 +82,17 @@ func main() {
 	faultsSpec := flag.String("faults", "", "inject deterministic faults, e.g. \"seed=7,err=0.1,lat=1ms\" (testing)")
 	journalPath := flag.String("journal", "", "checkpoint completed packages to this JSONL file")
 	resume := flag.Bool("resume", false, "resume from an existing -journal file instead of refusing to overwrite it")
+	var prof profiling.Flags
+	prof.Register(nil)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	opts := options{
 		scale: *scale, seed: *seed, workers: *workers,

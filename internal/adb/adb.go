@@ -15,7 +15,8 @@
 //	wait <ms>                         crawl pacing (acknowledged no-op)
 //	netlog <context>                  hosts contacted by a browsing context
 //	netlog-external <context> <host>  hosts beyond the first party
-//	purge-netlog                      clear the device network log
+//	purge-netlog [context]            clear the device network log (or one
+//	                                  browsing context's slice of it)
 //	logcat-clear                      clear logcat
 //	force-stop <pkg>                  kill the app's sessions
 //	newaccount <pkg>                  replace the dummy account (rate limits)
@@ -29,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/device"
@@ -41,6 +43,12 @@ type Server struct {
 	// account" (the Facebook behaviour that limited the paper's crawl);
 	// zero means unlimited.
 	RateLimits map[string]int
+	// WaitScale makes `wait <ms>` sleep for ms×WaitScale of real time
+	// (0 keeps it an acknowledged no-op). The real crawl is dominated by
+	// settle/pause waits; a small scale lets benchmarks measure how lane
+	// parallelism overlaps them without sleeping for the paper's full 80
+	// seconds per visit.
+	WaitScale float64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -129,8 +137,12 @@ func (s *Server) dispatch(line string) string {
 		if len(args) != 1 {
 			return "ERR wait needs a duration"
 		}
-		if _, err := strconv.Atoi(args[0]); err != nil {
+		ms, err := strconv.Atoi(args[0])
+		if err != nil {
 			return "ERR bad duration"
+		}
+		if s.WaitScale > 0 {
+			time.Sleep(time.Duration(float64(ms) * s.WaitScale * float64(time.Millisecond)))
 		}
 		return "OK"
 	case "netlog":
@@ -144,7 +156,14 @@ func (s *Server) dispatch(line string) string {
 		}
 		return "OK " + strings.Join(s.Device.NetLog.HostsNotUnder(args[0], args[1]), ",")
 	case "purge-netlog":
-		s.Device.NetLog.Purge()
+		switch len(args) {
+		case 0:
+			s.Device.NetLog.Purge()
+		case 1:
+			s.Device.NetLog.PurgeContext(args[0])
+		default:
+			return "ERR purge-netlog takes at most one context"
+		}
 		return "OK"
 	case "logcat-clear":
 		s.Device.Logcat.Clear()

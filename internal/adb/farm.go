@@ -1,0 +1,104 @@
+package adb
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Farm exposes a fleet of devices over ADB: one Server and one connected
+// Client per device. The crawl scheduler pins each app lane to one client,
+// so visits on different devices proceed fully independently while lanes
+// sharing a device interleave over separate connections.
+type Farm struct {
+	Servers []*Server
+	Clients []*Client
+
+	// extra holds per-lane connections handed out by LaneClients, closed
+	// with the farm.
+	extra []*Client
+}
+
+// FarmConfig parameterises every server in a farm.
+type FarmConfig struct {
+	// RateLimits is applied to each server (per-device click budgets, as
+	// the platform enforces them per account).
+	RateLimits map[string]int
+	// WaitScale is applied to each server (see Server.WaitScale).
+	WaitScale float64
+}
+
+// StartFarm starts one server per device on loopback and dials a client to
+// each. On error, everything already started is torn down.
+func StartFarm(devs []*device.Device, cfg FarmConfig) (*Farm, error) {
+	f := &Farm{}
+	for i, dev := range devs {
+		srv := NewServer(dev)
+		srv.RateLimits = cfg.RateLimits
+		srv.WaitScale = cfg.WaitScale
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("adb: farm device %d: %w", i, err)
+		}
+		f.Servers = append(f.Servers, srv)
+		client, err := Dial(addr)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("adb: farm device %d: %w", i, err)
+		}
+		f.Clients = append(f.Clients, client)
+	}
+	return f, nil
+}
+
+// DialLane returns an extra connection to the i-th device (wrapping
+// around). Lanes each get their own connection even when they share a
+// device, so one lane's in-flight command never blocks another's.
+func (f *Farm) DialLane(i int) (*Client, error) {
+	srv := f.Servers[i%len(f.Servers)]
+	srv.mu.Lock()
+	ln := srv.ln
+	srv.mu.Unlock()
+	if ln == nil {
+		return nil, fmt.Errorf("adb: farm server %d not listening", i%len(f.Servers))
+	}
+	return Dial(ln.Addr().String())
+}
+
+// LaneClients returns n dedicated connections, lane i pinned to device
+// i mod Size. A client's command mutex spans the whole request/response
+// round trip (including server-side waits), so lanes sharing one client
+// would serialize their visits; dedicated connections let visits on the
+// same device overlap. The farm owns the connections and closes them.
+func (f *Farm) LaneClients(n int) ([]*Client, error) {
+	out := make([]*Client, n)
+	for i := range out {
+		c, err := f.DialLane(i)
+		if err != nil {
+			return nil, err
+		}
+		f.extra = append(f.extra, c)
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Size reports the number of devices in the farm.
+func (f *Farm) Size() int { return len(f.Servers) }
+
+// Close closes every client and server.
+func (f *Farm) Close() error {
+	var first error
+	for _, c := range append(f.Clients, f.extra...) {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range f.Servers {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

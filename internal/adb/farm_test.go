@@ -1,0 +1,121 @@
+package adb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/device"
+	"repro/internal/internet"
+	"repro/internal/netlog"
+)
+
+func testFleet(t *testing.T, n int) *device.Fleet {
+	t.Helper()
+	fleet := device.NewFleet(internet.New(), n)
+	if err := fleet.Install(&corpus.Spec{
+		Package: "com.app.a", OnPlayStore: true,
+		Dynamic: corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func TestFarmOneClientPerDevice(t *testing.T) {
+	fleet := testFleet(t, 3)
+	farm, err := StartFarm(fleet.Devices, FarmConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	if farm.Size() != 3 || len(farm.Clients) != 3 {
+		t.Fatalf("farm size = %d, clients = %d, want 3", farm.Size(), len(farm.Clients))
+	}
+	// Each client drives its own device: a launch on client 1 must not
+	// create a session on device 0's server.
+	if _, err := farm.Clients[1].Command("launch", "com.app.a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := farm.Clients[0].Command("post", "com.app.a", "https://x/"); err == nil {
+		t.Error("post on device 0 succeeded without a launch there")
+	}
+}
+
+func TestFarmLaneClientsPinning(t *testing.T) {
+	fleet := testFleet(t, 2)
+	farm, err := StartFarm(fleet.Devices, FarmConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	lanes, err := farm.LaneClients(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) != 5 {
+		t.Fatalf("lanes = %d, want 5", len(lanes))
+	}
+	// Lane 0 and lane 2 share device 0: a session opened over lane 0's
+	// connection is visible to lane 2 (same server), but not to lane 1
+	// (device 1).
+	if _, err := lanes[0].Command("launch", "com.app.a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lanes[2].Command("post", "com.app.a", "https://x/"); err != nil {
+		t.Errorf("lane 2 does not share device 0: %v", err)
+	}
+	if _, err := lanes[1].Command("post", "com.app.a", "https://x/"); err == nil {
+		t.Error("lane 1 unexpectedly shares device 0's sessions")
+	}
+}
+
+func TestWaitScaleSleepsScaledTime(t *testing.T) {
+	dev := device.New(internet.New())
+	srv := NewServer(dev)
+	srv.WaitScale = 0.001 // 100000 ms -> 100 ms
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	start := time.Now()
+	if _, err := client.Command("wait", "100000"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("wait returned after %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestPurgeNetlogContext(t *testing.T) {
+	client, dev := testServer(t)
+	dev.NetLog.Record(netlog.Event{Context: "wv-a-1", URL: "https://one.example/"})
+	dev.NetLog.Record(netlog.Event{Context: "wv-b-1", URL: "https://two.example/"})
+
+	if _, err := client.Command("purge-netlog", "wv-a-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.NetLog.Hosts("wv-a-1"); len(got) != 0 {
+		t.Errorf("context wv-a-1 still has hosts %v after purge", got)
+	}
+	if got := dev.NetLog.Hosts("wv-b-1"); len(got) != 1 {
+		t.Errorf("context wv-b-1 lost its events: hosts = %v", got)
+	}
+
+	if _, err := client.Command("purge-netlog", "a", "b"); err == nil {
+		t.Error("purge-netlog with two args accepted")
+	}
+	if _, err := client.Command("purge-netlog"); err != nil {
+		t.Fatal(err)
+	}
+	if dev.NetLog.Len() != 0 {
+		t.Error("bare purge-netlog did not clear the device log")
+	}
+}

@@ -118,12 +118,23 @@ func NewLocalPage(l *Loader, baseURL, html string, scripts bool) *Page {
 			if script.Attr("src") != "" {
 				continue // external scripts of local data need a real base
 			}
-			if _, err := page.VM.Run(script.Text()); err != nil {
-				page.Console = append(page.Console, "script error: "+err.Error())
-			}
+			page.runPageScript(script.Text())
 		}
 	}
 	return page
+}
+
+// runPageScript compiles code through the shared program cache and runs it
+// best-effort. Identical scripts (SDK snippets, per-visit injections) parse
+// once per process instead of once per page.
+func (p *Page) runPageScript(code string) {
+	prog, err := jsvm.CompileCached(code)
+	if err == nil {
+		_, err = p.VM.RunProgram(prog)
+	}
+	if err != nil {
+		p.Console = append(p.Console, "script error: "+err.Error())
+	}
 }
 
 // Load fetches pageURL, parses it, fetches subresources, and (when
@@ -166,8 +177,10 @@ func (l *Loader) Load(ctx context.Context, pageURL string) (*Page, error) {
 		if abs == "" {
 			continue
 		}
-		// Best-effort: subresource failures don't fail the page.
-		_, _, _ = l.fetch(ctx, abs, "subresource")
+		// Best-effort: subresource failures don't fail the page. The body
+		// is drained through a pooled buffer — only the netlog entry
+		// matters, so no per-fetch allocation is kept.
+		l.fetchDiscard(ctx, abs, "subresource")
 	}
 
 	if l.ExecuteScripts {
@@ -187,9 +200,7 @@ func (l *Loader) Load(ctx context.Context, pageURL string) (*Page, error) {
 			// Page scripts are best-effort: real pages contain JS beyond
 			// the interpreter subset, and a page script error must not
 			// abort the visit.
-			if _, err := page.VM.Run(code); err != nil {
-				page.Console = append(page.Console, "script error: "+err.Error())
-			}
+			page.runPageScript(code)
 		}
 	}
 	return page, nil
@@ -209,7 +220,31 @@ func (p *Page) Execute(code string) (string, error) {
 		p.initiator = prev
 		p.mu.Unlock()
 	}()
-	v, err := p.VM.Run(code)
+	prog, err := jsvm.CompileCached(code)
+	if err != nil {
+		return "", err
+	}
+	v, err := p.VM.RunProgram(prog)
+	if err != nil {
+		return "", err
+	}
+	return v.StringValue(), nil
+}
+
+// ExecuteProgram is Execute for a pre-parsed program: callers probing many
+// pages with the same injected script compile it once and skip even the
+// cache lookup on the hot path.
+func (p *Page) ExecuteProgram(prog *jsvm.Program) (string, error) {
+	p.mu.Lock()
+	prev := p.initiator
+	p.initiator = "injection"
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.initiator = prev
+		p.mu.Unlock()
+	}()
+	v, err := p.VM.RunProgram(prog)
 	if err != nil {
 		return "", err
 	}
@@ -232,6 +267,44 @@ func (p *Page) FetchFromScript(rawURL string) (string, int) {
 		return "", 0
 	}
 	return string(body), status
+}
+
+// copyBufs pools the scratch buffers subresource drains copy through, so a
+// crawl visiting thousands of pages reuses a handful of 32 KiB slabs
+// instead of allocating one per fetch.
+var copyBufs = sync.Pool{
+	New: func() any { b := make([]byte, 32<<10); return &b },
+}
+
+// fetchDiscard issues a request whose body is drained and thrown away:
+// the netlog event is the point, not the bytes. Errors are deliberately
+// swallowed (subresources are best-effort); the event is still logged.
+func (l *Loader) fetchDiscard(ctx context.Context, rawURL, initiator string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return
+	}
+	for k, v := range l.Headers {
+		req.Header.Set(k, v)
+	}
+	if l.UserAgent != "" {
+		req.Header.Set("User-Agent", l.UserAgent)
+	}
+	resp, err := l.client().Do(req)
+	if err != nil {
+		l.logEvent(rawURL, 0, initiator)
+		return
+	}
+	defer resp.Body.Close()
+	buf := copyBufs.Get().(*[]byte)
+	lr := io.LimitReader(resp.Body, 8<<20)
+	for {
+		if _, err := lr.Read(*buf); err != nil {
+			break
+		}
+	}
+	copyBufs.Put(buf)
+	l.logEvent(rawURL, resp.StatusCode, initiator)
 }
 
 func (l *Loader) fetch(ctx context.Context, rawURL, initiator string) ([]byte, int, error) {

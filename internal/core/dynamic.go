@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/device"
@@ -35,17 +36,74 @@ type Table6 struct {
 	WebViewIABApps []string
 }
 
-// DynamicStudy hosts the semi-manual analyses on one device.
+// DynamicStudy hosts the semi-manual analyses on a fleet of devices.
 type DynamicStudy struct {
+	// Device is the primary handset (fleet device 0); single-device
+	// analyses and existing callers use it directly.
 	Device *device.Device
-	// Net is the in-process internet the device is attached to.
+	// Net is the in-process internet every fleet device is attached to.
 	Net *internet.Internet
+	// Fleet is the full device set; app probes are pinned round-robin.
+	Fleet *device.Fleet
+	// Workers bounds concurrently in-flight app probes (<=1 with one
+	// device keeps the study strictly sequential).
+	Workers int
 }
 
-// NewDynamicStudy boots a device on a fresh internet.
+// NewDynamicStudy boots a single device on a fresh internet.
 func NewDynamicStudy() *DynamicStudy {
+	return NewDynamicStudyFleet(1, 1)
+}
+
+// NewDynamicStudyFleet boots a fleet of identically provisioned devices on
+// one internet and fans app probes across them: probe i runs on device
+// i mod devices, with at most workers probes in flight. Results are merged
+// in input order, so the output is identical to the sequential study.
+func NewDynamicStudyFleet(devices, workers int) *DynamicStudy {
 	net := internet.New()
-	return &DynamicStudy{Device: device.New(net), Net: net}
+	fleet := device.NewFleet(net, devices)
+	return &DynamicStudy{Device: fleet.Device(0), Net: net, Fleet: fleet, Workers: workers}
+}
+
+// sequential reports whether the study must run one probe at a time.
+func (d *DynamicStudy) sequential() bool {
+	return d.Workers <= 1 && (d.Fleet == nil || d.Fleet.Size() == 1)
+}
+
+// forEachSpec runs fn(i, spec) for every spec — in order when sequential,
+// otherwise fanned out under the worker pool. fn must write its result
+// into slot i of a caller-owned slice; the caller merges in index order.
+func (d *DynamicStudy) forEachSpec(specs []*corpus.Spec, fn func(i int, spec *corpus.Spec)) {
+	if d.sequential() {
+		for i, spec := range specs {
+			fn(i, spec)
+		}
+		return
+	}
+	workers := d.Workers
+	if workers <= 0 {
+		workers = len(specs)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec *corpus.Spec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+}
+
+// pinned returns the device probe i runs on.
+func (d *DynamicStudy) pinned(i int) *device.Device {
+	if d.Fleet == nil {
+		return d.Device
+	}
+	return d.Fleet.Device(i)
 }
 
 // registerRedirectors serves the click-tracking redirector hosts the IAB
@@ -81,62 +139,112 @@ func (d *DynamicStudy) registerRedirectors(specs []*corpus.Spec) {
 // posts https://example.com).
 const probeURL = "https://example.com/"
 
+// classKind is the outcome of classifying one app.
+type classKind int
+
+const (
+	classIncompatible classKind = iota
+	classNeedsPhone
+	classPaid
+	classBrowserApp
+	classNoUserContent
+	classOpensWebView
+	classOpensCustomTab
+	classOpensBrowser
+)
+
+type classOutcome struct {
+	kind classKind
+	err  error
+}
+
+// classifyOne runs the §3.2.1 probe for one app on one device: install,
+// launch, look for a user-content surface, post the probe link, click it.
+func (d *DynamicStudy) classifyOne(ctx context.Context, dev *device.Device, spec *corpus.Spec) classOutcome {
+	app, err := dev.Install(spec)
+	if err != nil {
+		if errors.Is(err, device.ErrIncompatible) {
+			return classOutcome{kind: classIncompatible}
+		}
+		return classOutcome{err: err}
+	}
+	sess, err := app.Launch()
+	switch {
+	case errors.Is(err, device.ErrNeedsPhone):
+		return classOutcome{kind: classNeedsPhone}
+	case errors.Is(err, device.ErrPaidOnly):
+		return classOutcome{kind: classPaid}
+	case err != nil:
+		return classOutcome{err: err}
+	}
+	if sess.IsBrowser() {
+		return classOutcome{kind: classBrowserApp}
+	}
+	if !sess.HasUserContent() {
+		return classOutcome{kind: classNoUserContent}
+	}
+	if err := sess.PostLink(probeURL); err != nil {
+		return classOutcome{err: err}
+	}
+	res, err := sess.ClickLink(ctx, probeURL)
+	if err != nil {
+		return classOutcome{err: fmt.Errorf("core: click in %s: %w", spec.Package, err)}
+	}
+	switch res.OpenedIn {
+	case corpus.LinkWebView:
+		return classOutcome{kind: classOpensWebView}
+	case corpus.LinkCustomTab:
+		return classOutcome{kind: classOpensCustomTab}
+	default:
+		return classOutcome{kind: classOpensBrowser}
+	}
+}
+
 // ClassifyTopApps reproduces the §3.2.1 walk over the top apps: install
 // each app, create a session, look for a user-content surface, post the
-// probe link, click it, and record what happens.
+// probe link, click it, and record what happens. With a fleet, apps are
+// classified concurrently (pinned to devices round-robin) and outcomes
+// merged in input order, so Table 6 is identical either way.
 func (d *DynamicStudy) ClassifyTopApps(ctx context.Context, specs []*corpus.Spec) (*Table6, error) {
 	// Make sure the probe target exists on this internet.
 	d.Net.RegisterFunc("example.com", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte(`<html><head><title>Example Domain</title></head><body><p>Example</p></body></html>`))
 	})
 	d.registerRedirectors(specs)
+
+	outcomes := make([]classOutcome, len(specs))
+	d.forEachSpec(specs, func(i int, spec *corpus.Spec) {
+		outcomes[i] = d.classifyOne(ctx, d.pinned(i), spec)
+	})
+
 	t6 := &Table6{}
-	for _, spec := range specs {
-		app, err := d.Device.Install(spec)
-		if err != nil {
-			if errors.Is(err, device.ErrIncompatible) {
-				t6.Incompatible++
-				t6.Unclassifiable++
-				continue
-			}
-			return nil, err
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
 		}
-		sess, err := app.Launch()
-		switch {
-		case errors.Is(err, device.ErrNeedsPhone):
+		switch o.kind {
+		case classIncompatible:
+			t6.Incompatible++
+			t6.Unclassifiable++
+		case classNeedsPhone:
 			t6.RequiredPhone++
 			t6.Unclassifiable++
-			continue
-		case errors.Is(err, device.ErrPaidOnly):
+		case classPaid:
 			t6.RequiredPaid++
 			t6.Unclassifiable++
-			continue
-		case err != nil:
-			return nil, err
-		}
-		if sess.IsBrowser() {
+		case classBrowserApp:
 			t6.BrowserApps++
-			continue
-		}
-		if !sess.HasUserContent() {
+		case classNoUserContent:
 			t6.NoUserContent++
-			continue
-		}
-		t6.CanPostLinks++
-		if err := sess.PostLink(probeURL); err != nil {
-			return nil, err
-		}
-		res, err := sess.ClickLink(ctx, probeURL)
-		if err != nil {
-			return nil, fmt.Errorf("core: click in %s: %w", spec.Package, err)
-		}
-		switch res.OpenedIn {
-		case corpus.LinkWebView:
+		case classOpensWebView:
+			t6.CanPostLinks++
 			t6.OpensWebView++
-			t6.WebViewIABApps = append(t6.WebViewIABApps, spec.Package)
-		case corpus.LinkCustomTab:
+			t6.WebViewIABApps = append(t6.WebViewIABApps, specs[i].Package)
+		case classOpensCustomTab:
+			t6.CanPostLinks++
 			t6.OpensCustomTab++
-		default:
+		case classOpensBrowser:
+			t6.CanPostLinks++
 			t6.OpensBrowser++
 		}
 	}
@@ -181,25 +289,45 @@ func (d *DynamicStudy) ProbeIABs(ctx context.Context, specs []*corpus.Spec) ([]T
 	d.Net.Register(measureHost, srv.Handler())
 	d.registerRedirectors(specs)
 
-	var rows []Table8Row
+	var iabSpecs []*corpus.Spec
 	for _, spec := range specs {
-		if spec.Dynamic.LinkOpens != corpus.LinkWebView {
-			continue
+		if spec.Dynamic.LinkOpens == corpus.LinkWebView {
+			iabSpecs = append(iabSpecs, spec)
 		}
-		row, err := d.probeOne(ctx, spec, srv)
-		if err != nil {
-			return nil, nil, err
-		}
-		rows = append(rows, *row)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Downloads > rows[j].Downloads })
+
+	type probeOutcome struct {
+		row *Table8Row
+		err error
+	}
+	outcomes := make([]probeOutcome, len(iabSpecs))
+	d.forEachSpec(iabSpecs, func(i int, spec *corpus.Spec) {
+		row, err := d.probeOne(ctx, d.pinned(i), spec, srv)
+		outcomes[i] = probeOutcome{row: row, err: err}
+	})
+
+	var rows []Table8Row
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		rows = append(rows, *o.row)
+	}
+	// Downloads descending, package as a total-order tie-break so the table
+	// is stable regardless of scheduling.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Downloads != rows[j].Downloads {
+			return rows[i].Downloads > rows[j].Downloads
+		}
+		return rows[i].Package < rows[j].Package
+	})
 	return rows, srv, nil
 }
 
-func (d *DynamicStudy) probeOne(ctx context.Context, spec *corpus.Spec, srv *measure.Server) (*Table8Row, error) {
-	app, err := d.Device.App(spec.Package)
+func (d *DynamicStudy) probeOne(ctx context.Context, dev *device.Device, spec *corpus.Spec, srv *measure.Server) (*Table8Row, error) {
+	app, err := dev.App(spec.Package)
 	if err != nil {
-		if app, err = d.Device.Install(spec); err != nil {
+		if app, err = dev.Install(spec); err != nil {
 			return nil, err
 		}
 	}
@@ -242,7 +370,7 @@ func (d *DynamicStudy) probeOne(ctx context.Context, spec *corpus.Spec, srv *mea
 		BridgeIntent:    bridgeIntent,
 		Redirector:      spec.Dynamic.UsesRedirector,
 		WebAPITraces:    srv.ForApp(spec.Package),
-		ExternalHosts:   d.Device.NetLog.HostsNotUnder(res.Context, measureHost),
+		ExternalHosts:   dev.NetLog.HostsNotUnder(res.Context, measureHost),
 		BehaviorStats:   iab.BehaviorStats(res.Behavior),
 	}
 	sort.Strings(row.Bridges)

@@ -1,0 +1,104 @@
+package crawler
+
+import (
+	"testing"
+
+	"repro/internal/crux"
+	"repro/internal/sitereview"
+)
+
+func visitFor(app, host, category string, kinds map[sitereview.Kind]int) Visit {
+	return Visit{
+		App:           app,
+		Site:          crux.Site{Host: host, Category: category},
+		EndpointKinds: kinds,
+	}
+}
+
+func TestAverageEndpointsTableDriven(t *testing.T) {
+	tests := []struct {
+		name   string
+		visits []Visit
+		app    string
+		want   map[string]map[sitereview.Kind]float64
+	}{
+		{
+			name:   "zero visits",
+			visits: nil,
+			app:    "com.example",
+			want:   map[string]map[sitereview.Kind]float64{},
+		},
+		{
+			name: "app with no visits of its own",
+			visits: []Visit{
+				visitFor("other.app", "a.com", "News", map[sitereview.Kind]int{sitereview.Tracker: 2}),
+			},
+			app:  "com.example",
+			want: map[string]map[sitereview.Kind]float64{},
+		},
+		{
+			name: "single-category crawl averages across its visits",
+			visits: []Visit{
+				visitFor("com.example", "a.com", "News", map[sitereview.Kind]int{sitereview.Tracker: 2, sitereview.AdNetwork: 4}),
+				visitFor("com.example", "b.com", "News", map[sitereview.Kind]int{sitereview.Tracker: 4}),
+			},
+			app: "com.example",
+			want: map[string]map[sitereview.Kind]float64{
+				"News": {sitereview.Tracker: 3, sitereview.AdNetwork: 2},
+			},
+		},
+		{
+			name: "categories average independently and ignore other apps",
+			visits: []Visit{
+				visitFor("com.example", "a.com", "News", map[sitereview.Kind]int{sitereview.AdNetwork: 6}),
+				visitFor("com.example", "b.com", "Search", map[sitereview.Kind]int{sitereview.AdNetwork: 1}),
+				visitFor("other.app", "a.com", "News", map[sitereview.Kind]int{sitereview.AdNetwork: 100}),
+			},
+			app: "com.example",
+			want: map[string]map[sitereview.Kind]float64{
+				"News":   {sitereview.AdNetwork: 6},
+				"Search": {sitereview.AdNetwork: 1},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res := &Result{Visits: tt.visits}
+			got := res.AverageEndpoints(tt.app)
+			if len(got) != len(tt.want) {
+				t.Fatalf("categories = %d, want %d (%v)", len(got), len(tt.want), got)
+			}
+			for cat, kinds := range tt.want {
+				for kind, want := range kinds {
+					if got[cat][kind] != want {
+						t.Errorf("%s/%v = %v, want %v", cat, kind, got[cat][kind], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSortDedupe(t *testing.T) {
+	tests := []struct {
+		in, want []string
+	}{
+		{nil, nil},
+		{[]string{"b", "a", "b", "a", "c"}, []string{"a", "b", "c"}},
+		{[]string{"x"}, []string{"x"}},
+		{[]string{"x", "x", "x"}, []string{"x"}},
+	}
+	for _, tt := range tests {
+		got := sortDedupe(append([]string(nil), tt.in...))
+		if len(got) != len(tt.want) {
+			t.Fatalf("sortDedupe(%v) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("sortDedupe(%v) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}

@@ -5,12 +5,21 @@
 // network log, and purges device logs before the next visit. Rate limits
 // (the Facebook account restrictions the paper hit) are detected and
 // recovered by provisioning a fresh dummy account.
+//
+// The crawl is scheduled as one ordered lane per app: visits within a lane
+// run strictly in site order (rate-limit and dummy-account state is
+// per-app and order-dependent), while a worker pool bounds how many visits
+// are in flight across lanes. Each lane is pinned to one device client, so
+// a multi-device farm splits the lanes across handsets. Results merge in
+// canonical (app, site-rank) order, making the parallel crawl's output
+// byte-identical to the sequential one.
 package crawler
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/adb"
 	"repro/internal/crux"
@@ -19,10 +28,12 @@ import (
 
 // Visit is one (app, site) crawl outcome.
 type Visit struct {
-	App           string
-	Site          crux.Site
-	Mode          string // "webview", "customtab", "browser"
-	Context       string
+	App     string
+	Site    crux.Site
+	Mode    string // "webview", "customtab", "browser"
+	Context string
+	// ExternalHosts are the distinct external endpoints the visit
+	// contacted, sorted and deduplicated at visit construction.
 	ExternalHosts []string
 	// EndpointKinds histograms ExternalHosts by sitereview kind.
 	EndpointKinds map[sitereview.Kind]int
@@ -33,7 +44,8 @@ type Result struct {
 	Visits []Visit
 	// AccountResets counts dummy-account replacements per app.
 	AccountResets map[string]int
-	// Failures records visits that could not be completed.
+	// Failures records visits that could not be completed, in canonical
+	// (app, site-rank) order regardless of how the crawl was scheduled.
 	Failures []string
 }
 
@@ -83,76 +95,152 @@ func (r *Result) TotalAverage(app, category string) float64 {
 // Config parameterises a crawl.
 type Config struct {
 	// Apps are the app packages to crawl with (the 10 IABs + baseline).
+	// One scheduling lane is created per app.
 	Apps []string
-	// Sites are the crawl targets.
+	// Sites are the crawl targets, visited in order within each lane.
 	Sites []crux.Site
 	// OwnDomains maps app package -> its own service domains, for
 	// endpoint classification.
 	OwnDomains map[string][]string
 	// MaxAccountResets bounds rate-limit recovery per app.
 	MaxAccountResets int
+	// Workers bounds how many visits may be in flight at once across all
+	// lanes (0 = one per lane). Workers 1 with a single client reproduces
+	// the paper's strictly sequential crawl.
+	Workers int
 }
 
-// Crawler executes crawls over an ADB connection.
+// Crawler executes crawls over one or more ADB connections.
 type Crawler struct {
-	client *adb.Client
-	cfg    Config
+	clients []*adb.Client
+	cfg     Config
 }
 
-// New builds a crawler.
+// New builds a crawler over a single device connection.
 func New(client *adb.Client, cfg Config) *Crawler {
+	return NewFleet([]*adb.Client{client}, cfg)
+}
+
+// NewFleet builds a crawler over a fleet of device connections (typically
+// adb.Farm clients, one per simulated handset). Lane i is pinned to
+// clients[i mod len(clients)] for the whole crawl, so an app's rate-limit
+// and account state stays on one device.
+func NewFleet(clients []*adb.Client, cfg Config) *Crawler {
+	if len(clients) == 0 {
+		panic("crawler: NewFleet needs at least one client")
+	}
 	if cfg.MaxAccountResets == 0 {
 		cfg.MaxAccountResets = 5
 	}
-	return &Crawler{client: client, cfg: cfg}
+	return &Crawler{clients: clients, cfg: cfg}
 }
 
-// Run performs the full crawl: every app visits every site.
+// laneOutcome carries one app lane's results until the canonical merge.
+type laneOutcome struct {
+	visits        []Visit
+	failures      []string
+	accountResets int
+	err           error
+}
+
+// Run performs the full crawl: every app visits every site. With Workers
+// <= 1 and a single client the lanes run one after another (the
+// sequential crawl); otherwise lanes run concurrently under the worker
+// pool. Either way the merged result is identical.
 func (c *Crawler) Run() (*Result, error) {
+	lanes := make([]laneOutcome, len(c.cfg.Apps))
+	if c.cfg.Workers <= 1 && len(c.clients) == 1 {
+		for i, app := range c.cfg.Apps {
+			lanes[i] = c.runLane(i, app, nil)
+		}
+	} else {
+		workers := c.cfg.Workers
+		if workers <= 0 {
+			workers = len(c.cfg.Apps)
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, app := range c.cfg.Apps {
+			wg.Add(1)
+			go func(i int, app string) {
+				defer wg.Done()
+				lanes[i] = c.runLane(i, app, sem)
+			}(i, app)
+		}
+		wg.Wait()
+	}
+
+	// Canonical merge: lanes in Config.Apps order, visits and failures
+	// already in site order within each lane. A lane error aborts the run
+	// deterministically (lowest lane index wins).
 	res := &Result{AccountResets: make(map[string]int)}
-	for _, app := range c.cfg.Apps {
-		if _, err := c.client.Command("launch", app); err != nil {
-			res.Failures = append(res.Failures, fmt.Sprintf("%s: launch: %v", app, err))
-			continue
+	for i := range lanes {
+		lo := &lanes[i]
+		if lo.err != nil {
+			return nil, lo.err
 		}
-		for _, site := range c.cfg.Sites {
-			visit, err := c.visit(app, site, res)
-			if err != nil {
-				res.Failures = append(res.Failures, fmt.Sprintf("%s @ %s: %v", app, site.Host, err))
-				continue
-			}
-			res.Visits = append(res.Visits, *visit)
-		}
-		if _, err := c.client.Command("force-stop", app); err != nil {
-			return nil, err
+		res.Visits = append(res.Visits, lo.visits...)
+		res.Failures = append(res.Failures, lo.failures...)
+		if lo.accountResets > 0 {
+			res.AccountResets[c.cfg.Apps[i]] += lo.accountResets
 		}
 	}
 	return res, nil
 }
 
-func (c *Crawler) visit(app string, site crux.Site, res *Result) (*Visit, error) {
+// runLane crawls every site with one app on its pinned client. sem, when
+// non-nil, is the crawl-wide worker pool: a token is held for the duration
+// of each visit.
+func (c *Crawler) runLane(idx int, app string, sem chan struct{}) laneOutcome {
+	client := c.clients[idx%len(c.clients)]
+	var lo laneOutcome
+	if _, err := client.Command("launch", app); err != nil {
+		lo.failures = append(lo.failures, fmt.Sprintf("%s: launch: %v", app, err))
+		return lo
+	}
+	for _, site := range c.cfg.Sites {
+		if sem != nil {
+			sem <- struct{}{}
+		}
+		visit, err := c.visit(client, app, site, &lo)
+		if sem != nil {
+			<-sem
+		}
+		if err != nil {
+			lo.failures = append(lo.failures, fmt.Sprintf("%s @ %s: %v", app, site.Host, err))
+			continue
+		}
+		lo.visits = append(lo.visits, *visit)
+	}
+	if _, err := client.Command("force-stop", app); err != nil {
+		lo.err = err
+	}
+	return lo
+}
+
+func (c *Crawler) visit(client *adb.Client, app string, site crux.Site, lo *laneOutcome) (*Visit, error) {
 	url := "https://" + site.Host + "/"
 	// (i) launch happened; (ii) navigate to the surface and (iii) insert
 	// the crawl URL.
-	if _, err := c.client.Command("post", app, url); err != nil {
+	if _, err := client.Command("post", app, url); err != nil {
 		return nil, err
 	}
 	// (iv) tap the URL, recovering from account restrictions.
 	var payload string
 	var err error
-	for attempt := 0; ; attempt++ {
-		payload, err = c.client.Command("click", app, url)
+	for {
+		payload, err = client.Command("click", app, url)
 		if err == nil {
 			break
 		}
-		if !strings.Contains(err.Error(), "rate-limited") || res.AccountResets[app] >= c.cfg.MaxAccountResets {
+		if !strings.Contains(err.Error(), "rate-limited") || lo.accountResets >= c.cfg.MaxAccountResets {
 			return nil, err
 		}
 		// Manual intervention in the paper: create a new dummy account.
-		if _, rerr := c.client.Command("newaccount", app); rerr != nil {
+		if _, rerr := client.Command("newaccount", app); rerr != nil {
 			return nil, rerr
 		}
-		res.AccountResets[app]++
+		lo.accountResets++
 	}
 	parts := strings.Fields(payload)
 	if len(parts) < 1 {
@@ -165,33 +253,51 @@ func (c *Crawler) visit(app string, site crux.Site, res *Result) (*Visit, error)
 	}
 
 	// (v) scroll to the end and allow the page to settle.
-	if _, err := c.client.Command("input", "swipe", "500", "1500", "500", "300"); err != nil {
+	if _, err := client.Command("input", "swipe", "500", "1500", "500", "300"); err != nil {
 		return nil, err
 	}
-	if _, err := c.client.Command("wait", "20000"); err != nil {
+	if _, err := client.Command("wait", "20000"); err != nil {
 		return nil, err
 	}
 
 	visit := &Visit{App: app, Site: site, Mode: mode, Context: ctx}
 	if ctx != "" {
-		hosts, err := c.client.List("netlog-external", ctx, site.Host)
+		hosts, err := client.List("netlog-external", ctx, site.Host)
 		if err != nil {
 			return nil, err
 		}
-		sort.Strings(hosts)
-		visit.ExternalHosts = hosts
-		visit.EndpointKinds = sitereview.Histogram(hosts, c.cfg.OwnDomains[app])
+		// Sorted + deduplicated once here; every aggregation downstream
+		// (histograms, averages) consumes the canonical list.
+		visit.ExternalHosts = sortDedupe(hosts)
+		visit.EndpointKinds = sitereview.Histogram(visit.ExternalHosts, c.cfg.OwnDomains[app])
 	}
 
-	// Ready the device for the next crawl: purge logs, pause.
-	if _, err := c.client.Command("purge-netlog"); err != nil {
+	// Ready the device for the next crawl: purge this visit's log slice
+	// (never another lane's in-flight context), clear logcat, pause.
+	if ctx != "" {
+		if _, err := client.Command("purge-netlog", ctx); err != nil {
+			return nil, err
+		}
+	} else if _, err := client.Command("purge-netlog"); err != nil {
 		return nil, err
 	}
-	if _, err := c.client.Command("logcat-clear"); err != nil {
+	if _, err := client.Command("logcat-clear"); err != nil {
 		return nil, err
 	}
-	if _, err := c.client.Command("wait", "60000"); err != nil {
+	if _, err := client.Command("wait", "60000"); err != nil {
 		return nil, err
 	}
 	return visit, nil
+}
+
+// sortDedupe canonicalises a host list in place: sorted, distinct.
+func sortDedupe(hosts []string) []string {
+	sort.Strings(hosts)
+	out := hosts[:0]
+	for i, h := range hosts {
+		if i == 0 || h != hosts[i-1] {
+			out = append(out, h)
+		}
+	}
+	return out
 }

@@ -43,9 +43,9 @@ type Device struct {
 	// Logcat is the device log buffer.
 	Logcat *Logcat
 
-	mu   sync.Mutex
-	apps map[string]*App
-	seq  int
+	mu     sync.Mutex
+	apps   map[string]*App
+	ctxSeq map[string]int
 }
 
 // New boots a device attached to the given internet.
@@ -87,12 +87,19 @@ func (d *Device) App(pkg string) (*App, error) {
 	return nil, fmt.Errorf("%w: %s", ErrNotInstalled, pkg)
 }
 
-// newContextID issues a unique browsing-context name.
+// newContextID issues a unique browsing-context name. The counter is
+// per (kind, package), so an app's n-th context gets the same name no
+// matter how other apps' visits interleave on the device — the property
+// that keeps parallel crawl results byte-identical to sequential ones.
 func (d *Device) newContextID(kind, pkg string) string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.seq++
-	return fmt.Sprintf("%s-%s-%d", kind, pkg, d.seq)
+	if d.ctxSeq == nil {
+		d.ctxSeq = make(map[string]int)
+	}
+	key := kind + "-" + pkg
+	d.ctxSeq[key]++
+	return fmt.Sprintf("%s-%d", key, d.ctxSeq[key])
 }
 
 // App is one installed app.

@@ -1,0 +1,51 @@
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/internet"
+)
+
+// Fleet is a set of identically provisioned simulated handsets attached to
+// one internet — the multi-device rig the parallel crawl fans out over.
+// Each device has its own network log, logcat and browser state, so visits
+// running on different devices cannot observe each other; the shared
+// internet means every device sees the same sites.
+type Fleet struct {
+	Devices []*Device
+}
+
+// NewFleet boots n devices (n < 1 is treated as 1) on the given internet.
+func NewFleet(net *internet.Internet, n int) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	f := &Fleet{Devices: make([]*Device, n)}
+	for i := range f.Devices {
+		f.Devices[i] = New(net)
+	}
+	return f
+}
+
+// Size reports the number of devices.
+func (f *Fleet) Size() int { return len(f.Devices) }
+
+// Install installs an app on every device, mirroring how the measurement
+// rig provisions each handset with the same corpus before a crawl. The
+// first failure aborts (a spec that cannot install on one simulated device
+// cannot install on any).
+func (f *Fleet) Install(spec *corpus.Spec) error {
+	for i, d := range f.Devices {
+		if _, err := d.Install(spec); err != nil {
+			return fmt.Errorf("device %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Device returns the i-th device, wrapping around — the pinning rule that
+// assigns crawl lanes to handsets.
+func (f *Fleet) Device(i int) *Device {
+	return f.Devices[i%len(f.Devices)]
+}

@@ -1,0 +1,62 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/internet"
+)
+
+func TestFleetProvisionsIdentically(t *testing.T) {
+	net := internet.New()
+	f := NewFleet(net, 3)
+	if f.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", f.Size())
+	}
+	spec := &corpus.Spec{
+		Package: "com.app.a", OnPlayStore: true,
+		Dynamic: corpus.Dynamic{HasUserContent: true, LinkOpens: corpus.LinkBrowser},
+	}
+	if err := f.Install(spec); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range f.Devices {
+		if _, err := d.App("com.app.a"); err != nil {
+			t.Errorf("device %d missing app: %v", i, err)
+		}
+		if d.Internet != net {
+			t.Errorf("device %d on a different internet", i)
+		}
+	}
+	// Devices are distinct handsets with separate logs.
+	if f.Devices[0].NetLog == f.Devices[1].NetLog {
+		t.Error("devices share a netlog")
+	}
+}
+
+func TestFleetDevicePinningWrapsAround(t *testing.T) {
+	f := NewFleet(internet.New(), 2)
+	if f.Device(0) != f.Devices[0] || f.Device(1) != f.Devices[1] {
+		t.Error("direct pinning broken")
+	}
+	if f.Device(2) != f.Devices[0] || f.Device(5) != f.Devices[1] {
+		t.Error("wrap-around pinning broken")
+	}
+}
+
+func TestFleetMinimumSize(t *testing.T) {
+	if got := NewFleet(internet.New(), 0).Size(); got != 1 {
+		t.Errorf("Size = %d, want 1", got)
+	}
+}
+
+func TestFleetInstallPropagatesFailure(t *testing.T) {
+	f := NewFleet(internet.New(), 2)
+	err := f.Install(&corpus.Spec{
+		Package: "com.bad", Dynamic: corpus.Dynamic{Incompatible: true},
+	})
+	if !errors.Is(err, ErrIncompatible) {
+		t.Errorf("err = %v, want ErrIncompatible", err)
+	}
+}

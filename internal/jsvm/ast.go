@@ -57,6 +57,10 @@ type funcLit struct {
 	name   string
 	params []string
 	body   []node
+	// usesArgs marks bodies that may reference `arguments` (set
+	// conservatively at parse time); when false, calls skip building the
+	// arguments array.
+	usesArgs bool
 }
 
 type memberExpr struct {

@@ -1,0 +1,85 @@
+package jsvm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// parseHeavySrc builds the kind of script the crawl executes thousands of
+// times: a large SDK-style bundle (many function definitions) whose actual
+// per-visit execution is small. Parsing dominates; caching the parse is
+// the win the program cache exists for.
+func parseHeavySrc() string {
+	var b strings.Builder
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&b, `
+			function handler%d(ev) {
+				var payload = { kind: "event", seq: %d, data: ev };
+				if (payload.seq %% 2 === 0) { payload.even = true }
+				return payload.kind + ":" + payload.seq
+			}
+		`, i, i)
+	}
+	b.WriteString(`
+		var out = [];
+		for (var i = 0; i < 5; i++) { out.push(handler0(i)) }
+		out.length
+	`)
+	return b.String()
+}
+
+// BenchmarkJSVMColdParse is the pre-cache behaviour: every execution
+// re-parses the script from source.
+func BenchmarkJSVMColdParse(b *testing.B) {
+	src := parseHeavySrc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vm := New()
+		if _, err := vm.Run(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJSVMCachedParse executes a pre-parsed program on a fresh VM
+// per iteration — the hot path after the program cache warms up.
+func BenchmarkJSVMCachedParse(b *testing.B) {
+	src := parseHeavySrc()
+	prog, err := Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := New()
+		if _, err := vm.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJSVMExecuteHot measures repeated execution inside one VM —
+// where the scope and argument pooling shows up.
+func BenchmarkJSVMExecuteHot(b *testing.B) {
+	prog, err := Compile(`
+		function work(n) {
+			var t = 0;
+			for (var i = 0; i < n; i++) { t += i }
+			return t
+		}
+		work(50)
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vm := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,20 +1,35 @@
 package jsvm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
 )
 
+// ErrStepBudget reports that a script exceeded its step budget. Callers
+// check it with errors.Is to distinguish a runaway injected script from a
+// genuine script error.
+var ErrStepBudget = errors.New("step budget exhausted")
+
 // VM executes parsed programs against a global object. A step budget
 // bounds runaway scripts (injected code is untrusted by definition).
+//
+// A VM is single-goroutine: use one VM per worker. Programs (see Compile)
+// are immutable and may be shared between VMs running concurrently.
 type VM struct {
 	Global *Object
 	global *scope
 	// MaxSteps bounds evaluated AST nodes per Run; 0 means the default.
 	MaxSteps int
 	steps    int
+
+	// scopeFree recycles call/block scopes that no closure captured;
+	// argFree recycles argument slabs for script-function calls. Both cut
+	// the dominant allocations on the injected-script hot path.
+	scopeFree []*scope
+	argFree   [][]Value
 }
 
 const defaultMaxSteps = 2_000_000
@@ -24,7 +39,9 @@ const defaultMaxSteps = 2_000_000
 func New() *VM {
 	g := NewObject()
 	vm := &VM{Global: g}
-	vm.global = &scope{vars: map[string]*Value{}, vm: vm}
+	// The global scope is permanently "escaped": it is never recycled, and
+	// marking it stops the escape walk in makeFunction.
+	vm.global = &scope{vars: map[string]*Value{}, vm: vm, escaped: true}
 	installBuiltins(vm)
 	return vm
 }
@@ -34,10 +51,58 @@ type scope struct {
 	vars   map[string]*Value
 	parent *scope
 	vm     *VM
+	// escaped is set when a closure captures this scope (or an ancestor
+	// walk marked it); escaped scopes are never returned to the pool.
+	escaped bool
 }
 
 func (s *scope) child() *scope {
-	return &scope{vars: map[string]*Value{}, parent: s, vm: s.vm}
+	vm := s.vm
+	if n := len(vm.scopeFree); n > 0 {
+		sc := vm.scopeFree[n-1]
+		vm.scopeFree = vm.scopeFree[:n-1]
+		sc.parent = s
+		return sc
+	}
+	return &scope{vars: make(map[string]*Value, 4), parent: s, vm: s.vm}
+}
+
+// release returns a scope to the pool unless a closure captured it. Only
+// call when every reference into the scope (lookup slots) is dead.
+func (s *scope) release() {
+	if s.escaped {
+		return
+	}
+	clear(s.vars)
+	s.parent = nil
+	s.vm.scopeFree = append(s.vm.scopeFree, s)
+}
+
+// takeArgs returns a reusable argument slab for a script-function call.
+// Script calls copy every argument into the callee scope (and, when used,
+// into a fresh `arguments` array), so the slab can be reclaimed as soon as
+// the call returns. Host calls keep allocating: a host function may retain
+// its Args slice.
+func (vm *VM) takeArgs(n int) []Value {
+	if k := len(vm.argFree); k > 0 {
+		s := vm.argFree[k-1]
+		if cap(s) >= n {
+			vm.argFree = vm.argFree[:k-1]
+			return s[:n]
+		}
+	}
+	if n < 8 {
+		return make([]Value, n, 8)
+	}
+	return make([]Value, n)
+}
+
+func (vm *VM) putArgs(s []Value) {
+	if cap(s) == 0 {
+		return
+	}
+	clear(s[:cap(s)])
+	vm.argFree = append(vm.argFree, s[:0])
 }
 
 func (s *scope) lookup(name string) (*Value, bool) {
@@ -76,23 +141,27 @@ type completion struct {
 
 // Run parses and executes src in the global scope, returning the value of
 // the last expression statement (mirroring evaluateJavascript semantics).
+// Callers executing the same source repeatedly should Compile (or
+// CompileCached) once and use RunProgram.
 func (vm *VM) Run(src string) (Value, error) {
-	prog, err := parseProgram(src)
+	prog, err := Compile(src)
 	if err != nil {
 		return Undefined(), err
 	}
+	return vm.RunProgram(prog)
+}
+
+// RunProgram executes a compiled program in the global scope. The program
+// is not mutated and may be shared with other VMs running concurrently.
+func (vm *VM) RunProgram(p *Program) (Value, error) {
 	vm.steps = 0
-	var last Value
-	// Hoist function declarations.
-	for _, st := range prog {
-		if fd, ok := st.(funcDecl); ok {
-			vm.global.declare(fd.fn.name, vm.makeFunction(fd.fn, vm.global))
-		}
+	// Hoisted function declarations (split out at compile time).
+	for i := range p.decls {
+		fd := &p.decls[i]
+		vm.global.declare(fd.fn.name, vm.makeFunction(fd.fn, vm.global))
 	}
-	for _, st := range prog {
-		if _, ok := st.(funcDecl); ok {
-			continue
-		}
+	var last Value
+	for _, st := range p.stmts {
 		comp, v, err := vm.execStmt(st, vm.global, Undefined())
 		if err != nil {
 			return Undefined(), err
@@ -117,12 +186,18 @@ func (vm *VM) step(ln int) error {
 		limit = defaultMaxSteps
 	}
 	if vm.steps > limit {
-		return fmt.Errorf("jsvm: step budget exhausted (line %d)", ln)
+		return fmt.Errorf("jsvm: %w (line %d)", ErrStepBudget, ln)
 	}
 	return nil
 }
 
 func (vm *VM) makeFunction(fn *funcLit, env *scope) Value {
+	// The closure keeps its defining scope chain alive: none of those
+	// scopes may be recycled. The walk stops at the first already-escaped
+	// scope because marking always covers the full chain above it.
+	for e := env; e != nil && !e.escaped; e = e.parent {
+		e.escaped = true
+	}
 	return ObjectValue(&Object{
 		props: map[string]Value{},
 		fn:    fn,
@@ -141,6 +216,7 @@ func (vm *VM) execStmt(st node, env *scope, this Value) (completion, Value, erro
 	switch s := st.(type) {
 	case blockStmt:
 		inner := env.child()
+		defer inner.release()
 		for _, sub := range s.body {
 			if fd, ok := sub.(funcDecl); ok {
 				inner.declare(fd.fn.name, vm.makeFunction(fd.fn, inner))
@@ -188,6 +264,7 @@ func (vm *VM) execStmt(st node, env *scope, this Value) (completion, Value, erro
 		return completion{}, Undefined(), nil
 	case forStmt:
 		inner := env.child()
+		defer inner.release()
 		if s.init != nil {
 			if comp, _, err := vm.execStmt(s.init, inner, this); err != nil || comp.ctrl != ctrlNone {
 				return comp, Undefined(), err
@@ -229,6 +306,7 @@ func (vm *VM) execStmt(st node, env *scope, this Value) (completion, Value, erro
 			return completion{}, Undefined(), err
 		}
 		inner := env.child()
+		defer inner.release()
 		inner.declare(s.varName, Undefined())
 		slot, _ := inner.lookup(s.varName)
 		var items []Value
@@ -316,6 +394,7 @@ func (vm *VM) execStmt(st node, env *scope, this Value) (completion, Value, erro
 					inner.declare(s.catchVar, jsErr.Value)
 				}
 				comp, _, err = vm.execStmt(s.catchBody, inner, this)
+				inner.release()
 			}
 		}
 		if s.finally != nil {
@@ -606,21 +685,43 @@ func (vm *VM) evalCall(x callExpr, env *scope, this Value) (Value, error) {
 		if err != nil {
 			return Undefined(), err
 		}
-		args, err := vm.evalArgs(x.args, env, this)
-		if err != nil {
-			return Undefined(), err
-		}
-		return vm.invoke(fn, recv, args, x.line())
+		return vm.callWith(fn, recv, x, env, this)
 	}
 	fn, err := vm.eval(x.callee, env, this)
 	if err != nil {
 		return Undefined(), err
 	}
-	args, err := vm.evalArgs(x.args, env, this)
-	if err != nil {
+	return vm.callWith(fn, Undefined(), x, env, this)
+}
+
+// callWith evaluates the call's arguments and invokes fn. Script-function
+// calls draw their argument slab from the VM pool: invoke copies every
+// argument out before running the body, so the slab is reclaimed on
+// return. Host functions get a freshly allocated slice (they may retain
+// it).
+func (vm *VM) callWith(fn, recv Value, x callExpr, env *scope, this Value) (Value, error) {
+	script := false
+	if o := fn.Object(); o != nil && o.IsCallable() && o.host == nil {
+		script = true
+	}
+	var args []Value
+	var err error
+	if script {
+		args = vm.takeArgs(len(x.args))
+		for i, a := range x.args {
+			if args[i], err = vm.eval(a, env, this); err != nil {
+				vm.putArgs(args)
+				return Undefined(), err
+			}
+		}
+	} else if args, err = vm.evalArgs(x.args, env, this); err != nil {
 		return Undefined(), err
 	}
-	return vm.invoke(fn, Undefined(), args, x.line())
+	ret, err := vm.invoke(fn, recv, args, x.line())
+	if script {
+		vm.putArgs(args)
+	}
+	return ret, err
 }
 
 func (vm *VM) invoke(fn Value, this Value, args []Value, ln int) (Value, error) {
@@ -632,6 +733,7 @@ func (vm *VM) invoke(fn Value, this Value, args []Value, ln int) (Value, error) 
 		return o.host(Call{VM: vm, This: this, Args: args})
 	}
 	env := o.env.child()
+	defer env.release()
 	for i, p := range o.fn.params {
 		if i < len(args) {
 			env.declare(p, args[i])
@@ -639,8 +741,11 @@ func (vm *VM) invoke(fn Value, this Value, args []Value, ln int) (Value, error) 
 			env.declare(p, Undefined())
 		}
 	}
-	argsArr := NewArray(args...)
-	env.declare("arguments", ObjectValue(argsArr))
+	if o.fn.usesArgs {
+		// Only materialise `arguments` for bodies that can mention it
+		// (detected at parse time) — the common injected script never does.
+		env.declare("arguments", ObjectValue(NewArray(args...)))
+	}
 	// Hoist inner function declarations.
 	for _, st := range o.fn.body {
 		if fd, ok := st.(funcDecl); ok {

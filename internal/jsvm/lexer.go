@@ -6,6 +6,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"repro/internal/intern"
 )
 
 type tokKind int
@@ -106,7 +108,10 @@ func (l *jsLexer) lexToken() (jsToken, error) {
 		if keywords[text] {
 			kind = tKeyword
 		}
-		return jsToken{kind: kind, text: text, line: l.line}, nil
+		// Interning collapses every occurrence of an identifier to one
+		// shared string and unpins the (much larger) source text from
+		// long-lived cached Programs.
+		return jsToken{kind: kind, text: intern.String(text), line: l.line}, nil
 	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
 		return l.lexNumber()
 	case c == '"' || c == '\'':

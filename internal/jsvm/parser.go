@@ -8,6 +8,10 @@ type jsParser struct {
 	lex  *jsLexer
 	tok  jsToken
 	prev jsToken
+	// fnStack holds the functions whose bodies are being parsed; seeing an
+	// `arguments` identifier marks them all (conservatively — a nested
+	// mention keeps the outer arrays too, which is always safe).
+	fnStack []*funcLit
 }
 
 // parseProgram parses a whole script into a statement list.
@@ -34,6 +38,11 @@ func (p *jsParser) advance() error {
 		return err
 	}
 	p.tok = t
+	if t.kind == tIdent && t.text == "arguments" {
+		for _, fn := range p.fnStack {
+			fn.usesArgs = true
+		}
+	}
 	return nil
 }
 
@@ -417,7 +426,9 @@ func (p *jsParser) functionRest(needName bool) (*funcLit, error) {
 	if err := p.advance(); err != nil { // ')'
 		return nil, err
 	}
+	p.fnStack = append(p.fnStack, fn)
 	body, err := p.block()
+	p.fnStack = p.fnStack[:len(p.fnStack)-1]
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,108 @@
+package jsvm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Program is a parsed script ready for repeated execution. A Program is
+// immutable after Compile: the interpreter never mutates AST nodes, so one
+// Program may be executed concurrently by any number of VMs (one VM per
+// goroutine — the VM itself is not goroutine-safe). This is what lets the
+// parallel crawl parse each injected script once and run it on every
+// (app, site) visit.
+type Program struct {
+	src string
+	// stmts are the non-declaration statements in source order; decls are
+	// the hoisted top-level function declarations. Splitting at compile
+	// time removes the two hoisting passes Run used to make per execution.
+	stmts []node
+	decls []funcDecl
+}
+
+// Src returns the source the program was compiled from.
+func (p *Program) Src() string { return p.src }
+
+// Compile parses src into an executable Program.
+func Compile(src string) (*Program, error) {
+	body, err := parseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{src: src}
+	for _, st := range body {
+		if fd, ok := st.(funcDecl); ok {
+			p.decls = append(p.decls, fd)
+		} else {
+			p.stmts = append(p.stmts, st)
+		}
+	}
+	return p, nil
+}
+
+// Cache is a content-keyed program cache: identical sources parse once and
+// share one immutable Program. It is safe for concurrent use, so worker
+// VMs executing the same injected scripts (the measurement page's payloads
+// are byte-identical across all visits) all hit the same entry.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[string]*Program
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an empty program cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]*Program)} }
+
+// Compile returns the cached Program for src, parsing and storing it on
+// first sight. Parse failures are returned but never cached.
+func (c *Cache) Compile(src string) (*Program, error) {
+	c.mu.RLock()
+	p, ok := c.m[src]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return p, nil
+	}
+	compiled, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.m[src]; ok { // lost a race: keep the first entry
+		c.hits.Add(1)
+		return p, nil
+	}
+	c.misses.Add(1)
+	c.m[src] = compiled
+	return compiled, nil
+}
+
+// Len reports the number of cached programs.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// defaultCache backs CompileCached: one process-wide parse per distinct
+// script source.
+var defaultCache = NewCache()
+
+// CompileCached compiles src through the process-wide program cache. The
+// browser simulation routes page scripts and injected scripts through this,
+// so a crawl parses each distinct script exactly once no matter how many
+// visits execute it.
+func CompileCached(src string) (*Program, error) {
+	return defaultCache.Compile(src)
+}
+
+// DefaultCacheStats exposes the process-wide cache counters (for stats
+// lines and tests).
+func DefaultCacheStats() (hits, misses uint64) { return defaultCache.Stats() }

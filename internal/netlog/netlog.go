@@ -101,6 +101,21 @@ func (l *Log) Purge() {
 	l.seq = 0
 }
 
+// PurgeContext removes only the events of one browsing context. Parallel
+// crawl lanes sharing a device purge their own visit's context so they
+// cannot wipe another lane's in-flight log.
+func (l *Log) PurgeContext(ctx string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.events[:0]
+	for _, e := range l.events {
+		if e.Context != ctx {
+			kept = append(kept, e)
+		}
+	}
+	l.events = kept
+}
+
 // Len reports the number of events.
 func (l *Log) Len() int {
 	l.mu.Lock()

@@ -84,3 +84,24 @@ func TestHostDerivedFromURL(t *testing.T) {
 		t.Errorf("Host = %q", got)
 	}
 }
+
+func TestPurgeContextKeepsOtherContexts(t *testing.T) {
+	l := New()
+	l.Record(Event{Context: "wv-1", URL: "https://a.example/"})
+	l.Record(Event{Context: "wv-2", URL: "https://b.example/"})
+	l.Record(Event{Context: "wv-1", URL: "https://c.example/"})
+
+	l.PurgeContext("wv-1")
+	if got := l.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	ev := l.Events()[0]
+	if ev.Context != "wv-2" || ev.Host != "b.example" {
+		t.Errorf("survivor = %+v, want wv-2/b.example", ev)
+	}
+	// Purging an unknown context is a no-op.
+	l.PurgeContext("wv-404")
+	if l.Len() != 1 {
+		t.Error("purging an unknown context dropped events")
+	}
+}

@@ -108,12 +108,21 @@ func (m Model) LoadTime(mode Mode, requests int, warmed, preloaded bool) time.Du
 // Compare produces the Figure 7 series for one page: CT is measured with
 // warmup and a mayLaunchUrl hint, the recommended integration.
 func (m Model) Compare(requests int) map[Mode]time.Duration {
-	return map[Mode]time.Duration{
-		ModeCustomTab:       m.LoadTime(ModeCustomTab, requests, true, true),
-		ModeChrome:          m.LoadTime(ModeChrome, requests, false, false),
-		ModeExternalBrowser: m.LoadTime(ModeExternalBrowser, requests, false, false),
-		ModeWebView:         m.LoadTime(ModeWebView, requests, false, false),
+	return m.CompareInto(requests, nil)
+}
+
+// CompareInto is Compare writing into dst (allocated when nil). Sweeps
+// evaluating the model across thousands of request counts reuse one map
+// instead of allocating per point.
+func (m Model) CompareInto(requests int, dst map[Mode]time.Duration) map[Mode]time.Duration {
+	if dst == nil {
+		dst = make(map[Mode]time.Duration, len(Modes))
 	}
+	dst[ModeCustomTab] = m.LoadTime(ModeCustomTab, requests, true, true)
+	dst[ModeChrome] = m.LoadTime(ModeChrome, requests, false, false)
+	dst[ModeExternalBrowser] = m.LoadTime(ModeExternalBrowser, requests, false, false)
+	dst[ModeWebView] = m.LoadTime(ModeWebView, requests, false, false)
+	return dst
 }
 
 // Speedup returns how many times faster a is than b for the same page.

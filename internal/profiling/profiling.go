@@ -1,0 +1,72 @@
+// Package profiling wires the standard pprof profiles into the command
+// binaries so pipeline hot spots (APK parsing, jsvm execution, the crawl
+// scheduler) can be measured rather than guessed at.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the -cpuprofile/-memprofile destinations.
+type Flags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Register installs the standard profiling flags on a flag set (the
+// default set when fs is nil).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when requested. Call after flag parsing.
+func (f *Flags) Start() error {
+	if f.CPU == "" {
+		return nil
+	}
+	file, err := os.Create(f.CPU)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. Safe to call
+// unconditionally (defer it right after Start).
+func (f *Flags) Stop() error {
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuFile.Close()
+		f.cpuFile = nil
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.Mem != "" {
+		file, err := os.Create(f.Mem)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer file.Close()
+		runtime.GC() // get up-to-date live-heap statistics
+		if err := pprof.WriteHeapProfile(file); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return nil
+}

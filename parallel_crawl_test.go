@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/adb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/crawler"
+	"repro/internal/crux"
+	"repro/internal/device"
+	"repro/internal/internet"
+	"repro/internal/report"
+)
+
+// figure6Crawl runs the Figure 6 crawl on a fresh rig with the given
+// fan-out and renders the report tables.
+func figure6Crawl(t *testing.T, devices, workers int) (string, *crawler.Result) {
+	t.Helper()
+	net := internet.New()
+	sites := crux.TopSites(10)
+	crux.RegisterAll(net, sites)
+	fleet := device.NewFleet(net, devices)
+
+	apps := []string{"com.linkedin.android", "kik.android", "org.chromium.webview_shell"}
+	for _, spec := range []*corpus.Spec{
+		{Package: "com.linkedin.android", Title: "LinkedIn", OnPlayStore: true,
+			Dynamic: corpus.Dynamic{HasUserContent: true, LinkSurface: "Post",
+				LinkOpens: corpus.LinkWebView, Injection: corpus.InjectRadar}},
+		{Package: "kik.android", Title: "Kik", OnPlayStore: true,
+			Dynamic: corpus.Dynamic{HasUserContent: true, LinkSurface: "DM",
+				LinkOpens: corpus.LinkWebView, Injection: corpus.InjectAdsMulti}},
+		core.BaselineShellSpec(),
+	} {
+		if err := fleet.Install(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	farm, err := adb.StartFarm(fleet.Devices, adb.FarmConfig{
+		RateLimits: map[string]int{"kik.android": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { farm.Close() })
+	clients, err := farm.LaneClients(len(apps))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cr := crawler.NewFleet(clients, crawler.Config{
+		Apps: apps, Sites: sites,
+		OwnDomains: map[string][]string{"com.linkedin.android": {"linkedin.com", "licdn.com"}},
+		Workers:    workers,
+	})
+	res, err := cr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := report.Figure6(res, "com.linkedin.android", "LinkedIn") +
+		report.Figure6(res, "kik.android", "Kik") +
+		report.Figure6(res, "org.chromium.webview_shell", "System WebView Shell (baseline)")
+	return tables, res
+}
+
+// TestParallelCrawlReportByteIdentical is the PR's acceptance check: the
+// rendered Figure 6 tables from a parallel crawl (4 workers, 2 devices)
+// must be byte-identical to the sequential single-device run's.
+func TestParallelCrawlReportByteIdentical(t *testing.T) {
+	seqTables, seqRes := figure6Crawl(t, 1, 1)
+	parTables, parRes := figure6Crawl(t, 2, 4)
+
+	if seqTables != parTables {
+		t.Errorf("report tables diverge:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqTables, parTables)
+	}
+	if len(seqRes.Failures) != len(parRes.Failures) {
+		t.Errorf("failures diverge: seq %v, par %v", seqRes.Failures, parRes.Failures)
+	}
+	if seqRes.AccountResets["kik.android"] != parRes.AccountResets["kik.android"] {
+		t.Errorf("account resets diverge: seq %v, par %v", seqRes.AccountResets, parRes.AccountResets)
+	}
+	if seqRes.AccountResets["kik.android"] == 0 {
+		t.Error("rate limit never triggered; the determinism check lost its teeth")
+	}
+}
