@@ -6,6 +6,8 @@
 // Usage:
 //
 //	apkdump -pkg com.genapp0001012 [-scale N] [-seed N] <mode>
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
 //
 // where mode is one of: manifest, disasm, java, usage (default: usage).
 // The APK is drawn from the synthetic corpus; point -pkg at any generated
@@ -24,19 +26,39 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/dalvik"
 	"repro/internal/decompiler"
+	"repro/internal/profiling"
 	"repro/internal/sdkindex"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	pkg := flag.String("pkg", "com.facebook.katana", "package to dump")
 	scale := flag.Int("scale", 200, "corpus scale")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	var prof profiling.Flags
+	prof.Register(nil)
+	var telem telemetry.Flags
+	telem.Register(nil)
 	flag.Parse()
 	mode := flag.Arg(0)
 	if mode == "" {
 		mode = "usage"
 	}
-	if err := run(*pkg, *scale, *seed, mode); err != nil {
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	telem.Hub(*seed)
+	if err := telem.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := run(*pkg, *scale, *seed, mode)
+	if terr := telem.Finish(); err == nil {
+		err = terr
+	}
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

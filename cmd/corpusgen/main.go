@@ -6,6 +6,11 @@
 //
 //	corpusgen [-scale N] [-seed N]                 print corpus statistics
 //	corpusgen -serve -azoo :8081 -play :8082       serve the corpus
+//
+// -cpuprofile/-memprofile capture pprof profiles of the generation;
+// -telemetry-addr serves /metrics, /healthz and /debug/pprof (useful while
+// -serve keeps the process alive); -metrics-out writes the snapshot on
+// exit.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"repro/internal/androzoo"
 	"repro/internal/corpus"
 	"repro/internal/playstore"
+	"repro/internal/profiling"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,10 +33,30 @@ func main() {
 	list := flag.Int("list", 0, "list the first N filtered packages and exit")
 	azooAddr := flag.String("azoo", "127.0.0.1:8081", "AndroZoo listen address")
 	playAddr := flag.String("play", "127.0.0.1:8082", "Play Store listen address")
+	var prof profiling.Flags
+	prof.Register(nil)
+	var telem telemetry.Flags
+	telem.Register(nil)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
+	telem.Hub(*seed)
+	if err := telem.Start(); err != nil {
+		log.Fatal(err)
+	}
+	finish := func() {
+		if err := telem.Finish(); err != nil {
+			log.Print(err)
+		}
+		if err := prof.Stop(); err != nil {
+			log.Print(err)
+		}
+	}
 
 	c, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
 	if err != nil {
+		finish()
 		log.Fatal(err)
 	}
 
@@ -37,10 +64,12 @@ func main() {
 		for _, s := range c.Top(*list) {
 			fmt.Printf("%-40s %12d downloads  %s\n", s.Package, s.Downloads, s.PlayCategory)
 		}
+		finish()
 		return
 	}
 	if !*serve {
 		printStats(c)
+		finish()
 		return
 	}
 

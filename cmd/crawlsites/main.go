@@ -10,12 +10,20 @@
 //
 //	crawlsites [-sites N] [-ratelimit N] [-workers N] [-devices N]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
+//	           [-telemetry-wallclock]
 //
 // The crawl schedules one ordered lane per app; -workers bounds how many
 // visits are in flight at once across lanes and -devices splits the lanes
 // over that many simulated handsets. The defaults (1/1) reproduce the
 // paper's strictly sequential single-device crawl; any parallel setting
 // produces byte-identical report tables, just faster.
+//
+// Observability: -telemetry-addr serves /metrics, /metrics.json, /healthz,
+// /trace and /debug/pprof during the crawl; -metrics-out and -trace-out
+// write the final snapshot and one trace per visit on exit ("-" for
+// stdout). Visit totals are schedule-independent, so sequential and
+// parallel crawls over the same -devices value emit identical snapshots.
 package main
 
 import (
@@ -31,8 +39,10 @@ import (
 	"repro/internal/crux"
 	"repro/internal/device"
 	"repro/internal/internet"
+	"repro/internal/jsvm"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,11 +52,22 @@ func main() {
 	devices := flag.Int("devices", 1, "simulated handsets to split app lanes over")
 	var prof profiling.Flags
 	prof.Register(nil)
+	var telem telemetry.Flags
+	telem.Register(nil)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
 	}
-	err := run(*sites, *rateLimit, *workers, *devices)
+	// The crawl has no corpus seed; deterministic timings derive from a
+	// fixed one.
+	hub := telem.Hub(1)
+	if err := telem.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := run(*sites, *rateLimit, *workers, *devices, hub)
+	if terr := telem.Finish(); err == nil {
+		err = terr
+	}
 	if perr := prof.Stop(); err == nil {
 		err = perr
 	}
@@ -55,7 +76,10 @@ func main() {
 	}
 }
 
-func run(nSites, rateLimit, workers, devices int) error {
+func run(nSites, rateLimit, workers, devices int, hub *telemetry.Hub) error {
+	if hub != nil {
+		jsvm.Instrument(hub)
+	}
 	net := internet.New()
 	siteList := crux.TopSites(nSites)
 	crux.RegisterAll(net, siteList)
@@ -84,7 +108,7 @@ func run(nSites, rateLimit, workers, devices int) error {
 	}
 	apps = append(apps, baseline.Package)
 
-	farmCfg := adb.FarmConfig{}
+	farmCfg := adb.FarmConfig{Telemetry: hub}
 	if rateLimit > 0 {
 		// The paper's Facebook account restrictions.
 		farmCfg.RateLimits = map[string]int{"com.facebook.katana": rateLimit}
@@ -106,6 +130,7 @@ func run(nSites, rateLimit, workers, devices int) error {
 		nSites, len(apps), farm.Size(), workers)
 	cr := crawler.NewFleet(clients, crawler.Config{
 		Apps: apps, Sites: siteList, OwnDomains: ownDomains, Workers: workers,
+		Telemetry: hub,
 	})
 	res, err := cr.Run()
 	if err != nil {

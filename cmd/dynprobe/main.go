@@ -9,11 +9,19 @@
 //
 //	dynprobe [-scale N] [-seed N] [-top N] [-workers N] [-devices N]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
+//	         [-telemetry-wallclock]
 //
 // -devices boots that many simulated handsets on one internet and pins
 // app probes to them round-robin; -workers bounds how many probes run at
 // once. Outcomes merge in app order, so the tables are identical to the
 // sequential (1/1) defaults.
+//
+// Observability: -telemetry-addr serves /metrics, /metrics.json, /healthz,
+// /trace and /debug/pprof during the probe run; -metrics-out writes the
+// final snapshot on exit ("-" for stdout). The probes surface the
+// simulated browser's script-engine families (program-cache traffic, step
+// budget kills).
 package main
 
 import (
@@ -25,8 +33,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/jsvm"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,11 +47,20 @@ func main() {
 	devices := flag.Int("devices", 1, "simulated handsets to pin app probes to")
 	var prof profiling.Flags
 	prof.Register(nil)
+	var telem telemetry.Flags
+	telem.Register(nil)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
 	}
-	err := run(*scale, *seed, *top, *workers, *devices)
+	hub := telem.Hub(*seed)
+	if err := telem.Start(); err != nil {
+		log.Fatal(err)
+	}
+	err := run(*scale, *seed, *top, *workers, *devices, hub)
+	if terr := telem.Finish(); err == nil {
+		err = terr
+	}
 	if perr := prof.Stop(); err == nil {
 		err = perr
 	}
@@ -50,7 +69,10 @@ func main() {
 	}
 }
 
-func run(scale int, seed int64, top, workers, devices int) error {
+func run(scale int, seed int64, top, workers, devices int, hub *telemetry.Hub) error {
+	if hub != nil {
+		jsvm.Instrument(hub)
+	}
 	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", seed, scale)
 	c, err := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
 	if err != nil {

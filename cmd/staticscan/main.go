@@ -12,6 +12,8 @@
 //	           [-retries N] [-max-failure-frac F] [-faults SPEC]
 //	           [-journal FILE] [-resume]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
+//	           [-telemetry-wallclock]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
@@ -42,6 +44,13 @@
 // err/latrate perturb the repository and metadata interfaces, trunc and
 // corrupt damage HTTP payloads beneath the client's integrity checks,
 // and err/corrupt also harass the persistent cache tier.
+//
+// Observability: -telemetry-addr serves /metrics (Prometheus text),
+// /metrics.json, /healthz, /trace and /debug/pprof live during the run;
+// -metrics-out and -trace-out write the final snapshot and the per-APK
+// span traces on exit ("-" for stdout). Durations are seed-derived by
+// default so same-seed runs emit byte-identical telemetry; pass
+// -telemetry-wallclock for real latencies.
 package main
 
 import (
@@ -65,6 +74,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resultcache"
 	"repro/internal/retry"
+	"repro/internal/telemetry"
 	"repro/internal/webviewlint"
 )
 
@@ -84,6 +94,8 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from an existing -journal file instead of refusing to overwrite it")
 	var prof profiling.Flags
 	prof.Register(nil)
+	var telem telemetry.Flags
+	telem.Register(nil)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
@@ -93,6 +105,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	hub := telem.Hub(*seed)
+	if err := telem.Start(); err != nil {
+		log.Fatal(err)
+	}
 
 	opts := options{
 		scale: *scale, seed: *seed, workers: *workers,
@@ -101,11 +117,16 @@ func main() {
 		lintJSON: *lintJSON,
 		retries:  *retries, maxFailureFrac: *maxFailureFrac,
 		faults: *faultsSpec, journal: *journalPath, resume: *resume,
+		telemetry: hub,
 	}
 	if *lintRules != "" {
 		opts.lintRules = strings.Split(*lintRules, ",")
 	}
-	if err := run(os.Stdout, opts); err != nil {
+	err := run(os.Stdout, opts)
+	if terr := telem.Finish(); err == nil {
+		err = terr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
@@ -124,6 +145,7 @@ type options struct {
 	faults         string
 	journal        string
 	resume         bool
+	telemetry      *telemetry.Hub
 }
 
 // lintReport is the machine-readable -lint-json document.
@@ -167,7 +189,7 @@ func run(out *os.File, o options) error {
 
 	cfg := core.StaticConfig{
 		Workers: o.workers, Lint: o.lint, LintRules: o.lintRules,
-		MaxFailureFrac: o.maxFailureFrac,
+		MaxFailureFrac: o.maxFailureFrac, Telemetry: o.telemetry,
 	}
 	if o.retries > 0 {
 		cfg.Retry = &retry.Policy{MaxAttempts: o.retries + 1, Metrics: &retry.Metrics{}}
@@ -183,6 +205,7 @@ func run(out *os.File, o options) error {
 			// cache's purge-on-corrupt path turns both into recomputes.
 			blobs = faults.NewStore(store, faults.Config{
 				Seed: fcfg.Seed, ErrorRate: fcfg.ErrorRate, CorruptRate: fcfg.CorruptRate,
+				Telemetry: o.telemetry,
 			})
 		}
 		cfg.Cache = resultcache.NewPersistent[pipeline.Analysis](0, blobs, nil)
@@ -212,6 +235,7 @@ func run(out *os.File, o options) error {
 	if injecting && (fcfg.TruncateRate > 0 || fcfg.CorruptRate > 0) {
 		azHC = &http.Client{Transport: faults.NewTransport(azHC.Transport, faults.Config{
 			Seed: fcfg.Seed, TruncateRate: fcfg.TruncateRate, CorruptRate: fcfg.CorruptRate,
+			Telemetry: o.telemetry,
 		})}
 	}
 	var repo pipeline.Repository = androzoo.NewClient(azSrv.URL, azHC).WithRetry(cfg.Retry)
@@ -220,6 +244,7 @@ func run(out *os.File, o options) error {
 		svcCfg := faults.Config{
 			Seed: fcfg.Seed, ErrorRate: fcfg.ErrorRate,
 			LatencyRate: fcfg.LatencyRate, Latency: fcfg.Latency,
+			Telemetry: o.telemetry,
 		}
 		repo = faults.NewRepository(repo, svcCfg)
 		meta = faults.NewMetadataSource(meta, svcCfg)

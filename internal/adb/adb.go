@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/device"
+	"repro/internal/telemetry"
 )
 
 // Server exposes one device over TCP.
@@ -49,6 +50,13 @@ type Server struct {
 	// parallelism overlaps them without sleeping for the paper's full 80
 	// seconds per visit.
 	WaitScale float64
+	// Name labels this device in telemetry families (a farm assigns
+	// "device0", "device1", …; empty means "device0").
+	Name string
+	// Telemetry, when non-nil, counts dispatched commands
+	// (adb_commands_total{device,cmd}) and netlog purges
+	// (netlog_purges_total{device,scope}). Set before Listen.
+	Telemetry *telemetry.Hub
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -120,10 +128,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+func (s *Server) device() string {
+	if s.Name == "" {
+		return "device0"
+	}
+	return s.Name
+}
+
 func (s *Server) dispatch(line string) string {
 	fields := strings.Fields(line)
 	cmd := fields[0]
 	args := fields[1:]
+	s.Telemetry.Counter("adb_commands_total", "device commands dispatched, by device and command",
+		"device", s.device(), "cmd", cmd).Inc()
 	switch cmd {
 	case "launch":
 		return s.cmdLaunch(args)
@@ -156,11 +173,17 @@ func (s *Server) dispatch(line string) string {
 		}
 		return "OK " + strings.Join(s.Device.NetLog.HostsNotUnder(args[0], args[1]), ",")
 	case "purge-netlog":
+		purges := func(scope string) *telemetry.Counter {
+			return s.Telemetry.Counter("netlog_purges_total", "device network-log purges, by scope",
+				"device", s.device(), "scope", scope)
+		}
 		switch len(args) {
 		case 0:
 			s.Device.NetLog.Purge()
+			purges("all").Inc()
 		case 1:
 			s.Device.NetLog.PurgeContext(args[0])
+			purges("context").Inc()
 		default:
 			return "ERR purge-netlog takes at most one context"
 		}

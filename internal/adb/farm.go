@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/telemetry"
 )
 
 // Farm exposes a fleet of devices over ADB: one Server and one connected
@@ -26,6 +27,9 @@ type FarmConfig struct {
 	RateLimits map[string]int
 	// WaitScale is applied to each server (see Server.WaitScale).
 	WaitScale float64
+	// Telemetry, when non-nil, is installed on every server; each device is
+	// named "device<i>" in the emitted families.
+	Telemetry *telemetry.Hub
 }
 
 // StartFarm starts one server per device on loopback and dials a client to
@@ -36,6 +40,8 @@ func StartFarm(devs []*device.Device, cfg FarmConfig) (*Farm, error) {
 		srv := NewServer(dev)
 		srv.RateLimits = cfg.RateLimits
 		srv.WaitScale = cfg.WaitScale
+		srv.Name = fmt.Sprintf("device%d", i)
+		srv.Telemetry = cfg.Telemetry
 		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			f.Close()

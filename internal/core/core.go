@@ -21,6 +21,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/retry"
 	"repro/internal/sdkindex"
+	"repro/internal/telemetry"
 	"repro/internal/webviewlint"
 )
 
@@ -51,6 +52,10 @@ type StaticConfig struct {
 	// Journal, when non-nil, checkpoints completed packages so an
 	// interrupted run can resume without repeating finished work.
 	Journal *pipeline.Journal
+	// Telemetry, when non-nil, receives the pipeline's per-stage counters,
+	// latency histograms, cache/retry/journal events and — if the hub has
+	// tracing enabled — one trace per APK.
+	Telemetry *telemetry.Hub
 }
 
 // StaticStudy runs the large-scale static analysis.
@@ -98,6 +103,7 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 			Retry:          cfg.Retry,
 			MaxFailureFrac: cfg.MaxFailureFrac,
 			Journal:        cfg.Journal,
+			Telemetry:      cfg.Telemetry,
 		}),
 	}, nil
 }

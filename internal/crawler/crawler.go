@@ -18,12 +18,14 @@ package crawler
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/adb"
 	"repro/internal/crux"
 	"repro/internal/sitereview"
+	"repro/internal/telemetry"
 )
 
 // Visit is one (app, site) crawl outcome.
@@ -108,6 +110,13 @@ type Config struct {
 	// lanes (0 = one per lane). Workers 1 with a single client reproduces
 	// the paper's strictly sequential crawl.
 	Workers int
+	// Telemetry, when non-nil, receives per-app visit counters and latency
+	// histograms, per-device in-flight gauges, and — if the hub has tracing
+	// enabled — one trace per visit reconstructing its
+	// post→click→pageload→netlog→cleanup path. The emitted totals are
+	// schedule-independent: a sequential and a parallel crawl over the same
+	// farm produce identical snapshots.
+	Telemetry *telemetry.Hub
 }
 
 // Crawler executes crawls over one or more ADB connections.
@@ -193,23 +202,39 @@ func (c *Crawler) Run() (*Result, error) {
 // of each visit.
 func (c *Crawler) runLane(idx int, app string, sem chan struct{}) laneOutcome {
 	client := c.clients[idx%len(c.clients)]
+	hub := c.cfg.Telemetry
+	device := "device" + strconv.Itoa(idx%len(c.clients))
+	inflight := hub.Gauge("device_lane_inflight", "visits currently executing, by device", "device", device)
+	visitLat := hub.Histogram("crawl_visit_latency_seconds", "end-to-end visit latency, by app", nil, "app", app)
+	visits := func(outcome string) *telemetry.Counter {
+		return hub.Counter("crawl_visits_total", "crawl visits by app and outcome", "app", app, "outcome", outcome)
+	}
+	visitsOK, visitsFailed := visits("ok"), visits("failed")
+
 	var lo laneOutcome
 	if _, err := client.Command("launch", app); err != nil {
 		lo.failures = append(lo.failures, fmt.Sprintf("%s: launch: %v", app, err))
+		hub.Counter("crawl_launch_failures_total", "app launches that failed, by app", "app", app).Inc()
 		return lo
 	}
 	for _, site := range c.cfg.Sites {
 		if sem != nil {
 			sem <- struct{}{}
 		}
-		visit, err := c.visit(client, app, site, &lo)
+		inflight.Add(1)
+		tm := hub.Timer(app+"/"+site.Host, "visit")
+		visit, err := c.visit(client, device, app, site, &lo)
+		tm.ObserveInto(visitLat)
+		inflight.Add(-1)
 		if sem != nil {
 			<-sem
 		}
 		if err != nil {
+			visitsFailed.Inc()
 			lo.failures = append(lo.failures, fmt.Sprintf("%s @ %s: %v", app, site.Host, err))
 			continue
 		}
+		visitsOK.Inc()
 		lo.visits = append(lo.visits, *visit)
 	}
 	if _, err := client.Command("force-stop", app); err != nil {
@@ -218,30 +243,47 @@ func (c *Crawler) runLane(idx int, app string, sem chan struct{}) laneOutcome {
 	return lo
 }
 
-func (c *Crawler) visit(client *adb.Client, app string, site crux.Site, lo *laneOutcome) (*Visit, error) {
+func (c *Crawler) visit(client *adb.Client, device, app string, site crux.Site, lo *laneOutcome) (*Visit, error) {
+	hub := c.cfg.Telemetry
+	tr := hub.Trace("visit:" + app + "/" + site.Host)
+	root := tr.Start("visit", "app", app, "site", site.Host, "device", device)
+	defer root.End()
+
 	url := "https://" + site.Host + "/"
 	// (i) launch happened; (ii) navigate to the surface and (iii) insert
 	// the crawl URL.
-	if _, err := client.Command("post", app, url); err != nil {
+	sp := tr.Child("visit", "post")
+	_, err := client.Command("post", app, url)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	// (iv) tap the URL, recovering from account restrictions.
+	sp = tr.Child("visit", "click")
 	var payload string
-	var err error
+	resets := 0
 	for {
 		payload, err = client.Command("click", app, url)
 		if err == nil {
 			break
 		}
 		if !strings.Contains(err.Error(), "rate-limited") || lo.accountResets >= c.cfg.MaxAccountResets {
+			sp.End()
 			return nil, err
 		}
 		// Manual intervention in the paper: create a new dummy account.
 		if _, rerr := client.Command("newaccount", app); rerr != nil {
+			sp.End()
 			return nil, rerr
 		}
 		lo.accountResets++
+		resets++
+		hub.Counter("crawl_account_resets_total", "dummy-account replacements after rate limits, by app", "app", app).Inc()
 	}
+	if resets > 0 {
+		sp.SetAttr("account_resets", strconv.Itoa(resets))
+	}
+	sp.End()
 	parts := strings.Fields(payload)
 	if len(parts) < 1 {
 		return nil, fmt.Errorf("crawler: malformed click payload %q", payload)
@@ -251,29 +293,40 @@ func (c *Crawler) visit(client *adb.Client, app string, site crux.Site, lo *lane
 	if len(parts) > 1 {
 		ctx = parts[1]
 	}
+	root.SetAttr("mode", mode)
 
 	// (v) scroll to the end and allow the page to settle.
+	sp = tr.Child("visit", "pageload")
 	if _, err := client.Command("input", "swipe", "500", "1500", "500", "300"); err != nil {
+		sp.End()
 		return nil, err
 	}
 	if _, err := client.Command("wait", "20000"); err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.End()
 
 	visit := &Visit{App: app, Site: site, Mode: mode, Context: ctx}
 	if ctx != "" {
+		sp = tr.Child("visit", "netlog")
 		hosts, err := client.List("netlog-external", ctx, site.Host)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		// Sorted + deduplicated once here; every aggregation downstream
 		// (histograms, averages) consumes the canonical list.
 		visit.ExternalHosts = sortDedupe(hosts)
 		visit.EndpointKinds = sitereview.Histogram(visit.ExternalHosts, c.cfg.OwnDomains[app])
+		sp.SetAttr("external_hosts", strconv.Itoa(len(visit.ExternalHosts)))
+		sp.End()
 	}
 
 	// Ready the device for the next crawl: purge this visit's log slice
 	// (never another lane's in-flight context), clear logcat, pause.
+	sp = tr.Child("visit", "cleanup")
+	defer sp.End()
 	if ctx != "" {
 		if _, err := client.Command("purge-netlog", ctx); err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"repro/internal/crux"
 	"repro/internal/device"
 	"repro/internal/internet"
+	"repro/internal/telemetry"
 )
 
 // crawlApps is the app set the parallel tests crawl with.
@@ -18,6 +19,12 @@ var crawlApps = []string{"com.linkedin.android", "kik.android", "org.chromium.we
 // fleetHarness boots n devices with crawl sites and IAB apps behind an ADB
 // farm — the multi-device §3.2.2 rig.
 func fleetHarness(tb testing.TB, devices, rateLimit int, waitScale float64) (*adb.Farm, []crux.Site) {
+	return fleetHarnessHub(tb, devices, rateLimit, waitScale, nil)
+}
+
+// fleetHarnessHub is fleetHarness with a telemetry hub installed on every
+// farm server.
+func fleetHarnessHub(tb testing.TB, devices, rateLimit int, waitScale float64, hub *telemetry.Hub) (*adb.Farm, []crux.Site) {
 	tb.Helper()
 	net := internet.New()
 	sites := crux.TopSites(10)
@@ -42,7 +49,7 @@ func fleetHarness(tb testing.TB, devices, rateLimit int, waitScale float64) (*ad
 		LinkOpens: corpus.LinkWebView, Injection: corpus.InjectNone,
 	})
 
-	cfg := adb.FarmConfig{WaitScale: waitScale}
+	cfg := adb.FarmConfig{WaitScale: waitScale, Telemetry: hub}
 	if rateLimit > 0 {
 		cfg.RateLimits = map[string]int{"kik.android": rateLimit}
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/retry"
+	"repro/internal/telemetry"
 )
 
 // Config sets per-operation fault probabilities (each in [0,1]).
@@ -42,6 +43,10 @@ type Config struct {
 	TruncateRate float64
 	// CorruptRate is the probability a payload is damaged in place.
 	CorruptRate float64
+	// Telemetry, when non-nil, counts every fault that actually fires into
+	// faults_injected_total{class=error|latency|truncate|corrupt}. The
+	// counts are as deterministic as the draws: same seed, same counters.
+	Telemetry *telemetry.Hub
 }
 
 // injector derives per-(op, key, attempt) fault decisions.
@@ -73,6 +78,12 @@ type draw struct {
 	attempt int
 }
 
+// injected counts one fired fault of the given class.
+func (d draw) injected(class string) {
+	d.cfg.Telemetry.Counter("faults_injected_total",
+		"faults fired by the chaos injector, by class", "class", class).Inc()
+}
+
 // uniform hashes (seed, op, key, attempt, class) into [0, 1).
 func (d draw) uniform(class string) float64 {
 	h := fnv.New64a()
@@ -86,6 +97,7 @@ func (d draw) delay(ctx context.Context) error {
 	if d.cfg.LatencyRate <= 0 || d.uniform("latency") >= d.cfg.LatencyRate {
 		return nil
 	}
+	d.injected("latency")
 	lat := d.cfg.Latency
 	if lat <= 0 {
 		lat = time.Millisecond
@@ -107,6 +119,7 @@ func (d draw) delay(ctx context.Context) error {
 // err returns the injected transient error for this attempt, or nil.
 func (d draw) err() error {
 	if d.cfg.ErrorRate > 0 && d.uniform("error") < d.cfg.ErrorRate {
+		d.injected("error")
 		return retry.Transient(fmt.Errorf("faults: injected failure (%s %s attempt %d)", d.op, d.key, d.attempt))
 	}
 	return nil
@@ -118,6 +131,7 @@ func (d draw) truncate(b []byte) []byte {
 	if d.cfg.TruncateRate <= 0 || d.uniform("truncate") >= d.cfg.TruncateRate || len(b) == 0 {
 		return b
 	}
+	d.injected("truncate")
 	n := int(d.uniform("truncate-point") * float64(len(b)))
 	if n >= len(b) {
 		n = len(b) - 1
@@ -131,6 +145,7 @@ func (d draw) corrupt(b []byte) []byte {
 	if d.cfg.CorruptRate <= 0 || d.uniform("corrupt") >= d.cfg.CorruptRate || len(b) == 0 {
 		return b
 	}
+	d.injected("corrupt")
 	out := append([]byte(nil), b...)
 	out[int(d.uniform("corrupt-at")*float64(len(out)))%len(out)] ^= 0xff
 	return out

@@ -123,6 +123,7 @@ func (s *Store) Load(key string) ([]byte, bool, error) {
 		return blob, ok, err
 	}
 	if d.cfg.CorruptRate > 0 && d.uniform("corrupt") < d.cfg.CorruptRate && len(blob) > 0 {
+		d.injected("corrupt")
 		out := append([]byte(nil), blob...)
 		out[0] ^= 0xff
 		return out, true, nil
@@ -178,9 +179,11 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, err
 	}
 	if wantTrunc {
+		d.injected("truncate")
 		body = d.truncateAlways(body)
 	}
 	if wantCorrupt && len(body) > 0 {
+		d.injected("corrupt")
 		body = append([]byte(nil), body...)
 		body[int(d.uniform("corrupt-at")*float64(len(body)))%len(body)] ^= 0xff
 	}

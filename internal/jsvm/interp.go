@@ -186,6 +186,7 @@ func (vm *VM) step(ln int) error {
 		limit = defaultMaxSteps
 	}
 	if vm.steps > limit {
+		stepBudgetCounter.Load().Inc()
 		return fmt.Errorf("jsvm: %w (line %d)", ErrStepBudget, ln)
 	}
 	return nil

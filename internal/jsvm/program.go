@@ -3,6 +3,8 @@ package jsvm
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Program is a parsed script ready for repeated execution. A Program is
@@ -49,6 +51,19 @@ type Cache struct {
 	m      map[string]*Program
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	// hitC/missC mirror the counters into a telemetry registry; nil (the
+	// default) is a no-op. The split is deterministic even under compile
+	// races: the race loser counts a hit, so misses always equals the
+	// number of distinct sources.
+	hitC, missC *telemetry.Counter
+}
+
+// Instrument mirrors the cache's hit/miss traffic into telemetry counters.
+// Call before the cache is shared across goroutines.
+func (c *Cache) Instrument(hits, misses *telemetry.Counter) {
+	c.mu.Lock()
+	c.hitC, c.missC = hits, misses
+	c.mu.Unlock()
 }
 
 // NewCache returns an empty program cache.
@@ -59,9 +74,11 @@ func NewCache() *Cache { return &Cache{m: make(map[string]*Program)} }
 func (c *Cache) Compile(src string) (*Program, error) {
 	c.mu.RLock()
 	p, ok := c.m[src]
+	hitC := c.hitC
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		hitC.Inc()
 		return p, nil
 	}
 	compiled, err := Compile(src)
@@ -72,9 +89,11 @@ func (c *Cache) Compile(src string) (*Program, error) {
 	defer c.mu.Unlock()
 	if p, ok := c.m[src]; ok { // lost a race: keep the first entry
 		c.hits.Add(1)
+		c.hitC.Inc()
 		return p, nil
 	}
 	c.misses.Add(1)
+	c.missC.Inc()
 	c.m[src] = compiled
 	return compiled, nil
 }
@@ -106,3 +125,19 @@ func CompileCached(src string) (*Program, error) {
 // DefaultCacheStats exposes the process-wide cache counters (for stats
 // lines and tests).
 func DefaultCacheStats() (hits, misses uint64) { return defaultCache.Stats() }
+
+// stepBudgetCounter counts scripts halted by the step budget; set through
+// Instrument, read lock-free on the (rare) exhaustion path.
+var stepBudgetCounter atomic.Pointer[telemetry.Counter]
+
+// Instrument wires the package's process-wide observability into hub: the
+// default program cache's hit/miss traffic
+// (jsvm_program_cache_total{result}) and the count of scripts killed by
+// the interpreter step budget (jsvm_step_budget_exhausted_total).
+func Instrument(hub *telemetry.Hub) {
+	defaultCache.Instrument(
+		hub.Counter("jsvm_program_cache_total", "program-cache lookups by result", "result", "hit"),
+		hub.Counter("jsvm_program_cache_total", "program-cache lookups by result", "result", "miss"),
+	)
+	stepBudgetCounter.Store(hub.Counter("jsvm_step_budget_exhausted_total", "scripts halted by the interpreter step budget"))
+}

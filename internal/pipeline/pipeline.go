@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -50,6 +51,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/retry"
 	"repro/internal/sdkindex"
+	"repro/internal/telemetry"
 	"repro/internal/webviewlint"
 
 	"repro/internal/android"
@@ -101,6 +103,15 @@ type Config struct {
 	// analysis entirely. The journal is bound to the index/lint
 	// fingerprint at Run start and refuses to resume across config changes.
 	Journal *Journal
+	// Telemetry, when non-nil, receives the run's metrics (per-stage item
+	// and latency families, cache and journal traffic, in-flight bytes) and,
+	// if the hub has tracing enabled, one trace per downloaded APK
+	// reconstructing its download→analyze→lint path. When nil the stages
+	// still update counters — against a private hub — and Stats is derived
+	// from them, so instrumented and uninstrumented runs take the same code
+	// path. The run also mirrors Cache and Retry.Metrics traffic into the
+	// hub.
+	Telemetry *telemetry.Hub
 }
 
 // Pipeline wires the stages together.
@@ -259,6 +270,10 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
+	m := newRunMetrics(p.cfg.Telemetry)
+	if p.cfg.Telemetry != nil {
+		p.instrumentShared(p.cfg.Telemetry)
+	}
 	var retriesStart int64
 	if p.cfg.Retry != nil && p.cfg.Retry.Metrics != nil {
 		retriesStart = p.cfg.Retry.Metrics.Retries.Load()
@@ -275,14 +290,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	res.Funnel.Snapshot = len(pkgs)
 	res.Stats.List = StageStats{Wall: time.Since(listStart), In: len(pkgs), Out: len(pkgs)}
 	res.Stats.Metadata.In = len(pkgs)
+	m.metaIn.Add(int64(len(pkgs)))
 
 	workers := p.cfg.Workers
 
 	var (
-		mu      sync.Mutex // guards funnel, apps, broken, stats, in-flight bytes
-		apps    []AppResult
-		broken  int // plain counter: the keys of the old sync.Map were never read
-		inBytes int64
+		mu     sync.Mutex // guards funnel, apps, broken and the quarantine list
+		apps   []AppResult
+		broken int // plain counter: the keys of the old sync.Map were never read
 	)
 	var (
 		errMu    sync.Mutex
@@ -310,15 +325,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		mu.Lock()
 		res.Quarantined = append(res.Quarantined, Quarantine{Package: pkg, Stage: stage, Err: qerr.Error()})
 		n := len(res.Quarantined)
-		switch stage {
-		case "metadata":
-			res.Stats.Metadata.Quarantined++
-		case "download":
-			res.Stats.Download.Quarantined++
-		case "analyze":
-			res.Stats.Analyze.Quarantined++
-		}
 		mu.Unlock()
+		m.quarantined(stage).Inc()
 		if n > budget {
 			fail(stage, fmt.Errorf("error budget exceeded (%d quarantined > budget %d of %d packages): %w",
 				n, budget, res.Funnel.Snapshot, qerr))
@@ -331,9 +339,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			return
 		}
 		if err := p.cfg.Journal.Record(pkg, *an); err != nil {
-			mu.Lock()
-			res.Stats.JournalErrors++
-			mu.Unlock()
+			m.journalErrors.Inc()
 		}
 	}
 
@@ -401,11 +407,12 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				res.Funnel.OnPlay += onPlay
 				res.Funnel.Popular += popular
 				res.Funnel.Filtered += filtered
-				res.Stats.Metadata.Out += filtered
 				mu.Unlock()
+				m.metaOut.Add(int64(filtered))
 			}()
 			for chunk := range pkgCh {
 				for _, pkg := range chunk {
+					tm := m.hub.Timer(pkg, "metadata")
 					md, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) (playstore.Metadata, error) {
 						md, err := p.meta.Metadata(ctx, pkg)
 						if err != nil && errors.Is(err, playstore.ErrNotFound) {
@@ -414,6 +421,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 						}
 						return md, err
 					})
+					tm.ObserveInto(m.metaLat)
 					if err != nil {
 						if errors.Is(err, playstore.ErrNotFound) {
 							continue
@@ -460,8 +468,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				// download or an analysis slot on it.
 				if p.cfg.Journal != nil {
 					if an, ok := p.cfg.Journal.Lookup(sel.pkg); ok {
+						m.journalSkips.Inc()
 						mu.Lock()
-						res.Stats.JournalSkips++
 						if an.Broken {
 							broken++
 						} else {
@@ -476,10 +484,16 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				case <-runCtx.Done():
 					return
 				}
+				tr := m.hub.Trace("apk:" + sel.pkg)
+				sp := tr.Start("download")
+				tm := m.hub.Timer(sel.pkg, "download")
 				img, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) ([]byte, error) {
 					return p.repo.Download(ctx, sel.pkg)
 				})
+				tm.ObserveInto(m.dlLat)
 				if err != nil {
+					sp.SetAttr("outcome", "quarantined")
+					sp.End()
 					<-sem
 					if runCtx.Err() != nil {
 						return
@@ -487,21 +501,20 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					quarantine("download", sel.pkg, err)
 					continue
 				}
-				mu.Lock()
-				res.Stats.Download.In++
-				inBytes += int64(len(img))
-				if inBytes > res.Stats.PeakInFlightBytes {
-					res.Stats.PeakInFlightBytes = inBytes
-				}
-				mu.Unlock()
+				sp.SetAttr("bytes", strconv.Itoa(len(img)))
+				sp.End()
+				m.dlIn.Inc()
+				m.apkBytes.Observe(float64(len(img)))
+				m.addInFlight(int64(len(img)))
 
 				var key string
 				if p.cfg.Cache != nil {
 					key = p.contentKey(img)
 					if an, ok := p.cfg.Cache.Get(key); ok {
+						m.cacheHits.Inc()
+						m.addInFlight(-int64(len(img)))
+						tr.Start("cache", "result", "hit").End()
 						mu.Lock()
-						res.Stats.CacheHits++
-						inBytes -= int64(len(img))
 						if an.Broken {
 							broken++
 						} else {
@@ -512,19 +525,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 						<-sem
 						continue
 					}
-					mu.Lock()
-					res.Stats.CacheMisses++
-					mu.Unlock()
+					m.cacheMisses.Inc()
+					tr.Start("cache", "result", "miss").End()
 				}
 				select {
 				case anCh <- task{md: sel.md, img: img, key: key}:
-					mu.Lock()
-					res.Stats.Download.Out++
-					mu.Unlock()
+					m.dlOut.Inc()
 				case <-runCtx.Done():
-					mu.Lock()
-					inBytes -= int64(len(img))
-					mu.Unlock()
+					m.addInFlight(-int64(len(img)))
 					<-sem
 					return
 				}
@@ -542,25 +550,31 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer anWG.Done()
 			for t := range anCh {
-				an, parsed, err := analyzeImage(p.cfg.Index, t.img, linting)
+				m.anIn.Inc()
+				tr := m.hub.Trace("apk:" + t.md.Package)
+				sp := tr.Start("analyze")
+				tm := m.hub.Timer(t.md.Package, "analyze")
+				an, parsed, err := analyzeImage(p.cfg.Index, t.img, linting, tr)
+				tm.ObserveInto(m.anLat)
 				n := int64(len(t.img))
 				t.img = nil
-				mu.Lock()
-				inBytes -= n
-				res.Stats.Analyze.In++
-				mu.Unlock()
+				m.addInFlight(-n)
 				<-sem
 				if err != nil {
+					sp.SetAttr("outcome", "quarantined")
+					sp.End()
 					if runCtx.Err() != nil {
 						return
 					}
 					quarantine("analyze", t.md.Package, err)
 					continue
 				}
+				if an.Broken {
+					sp.SetAttr("outcome", "broken")
+				}
+				sp.End()
 				if linting && !an.Broken {
-					mu.Lock()
-					res.Stats.Analyze.Out++
-					mu.Unlock()
+					m.anOut.Inc()
 					select {
 					case lintCh <- lintTask{md: t.md, an: an, parsed: parsed, key: t.key}:
 					case <-runCtx.Done():
@@ -577,9 +591,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					broken++
 				} else {
 					apps = append(apps, appResult(t.md, an))
-					res.Stats.Analyze.Out++
 				}
 				mu.Unlock()
+				if !an.Broken {
+					m.anOut.Inc()
+				}
 			}
 		}()
 	}
@@ -595,21 +611,26 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			go func() {
 				defer lintWG.Done()
 				for t := range lintCh {
+					m.lintIn.Inc()
+					sp := m.hub.Trace("apk:" + t.md.Package).Start("lint")
+					tm := m.hub.Timer(t.md.Package, "lint")
 					findings := p.cfg.Lint.Analyze(webviewlint.App{
 						Units: t.parsed.units,
 						Graph: t.parsed.graph,
 						Index: p.cfg.Index,
 					})
+					tm.ObserveInto(m.lintLat)
+					sp.SetAttr("findings", strconv.Itoa(len(findings)))
+					sp.End()
 					t.an.Lint = findings
 					t.an.normalize()
 					if p.cfg.Cache != nil {
 						p.cfg.Cache.Put(t.key, *t.an)
 					}
 					record(t.md.Package, t.an)
+					m.lintOut.Inc()
+					m.lintFindings.Add(int64(len(findings)))
 					mu.Lock()
-					res.Stats.Lint.In++
-					res.Stats.Lint.Out++
-					res.Stats.LintFindings += len(findings)
 					apps = append(apps, appResult(t.md, t.an))
 					mu.Unlock()
 				}
@@ -620,25 +641,20 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	// Drain the stages in order. Each close releases the next pool's range
 	// loop; the waits overlap with downstream stages still working.
 	metaWG.Wait()
-	mu.Lock()
 	res.Stats.Metadata.Wall = time.Since(streamStart)
-	mu.Unlock()
 	close(selCh)
 	dlWG.Wait()
-	mu.Lock()
 	res.Stats.Download.Wall = time.Since(streamStart)
-	mu.Unlock()
 	close(anCh)
 	anWG.Wait()
-	mu.Lock()
 	res.Stats.Analyze.Wall = time.Since(streamStart)
-	mu.Unlock()
 	close(lintCh)
 	lintWG.Wait()
 	if linting {
 		res.Stats.Lint.Wall = time.Since(streamStart)
 	}
 	res.Stats.Total = time.Since(t0)
+	m.fill(&res.Stats)
 
 	errMu.Lock()
 	err = firstErr
@@ -725,7 +741,7 @@ func AnalyzeImage(idx *sdkindex.Index, img []byte) (*Analysis, error) {
 	if idx == nil {
 		idx = sdkindex.Default()
 	}
-	an, _, err := analyzeImage(idx, img, false)
+	an, _, err := analyzeImage(idx, img, false, nil)
 	return an, err
 }
 
@@ -736,7 +752,7 @@ func AnalyzeAndLint(idx *sdkindex.Index, lint *webviewlint.Analyzer, img []byte)
 	if idx == nil {
 		idx = sdkindex.Default()
 	}
-	an, parsed, err := analyzeImage(idx, img, true)
+	an, parsed, err := analyzeImage(idx, img, true, nil)
 	if err != nil || an.Broken {
 		return an, err
 	}
@@ -745,7 +761,7 @@ func AnalyzeAndLint(idx *sdkindex.Index, lint *webviewlint.Analyzer, img []byte)
 	return an, nil
 }
 
-func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool) (*Analysis, *parsedAPK, error) {
+func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool, tr *telemetry.Trace) (*Analysis, *parsedAPK, error) {
 	a, err := apk.Open(img)
 	if err != nil {
 		if errors.Is(err, apk.ErrBroken) {
@@ -764,12 +780,15 @@ func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool) (*Analysis, 
 	if keepParsed {
 		parsed = &parsedAPK{units: make([]*javaparser.CompilationUnit, 0, len(a.Dex.Classes))}
 	}
+	dp := tr.Child("analyze", "decompile-parse")
 	subclasses := sc.subclasses[:0]
 	for _, unit := range decompiler.Decompile(a.Dex) {
 		cu, err := javaparser.Parse(unit.Source)
 		if err != nil {
 			// A decompilation the parser cannot read counts as broken.
 			sc.subclasses = subclasses
+			dp.SetAttr("outcome", "broken")
+			dp.End()
 			return &Analysis{Broken: true}, nil, nil
 		}
 		if keepParsed {
@@ -781,6 +800,7 @@ func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool) (*Analysis, 
 			}
 		}
 	}
+	dp.End()
 	sort.Strings(subclasses)
 	sc.subclasses = subclasses
 
@@ -790,11 +810,13 @@ func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool) (*Analysis, 
 	for _, dl := range a.Manifest.DeepLinkActivities() {
 		excl[dl] = true
 	}
+	cg := tr.Child("analyze", "callgraph")
 	g := callgraph.Build(a.Dex)
 	if keepParsed {
 		parsed.graph = g
 	}
 	usage := g.AnalyzeUsage(excl)
+	cg.End()
 
 	an := &Analysis{
 		UsesWebView: usage.UsesWebView(),

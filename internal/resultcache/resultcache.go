@@ -16,6 +16,8 @@ import (
 	"container/list"
 	"encoding/json"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // BlobStore is the persistent tier: a durable key → blob map. Implementations
@@ -67,6 +69,20 @@ type Stats struct {
 	Entries   int    // current LRU population
 }
 
+// Hooks mirrors cache traffic into telemetry counters as it happens, so a
+// live /metrics scrape sees the same numbers Stats reports at the end.
+// Every field is optional: nil counters are no-ops, so a zero Hooks is
+// valid (and is the default).
+type Hooks struct {
+	Hits      *telemetry.Counter
+	Misses    *telemetry.Counter
+	MemHits   *telemetry.Counter
+	StoreHits *telemetry.Counter
+	Evictions *telemetry.Counter
+	Errors    *telemetry.Counter
+	Purged    *telemetry.Counter
+}
+
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses
@@ -91,6 +107,15 @@ type Cache[V any] struct {
 	store      BlobStore
 	codec      Codec[V]
 	stats      Stats
+	hooks      Hooks
+}
+
+// SetHooks installs telemetry mirrors for the traffic counters. Call
+// before sharing the cache across goroutines.
+func (c *Cache[V]) SetHooks(h Hooks) {
+	c.mu.Lock()
+	c.hooks = h
+	c.mu.Unlock()
 }
 
 // New returns a memory-only cache holding at most maxEntries values
@@ -123,6 +148,8 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
 		c.stats.MemHits++
+		c.hooks.Hits.Inc()
+		c.hooks.MemHits.Inc()
 		v := el.Value.(*entry[V]).val
 		c.mu.Unlock()
 		return v, true
@@ -158,6 +185,8 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	c.stats.Hits++
 	c.stats.StoreHits++
+	c.hooks.Hits.Inc()
+	c.hooks.StoreHits.Inc()
 	c.insertLocked(key, v)
 	c.mu.Unlock()
 	return v, true
@@ -179,6 +208,7 @@ func (c *Cache[V]) Put(key string, v V) {
 	if err != nil {
 		c.mu.Lock()
 		c.stats.Errors++
+		c.hooks.Errors.Inc()
 		c.mu.Unlock()
 	}
 }
@@ -195,12 +225,14 @@ func (c *Cache[V]) insertLocked(key string, v V) {
 		c.ll.Remove(back)
 		delete(c.items, back.Value.(*entry[V]).key)
 		c.stats.Evictions++
+		c.hooks.Evictions.Inc()
 	}
 }
 
 func (c *Cache[V]) miss() {
 	c.mu.Lock()
 	c.stats.Misses++
+	c.hooks.Misses.Inc()
 	c.mu.Unlock()
 }
 
@@ -208,6 +240,8 @@ func (c *Cache[V]) fault() {
 	c.mu.Lock()
 	c.stats.Misses++
 	c.stats.Errors++
+	c.hooks.Misses.Inc()
+	c.hooks.Errors.Inc()
 	c.mu.Unlock()
 }
 
@@ -223,11 +257,13 @@ func (c *Cache[V]) purge(store BlobStore, key string) {
 	if err := d.Delete(key); err != nil {
 		c.mu.Lock()
 		c.stats.Errors++
+		c.hooks.Errors.Inc()
 		c.mu.Unlock()
 		return
 	}
 	c.mu.Lock()
 	c.stats.Purged++
+	c.hooks.Purged.Inc()
 	c.mu.Unlock()
 }
 

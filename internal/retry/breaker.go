@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrOpen is returned (wrapped) by Breaker.Allow while the breaker is
@@ -26,6 +28,9 @@ type Breaker struct {
 	fails     int
 	openUntil time.Time
 	opens     int64
+
+	openCount  *telemetry.Counter
+	closeCount *telemetry.Counter
 }
 
 // NewBreaker returns a breaker tripping after threshold consecutive
@@ -39,6 +44,20 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 		cooldown = 30 * time.Second
 	}
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Instrument mirrors the breaker's state transitions into telemetry
+// counters: opens increments each time the breaker trips, closes each time
+// a probe succeeds and closes it. Nil counters are no-ops. Note these are
+// scheduling-dependent under concurrency — which goroutine's failure trips
+// the threshold varies — so they belong on a live dashboard, not in a
+// deterministic snapshot comparison.
+func (b *Breaker) Instrument(opens, closes *telemetry.Counter) *Breaker {
+	b.mu.Lock()
+	b.openCount = opens
+	b.closeCount = closes
+	b.mu.Unlock()
+	return b
 }
 
 // WithClock replaces the breaker's clock (for deterministic tests) and
@@ -69,6 +88,9 @@ func (b *Breaker) Allow() error {
 func (b *Breaker) Record(err error) {
 	if err == nil {
 		b.mu.Lock()
+		if !b.openUntil.IsZero() {
+			b.closeCount.Inc()
+		}
 		b.fails = 0
 		b.openUntil = time.Time{}
 		b.mu.Unlock()
@@ -80,6 +102,9 @@ func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	b.fails++
 	if b.fails >= b.threshold {
+		if b.openUntil.IsZero() {
+			b.openCount.Inc()
+		}
 		b.openUntil = b.now().Add(b.cooldown)
 		b.opens++
 	}

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Default backoff parameters, used when the corresponding Policy field is
@@ -41,6 +43,47 @@ type Metrics struct {
 	Failures atomic.Int64
 	// BreakerRejects counts calls refused by an open circuit breaker.
 	BreakerRejects atomic.Int64
+
+	// Mirror, when its counters are set, duplicates every increment into a
+	// telemetry registry so a live scrape sees retry traffic as it happens.
+	// Set before the Metrics is shared; nil counters are no-ops.
+	Mirror Mirror
+}
+
+// Mirror holds the telemetry counters Metrics duplicates into.
+type Mirror struct {
+	Attempts       *telemetry.Counter
+	Retries        *telemetry.Counter
+	Failures       *telemetry.Counter
+	BreakerRejects *telemetry.Counter
+}
+
+func (m *Metrics) attempt() {
+	if m != nil {
+		m.Attempts.Add(1)
+		m.Mirror.Attempts.Inc()
+	}
+}
+
+func (m *Metrics) retried() {
+	if m != nil {
+		m.Retries.Add(1)
+		m.Mirror.Retries.Inc()
+	}
+}
+
+func (m *Metrics) failed() {
+	if m != nil {
+		m.Failures.Add(1)
+		m.Mirror.Failures.Inc()
+	}
+}
+
+func (m *Metrics) rejected() {
+	if m != nil {
+		m.BreakerRejects.Add(1)
+		m.Mirror.BreakerRejects.Inc()
+	}
 }
 
 // Policy parameterises Do. The zero value (or a nil pointer) means a
@@ -94,15 +137,11 @@ func Do[T any](ctx context.Context, p *Policy, fn func(context.Context) (T, erro
 	for i := 0; ; i++ {
 		if p.Breaker != nil {
 			if err := p.Breaker.Allow(); err != nil {
-				if p.Metrics != nil {
-					p.Metrics.BreakerRejects.Add(1)
-				}
+				p.Metrics.rejected()
 				return zero, err
 			}
 		}
-		if p.Metrics != nil {
-			p.Metrics.Attempts.Add(1)
-		}
+		p.Metrics.attempt()
 		v, err := fn(ctx)
 		if p.Breaker != nil {
 			p.Breaker.Record(err)
@@ -111,20 +150,14 @@ func Do[T any](ctx context.Context, p *Policy, fn func(context.Context) (T, erro
 			return v, nil
 		}
 		if i+1 >= attempts || ctx.Err() != nil || !classify(err) {
-			if p.Metrics != nil {
-				p.Metrics.Failures.Add(1)
-			}
+			p.Metrics.failed()
 			return zero, err
 		}
-		if p.Metrics != nil {
-			p.Metrics.Retries.Add(1)
-		}
+		p.Metrics.retried()
 		if serr := p.sleep(ctx, p.backoff(i)); serr != nil {
 			// The wait was cut short by the context; the operation's own
 			// error is the informative one.
-			if p.Metrics != nil {
-				p.Metrics.Failures.Add(1)
-			}
+			p.Metrics.failed()
 			return zero, err
 		}
 	}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromFamily is one parsed metric family from a text exposition. Sample
+// keys are the rendered label sets exactly as exposed (sorted, escaped),
+// without the surrounding braces — "" for an unlabeled series.
+type PromFamily struct {
+	Name string
+	Type string
+	Help string
+	// Samples holds counter/gauge values.
+	Samples map[string]float64
+	// Buckets, Sums and Counts hold histogram series; Buckets keys include
+	// the "le" label.
+	Buckets map[string]float64
+	Sums    map[string]float64
+	Counts  map[string]float64
+}
+
+// ParseProm parses a Prometheus text exposition (the subset WriteProm
+// emits: HELP/TYPE comments, counter, gauge and histogram samples). It is
+// the round-trip half of the exposition contract — tests and the smoke
+// tool use it to assert a scrape is well-formed and complete.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	get := func(name string) *PromFamily {
+		f := fams[name]
+		if f == nil {
+			f = &PromFamily{
+				Name:    name,
+				Samples: make(map[string]float64),
+				Buckets: make(map[string]float64),
+				Sums:    make(map[string]float64),
+				Counts:  make(map[string]float64),
+			}
+			fams[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "HELP" {
+				get(fields[2]).Help = fields[3]
+			}
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				get(fields[2]).Type = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", ln, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			get(strings.TrimSuffix(name, "_bucket")).Buckets[labels] = value
+		case strings.HasSuffix(name, "_sum") && fams[strings.TrimSuffix(name, "_sum")] != nil:
+			get(strings.TrimSuffix(name, "_sum")).Sums[labels] = value
+		case strings.HasSuffix(name, "_count") && fams[strings.TrimSuffix(name, "_count")] != nil:
+			get(strings.TrimSuffix(name, "_count")).Counts[labels] = value
+		default:
+			get(name).Samples[labels] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return fams, nil
+}
+
+// parsePromSample splits `name{labels} value` (labels optional) without
+// breaking on '}' or spaces inside quoted label values.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := closingBrace(line, i)
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = line[i+1 : end]
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// closingBrace finds the index of the '}' matching the '{' at open,
+// honouring quoted label values with backslash escapes.
+func closingBrace(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and hands out atomic handles. Handles are
+// resolved once (a lock and a map lookup) and then updated lock-free, so
+// hot paths pay one atomic add per event. All exposition orders are
+// canonical — families by name, series by label signature — so equal
+// traffic produces byte-equal output.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its metadata plus every labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64 // histogram upper bounds, ascending
+	series  map[string]any
+}
+
+// Counter is a monotonically increasing series. Nil receivers are no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can go up and down. Nil receivers are no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds n (negative to decrement) and returns the new value.
+func (g *Gauge) Add(n int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(n)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Observations are counted into
+// the first bucket whose upper bound is >= the value, plus an implicit
+// +Inf bucket; the sum is kept in integer nano-units so updates stay
+// atomic and exposition stays deterministic. Nil receivers are no-ops.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // len(bounds)+1, last = +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(math.Round(v * 1e9)))
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNanos.Load()) / 1e9
+}
+
+// DefaultLatencyBuckets covers 100µs–10s, the span of every operation the
+// pipeline and crawl time (values in seconds).
+var DefaultLatencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// DefaultSizeBuckets covers 1KiB–64MiB, the span of APK images and blobs
+// (values in bytes).
+var DefaultSizeBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}
+
+// Counter returns (creating on first use) the counter series of the named
+// family with the given label key/value pairs. The family's kind is fixed
+// by its first registration; a kind or label-arity mismatch panics — it is
+// a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.series(name, help, kindCounter, nil, labels)
+	return s.(*Counter)
+}
+
+// Gauge returns (creating on first use) the gauge series of the named
+// family with the given label key/value pairs.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.series(name, help, kindGauge, nil, labels)
+	return s.(*Gauge)
+}
+
+// Histogram returns (creating on first use) the histogram series of the
+// named family. The bucket upper bounds are fixed by the family's first
+// registration; nil buckets default to DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	s := r.series(name, help, kindHistogram, buckets, labels)
+	return s.(*Histogram)
+}
+
+func (r *Registry) series(name, help string, k kind, buckets []float64, labels []string) any {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: %s: odd label pairs %v", name, labels))
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, series: make(map[string]any)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("telemetry: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	if s, ok := f.series[sig]; ok {
+		return s
+	}
+	var s any
+	switch k {
+	case kindCounter:
+		s = &Counter{}
+	case kindGauge:
+		s = &Gauge{}
+	default:
+		h := &Histogram{bounds: f.buckets}
+		h.counts = make([]atomic.Int64, len(f.buckets)+1)
+		s = h
+	}
+	f.series[sig] = s
+	return s
+}
+
+// labelSignature canonicalises label pairs: sorted by key, joined with
+// unprintable separators so values containing '=' or ',' cannot collide.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(1)
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte(2)
+		sb.WriteString(p.v)
+	}
+	return sb.String()
+}
+
+// parseSignature splits a canonical signature back into ordered pairs.
+func parseSignature(sig string) [][2]string {
+	if sig == "" {
+		return nil
+	}
+	var out [][2]string
+	for _, part := range strings.Split(sig, "\x01") {
+		k, v, _ := strings.Cut(part, "\x02")
+		out = append(out, [2]string{k, v})
+	}
+	return out
+}

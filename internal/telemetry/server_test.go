@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fetch(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 4}, Tracing: true})
+	h.Counter("ops_total", "ops", "kind", "x").Add(2)
+	h.Trace("t1").Start("step").End()
+
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, ctype, body := fetch(t, base+"/healthz")
+	if code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	_ = ctype
+
+	code, ctype, body = fetch(t, base+"/metrics")
+	if code != 200 || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics = %d %q", code, ctype)
+	}
+	fams, err := ParseProm(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	if fams["ops_total"] == nil || fams["ops_total"].Samples[`kind="x"`] != 2 {
+		t.Errorf("/metrics missing ops_total: %s", body)
+	}
+
+	code, ctype, body = fetch(t, base+"/metrics.json")
+	if code != 200 || !strings.Contains(ctype, "application/json") || !strings.Contains(body, `"ops_total"`) {
+		t.Errorf("/metrics.json = %d %q %q", code, ctype, body)
+	}
+
+	code, ctype, body = fetch(t, base+"/trace")
+	if code != 200 || !strings.Contains(ctype, "x-ndjson") || !strings.Contains(body, `"span": "step"`) && !strings.Contains(body, `"span":"step"`) {
+		t.Errorf("/trace = %d %q %q", code, ctype, body)
+	}
+
+	code, _, body = fetch(t, base+"/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestFlagsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.jsonl")
+
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{
+		"-telemetry-addr", "127.0.0.1:0",
+		"-metrics-out", metrics,
+		"-trace-out", trace,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() {
+		t.Fatal("flags set but Enabled() == false")
+	}
+	h := f.Hub(11)
+	if h == nil {
+		t.Fatal("enabled flags returned nil hub")
+	}
+	if h2 := f.Hub(99); h2 != h {
+		t.Error("second Hub call built a new hub")
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.Counter("runs_total", "runs").Inc()
+	h.Trace("t").Start("s").End()
+
+	code, _, _ := fetch(t, "http://"+f.server.Addr+"/healthz")
+	if code != 200 {
+		t.Errorf("live server /healthz = %d", code)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(m), `"runs_total"`) {
+		t.Errorf("metrics-out missing runs_total: %s", m)
+	}
+	tr, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tr), `"span":"s"`) && !strings.Contains(string(tr), `"span": "s"`) {
+		t.Errorf("trace-out missing span: %s", tr)
+	}
+	if _, err := http.Get("http://" + f.server.Addr + "/healthz"); err == nil {
+		t.Error("server still up after Finish")
+	}
+}
+
+func TestFlagsDisabled(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Enabled() {
+		t.Error("no flags set but Enabled() == true")
+	}
+	if f.Hub(1) != nil {
+		t.Error("disabled flags returned a hub")
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

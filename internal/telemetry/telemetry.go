@@ -1,0 +1,140 @@
+// Package telemetry is the measurement pipeline's unified observability
+// layer: a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with Prometheus-style text exposition and a canonical JSON
+// snapshot), a lightweight span tracer that reconstructs one APK's or one
+// crawl visit's path through the system as JSONL, and a debug HTTP server
+// exposing both live alongside net/http/pprof.
+//
+// The package is dependency-free and deterministic by design. Everything
+// time-shaped flows through an injectable Timing source: RealTiming
+// measures wall clock, SeededTiming derives every duration from a hash of
+// (seed, scope, name, seq) — the same discipline internal/faults uses for
+// fault decisions — so two same-seed runs emit byte-identical metric
+// snapshots and trace files no matter how goroutines interleave. Metric
+// handles are nil-safe: a nil *Hub, *Counter, *Gauge, *Histogram, *Trace
+// or *Span is a no-op, so instrumented code never branches on whether
+// telemetry is enabled.
+package telemetry
+
+import "time"
+
+// Hub bundles the three telemetry facilities a run shares: the metrics
+// Registry, the span Tracer (nil unless Options.Tracing), and the Timing
+// source both draw durations from. A nil *Hub is a valid no-op hub.
+type Hub struct {
+	reg    *Registry
+	tracer *Tracer
+	timing Timing
+}
+
+// Options parameterises New.
+type Options struct {
+	// Timing supplies durations for histograms and spans; nil means
+	// RealTiming (wall clock).
+	Timing Timing
+	// Tracing enables the span tracer. Off by default: traces retain every
+	// span until exported, which only pays for itself when a -trace-out or
+	// debug endpoint will consume them.
+	Tracing bool
+}
+
+// New builds a Hub. New(Options{}) is a real-clock, metrics-only hub.
+func New(opts Options) *Hub {
+	t := opts.Timing
+	if t == nil {
+		t = RealTiming{}
+	}
+	h := &Hub{reg: NewRegistry(), timing: t}
+	if opts.Tracing {
+		h.tracer = NewTracer(t)
+	}
+	return h
+}
+
+// Registry returns the hub's metrics registry (nil for a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Tracer returns the hub's tracer, nil when tracing is disabled.
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer
+}
+
+// Counter returns the counter registered under name with the given label
+// pairs, creating it on first use.
+func (h *Hub) Counter(name, help string, labels ...string) *Counter {
+	if h == nil {
+		return nil
+	}
+	return h.reg.Counter(name, help, labels...)
+}
+
+// Gauge returns the gauge registered under name with the given label
+// pairs, creating it on first use.
+func (h *Hub) Gauge(name, help string, labels ...string) *Gauge {
+	if h == nil {
+		return nil
+	}
+	return h.reg.Gauge(name, help, labels...)
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds and label pairs, creating it on first use. The
+// bucket layout is fixed by the first registration of the family.
+func (h *Hub) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.reg.Histogram(name, help, buckets, labels...)
+}
+
+// Trace returns the trace with the given id, creating it on first use.
+// Returns nil (a no-op trace) when tracing is disabled.
+func (h *Hub) Trace(id string) *Trace {
+	if h == nil || h.tracer == nil {
+		return nil
+	}
+	return h.tracer.Trace(id)
+}
+
+// Timer starts timing one operation identified by (scope, name); see
+// Timing for how the elapsed duration is derived. Safe on a nil hub.
+func (h *Hub) Timer(scope, name string) Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{timing: h.timing, scope: scope, name: name, stamp: h.timing.Start()}
+}
+
+// Timer measures one operation through the hub's Timing source.
+type Timer struct {
+	timing Timing
+	scope  string
+	name   string
+	stamp  int64
+}
+
+// Elapsed returns the operation's duration (0 for a zero Timer).
+func (t Timer) Elapsed() time.Duration {
+	if t.timing == nil {
+		return 0
+	}
+	return t.timing.Since(t.stamp, t.scope, t.name, 0)
+}
+
+// ObserveInto records the elapsed duration, in seconds, into hist (which
+// may be nil) and returns it.
+func (t Timer) ObserveInto(hist *Histogram) time.Duration {
+	d := t.Elapsed()
+	if t.timing != nil {
+		hist.Observe(d.Seconds())
+	}
+	return d
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"math"
+	"time"
+)
+
+// Timing supplies every duration the telemetry layer records. The two
+// implementations trade truth for reproducibility:
+//
+//   - RealTiming measures wall clock — what a production run wants on its
+//     live /metrics endpoint.
+//   - SeededTiming derives each duration from a hash of (seed, scope,
+//     name, seq), so a duration depends only on *what* was measured,
+//     never on scheduling — what a deterministic snapshot wants.
+//
+// Callers obtain a stamp from Start when the operation begins and hand it
+// back to Since when it ends, together with a stable identity for the
+// operation: scope (e.g. a package or visit id), name (e.g. "download"),
+// and a sequence number disambiguating repeats within the scope.
+type Timing interface {
+	// Start returns an opaque stamp marking the beginning of an operation.
+	Start() int64
+	// Since returns the operation's duration given its start stamp and
+	// stable identity.
+	Since(start int64, scope, name string, seq int) time.Duration
+	// Deterministic reports whether durations are scheduling-independent.
+	Deterministic() bool
+}
+
+// RealTiming measures wall-clock time.
+type RealTiming struct{}
+
+// Start returns the current nanosecond reading.
+func (RealTiming) Start() int64 { return time.Now().UnixNano() }
+
+// Since returns wall time elapsed since start; identity is ignored.
+func (RealTiming) Since(start int64, _, _ string, _ int) time.Duration {
+	return time.Duration(time.Now().UnixNano() - start)
+}
+
+// Deterministic reports false: wall clock varies run to run.
+func (RealTiming) Deterministic() bool { return false }
+
+// SeededTiming derives durations from a hash of (seed, scope, name, seq),
+// mapped log-uniformly into [100µs, 250ms). Runs with equal seeds and
+// equal work report byte-identical timings regardless of goroutine
+// interleaving — the seeded-determinism discipline the fault injectors
+// established, applied to the clock.
+type SeededTiming struct {
+	// Seed drives every derived duration; equal seeds replay equal
+	// timings. Zero is a valid (and the conventional default) seed.
+	Seed int64
+}
+
+const (
+	seededMinDur = 100 * time.Microsecond
+	seededMaxDur = 250 * time.Millisecond
+)
+
+// Start returns 0: seeded durations do not depend on when they started.
+func (SeededTiming) Start() int64 { return 0 }
+
+// Since hashes the operation's identity into a stable duration.
+func (s SeededTiming) Since(_ int64, scope, name string, seq int) time.Duration {
+	h := fnv.New64a()
+	var buf [8]byte
+	putInt64(&buf, s.Seed)
+	h.Write(buf[:])
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	putInt64(&buf, int64(seq))
+	h.Write(buf[:])
+	u := float64(h.Sum64()>>11) / float64(uint64(1)<<53) // uniform [0,1)
+	// Log-uniform between the bounds: most operations are fast, a few are
+	// slow — the shape a latency histogram exists to capture.
+	d := float64(seededMinDur) * math.Pow(float64(seededMaxDur)/float64(seededMinDur), u)
+	return time.Duration(d)
+}
+
+// Deterministic reports true.
+func (SeededTiming) Deterministic() bool { return true }
+
+func putInt64(buf *[8]byte, v int64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTrace records the same two-trace workload against a fresh hub.
+func buildTrace(seed int64) *Tracer {
+	h := New(Options{Timing: SeededTiming{Seed: seed}, Tracing: true})
+	tr := h.Trace("apk:com.example")
+	root := tr.Start("analyze", "app", "com.example")
+	fetch := tr.Child("analyze", "fetch")
+	fetch.SetAttr("bytes", "1024")
+	fetch.End()
+	tr.Child("analyze", "parse").End()
+	root.End()
+
+	visit := h.Trace("visit:com.other/0")
+	visit.Start("pageload").End()
+	return h.Tracer()
+}
+
+func TestTraceJSONLByteStableAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace(7).WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace(7).WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("same-seed traces differ:\n%s----\n%s", a.String(), b.String())
+	}
+	var c bytes.Buffer
+	if err := buildTrace(8).WriteJSONL(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestTraceJSONLShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTrace(7).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d span lines, want 4:\n%s", len(lines), buf.String())
+	}
+	type row struct {
+		Trace   string            `json:"trace"`
+		Span    string            `json:"span"`
+		Parent  string            `json:"parent"`
+		Seq     int               `json:"seq"`
+		StartUS int64             `json:"start_us"`
+		DurUS   int64             `json:"dur_us"`
+		Attrs   map[string]string `json:"attrs"`
+	}
+	rows := make([]row, len(lines))
+	for i, ln := range lines {
+		if err := json.Unmarshal([]byte(ln), &rows[i]); err != nil {
+			t.Fatalf("line %d: %v: %s", i, err, ln)
+		}
+	}
+	// Traces sorted by id: apk:... before visit:...
+	if rows[0].Trace != "apk:com.example" || rows[3].Trace != "visit:com.other/0" {
+		t.Errorf("trace order wrong: %+v", rows)
+	}
+	// Spans within a trace are in completion order: fetch, parse, analyze.
+	if rows[0].Span != "fetch" || rows[1].Span != "parse" || rows[2].Span != "analyze" {
+		t.Errorf("span order wrong: %+v", rows)
+	}
+	if rows[0].Parent != "analyze" || rows[2].Parent != "" {
+		t.Errorf("parents wrong: %+v", rows)
+	}
+	if rows[0].Attrs["bytes"] != "1024" || rows[2].Attrs["app"] != "com.example" {
+		t.Errorf("attrs lost: %+v", rows)
+	}
+	// Deterministic mode: spans abut — each start is the previous start+dur.
+	if rows[1].StartUS != rows[0].StartUS+rows[0].DurUS {
+		t.Errorf("spans do not abut: %+v then %+v", rows[0], rows[1])
+	}
+	for i, r := range rows {
+		if r.DurUS <= 0 {
+			t.Errorf("row %d has non-positive duration: %+v", i, r)
+		}
+	}
+}
+
+func TestTracerDisabledIsNoOp(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 1}}) // Tracing: false
+	sp := h.Trace("x").Start("work")
+	if d := sp.End(); d != 0 {
+		t.Errorf("disabled tracer returned duration %v", d)
+	}
+	var buf bytes.Buffer
+	if err := h.Tracer().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("disabled tracer exported spans: %s", buf.String())
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 1}, Tracing: true})
+	tr := h.Trace("t")
+	sp := tr.Start("once")
+	first := sp.End()
+	if first == 0 {
+		t.Fatal("first End returned 0")
+	}
+	if again := sp.End(); again != 0 {
+		t.Errorf("second End returned %v, want 0", again)
+	}
+	if n := h.Tracer().Len(); n != 1 {
+		t.Errorf("trace count = %d, want 1", n)
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.spans) != 1 {
+		t.Errorf("span recorded %d times", len(tr.spans))
+	}
+}
