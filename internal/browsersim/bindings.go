@@ -75,6 +75,8 @@ func (p *Page) installBindings() {
 	})
 	g.Set("navigator", jsvm.ObjectValue(navigator))
 
+	p.installProbeAPIs(g, navigator)
+
 	// XMLHttpRequest: synchronous single-shot GET, enough for beacons and
 	// measurement pings.
 	g.Set("XMLHttpRequest", jsvm.ObjectValue(jsvm.NewHostFunc("XMLHttpRequest", func(c jsvm.Call) (jsvm.Value, error) {
@@ -134,6 +136,117 @@ func (p *Page) installBindings() {
 	})))
 
 	g.Set("performance", jsvm.ObjectValue(p.performanceObject()))
+}
+
+// resolvedPromise returns a fetch-style pseudo-promise already resolved
+// with v: then-callbacks run synchronously, catch is a no-op.
+func (p *Page) resolvedPromise(v jsvm.Value) *jsvm.Object {
+	promise := jsvm.NewObject()
+	promise.SetFunc("then", func(c jsvm.Call) (jsvm.Value, error) {
+		if fn := c.Arg(0); fn.Object() != nil && fn.Object().IsCallable() {
+			if _, err := c.VM.CallFunction(fn, jsvm.Undefined(), v); err != nil {
+				return jsvm.Undefined(), err
+			}
+		}
+		return jsvm.ObjectValue(promise), nil
+	})
+	promise.SetFunc("catch", func(c jsvm.Call) (jsvm.Value, error) {
+		return jsvm.ObjectValue(promise), nil
+	})
+	return promise
+}
+
+// installProbeAPIs exposes the sensor, storage and clipboard surfaces
+// the IAB test page probes (the read-only rows of Table 9; sensor and
+// clipboard coverage follows the Web-API security literature's probe
+// set). Everything is deterministic and records interception like every
+// other binding.
+func (p *Page) installProbeAPIs(g, navigator *jsvm.Object) {
+	// localStorage: in-memory, with a deterministic quota so storage-probe
+	// scripts observe a browser-like QuotaExceededError instead of
+	// unbounded success.
+	const storageQuota = 5120 // bytes of key+value across the store
+	store := map[string]string{}
+	used := 0
+	ls := jsvm.NewObject()
+	ls.SetFunc("getItem", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Storage", "getItem")
+		if v, ok := store[c.Arg(0).StringValue()]; ok {
+			return jsvm.String(v), nil
+		}
+		return jsvm.Null(), nil
+	})
+	ls.SetFunc("setItem", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Storage", "setItem")
+		k, v := c.Arg(0).StringValue(), c.Arg(1).StringValue()
+		delta := len(k) + len(v) - len(store[k])
+		if _, ok := store[k]; !ok {
+			delta = len(k) + len(v)
+		}
+		if used+delta > storageQuota {
+			e := jsvm.NewObject()
+			e.Set("name", jsvm.String("QuotaExceededError"))
+			e.Set("message", jsvm.String("exceeded the quota"))
+			return jsvm.Undefined(), &jsvm.Error{Value: jsvm.ObjectValue(e)}
+		}
+		store[k] = v
+		used += delta
+		return jsvm.Undefined(), nil
+	})
+	ls.SetFunc("removeItem", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Storage", "removeItem")
+		k := c.Arg(0).StringValue()
+		if v, ok := store[k]; ok {
+			used -= len(k) + len(v)
+			delete(store, k)
+		}
+		return jsvm.Undefined(), nil
+	})
+	ls.SetFunc("clear", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Storage", "clear")
+		store = map[string]string{}
+		used = 0
+		return jsvm.Undefined(), nil
+	})
+	g.Set("localStorage", jsvm.ObjectValue(ls))
+
+	// DeviceMotionEvent: constructible, with the iOS-style static
+	// requestPermission probe ad scripts use to detect sensor access.
+	dme := jsvm.NewHostFunc("DeviceMotionEvent", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("DeviceMotionEvent", "constructor")
+		ev := c.This.Object()
+		if ev == nil {
+			ev = jsvm.NewObject()
+		}
+		ev.Set("type", c.Arg(0))
+		accel := jsvm.NewObject()
+		accel.Set("x", jsvm.Number(0))
+		accel.Set("y", jsvm.Number(0))
+		accel.Set("z", jsvm.Number(0))
+		ev.Set("acceleration", jsvm.ObjectValue(accel))
+		ev.Set("interval", jsvm.Number(16))
+		return jsvm.ObjectValue(ev), nil
+	})
+	dme.SetFunc("requestPermission", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("DeviceMotionEvent", "requestPermission")
+		return jsvm.ObjectValue(p.resolvedPromise(jsvm.String("granted"))), nil
+	})
+	g.Set("DeviceMotionEvent", jsvm.ObjectValue(dme))
+
+	// navigator.clipboard: async read/write stubs over one deterministic
+	// in-page buffer.
+	var clipText string
+	clip := jsvm.NewObject()
+	clip.SetFunc("writeText", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Clipboard", "writeText")
+		clipText = c.Arg(0).StringValue()
+		return jsvm.ObjectValue(p.resolvedPromise(jsvm.Undefined())), nil
+	})
+	clip.SetFunc("readText", func(c jsvm.Call) (jsvm.Value, error) {
+		p.recordAPI("Clipboard", "readText")
+		return jsvm.ObjectValue(p.resolvedPromise(jsvm.String(clipText))), nil
+	})
+	navigator.Set("clipboard", jsvm.ObjectValue(clip))
 }
 
 func (p *Page) performanceObject() *jsvm.Object {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/jsvm"
 	"repro/internal/netlog"
 )
 
@@ -184,5 +185,97 @@ func TestSubresourceLimit(t *testing.T) {
 	}
 	if hits != 5 {
 		t.Errorf("subresource fetches = %d, want 5", hits)
+	}
+}
+
+// probeAPIScript exercises the sensor, storage and clipboard surfaces
+// the IAB test page probes with the bytecode engine's speed budget.
+const probeAPIScript = `
+var out = [];
+localStorage.setItem("k", "v");
+out.push(localStorage.getItem("k"));
+out.push(localStorage.getItem("missing") === null);
+var quota = "no";
+try {
+    var big = "x";
+    while (big.length < 9000) { big = big + big; }
+    localStorage.setItem("big", big);
+} catch (e) { quota = e.name; }
+out.push(quota);
+localStorage.removeItem("k");
+out.push(localStorage.getItem("k") === null);
+localStorage.clear();
+var ev = new DeviceMotionEvent("devicemotion");
+out.push(ev.type + ":" + ev.acceleration.x);
+var perm = "";
+DeviceMotionEvent.requestPermission().then(function(p) { perm = p; });
+out.push(perm);
+var clip = "";
+navigator.clipboard.writeText("copied").then(function() {
+    navigator.clipboard.readText().then(function(s) { clip = s; });
+});
+out.push(clip);
+out.join("|");`
+
+// probeAPIWant are the interception rows the probe script must produce,
+// in call order — the fixture the Figure 6 / Table 9 reporting consumes.
+var probeAPIWant = []APICall{
+	{Interface: "Storage", Method: "setItem"},
+	{Interface: "Storage", Method: "getItem"},
+	{Interface: "Storage", Method: "getItem"},
+	{Interface: "Storage", Method: "setItem"},
+	{Interface: "Storage", Method: "removeItem"},
+	{Interface: "Storage", Method: "getItem"},
+	{Interface: "Storage", Method: "clear"},
+	{Interface: "DeviceMotionEvent", Method: "constructor"},
+	{Interface: "DeviceMotionEvent", Method: "requestPermission"},
+	{Interface: "Clipboard", Method: "writeText"},
+	{Interface: "Clipboard", Method: "readText"},
+}
+
+const probeAPIWantOut = "v|true|QuotaExceededError|true|devicemotion:0|granted|copied"
+
+func runProbeAPIs(t *testing.T, eng jsvm.Engine) []APICall {
+	t.Helper()
+	srv := bindingsSite(t)
+	page := loadB(t, srv, nil)
+	page.VM.Engine = eng
+	out, err := page.Execute(probeAPIScript)
+	if err != nil {
+		t.Fatalf("engine %v: %v", eng, err)
+	}
+	if out != probeAPIWantOut {
+		t.Errorf("engine %v: out = %q, want %q", eng, out, probeAPIWantOut)
+	}
+	return page.APICalls()
+}
+
+// TestProbeAPIInterception asserts the new Web-API surfaces are
+// intercepted per call, row for row.
+func TestProbeAPIInterception(t *testing.T) {
+	got := runProbeAPIs(t, jsvm.EngineDefault)
+	if len(got) != len(probeAPIWant) {
+		t.Fatalf("api calls = %+v, want %+v", got, probeAPIWant)
+	}
+	for i, w := range probeAPIWant {
+		if got[i] != w {
+			t.Errorf("api call %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+// TestProbeAPIDifferentialParity runs the probe on both jsvm engines and
+// asserts the recorded interception rows are identical — the
+// telemetry-visible side effects the differential harness guarantees.
+func TestProbeAPIDifferentialParity(t *testing.T) {
+	ast := runProbeAPIs(t, jsvm.EngineAST)
+	bc := runProbeAPIs(t, jsvm.EngineBytecode)
+	if len(ast) != len(bc) {
+		t.Fatalf("row count: ast=%d bytecode=%d (%+v vs %+v)", len(ast), len(bc), ast, bc)
+	}
+	for i := range ast {
+		if ast[i] != bc[i] {
+			t.Errorf("row %d: ast=%+v bytecode=%+v", i, ast[i], bc[i])
+		}
 	}
 }

@@ -8,7 +8,11 @@ package crawler
 // BenchmarkCrawlParallel overlaps them across app lanes and devices —
 // the wall-clock ratio is the scheduler's speedup.
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/jsvm"
+)
 
 // benchWaitScale makes each visit sleep ~24ms (80s of modelled waiting at
 // 3e-4). The scale keeps waiting dominant over the simulator's CPU work —
@@ -17,7 +21,11 @@ import "testing"
 const benchWaitScale = 3e-4
 
 func benchCrawl(b *testing.B, devices, workers int) {
-	farm, sites := fleetHarness(b, devices, 0, benchWaitScale)
+	benchCrawlScaled(b, devices, workers, benchWaitScale)
+}
+
+func benchCrawlScaled(b *testing.B, devices, workers int, waitScale float64) {
+	farm, sites := fleetHarness(b, devices, 0, waitScale)
 	clients, err := farm.LaneClients(len(crawlApps))
 	if err != nil {
 		b.Fatal(err)
@@ -41,3 +49,21 @@ func benchCrawl(b *testing.B, devices, workers int) {
 func BenchmarkCrawlSequential(b *testing.B) { benchCrawl(b, 1, 1) }
 
 func BenchmarkCrawlParallel(b *testing.B) { benchCrawl(b, 2, 4) }
+
+// The CrawlCPU pair disables the modelled waits (WaitScale 0): with no
+// sleeping, ns/op is the CPU one full crawl burns, so the two variants
+// measure the script engines' contribution to crawl CPU directly —
+// the before/after BENCH_dynamic.json records.
+func BenchmarkCrawlCPUBytecode(b *testing.B) {
+	prev := jsvm.DefaultEngine()
+	jsvm.SetDefaultEngine(jsvm.EngineBytecode)
+	defer jsvm.SetDefaultEngine(prev)
+	benchCrawlScaled(b, 1, 1, 0)
+}
+
+func BenchmarkCrawlCPUAST(b *testing.B) {
+	prev := jsvm.DefaultEngine()
+	jsvm.SetDefaultEngine(jsvm.EngineAST)
+	defer jsvm.SetDefaultEngine(prev)
+	benchCrawlScaled(b, 1, 1, 0)
+}

@@ -83,3 +83,78 @@ func BenchmarkJSVMExecuteHot(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkJSVMBytecodeExecute is BenchmarkJSVMExecuteHot pinned to the
+// bytecode engine, with an AST-engine pair for same-binary comparison.
+func BenchmarkJSVMBytecodeExecute(b *testing.B) {
+	prog, err := Compile(`
+		function work(n) {
+			var t = 0;
+			for (var i = 0; i < n; i++) { t += i }
+			return t
+		}
+		work(50)
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineBytecode, EngineAST} {
+		b.Run(eng.String(), func(b *testing.B) {
+			vm := New()
+			vm.Engine = eng
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.RunProgram(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJSVMCompile measures the full compile pipeline (parse +
+// bytecode lowering) on the 120-function bundle — the cost a program
+// cache miss pays once per distinct script.
+func BenchmarkJSVMCompile(b *testing.B) {
+	src := parseHeavySrc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestICHitRate pins the inline caches actually engaging: on a hot
+// property/global workload the steady-state hit rate must be high.
+func TestICHitRate(t *testing.T) {
+	prog, err := Compile(`
+		var obj = {a: 1, b: 2};
+		function read() { return obj.a + obj.b }
+		var t = 0;
+		for (var i = 0; i < 200; i++) { t += read() }
+		t
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.main == nil {
+		t.Fatal("program did not lower to bytecode")
+	}
+	vm := New()
+	vm.Engine = EngineBytecode
+	for i := 0; i < 5; i++ {
+		if _, err := vm.RunProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := vm.ICStats()
+	if hits+misses == 0 {
+		t.Fatal("no inline-cache traffic recorded")
+	}
+	rate := float64(hits) / float64(hits+misses)
+	if rate < 0.95 {
+		t.Errorf("IC hit rate = %.3f (hits=%d misses=%d), want >= 0.95", rate, hits, misses)
+	}
+}

@@ -22,14 +22,37 @@ type VM struct {
 	Global *Object
 	global *scope
 	// MaxSteps bounds evaluated AST nodes per Run; 0 means the default.
+	// The bytecode engine charges per instruction against
+	// MaxSteps*bcStepFactor, keeping budgets calibrated for the walker
+	// valid.
 	MaxSteps int
 	steps    int
+
+	// Engine selects the execution strategy for RunProgram; the zero value
+	// means the package default (bytecode, unless SetDefaultEngine changed
+	// it). Programs whose bytecode compilation failed always fall back to
+	// the tree walker.
+	Engine Engine
 
 	// scopeFree recycles call/block scopes that no closure captured;
 	// argFree recycles argument slabs for script-function calls. Both cut
 	// the dominant allocations on the injected-script hot path.
 	scopeFree []*scope
 	argFree   [][]Value
+
+	// Bytecode engine state: the shared value stack, the last-expression
+	// register, per-program inline caches and their hit counters.
+	stack      []Value
+	sp         int
+	lastVal    Value
+	globalGen  uint32 // bumped on global-scope declare; validates global ICs
+	icTab      map[*funcProto][]icEntry
+	lastProto  *funcProto
+	lastICs    []icEntry
+	icHits     uint64
+	icMisses   uint64
+	icFlushedH uint64
+	icFlushedM uint64
 }
 
 const defaultMaxSteps = 2_000_000
@@ -122,6 +145,9 @@ func (s *scope) lookup(name string) (*Value, bool) {
 func (s *scope) declare(name string, v Value) {
 	val := v
 	s.vars[name] = &val
+	if s.vm != nil && s == s.vm.global {
+		s.vm.globalGen++ // invalidate global-lookup inline caches
+	}
 }
 
 // control-flow signals.
@@ -154,6 +180,15 @@ func (vm *VM) Run(src string) (Value, error) {
 // RunProgram executes a compiled program in the global scope. The program
 // is not mutated and may be shared with other VMs running concurrently.
 func (vm *VM) RunProgram(p *Program) (Value, error) {
+	eng := vm.Engine
+	if eng == EngineDefault {
+		eng = DefaultEngine()
+	}
+	if eng == EngineBytecode && p.main != nil {
+		executeCounter.Load().Inc()
+		return vm.runBytecode(p)
+	}
+	executeCounter.Load().Inc()
 	vm.steps = 0
 	// Hoisted function declarations (split out at compile time).
 	for i := range p.decls {
@@ -524,7 +559,7 @@ func (vm *VM) eval(e node, env *scope, this Value) (Value, error) {
 					return Undefined(), err
 				}
 				if o := obj.Object(); o != nil && m.prop != "" {
-					delete(o.props, m.prop)
+					o.Delete(m.prop)
 				}
 			}
 			return Bool(true), nil
@@ -732,6 +767,10 @@ func (vm *VM) invoke(fn Value, this Value, args []Value, ln int) (Value, error) 
 	}
 	if o.host != nil {
 		return o.host(Call{VM: vm, This: this, Args: args})
+	}
+	if o.proto != nil {
+		// Bytecode closure invoked from Go or from walker-evaluated code.
+		return vm.callClosure(o, this, args)
 	}
 	env := o.env.child()
 	defer env.release()

@@ -20,10 +20,69 @@ type Program struct {
 	// time removes the two hoisting passes Run used to make per execution.
 	stmts []node
 	decls []funcDecl
+	// main is the bytecode form (compile.go). nil when bytecode
+	// compilation declined the program; such programs always run on the
+	// tree walker regardless of the selected engine.
+	main *funcProto
+}
+
+// Engine selects how RunProgram executes a compiled program.
+type Engine int
+
+// Engines.
+const (
+	EngineDefault  Engine = iota // package default (SetDefaultEngine)
+	EngineBytecode               // compile.go stack VM
+	EngineAST                    // tree-walking interpreter
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineBytecode:
+		return "bytecode"
+	case EngineAST:
+		return "ast"
+	default:
+		return "default"
+	}
+}
+
+// defaultEngine is the process-wide engine used when VM.Engine is
+// EngineDefault. Stored atomically so flag parsing may race with worker
+// startup without a data race.
+var defaultEngine atomic.Int32
+
+func init() { defaultEngine.Store(int32(EngineBytecode)) }
+
+// SetDefaultEngine selects the process-wide default execution engine
+// (the -jsvm-engine flag).
+func SetDefaultEngine(e Engine) {
+	if e == EngineDefault {
+		e = EngineBytecode
+	}
+	defaultEngine.Store(int32(e))
+}
+
+// DefaultEngine reports the process-wide default execution engine.
+func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// ParseEngine parses a -jsvm-engine flag value.
+func ParseEngine(s string) (Engine, bool) {
+	switch s {
+	case "bytecode", "":
+		return EngineBytecode, true
+	case "ast":
+		return EngineAST, true
+	default:
+		return EngineDefault, false
+	}
 }
 
 // Src returns the source the program was compiled from.
 func (p *Program) Src() string { return p.src }
+
+// HasBytecode reports whether the program carries a bytecode form.
+func (p *Program) HasBytecode() bool { return p.main != nil }
 
 // Compile parses src into an executable Program.
 func Compile(src string) (*Program, error) {
@@ -38,6 +97,12 @@ func Compile(src string) (*Program, error) {
 		} else {
 			p.stmts = append(p.stmts, st)
 		}
+	}
+	// Lower to bytecode. A compile error is not a program error: the AST
+	// form stays authoritative and the walker executes it.
+	if main, cerr := compileProgram(p); cerr == nil {
+		p.main = main
+		compileCounter.Load().Inc()
 	}
 	return p, nil
 }
@@ -69,11 +134,18 @@ func (c *Cache) Instrument(hits, misses *telemetry.Counter) {
 // NewCache returns an empty program cache.
 func NewCache() *Cache { return &Cache{m: make(map[string]*Program)} }
 
+// cacheKeyVersion prefixes cache keys with the bytecode format
+// generation. Bumping it on instruction-set changes guarantees entries
+// persisted or shared by an older binary never alias a newer program
+// (the NUL cannot occur at that position in a raw source key).
+const cacheKeyVersion = "jsvm-bc1\x00"
+
 // Compile returns the cached Program for src, parsing and storing it on
 // first sight. Parse failures are returned but never cached.
 func (c *Cache) Compile(src string) (*Program, error) {
+	key := cacheKeyVersion + src
 	c.mu.RLock()
-	p, ok := c.m[src]
+	p, ok := c.m[key]
 	hitC := c.hitC
 	c.mu.RUnlock()
 	if ok {
@@ -87,14 +159,14 @@ func (c *Cache) Compile(src string) (*Program, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if p, ok := c.m[src]; ok { // lost a race: keep the first entry
+	if p, ok := c.m[key]; ok { // lost a race: keep the first entry
 		c.hits.Add(1)
 		c.hitC.Inc()
 		return p, nil
 	}
 	c.misses.Add(1)
 	c.missC.Inc()
-	c.m[src] = compiled
+	c.m[key] = compiled
 	return compiled, nil
 }
 
@@ -127,17 +199,34 @@ func CompileCached(src string) (*Program, error) {
 func DefaultCacheStats() (hits, misses uint64) { return defaultCache.Stats() }
 
 // stepBudgetCounter counts scripts halted by the step budget; set through
-// Instrument, read lock-free on the (rare) exhaustion path.
-var stepBudgetCounter atomic.Pointer[telemetry.Counter]
+// Instrument, read lock-free on the (rare) exhaustion path. The remaining
+// counters instrument the bytecode engine: programs lowered to bytecode,
+// program executions, and inline-cache traffic. All are deterministic
+// functions of the executed workload, so same-seed runs stay
+// byte-identical.
+var (
+	stepBudgetCounter atomic.Pointer[telemetry.Counter]
+	compileCounter    atomic.Pointer[telemetry.Counter]
+	executeCounter    atomic.Pointer[telemetry.Counter]
+	icHitCounter      atomic.Pointer[telemetry.Counter]
+	icMissCounter     atomic.Pointer[telemetry.Counter]
+)
 
 // Instrument wires the package's process-wide observability into hub: the
 // default program cache's hit/miss traffic
-// (jsvm_program_cache_total{result}) and the count of scripts killed by
-// the interpreter step budget (jsvm_step_budget_exhausted_total).
+// (jsvm_program_cache_total{result}), the count of scripts killed by the
+// step budget (jsvm_step_budget_exhausted_total), bytecode compilations
+// (jsvm_bytecode_compile_total), program executions
+// (jsvm_execute_total) and inline-cache traffic
+// (jsvm_inline_cache_total{result}).
 func Instrument(hub *telemetry.Hub) {
 	defaultCache.Instrument(
 		hub.Counter("jsvm_program_cache_total", "program-cache lookups by result", "result", "hit"),
 		hub.Counter("jsvm_program_cache_total", "program-cache lookups by result", "result", "miss"),
 	)
 	stepBudgetCounter.Store(hub.Counter("jsvm_step_budget_exhausted_total", "scripts halted by the interpreter step budget"))
+	compileCounter.Store(hub.Counter("jsvm_bytecode_compile_total", "programs lowered to bytecode"))
+	executeCounter.Store(hub.Counter("jsvm_execute_total", "program executions (both engines)"))
+	icHitCounter.Store(hub.Counter("jsvm_inline_cache_total", "bytecode inline-cache lookups by result", "result", "hit"))
+	icMissCounter.Store(hub.Counter("jsvm_inline_cache_total", "bytecode inline-cache lookups by result", "result", "miss"))
 }

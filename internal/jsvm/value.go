@@ -32,6 +32,12 @@ const (
 	KindObject // objects, arrays and functions
 )
 
+// kindUnset marks a frame slot whose binding has not executed its
+// declaration yet (the tree walker models this as "absent from the scope
+// map"). It never escapes the VM: every slot read goes through a lookup
+// that skips unset slots.
+const kindUnset Kind = -1
+
 // Value is a JavaScript value. The zero Value is undefined.
 type Value struct {
 	kind Kind
@@ -218,12 +224,20 @@ type Object struct {
 	elems []Value // non-nil marks an array
 	array bool
 
-	// Callable state: either fn (script function) or host.
-	fn   *funcLit
-	env  *scope
-	host HostFunc
-	call bool // true when callable
-	name string
+	// Callable state: fn (AST script function), proto (bytecode script
+	// function) or host.
+	fn    *funcLit
+	env   *scope
+	proto *funcProto
+	cells []*cell // captured bindings of a bytecode closure
+	host  HostFunc
+	call  bool // true when callable
+	name  string
+
+	// version counts property-map writes (Set/Delete). Inline caches in the
+	// bytecode VM validate against it; wrap-around is harmless (a stale hit
+	// needs 2^32 writes between two reads of the same site).
+	version uint32
 
 	// Host is arbitrary Go state attached by embedders.
 	Host any
@@ -280,6 +294,15 @@ func (o *Object) Set(name string, v Value) {
 		o.props = map[string]Value{}
 	}
 	o.props[name] = v
+	o.version++
+}
+
+// Delete removes a property (the delete operator).
+func (o *Object) Delete(name string) {
+	if o.props != nil {
+		delete(o.props, name)
+		o.version++
+	}
 }
 
 // SetFunc attaches a host function property, a convenience for embedders.
