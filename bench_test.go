@@ -33,6 +33,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/resultcache"
 	"repro/internal/retry"
+	"repro/internal/urlextract"
 	"repro/internal/webviewlint"
 )
 
@@ -405,6 +406,65 @@ func BenchmarkAnalyzeAndLintOne(b *testing.B) {
 		}
 		if an.Broken {
 			b.Fatal("fixture APK analysed as broken")
+		}
+	}
+}
+
+// --- URL-extraction stage: interprocedural endpoint dataflow --------------
+
+func benchURLPipeline(b *testing.B, cache *resultcache.Cache[pipeline.Analysis]) *pipeline.Result {
+	b.Helper()
+	fix := benchSetup(b)
+	p := pipeline.New(fix, fix, pipeline.Config{
+		MinDownloads: corpus.MinDownloads,
+		UpdatedAfter: corpus.UpdateCutoff,
+		Cache:        cache,
+		URLs:         urlextract.New(urlextract.Config{}),
+	})
+	res, err := p.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Funnel.Analyzed != fix.c.Counts.Analyzed {
+		b.Fatalf("funnel drifted: %+v", res.Funnel)
+	}
+	return res
+}
+
+// BenchmarkPipelineWithURLExtract measures the full pipeline with the URL
+// stage enabled and an empty cache: the delta against BenchmarkPipelineCold
+// is the end-to-end cost of the interprocedural string dataflow. Reports
+// endpoints/op.
+func BenchmarkPipelineWithURLExtract(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var endpoints int
+	for i := 0; i < b.N; i++ {
+		res := benchURLPipeline(b, resultcache.New[pipeline.Analysis](0))
+		if res.Stats.URLEndpoints == 0 {
+			b.Fatal("URL run extracted no endpoints over the seeded corpus")
+		}
+		endpoints = res.Stats.URLEndpoints
+	}
+	b.ReportMetric(float64(endpoints), "endpoints/op")
+}
+
+// BenchmarkPipelineURLExtractWarm measures the same run against a
+// pre-warmed cache: endpoints ride inside the cached analyses, so the
+// extraction stage must not run at all (its In counter stays zero).
+func BenchmarkPipelineURLExtractWarm(b *testing.B) {
+	cache := resultcache.New[pipeline.Analysis](0)
+	benchURLPipeline(b, cache) // warm it
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := benchURLPipeline(b, cache)
+		if res.Stats.CacheHitRate() != 1.0 {
+			b.Fatalf("warm run not fully cached: %+v", res.Stats)
+		}
+		if res.Stats.URLs.In != 0 {
+			b.Fatalf("warm run re-extracted %d apps, want stage skipped", res.Stats.URLs.In)
 		}
 	}
 }

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	dynprobe [-scale N] [-seed N] [-top N] [-workers N] [-devices N]
+//	         [-urls]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //	         [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
 //	         [-telemetry-wallclock]
@@ -16,6 +17,15 @@
 // app probes to them round-robin; -workers bounds how many probes run at
 // once. Outcomes merge in app order, so the tables are identical to the
 // sequential (1/1) defaults.
+//
+// -urls cross-validates the static URL extractor against the dynamic
+// probes: each probed IAB's APK is re-analysed statically and the
+// extracted endpoint hosts are compared against the hosts the app actually
+// contacted during the controlled visit, printed as a per-app agreement
+// table (precision = static hosts confirmed dynamically, recall = dynamic
+// hosts explained statically) plus a per-SDK aggregation attributing each
+// pattern to the SDK (or first-party code) that produced it. Both tables
+// are byte-identical across -workers and -devices settings.
 //
 // Observability: -telemetry-addr serves /metrics, /metrics.json, /healthz,
 // /trace and /debug/pprof during the probe run; -metrics-out writes the
@@ -28,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -45,6 +56,7 @@ func main() {
 	top := flag.Int("top", 1000, "number of top apps to classify")
 	workers := flag.Int("workers", 1, "max app probes in flight (1 = sequential)")
 	devices := flag.Int("devices", 1, "simulated handsets to pin app probes to")
+	urls := flag.Bool("urls", false, "cross-validate static URL extraction against the probes' network logs")
 	engine := flag.String("jsvm-engine", "bytecode", "script engine: bytecode or ast (differential fallback)")
 	var prof profiling.Flags
 	prof.Register(nil)
@@ -63,7 +75,7 @@ func main() {
 	if err := telem.Start(); err != nil {
 		log.Fatal(err)
 	}
-	err := run(*scale, *seed, *top, *workers, *devices, hub)
+	err := run(os.Stdout, *scale, *seed, *top, *workers, *devices, *urls, hub)
 	if terr := telem.Finish(); err == nil {
 		err = terr
 	}
@@ -75,7 +87,7 @@ func main() {
 	}
 }
 
-func run(scale int, seed int64, top, workers, devices int, hub *telemetry.Hub) error {
+func run(out io.Writer, scale int, seed int64, top, workers, devices int, urls bool, hub *telemetry.Hub) error {
 	if hub != nil {
 		jsvm.Instrument(hub)
 	}
@@ -94,7 +106,7 @@ func run(scale int, seed int64, top, workers, devices int, hub *telemetry.Hub) e
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Table6(t6))
+	fmt.Fprint(out, report.Table6(t6))
 
 	// Deep-probe the WebView IABs found.
 	var iabSpecs []*corpus.Spec
@@ -108,7 +120,27 @@ func run(scale int, seed int64, top, workers, devices int, hub *telemetry.Hub) e
 	if err != nil {
 		return err
 	}
-	fmt.Print(report.Table8(rows))
-	fmt.Print(report.Table9(rows))
+	fmt.Fprint(out, report.Table8(rows))
+	fmt.Fprint(out, report.Table9(rows))
+
+	if urls {
+		fmt.Fprintf(os.Stderr, "statically extracting endpoints from %d IAB APKs...\n", len(iabSpecs))
+		static, err := core.StaticEndpoints(iabSpecs, nil)
+		if err != nil {
+			return err
+		}
+		agree := make([]report.AgreementRow, 0, len(rows))
+		apps := make([]report.AppEndpoints, 0, len(rows))
+		for _, r := range rows {
+			agree = append(agree, report.Agreement(r.Package, static[r.Package], r.ExternalHosts))
+			apps = append(apps, report.AppEndpoints{
+				Package:      r.Package,
+				Endpoints:    static[r.Package],
+				DynamicHosts: r.ExternalHosts,
+			})
+		}
+		fmt.Fprint(out, report.AgreementTable(agree))
+		fmt.Fprint(out, report.SDKAgreementTable(report.SDKAgreement(apps)))
+	}
 	return nil
 }

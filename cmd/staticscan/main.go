@@ -9,6 +9,7 @@
 //
 //	staticscan [-scale N] [-seed N] [-workers N] [-cachedir DIR] [-stats]
 //	           [-lint] [-lint-rules LIST] [-lint-json FILE]
+//	           [-urls] [-urls-json FILE]
 //	           [-retries N] [-max-failure-frac F] [-faults SPEC]
 //	           [-journal FILE] [-resume]
 //	           [-cpuprofile FILE] [-memprofile FILE]
@@ -32,6 +33,13 @@
 // machine-readably to FILE ("-" for stdout, implies -lint). The lint
 // configuration is part of the cache key, so toggling rules invalidates
 // only lint-bearing cache entries.
+//
+// -urls adds the interprocedural URL-extraction stage and prints the
+// static-endpoint summary table; -urls-json writes the per-app endpoints
+// machine-readably to FILE ("-" for stdout, implies -urls). The extractor
+// fingerprint joins the cache key, so toggling the stage or changing the
+// engine re-extracts instead of serving stale entries; the JSON document
+// is byte-identical across -workers settings.
 //
 // Fault tolerance: -retries N retries each network operation up to N
 // extra times with exponential backoff; -max-failure-frac F lets up to
@@ -75,6 +83,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/retry"
 	"repro/internal/telemetry"
+	"repro/internal/urlextract"
 	"repro/internal/webviewlint"
 )
 
@@ -87,6 +96,8 @@ func main() {
 	lint := flag.Bool("lint", false, "run the WebView misconfiguration lint stage")
 	lintRules := flag.String("lint-rules", "", "comma-separated lint rule IDs (implies -lint; empty = all rules)")
 	lintJSON := flag.String("lint-json", "", "write lint findings as JSON to this file, \"-\" for stdout (implies -lint)")
+	urls := flag.Bool("urls", false, "run the interprocedural URL-extraction stage")
+	urlsJSON := flag.String("urls-json", "", "write extracted endpoints as JSON to this file, \"-\" for stdout (implies -urls)")
 	retries := flag.Int("retries", 3, "extra attempts per failed network operation (0 = no retry)")
 	maxFailureFrac := flag.Float64("max-failure-frac", 0, "fraction of packages that may fail without aborting the run")
 	faultsSpec := flag.String("faults", "", "inject deterministic faults, e.g. \"seed=7,err=0.1,lat=1ms\" (testing)")
@@ -115,6 +126,8 @@ func main() {
 		cachedir: *cachedir, stats: *stats,
 		lint:     *lint || *lintRules != "" || *lintJSON != "",
 		lintJSON: *lintJSON,
+		urls:     *urls || *urlsJSON != "",
+		urlsJSON: *urlsJSON,
 		retries:  *retries, maxFailureFrac: *maxFailureFrac,
 		faults: *faultsSpec, journal: *journalPath, resume: *resume,
 		telemetry: hub,
@@ -140,6 +153,8 @@ type options struct {
 	lint           bool
 	lintRules      []string
 	lintJSON       string
+	urls           bool
+	urlsJSON       string
 	retries        int
 	maxFailureFrac float64
 	faults         string
@@ -169,6 +184,21 @@ type lintAppFindings struct {
 	Findings []webviewlint.Finding `json:"findings"`
 }
 
+// urlReport is the machine-readable -urls-json document.
+type urlReport struct {
+	Scale     int               `json:"scale"`
+	Seed      int64             `json:"seed"`
+	Apps      int               `json:"apps"` // apps with at least one endpoint
+	Endpoints int               `json:"endpoints"`
+	Kinds     map[string]int    `json:"kinds"`
+	AppURLs   []urlAppEndpoints `json:"appEndpoints"`
+}
+
+type urlAppEndpoints struct {
+	Package   string                `json:"package"`
+	Endpoints []urlextract.Endpoint `json:"endpoints"`
+}
+
 func run(out *os.File, o options) error {
 	fmt.Fprintf(os.Stderr, "generating corpus (seed=%d scale=1/%d)...\n", o.seed, o.scale)
 	c, err := corpus.Generate(corpus.Config{Seed: o.seed, Scale: o.scale})
@@ -188,7 +218,7 @@ func run(out *os.File, o options) error {
 	injecting := o.faults != ""
 
 	cfg := core.StaticConfig{
-		Workers: o.workers, Lint: o.lint, LintRules: o.lintRules,
+		Workers: o.workers, Lint: o.lint, LintRules: o.lintRules, URLs: o.urls,
 		MaxFailureFrac: o.maxFailureFrac, Telemetry: o.telemetry,
 	}
 	if o.retries > 0 {
@@ -288,24 +318,36 @@ func run(out *os.File, o options) error {
 	if o.lint {
 		fmt.Fprint(out, report.LintTable(res.Aggregates))
 	}
+	if o.urls {
+		fmt.Fprint(out, report.URLTable(res.Apps))
+	}
 	if o.lintJSON != "" {
-		doc := buildLintReport(o, res)
-		w := out
-		if o.lintJSON != "-" {
-			f, err := os.Create(o.lintJSON)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = f
+		if err := writeJSON(out, o.lintJSON, buildLintReport(o, res)); err != nil {
+			return err
 		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+	}
+	if o.urlsJSON != "" {
+		if err := writeJSON(out, o.urlsJSON, buildURLReport(o, res)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeJSON writes doc indented to path, or to out when path is "-".
+func writeJSON(out *os.File, path string, doc any) error {
+	w := out
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // buildLintReport assembles the deterministic JSON document: rules in
@@ -328,6 +370,28 @@ func buildLintReport(o options, res *core.StaticResult) *lintReport {
 			continue
 		}
 		doc.Apps = append(doc.Apps, lintAppFindings{Package: app.Package, Findings: app.Lint})
+	}
+	return doc
+}
+
+// buildURLReport assembles the deterministic -urls-json document: apps in
+// package order (the pipeline already sorts them), endpoints in the
+// extractor's (class, method, API, URL) order.
+func buildURLReport(o options, res *core.StaticResult) *urlReport {
+	doc := &urlReport{Scale: o.scale, Seed: o.seed, Kinds: map[string]int{
+		urlextract.KindFull: 0, urlextract.KindPrefix: 0, urlextract.KindDynamic: 0,
+	}}
+	for i := range res.Apps {
+		app := &res.Apps[i]
+		if len(app.Endpoints) == 0 {
+			continue
+		}
+		doc.Apps++
+		doc.Endpoints += len(app.Endpoints)
+		for _, ep := range app.Endpoints {
+			doc.Kinds[ep.Kind]++
+		}
+		doc.AppURLs = append(doc.AppURLs, urlAppEndpoints{Package: app.Package, Endpoints: app.Endpoints})
 	}
 	return doc
 }

@@ -64,3 +64,83 @@ func TestLintJSONGolden(t *testing.T) {
 		t.Error("document flags no apps over the seeded corpus")
 	}
 }
+
+// TestURLJSONGolden pins the -urls-json document the same way: the static
+// endpoint extraction is part of the tool's contract and must stay
+// byte-deterministic across refactors of the dataflow engine.
+// Regenerate with: go test ./cmd/staticscan -run TestURLJSONGolden -update
+func TestURLJSONGolden(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "urls.json")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	o := options{scale: 5000, seed: 1, workers: 2, urls: true, urlsJSON: jsonPath}
+	if err := run(devnull, o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "urls_scale5000_seed1.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("URL JSON drifted from golden file %s\ngot:\n%s", golden, got)
+	}
+
+	var doc urlReport
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("golden output is not valid JSON: %v", err)
+	}
+	if doc.Endpoints == 0 || len(doc.AppURLs) == 0 {
+		t.Errorf("document carries no endpoints over the seeded corpus: %+v", doc)
+	}
+	if doc.Kinds["full"] == 0 {
+		t.Errorf("no fully-resolved endpoint in the document: kinds = %v", doc.Kinds)
+	}
+}
+
+// TestURLJSONWorkerIndependent pins the concurrency contract stated in the
+// package doc: the -urls-json document is byte-identical no matter how
+// many pipeline workers raced to produce it.
+func TestURLJSONWorkerIndependent(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	docs := make([][]byte, 0, 2)
+	for _, workers := range []int{1, 4} {
+		jsonPath := filepath.Join(t.TempDir(), "urls.json")
+		o := options{scale: 5000, seed: 1, workers: workers, urls: true, urlsJSON: jsonPath}
+		if err := run(devnull, o); err != nil {
+			t.Fatalf("run (workers=%d): %v", workers, err)
+		}
+		got, err := os.ReadFile(jsonPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, got)
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Errorf("URL JSON differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			docs[0], docs[1])
+	}
+}

@@ -193,6 +193,17 @@ func (g *Graph) resolve(ref dalvik.MethodRef) (dalvik.MethodRef, bool) {
 	return dalvik.MethodRef{}, false
 }
 
+// Dex exposes the underlying bytecode file so dataflow passes built on
+// top of the graph (internal/urlextract) can walk method bodies without
+// re-parsing the APK.
+func (g *Graph) Dex() *dalvik.File { return g.dex }
+
+// Resolve is the exported form of resolve, for dataflow engines that need
+// the same dispatch semantics the graph's own traversals use.
+func (g *Graph) Resolve(ref dalvik.MethodRef) (dalvik.MethodRef, bool) {
+	return g.resolve(ref)
+}
+
 // Callees returns the in-file methods any overload of class.method
 // invokes, resolved through the in-file superclass chain, in first-call
 // order without duplicates. External targets are omitted. This is the edge

@@ -22,6 +22,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/sdkindex"
 	"repro/internal/telemetry"
+	"repro/internal/urlextract"
 	"repro/internal/webviewlint"
 )
 
@@ -42,6 +43,10 @@ type StaticConfig struct {
 	// restricts it to the named rule IDs (nil = every registry rule).
 	Lint      bool
 	LintRules []string
+	// URLs enables the interprocedural URL-extraction stage: per-app static
+	// endpoints appear on AppResult.Endpoints and feed the static↔dynamic
+	// agreement report.
+	URLs bool
 	// Retry, when non-nil, wraps the pipeline's network edges (snapshot
 	// listing, metadata fetch, APK download) in retries with backoff.
 	Retry *retry.Policy
@@ -92,6 +97,10 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 			return nil, err
 		}
 	}
+	var urls *urlextract.Extractor
+	if cfg.URLs {
+		urls = urlextract.New(urlextract.Config{})
+	}
 	return &StaticStudy{
 		pipe: pipeline.New(repo, meta, pipeline.Config{
 			MinDownloads:   cfg.MinDownloads,
@@ -100,6 +109,7 @@ func NewStaticStudy(repo pipeline.Repository, meta pipeline.MetadataSource, cfg 
 			Index:          cfg.Index,
 			Cache:          cfg.Cache,
 			Lint:           lint,
+			URLs:           urls,
 			Retry:          cfg.Retry,
 			MaxFailureFrac: cfg.MaxFailureFrac,
 			Journal:        cfg.Journal,

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/sdkindex"
+	"repro/internal/urlextract"
+)
+
+// StaticEndpoints runs the interprocedural URL extractor over each spec's
+// built APK and returns the endpoints keyed by package — the static half of
+// the static↔dynamic cross-validation (§3.2 deep probes supply the dynamic
+// half as observed network-log hosts). Broken builds and analyses yield no
+// entry; a nil index uses the built-in SDK catalog.
+func StaticEndpoints(specs []*corpus.Spec, idx *sdkindex.Index) (map[string][]urlextract.Endpoint, error) {
+	ex := urlextract.New(urlextract.Config{})
+	out := make(map[string][]urlextract.Endpoint, len(specs))
+	for _, s := range specs {
+		if s.Broken {
+			continue
+		}
+		img, err := corpus.BuildAPK(s)
+		if err != nil {
+			return nil, err
+		}
+		an, err := pipeline.AnalyzeAndExtract(idx, nil, ex, img)
+		if err != nil {
+			return nil, err
+		}
+		if an.Broken {
+			continue
+		}
+		out[s.Package] = an.Endpoints
+	}
+	return out, nil
+}

@@ -95,6 +95,10 @@ func buildDex(s *Spec) (*dalvik.File, error) {
 		onClick = append(onClick,
 			dalvik.InvokeStatic(s.Package+".web.TabHelper", "open", "()void"))
 	}
+	if len(s.Endpoints) > 0 {
+		onCreate = append(onCreate,
+			dalvik.InvokeStatic(s.Package+".net.ApiClient", "init", "()void"))
+	}
 	b.Class(s.Package+".MainActivity", android.ActivityClass, dalvik.AccPublic).
 		Source("MainActivity.java").
 		VoidMethod("onCreate", onCreate...).
@@ -136,6 +140,9 @@ func buildDex(s *Spec) (*dalvik.File, error) {
 				dalvik.Return(),
 			)
 	}
+
+	// First-party networking class carrying the planted URL ground truth.
+	buildEndpointClasses(b, s)
 
 	// Deep-link activity hosting first-party content: the pipeline must
 	// exclude these call sites (§3.1.3).

@@ -172,6 +172,7 @@ func Generate(cfg Config) (*Corpus, error) {
 			}
 			assignStatic(spec, idx, cfg.Seed)
 			assignMisconfigs(spec, cfg.Seed)
+			assignEndpoints(spec, cfg.Seed)
 		}
 		c.Apps = append(c.Apps, spec)
 	}

@@ -218,6 +218,21 @@ func (s *Session) ClickLinkInstrumented(ctx context.Context, url string, instrum
 		if err := behavior.OnPageLoaded(wv); err != nil {
 			return nil, err
 		}
+		// The app's own networking stack fires its startup telemetry while
+		// the IAB is in the foreground; the rooted device's NetLog sees that
+		// traffic alongside the page's (§3.2.2). These are the endpoints the
+		// static extractor recovers from the APK, so the static↔dynamic
+		// cross-validation has real overlap to measure.
+		for _, pe := range spec.Endpoints {
+			reqURL := pe.URL
+			if pe.Kind == "prefix" {
+				reqURL += "r1" // dynamic tail the static side cannot know
+			}
+			d.NetLog.Record(netlog.Event{
+				Context: id, URL: reqURL, Method: "GET", Status: 204,
+				Initiator: "app",
+			})
+		}
 		return &ClickResult{
 			OpenedIn:   corpus.LinkWebView,
 			Context:    id,

@@ -52,6 +52,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/sdkindex"
 	"repro/internal/telemetry"
+	"repro/internal/urlextract"
 	"repro/internal/webviewlint"
 
 	"repro/internal/android"
@@ -87,6 +88,13 @@ type Config struct {
 	// cached results while leaving pure-analysis caches of lint-off runs
 	// untouched.
 	Lint *webviewlint.Analyzer
+	// URLs, when non-nil, runs the interprocedural URL-extraction engine as
+	// a further streaming stage over the retained call graph, recording the
+	// endpoints each app's reachable code can construct. Its engine
+	// fingerprint is mixed into cache keys, so a warm run over unchanged
+	// APKs serves endpoints without re-extracting and an engine change
+	// invalidates exactly the URL-bearing entries.
+	URLs *urlextract.Extractor
 	// Retry, when non-nil, wraps the snapshot listing, metadata fetches
 	// and APK downloads in retries with backoff; retryable failures are
 	// re-attempted before a package is quarantined.
@@ -121,6 +129,7 @@ type Pipeline struct {
 	cfg     Config
 	indexFP string // cache-key component: invalidates on catalog change
 	lintFP  string // cache-key component: invalidates on lint-config change
+	urlFP   string // cache-key component: invalidates on extractor change
 }
 
 // New constructs a pipeline over the given services.
@@ -134,6 +143,9 @@ func New(repo Repository, meta MetadataSource, cfg Config) *Pipeline {
 	p := &Pipeline{repo: repo, meta: meta, cfg: cfg, indexFP: cfg.Index.Fingerprint()}
 	if cfg.Lint != nil {
 		p.lintFP = cfg.Lint.Fingerprint()
+	}
+	if cfg.URLs != nil {
+		p.urlFP = cfg.URLs.Fingerprint()
 	}
 	return p
 }
@@ -179,6 +191,9 @@ type Analysis struct {
 	// is enabled (nil otherwise — and the cache key differs, so lint-on and
 	// lint-off runs never share entries).
 	Lint []webviewlint.Finding `json:",omitempty"`
+	// Endpoints holds the statically extracted URL endpoints when the URL
+	// stage is enabled (nil otherwise; the cache key differs there too).
+	Endpoints []urlextract.Endpoint `json:",omitempty"`
 }
 
 // AppResult is the per-app outcome of static analysis.
@@ -208,6 +223,9 @@ type AppResult struct {
 	// Lint holds the app's WebView misconfiguration findings (lint stage
 	// enabled only), sorted by (class, line, rule).
 	Lint []webviewlint.Finding
+	// Endpoints holds the app's statically extracted URL endpoints (URL
+	// stage enabled only), sorted by (class, method, API, kind, URL).
+	Endpoints []urlextract.Endpoint
 }
 
 // appResult joins store metadata with the content-addressed analysis.
@@ -226,6 +244,7 @@ func appResult(md playstore.Metadata, an *Analysis) AppResult {
 		Subclasses:               an.Subclasses,
 		UnlabeledWebViewPackages: an.UnlabeledWebViewPackages,
 		Lint:                     an.Lint,
+		Endpoints:                an.Endpoints,
 	}
 }
 
@@ -360,10 +379,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		img []byte
 		key string // content-address cache key ("" when caching is off)
 	}
-	// lintTask carries a finished analysis plus the retained parsed sources
-	// and call graph into the lint stage. The APK image itself is already
-	// dropped: parsed units are a small fraction of its size.
-	type lintTask struct {
+	// postTask carries a finished analysis plus the retained parsed sources
+	// and call graph into the post-analysis stages (lint, URL extraction).
+	// The APK image itself is already dropped: parsed units are a small
+	// fraction of its size.
+	type postTask struct {
 		md     playstore.Metadata
 		an     *Analysis
 		parsed *parsedAPK
@@ -376,8 +396,24 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	pkgCh := make(chan []string)
 	selCh := make(chan selected, workers)
 	anCh := make(chan task)
-	lintCh := make(chan lintTask, workers)
+	lintCh := make(chan postTask, workers)
+	urlCh := make(chan postTask, workers)
 	linting := p.cfg.Lint != nil
+	extracting := p.cfg.URLs != nil
+	keepParsed := linting || extracting
+
+	// finish completes one package in whatever stage turned out to be last:
+	// persist to the cache, checkpoint the journal, append the app result.
+	finish := func(md playstore.Metadata, an *Analysis, key string) {
+		an.normalize()
+		if p.cfg.Cache != nil {
+			p.cfg.Cache.Put(key, *an)
+		}
+		record(md.Package, an)
+		mu.Lock()
+		apps = append(apps, appResult(md, an))
+		mu.Unlock()
+	}
 
 	// Feeder: snapshot packages into the metadata stage.
 	go func() {
@@ -554,7 +590,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				tr := m.hub.Trace("apk:" + t.md.Package)
 				sp := tr.Start("analyze")
 				tm := m.hub.Timer(t.md.Package, "analyze")
-				an, parsed, err := analyzeImage(p.cfg.Index, t.img, linting, tr)
+				an, parsed, err := analyzeImage(p.cfg.Index, t.img, keepParsed, tr)
 				tm.ObserveInto(m.anLat)
 				n := int64(len(t.img))
 				t.img = nil
@@ -573,37 +609,40 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					sp.SetAttr("outcome", "broken")
 				}
 				sp.End()
-				if linting && !an.Broken {
+				if keepParsed && !an.Broken {
 					m.anOut.Inc()
+					next := urlCh
+					if linting {
+						next = lintCh
+					}
 					select {
-					case lintCh <- lintTask{md: t.md, an: an, parsed: parsed, key: t.key}:
+					case next <- postTask{md: t.md, an: an, parsed: parsed, key: t.key}:
 					case <-runCtx.Done():
 						return
 					}
 					continue
 				}
-				if p.cfg.Cache != nil {
-					p.cfg.Cache.Put(t.key, *an)
-				}
-				record(t.md.Package, an)
-				mu.Lock()
 				if an.Broken {
+					if p.cfg.Cache != nil {
+						p.cfg.Cache.Put(t.key, *an)
+					}
+					record(t.md.Package, an)
+					mu.Lock()
 					broken++
-				} else {
-					apps = append(apps, appResult(t.md, an))
+					mu.Unlock()
+					continue
 				}
-				mu.Unlock()
-				if !an.Broken {
-					m.anOut.Inc()
-				}
+				finish(t.md, an, t.key)
+				m.anOut.Inc()
 			}
 		}()
 	}
 
 	// Stage 7: WebView misconfiguration linting over the retained parsed
-	// sources and call graph. The completed analysis (now including lint
-	// findings) is cached here, so a warm run serves findings without
-	// re-linting — until the rule-config fingerprint changes the key.
+	// sources and call graph. When this is the final stage the completed
+	// analysis (now including lint findings) is cached here, so a warm run
+	// serves findings without re-linting — until the rule-config fingerprint
+	// changes the key; otherwise the task flows on to URL extraction.
 	var lintWG sync.WaitGroup
 	if linting {
 		for w := 0; w < workers; w++ {
@@ -623,16 +662,43 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					sp.SetAttr("findings", strconv.Itoa(len(findings)))
 					sp.End()
 					t.an.Lint = findings
-					t.an.normalize()
-					if p.cfg.Cache != nil {
-						p.cfg.Cache.Put(t.key, *t.an)
-					}
-					record(t.md.Package, t.an)
 					m.lintOut.Inc()
 					m.lintFindings.Add(int64(len(findings)))
-					mu.Lock()
-					apps = append(apps, appResult(t.md, t.an))
-					mu.Unlock()
+					if extracting {
+						select {
+						case urlCh <- t:
+						case <-runCtx.Done():
+							return
+						}
+						continue
+					}
+					finish(t.md, t.an, t.key)
+				}
+			}()
+		}
+	}
+
+	// Stage 8: interprocedural URL extraction over the retained call graph,
+	// with the same deep-link exclusion set the usage traversal applied. The
+	// final analysis (endpoints included) is cached and journaled here.
+	var urlWG sync.WaitGroup
+	if extracting {
+		for w := 0; w < workers; w++ {
+			urlWG.Add(1)
+			go func() {
+				defer urlWG.Done()
+				for t := range urlCh {
+					m.urlsIn.Inc()
+					sp := m.hub.Trace("apk:" + t.md.Package).Start("urls")
+					tm := m.hub.Timer(t.md.Package, "urls")
+					eps := p.cfg.URLs.Extract(t.parsed.graph, t.parsed.excl, p.cfg.Index)
+					tm.ObserveInto(m.urlsLat)
+					sp.SetAttr("endpoints", strconv.Itoa(len(eps)))
+					sp.End()
+					t.an.Endpoints = eps
+					m.urlsOut.Inc()
+					m.urlEndpoints.Add(int64(len(eps)))
+					finish(t.md, t.an, t.key)
 				}
 			}()
 		}
@@ -652,6 +718,11 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	lintWG.Wait()
 	if linting {
 		res.Stats.Lint.Wall = time.Since(streamStart)
+	}
+	close(urlCh)
+	urlWG.Wait()
+	if extracting {
+		res.Stats.URLs.Wall = time.Since(streamStart)
 	}
 	res.Stats.Total = time.Since(t0)
 	m.fill(&res.Stats)
@@ -692,6 +763,9 @@ func (p *Pipeline) configKey() string {
 	if p.lintFP != "" {
 		key += "@lint:" + p.lintFP
 	}
+	if p.urlFP != "" {
+		key += "@urls:" + p.urlFP
+	}
 	return key
 }
 
@@ -723,14 +797,16 @@ var scratchPool = sync.Pool{New: func() any {
 	return &scratch{excl: make(map[string]bool, 4)}
 }}
 
-// parsedAPK is the per-APK intermediate the lint stage consumes: the parsed
-// decompiled sources and the bytecode call graph. Both are produced by the
-// analyze stage anyway; retaining them (only when linting) avoids a second
-// decompile-and-parse pass. Handed from the analyze worker to exactly one
-// lint worker, so the graph's non-concurrency-safe memoisation is fine.
+// parsedAPK is the per-APK intermediate the post-analysis stages consume:
+// the parsed decompiled sources, the bytecode call graph and the deep-link
+// exclusion set. All are produced by the analyze stage anyway; retaining
+// them (only when a later stage exists) avoids a second decompile-and-parse
+// pass. Handed from the analyze worker through at most one worker per
+// stage, so the graph's non-concurrency-safe memoisation is fine.
 type parsedAPK struct {
 	units []*javaparser.CompilationUnit
 	graph *callgraph.Graph
+	excl  map[string]bool // deep-link classes excluded from attribution
 }
 
 // AnalyzeImage performs the per-APK static analysis — decompile, parse,
@@ -757,6 +833,25 @@ func AnalyzeAndLint(idx *sdkindex.Index, lint *webviewlint.Analyzer, img []byte)
 		return an, err
 	}
 	an.Lint = lint.Analyze(webviewlint.App{Units: parsed.units, Graph: parsed.graph, Index: idx})
+	an.normalize()
+	return an, nil
+}
+
+// AnalyzeAndExtract performs the per-APK static analysis, optionally the
+// lint stage (nil skips it), and the URL-extraction stage, exactly as the
+// pipeline's streaming stages do for one image.
+func AnalyzeAndExtract(idx *sdkindex.Index, lint *webviewlint.Analyzer, ex *urlextract.Extractor, img []byte) (*Analysis, error) {
+	if idx == nil {
+		idx = sdkindex.Default()
+	}
+	an, parsed, err := analyzeImage(idx, img, true, nil)
+	if err != nil || an.Broken {
+		return an, err
+	}
+	if lint != nil {
+		an.Lint = lint.Analyze(webviewlint.App{Units: parsed.units, Graph: parsed.graph, Index: idx})
+	}
+	an.Endpoints = ex.Extract(parsed.graph, parsed.excl, idx)
 	an.normalize()
 	return an, nil
 }
@@ -810,6 +905,13 @@ func analyzeImage(idx *sdkindex.Index, img []byte, keepParsed bool, tr *telemetr
 	for _, dl := range a.Manifest.DeepLinkActivities() {
 		excl[dl] = true
 	}
+	if keepParsed && len(excl) > 0 {
+		// The scratch map is pooled; later stages need their own copy.
+		parsed.excl = make(map[string]bool, len(excl))
+		for k := range excl {
+			parsed.excl[k] = true
+		}
+	}
 	cg := tr.Child("analyze", "callgraph")
 	g := callgraph.Build(a.Dex)
 	if keepParsed {
@@ -852,6 +954,9 @@ func (an *Analysis) normalize() {
 	}
 	if len(an.Lint) == 0 {
 		an.Lint = nil
+	}
+	if len(an.Endpoints) == 0 {
+		an.Endpoints = nil
 	}
 }
 

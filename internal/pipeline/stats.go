@@ -43,6 +43,12 @@ type Stats struct {
 	// LintFindings counts the findings produced by the lint stage this run
 	// (cache hits excluded: their findings were produced by an earlier run).
 	LintFindings int
+	// URLs covers the URL-extraction stage over the retained call graph
+	// (all zero when the stage is off or every app hit the cache).
+	URLs StageStats
+	// URLEndpoints counts the endpoints extracted by the URL stage this run
+	// (cache hits excluded, as with LintFindings).
+	URLEndpoints int
 	// Total is the end-to-end wall time of Run.
 	Total time.Duration
 
@@ -99,6 +105,10 @@ func (s *Stats) String() string {
 	if s.Lint.In > 0 || s.Lint.Wall > 0 {
 		row("lint", s.Lint)
 		fmt.Fprintf(&sb, "  lint     findings=%d\n", s.LintFindings)
+	}
+	if s.URLs.In > 0 || s.URLs.Wall > 0 {
+		row("urls", s.URLs)
+		fmt.Fprintf(&sb, "  urls     endpoints=%d\n", s.URLEndpoints)
 	}
 	fmt.Fprintf(&sb, "  cache    hits=%d misses=%d rate=%.1f%%\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate())

@@ -22,6 +22,7 @@ const (
 	famCache        = "pipeline_cache_total"
 	famJournal      = "pipeline_journal_total"
 	famLintFindings = "pipeline_lint_findings_total"
+	famURLEndpoints = "pipeline_url_endpoints_total"
 )
 
 // runMetrics resolves every handle one Run updates. The hub may be shared
@@ -34,15 +35,17 @@ type runMetrics struct {
 	dlIn, dlOut     *telemetry.Counter
 	anIn, anOut     *telemetry.Counter
 	lintIn, lintOut *telemetry.Counter
+	urlsIn, urlsOut *telemetry.Counter
 
 	quarMeta, quarDL, quarAn *telemetry.Counter
 
 	cacheHits, cacheMisses      *telemetry.Counter
 	journalSkips, journalErrors *telemetry.Counter
 	lintFindings                *telemetry.Counter
+	urlEndpoints                *telemetry.Counter
 
-	metaLat, dlLat, anLat, lintLat *telemetry.Histogram
-	apkBytes                       *telemetry.Histogram
+	metaLat, dlLat, anLat, lintLat, urlsLat *telemetry.Histogram
+	apkBytes                                *telemetry.Histogram
 
 	inflight *telemetry.Gauge
 	// peak is the in-flight high-water mark. It is scheduling-dependent —
@@ -57,10 +60,12 @@ type runMetrics struct {
 // statsBase is the counter baseline captured at Run start.
 type statsBase struct {
 	metaIn, metaOut, dlIn, dlOut, anIn, anOut, lintIn, lintOut int64
+	urlsIn, urlsOut                                            int64
 	quarMeta, quarDL, quarAn                                   int64
 	cacheHits, cacheMisses                                     int64
 	journalSkips, journalErrors                                int64
 	lintFindings                                               int64
+	urlEndpoints                                               int64
 }
 
 // newRunMetrics builds the handle set against hub, or against a fresh
@@ -95,6 +100,8 @@ func newRunMetrics(hub *telemetry.Hub) *runMetrics {
 		anOut:   items("analyze", "out"),
 		lintIn:  items("lint", "in"),
 		lintOut: items("lint", "out"),
+		urlsIn:  items("urls", "in"),
+		urlsOut: items("urls", "out"),
 
 		quarMeta: quar("metadata"),
 		quarDL:   quar("download"),
@@ -105,11 +112,13 @@ func newRunMetrics(hub *telemetry.Hub) *runMetrics {
 		journalSkips:  journal("skip"),
 		journalErrors: journal("error"),
 		lintFindings:  hub.Counter(famLintFindings, "lint findings produced this run (cache hits excluded)"),
+		urlEndpoints:  hub.Counter(famURLEndpoints, "URL endpoints extracted this run (cache hits excluded)"),
 
 		metaLat:  lat("metadata"),
 		dlLat:    lat("download"),
 		anLat:    lat("analyze"),
 		lintLat:  lat("lint"),
+		urlsLat:  lat("urls"),
 		apkBytes: hub.Histogram(famAPKBytes, "downloaded APK image sizes in bytes", telemetry.DefaultSizeBuckets),
 
 		inflight: hub.Gauge(famInFlight, "APK image bytes currently held by the download and analyze stages"),
@@ -124,10 +133,12 @@ func (m *runMetrics) base() statsBase {
 		dlIn: m.dlIn.Value(), dlOut: m.dlOut.Value(),
 		anIn: m.anIn.Value(), anOut: m.anOut.Value(),
 		lintIn: m.lintIn.Value(), lintOut: m.lintOut.Value(),
+		urlsIn: m.urlsIn.Value(), urlsOut: m.urlsOut.Value(),
 		quarMeta: m.quarMeta.Value(), quarDL: m.quarDL.Value(), quarAn: m.quarAn.Value(),
 		cacheHits: m.cacheHits.Value(), cacheMisses: m.cacheMisses.Value(),
 		journalSkips: m.journalSkips.Value(), journalErrors: m.journalErrors.Value(),
 		lintFindings: m.lintFindings.Value(),
+		urlEndpoints: m.urlEndpoints.Value(),
 	}
 }
 
@@ -170,6 +181,9 @@ func (m *runMetrics) fill(s *Stats) {
 	s.Lint.In = int(end.lintIn - start.lintIn)
 	s.Lint.Out = int(end.lintOut - start.lintOut)
 	s.LintFindings = int(end.lintFindings - start.lintFindings)
+	s.URLs.In = int(end.urlsIn - start.urlsIn)
+	s.URLs.Out = int(end.urlsOut - start.urlsOut)
+	s.URLEndpoints = int(end.urlEndpoints - start.urlEndpoints)
 	s.CacheHits = int(end.cacheHits - start.cacheHits)
 	s.CacheMisses = int(end.cacheMisses - start.cacheMisses)
 	s.JournalSkips = int(end.journalSkips - start.journalSkips)

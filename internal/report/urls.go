@@ -1,0 +1,335 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/urlextract"
+)
+
+// URLTable summarises the static URL-extraction stage: how many apps carry
+// statically provable endpoints, the kind breakdown (full URL / constant
+// prefix / dynamic), SDK attribution, and the hosts reached from the most
+// apps. Input order is the pipeline's package order, so the table is
+// deterministic for a given corpus.
+func URLTable(apps []pipeline.AppResult) string {
+	t := newTable("Static URL endpoints (interprocedural extraction)")
+	t.row("metric", "value")
+	var total, full, prefix, dynamic, viaSDK, withEPs int
+	hostApps := make(map[string]map[string]bool)
+	for i := range apps {
+		app := &apps[i]
+		if len(app.Endpoints) > 0 {
+			withEPs++
+		}
+		for _, ep := range app.Endpoints {
+			total++
+			switch ep.Kind {
+			case urlextract.KindFull:
+				full++
+			case urlextract.KindPrefix:
+				prefix++
+			default:
+				dynamic++
+			}
+			if !ep.FirstParty {
+				viaSDK++
+			}
+			if ep.Host != "" {
+				if hostApps[ep.Host] == nil {
+					hostApps[ep.Host] = make(map[string]bool, 1)
+				}
+				hostApps[ep.Host][app.Package] = true
+			}
+		}
+	}
+	t.row("apps with endpoints", withEPs)
+	t.row("endpoints total", total)
+	t.row("  kind=full", full)
+	t.row("  kind=prefix", prefix)
+	t.row("  kind=dynamic", dynamic)
+	t.row("  via SDK", viaSDK)
+	if len(hostApps) > 0 {
+		hosts := make([]string, 0, len(hostApps))
+		for h := range hostApps {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool {
+			if len(hostApps[hosts[i]]) != len(hostApps[hosts[j]]) {
+				return len(hostApps[hosts[i]]) > len(hostApps[hosts[j]])
+			}
+			return hosts[i] < hosts[j]
+		})
+		t.row("", "")
+		t.row("top hosts by app count", "")
+		for i, h := range hosts {
+			if i == 10 {
+				break
+			}
+			t.row("  "+h, len(hostApps[h]))
+		}
+	}
+	return t.String()
+}
+
+// AgreementRow is one app's static↔dynamic host agreement: the statically
+// extracted endpoint hosts compared against the hosts the app actually
+// contacted during the controlled dynamic visit.
+type AgreementRow struct {
+	Package string
+	// Static counts distinct static host patterns (exact hosts plus partial
+	// host prefixes from Kind "prefix" endpoints); Dynamic counts distinct
+	// observed hosts.
+	Static  int
+	Dynamic int
+	// Both counts static patterns confirmed by at least one dynamic host;
+	// StaticOnly is the rest. DynamicOnly counts observed hosts no static
+	// pattern explains.
+	Both        int
+	StaticOnly  int
+	DynamicOnly int
+	// Precision = Both/Static, Recall = explained-dynamic/Dynamic. An empty
+	// side is vacuously perfect (no static hosts → precision 1; no dynamic
+	// hosts → recall 1), so rows never divide by zero.
+	Precision float64
+	Recall    float64
+}
+
+// Agreement computes one app's row. A static exact host matches a dynamic
+// host by equality; a static partial prefix (a Kind "prefix" endpoint cut
+// mid-host, e.g. "https://api.ex") matches any dynamic host it is a string
+// prefix of. Hosts compare lowercased on both sides.
+func Agreement(pkg string, eps []urlextract.Endpoint, dynamicHosts []string) AgreementRow {
+	exact := make(map[string]bool)
+	prefixes := make(map[string]bool)
+	for _, ep := range eps {
+		if ep.Host != "" {
+			exact[strings.ToLower(ep.Host)] = true
+			continue
+		}
+		if ep.Kind == urlextract.KindPrefix {
+			if hp, ok := urlextract.HostPrefixOf(ep.URL); ok && hp != "" {
+				prefixes[hp] = true
+			}
+		}
+	}
+	dyn := make(map[string]bool, len(dynamicHosts))
+	for _, h := range dynamicHosts {
+		if h != "" {
+			dyn[strings.ToLower(h)] = true
+		}
+	}
+
+	prefixMatches := func(host string) bool {
+		for p := range prefixes {
+			if strings.HasPrefix(host, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	row := AgreementRow{Package: pkg, Static: len(exact) + len(prefixes), Dynamic: len(dyn)}
+	for h := range exact {
+		if dyn[h] {
+			row.Both++
+		}
+	}
+	for p := range prefixes {
+		for h := range dyn {
+			if strings.HasPrefix(h, p) {
+				row.Both++
+				break
+			}
+		}
+	}
+	row.StaticOnly = row.Static - row.Both
+	explained := 0
+	for h := range dyn {
+		if exact[h] || prefixMatches(h) {
+			explained++
+		}
+	}
+	row.DynamicOnly = row.Dynamic - explained
+
+	row.Precision = 1
+	if row.Static > 0 {
+		row.Precision = float64(row.Both) / float64(row.Static)
+	}
+	row.Recall = 1
+	if row.Dynamic > 0 {
+		row.Recall = float64(explained) / float64(row.Dynamic)
+	}
+	return row
+}
+
+// AppEndpoints pairs one app's statically extracted endpoints with the
+// hosts it contacted during the controlled dynamic visit; it is the input
+// to the per-SDK aggregation.
+type AppEndpoints struct {
+	Package      string
+	Endpoints    []urlextract.Endpoint
+	DynamicHosts []string
+}
+
+// SDKAgreementRow aggregates agreement across apps for one SDK (or the
+// app's own first-party code). Dynamic traffic carries no SDK label, so
+// recall is only defined at the app level; here each dynamic host is
+// attributed to the SDK whose static pattern explains it.
+type SDKAgreementRow struct {
+	SDK string
+	// Apps counts apps contributing at least one static pattern for this
+	// SDK; Static sums those per-app pattern counts.
+	Apps   int
+	Static int
+	// Confirmed counts static patterns matched by the same app's dynamic
+	// traffic; Explained counts dynamic hosts those patterns account for.
+	Confirmed int
+	Explained int
+	// Precision = Confirmed/Static (vacuously 1 when Static is 0).
+	Precision float64
+}
+
+// sdkBucket maps one endpoint to its aggregation key.
+func sdkBucket(ep urlextract.Endpoint) string {
+	if ep.FirstParty || ep.SDK == "" {
+		return "(first-party)"
+	}
+	return ep.SDK
+}
+
+// SDKAgreement computes the per-SDK agreement rows over all probed apps,
+// using the same pattern semantics as Agreement (exact hosts by equality,
+// partial prefixes by string prefix, lowercased both sides). Rows sort by
+// SDK name, so the table is deterministic regardless of input order.
+func SDKAgreement(apps []AppEndpoints) []SDKAgreementRow {
+	acc := make(map[string]*SDKAgreementRow)
+	for _, app := range apps {
+		dyn := make(map[string]bool, len(app.DynamicHosts))
+		for _, h := range app.DynamicHosts {
+			if h != "" {
+				dyn[strings.ToLower(h)] = true
+			}
+		}
+		type patterns struct {
+			exact    map[string]bool
+			prefixes map[string]bool
+		}
+		perSDK := make(map[string]*patterns)
+		for _, ep := range app.Endpoints {
+			key := sdkBucket(ep)
+			p := perSDK[key]
+			if p == nil {
+				p = &patterns{exact: make(map[string]bool), prefixes: make(map[string]bool)}
+				perSDK[key] = p
+			}
+			if ep.Host != "" {
+				p.exact[strings.ToLower(ep.Host)] = true
+				continue
+			}
+			if ep.Kind == urlextract.KindPrefix {
+				if hp, ok := urlextract.HostPrefixOf(ep.URL); ok && hp != "" {
+					p.prefixes[hp] = true
+				}
+			}
+		}
+		for key, p := range perSDK {
+			static := len(p.exact) + len(p.prefixes)
+			if static == 0 {
+				continue
+			}
+			r := acc[key]
+			if r == nil {
+				r = &SDKAgreementRow{SDK: key}
+				acc[key] = r
+			}
+			r.Apps++
+			r.Static += static
+			for h := range p.exact {
+				if dyn[h] {
+					r.Confirmed++
+				}
+			}
+			for pre := range p.prefixes {
+				for h := range dyn {
+					if strings.HasPrefix(h, pre) {
+						r.Confirmed++
+						break
+					}
+				}
+			}
+			for h := range dyn {
+				if p.exact[h] {
+					r.Explained++
+					continue
+				}
+				for pre := range p.prefixes {
+					if strings.HasPrefix(h, pre) {
+						r.Explained++
+						break
+					}
+				}
+			}
+		}
+	}
+	rows := make([]SDKAgreementRow, 0, len(acc))
+	for _, r := range acc {
+		r.Precision = 1
+		if r.Static > 0 {
+			r.Precision = float64(r.Confirmed) / float64(r.Static)
+		}
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].SDK < rows[j].SDK })
+	return rows
+}
+
+// SDKAgreementTable renders the per-SDK aggregation plus a totals line.
+func SDKAgreementTable(rows []SDKAgreementRow) string {
+	t := newTable("Static vs dynamic agreement by SDK attribution")
+	t.row("sdk", "apps", "static", "confirmed", "dyn-explained", "precision")
+	var static, confirmed, explained int
+	for _, r := range rows {
+		t.row(r.SDK, r.Apps, r.Static, r.Confirmed, r.Explained,
+			fmt.Sprintf("%.2f", r.Precision))
+		static += r.Static
+		confirmed += r.Confirmed
+		explained += r.Explained
+	}
+	prec := 1.0
+	if static > 0 {
+		prec = float64(confirmed) / float64(static)
+	}
+	t.row("total", "", static, confirmed, explained, fmt.Sprintf("%.2f", prec))
+	return t.String()
+}
+
+// AgreementTable renders the cross-validation rows plus a totals line.
+// Row order is the caller's (the dynamic study already sorts by downloads),
+// so the table is byte-identical across worker and device counts.
+func AgreementTable(rows []AgreementRow) string {
+	t := newTable("Static vs dynamic endpoint-host agreement (controlled IAB visits)")
+	t.row("app", "static", "dynamic", "both", "static-only", "dyn-only", "precision", "recall")
+	var static, dynamic, both, staticOnly, dynOnly int
+	for _, r := range rows {
+		t.row(r.Package, r.Static, r.Dynamic, r.Both, r.StaticOnly, r.DynamicOnly,
+			fmt.Sprintf("%.2f", r.Precision), fmt.Sprintf("%.2f", r.Recall))
+		static += r.Static
+		dynamic += r.Dynamic
+		both += r.Both
+		staticOnly += r.StaticOnly
+		dynOnly += r.DynamicOnly
+	}
+	prec, rec := 1.0, 1.0
+	if static > 0 {
+		prec = float64(both) / float64(static)
+	}
+	if dynamic > 0 {
+		rec = float64(dynamic-dynOnly) / float64(dynamic)
+	}
+	t.row("total", static, dynamic, both, staticOnly, dynOnly,
+		fmt.Sprintf("%.2f", prec), fmt.Sprintf("%.2f", rec))
+	return t.String()
+}

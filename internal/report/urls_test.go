@@ -1,0 +1,211 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/urlextract"
+)
+
+func ep(kind, url, host string) urlextract.Endpoint {
+	return urlextract.Endpoint{Kind: kind, URL: url, Host: host, FirstParty: true}
+}
+
+// TestAgreementMath pins the matching and vacuous-case conventions: exact
+// hosts match by equality, partial prefixes by string prefix, and an empty
+// side is vacuously perfect so precision/recall never divide by zero.
+func TestAgreementMath(t *testing.T) {
+	cases := []struct {
+		name string
+		eps  []urlextract.Endpoint
+		dyn  []string
+		want AgreementRow
+	}{
+		{
+			name: "exact match both sides",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindFull, "https://api.example.com/v1", "api.example.com")},
+			dyn:  []string{"api.example.com"},
+			want: AgreementRow{Static: 1, Dynamic: 1, Both: 1, Precision: 1, Recall: 1},
+		},
+		{
+			name: "zero dynamic hosts: recall vacuously 1",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindFull, "https://a.test/x", "a.test")},
+			dyn:  nil,
+			want: AgreementRow{Static: 1, Dynamic: 0, Both: 0, StaticOnly: 1, Precision: 0, Recall: 1},
+		},
+		{
+			name: "zero static hosts: precision vacuously 1",
+			eps:  nil,
+			dyn:  []string{"tracker.test", "cdn.test"},
+			want: AgreementRow{Static: 0, Dynamic: 2, DynamicOnly: 2, Precision: 1, Recall: 0},
+		},
+		{
+			name: "dynamic-only hosts lower recall",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindFull, "https://a.test/x", "a.test")},
+			dyn:  []string{"a.test", "b.test", "c.test", "d.test"},
+			want: AgreementRow{Static: 1, Dynamic: 4, Both: 1, DynamicOnly: 3, Precision: 1, Recall: 0.25},
+		},
+		{
+			name: "partial host prefix matches any dynamic host it prefixes",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindPrefix, "https://api.seg", "")},
+			dyn:  []string{"api.segment.io", "api.segundo.test", "other.test"},
+			want: AgreementRow{Static: 1, Dynamic: 3, Both: 1, DynamicOnly: 1, Precision: 1, Recall: 2.0 / 3},
+		},
+		{
+			name: "prefix with complete authority carries a host, not a prefix",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindPrefix, "https://api.test/v1/", "api.test")},
+			dyn:  []string{"api.test"},
+			want: AgreementRow{Static: 1, Dynamic: 1, Both: 1, Precision: 1, Recall: 1},
+		},
+		{
+			name: "case-insensitive on both sides",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindFull, "https://API.Test/", "API.Test")},
+			dyn:  []string{"api.TEST"},
+			want: AgreementRow{Static: 1, Dynamic: 1, Both: 1, Precision: 1, Recall: 1},
+		},
+		{
+			name: "dynamic-kind endpoints contribute nothing",
+			eps:  []urlextract.Endpoint{ep(urlextract.KindDynamic, "", "")},
+			dyn:  []string{"x.test"},
+			want: AgreementRow{Static: 0, Dynamic: 1, DynamicOnly: 1, Precision: 1, Recall: 0},
+		},
+		{
+			name: "duplicate hosts collapse to one pattern",
+			eps: []urlextract.Endpoint{
+				ep(urlextract.KindFull, "https://a.test/x", "a.test"),
+				ep(urlextract.KindFull, "https://a.test/y", "a.test"),
+			},
+			dyn:  []string{"a.test", "a.test"},
+			want: AgreementRow{Static: 1, Dynamic: 1, Both: 1, Precision: 1, Recall: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Agreement("app", tc.eps, tc.dyn)
+			tc.want.Package = "app"
+			if got != tc.want {
+				t.Errorf("Agreement = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAgreementTableTotals(t *testing.T) {
+	rows := []AgreementRow{
+		{Package: "a", Static: 2, Dynamic: 2, Both: 2, Precision: 1, Recall: 1},
+		{Package: "b", Static: 1, Dynamic: 3, Both: 0, StaticOnly: 1, DynamicOnly: 3, Precision: 0, Recall: 0},
+	}
+	out := AgreementTable(rows)
+	for _, want := range []string{"a ", "b ", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Totals: static 3, dynamic 5, both 2 → precision 0.67, recall 0.40.
+	last := strings.TrimSpace(out[strings.Index(out, "total"):])
+	for _, want := range []string{"0.67", "0.40"} {
+		if !strings.Contains(last, want) {
+			t.Errorf("totals row %q missing %s", last, want)
+		}
+	}
+	// Empty input: the vacuous totals conventions hold.
+	empty := AgreementTable(nil)
+	if !strings.Contains(empty, "1.00") {
+		t.Errorf("empty table totals should be vacuously perfect:\n%s", empty)
+	}
+}
+
+// TestSDKAgreement pins the per-SDK aggregation: patterns bucket by SDK
+// attribution (first-party code in its own bucket), confirmation and
+// explained-host counts sum across apps, and rows come back sorted by SDK
+// name so the table is deterministic.
+func TestSDKAgreement(t *testing.T) {
+	sdkEP := func(sdk, kind, url, host string) urlextract.Endpoint {
+		return urlextract.Endpoint{Kind: kind, URL: url, Host: host, SDK: sdk}
+	}
+	apps := []AppEndpoints{
+		{
+			Package: "a",
+			Endpoints: []urlextract.Endpoint{
+				ep(urlextract.KindFull, "https://own.test/v1", "own.test"),
+				sdkEP("Segment", urlextract.KindFull, "https://api.segment.io/t", "api.segment.io"),
+				sdkEP("Segment", urlextract.KindPrefix, "https://cdn.seg", ""),
+			},
+			DynamicHosts: []string{"api.segment.io", "cdn.segment.io", "tracker.test"},
+		},
+		{
+			Package: "b",
+			Endpoints: []urlextract.Endpoint{
+				sdkEP("Segment", urlextract.KindFull, "https://api.segment.io/t", "api.segment.io"),
+				sdkEP("Branch", urlextract.KindFull, "https://api.branch.io/v1", "api.branch.io"),
+			},
+			DynamicHosts: []string{"cdn.other.test"},
+		},
+	}
+	rows := SDKAgreement(apps)
+	want := []SDKAgreementRow{
+		// First-party: app a's own.test, unconfirmed.
+		{SDK: "(first-party)", Apps: 1, Static: 1, Confirmed: 0, Explained: 0, Precision: 0},
+		// Branch: app b only, unconfirmed.
+		{SDK: "Branch", Apps: 1, Static: 1, Confirmed: 0, Explained: 0, Precision: 0},
+		// Segment: app a confirms both patterns (exact + prefix) explaining
+		// two dynamic hosts; app b's copy goes unconfirmed → 2/3.
+		{SDK: "Segment", Apps: 2, Static: 3, Confirmed: 2, Explained: 2, Precision: 2.0 / 3},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("SDKAgreement returned %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+
+	out := SDKAgreementTable(rows)
+	for _, s := range []string{"(first-party)", "Branch", "Segment", "total", "0.40"} {
+		// Totals: 5 static, 2 confirmed → precision 0.40.
+		if !strings.Contains(out, s) {
+			t.Errorf("SDK table missing %q:\n%s", s, out)
+		}
+	}
+	if !strings.Contains(SDKAgreementTable(nil), "1.00") {
+		t.Error("empty SDK table totals should be vacuously perfect")
+	}
+}
+
+func TestURLTableSummary(t *testing.T) {
+	apps := []pipeline.AppResult{
+		{Package: "a", Endpoints: []urlextract.Endpoint{
+			ep(urlextract.KindFull, "https://api.test/v1", "api.test"),
+			ep(urlextract.KindPrefix, "https://cdn.te", ""),
+		}},
+		{Package: "b", Endpoints: []urlextract.Endpoint{
+			{Kind: urlextract.KindFull, URL: "https://api.test/v2", Host: "api.test", SDK: "Segment"},
+		}},
+		{Package: "c"},
+	}
+	out := URLTable(apps)
+	rowValue := func(label string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), label) {
+				f := strings.Fields(line)
+				return f[len(f)-1]
+			}
+		}
+		return ""
+	}
+	for label, want := range map[string]string{
+		"apps with endpoints": "2",
+		"endpoints total":     "3",
+		"kind=full":           "2",
+		"kind=prefix":         "1",
+		"kind=dynamic":        "0",
+		"via SDK":             "1",
+		"api.test":            "2", // reached from both apps
+	} {
+		if got := rowValue(label); got != want {
+			t.Errorf("URLTable row %q = %q, want %q\n%s", label, got, want, out)
+		}
+	}
+}

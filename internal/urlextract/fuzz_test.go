@@ -1,0 +1,117 @@
+package urlextract
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/android"
+	"repro/internal/callgraph"
+	"repro/internal/dalvik"
+)
+
+// fuzzTargets is the call pool fuzzed programs draw invokes from: sinks,
+// the modelled builder types, an in-file helper (interprocedural paths)
+// and the recursive entry method itself.
+var fuzzTargets = []dalvik.Instruction{
+	dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadURL, "(String)void"),
+	dalvik.InvokeVirtual(android.WebViewClass, android.MethodPostURL, "(String,byte[])void"),
+	dalvik.InvokeVirtual(android.WebViewClass, android.MethodLoadDataWithBaseURL, "(String,String,String,String,String)void"),
+	dalvik.InvokeVirtual(android.CustomTabsIntentClass, android.MethodLaunchURL, "(Context,Uri)void"),
+	dalvik.InvokeDirect("java.net.URL", "<init>", "(String)void"),
+	dalvik.InvokeDirect("java.lang.StringBuilder", "<init>", "()void"),
+	dalvik.InvokeDirect("java.lang.StringBuilder", "<init>", "(String)void"),
+	dalvik.InvokeVirtual("java.lang.StringBuilder", "append", "(String)StringBuilder"),
+	dalvik.InvokeVirtual("java.lang.StringBuilder", "toString", "()String"),
+	dalvik.InvokeVirtual("java.lang.String", "concat", "(String)String"),
+	dalvik.InvokeStatic("com.fuzz.app.Helper", "pass", "(String)void"),
+	dalvik.InvokeStatic("com.fuzz.app.Main", "onCreate", "()void"),
+}
+
+var fuzzTypes = []string{"java.net.URL", "java.lang.StringBuilder", "com.fuzz.app.Main"}
+
+// decodeProgram turns fuzz bytes into a structurally valid instruction
+// stream: every byte pair picks an opcode and an operand, branch offsets
+// come from a signed byte so forward and backward edges (loops) appear.
+func decodeProgram(data []byte, s1, s2 string) []dalvik.Instruction {
+	var code []dalvik.Instruction
+	strs := []string{s1, s2, "https://fuzz.example/a", ""}
+	for i := 0; i+1 < len(data) && len(code) < 64; i += 2 {
+		op, arg := data[i], data[i+1]
+		switch op % 8 {
+		case 0:
+			code = append(code, dalvik.ConstString(strs[int(arg)%len(strs)]))
+		case 1:
+			code = append(code, dalvik.ConstInt(int64(arg)))
+		case 2:
+			code = append(code, dalvik.NewInstance(fuzzTypes[int(arg)%len(fuzzTypes)]))
+		case 3, 4:
+			code = append(code, fuzzTargets[int(arg)%len(fuzzTargets)])
+		case 5:
+			code = append(code, dalvik.Instruction{Op: dalvik.OpMoveResult})
+		case 6:
+			code = append(code, dalvik.Instruction{Op: dalvik.OpIfZ, Int: int64(int8(arg))})
+		case 7:
+			code = append(code, dalvik.Instruction{Op: dalvik.OpGoto, Int: int64(int8(arg))})
+		}
+	}
+	code = append(code, dalvik.Return())
+	return code
+}
+
+// FuzzExtractMethod throws adversarial control flow at the abstract
+// interpreter and checks the engine's core invariants: no panics,
+// termination, deterministic output, an idempotent URL normalizer and a
+// commutative/idempotent lattice join.
+func FuzzExtractMethod(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 0, 3, 4}, "https://Seed.Example:443/x", "https://seed.example/y")
+	f.Add([]byte{6, 3, 0, 0, 7, 254, 3, 0}, "http://loop.example:80", "http://loop.example/z")
+	f.Add([]byte{2, 1, 3, 5, 0, 1, 3, 7, 5, 0, 3, 8, 5, 0, 2, 0, 3, 4}, "https://builder.example/pre", "/suffix")
+	f.Add([]byte{0, 0, 3, 10, 3, 11}, "https://helper.example/h", "not a url")
+	f.Fuzz(func(t *testing.T, prog []byte, s1, s2 string) {
+		n1 := NormalizeURL(s1)
+		if again := NormalizeURL(n1); again != n1 {
+			t.Fatalf("NormalizeURL not idempotent: %q -> %q -> %q", s1, n1, again)
+		}
+		v1, v2 := Const(s1), Const(s2)
+		if Join(v1, v2) != Join(v2, v1) {
+			t.Fatalf("Join not commutative for %q, %q", s1, s2)
+		}
+		if Join(v1, v1) != v1 {
+			t.Fatalf("Join not idempotent for %q", s1)
+		}
+		j := Join(v1, v2)
+		if Join(j, v1) != Join(j, Join(v1, j)) {
+			t.Fatalf("Join unstable above the join for %q, %q", s1, s2)
+		}
+
+		b := dalvik.NewBuilder()
+		b.Class("com.fuzz.app.Main", android.ActivityClass, dalvik.AccPublic).
+			Method("onCreate", "()void", dalvik.AccPublic, decodeProgram(prog, s1, s2)...)
+		b.Class("com.fuzz.app.Helper", android.ObjectClass, dalvik.AccPublic).
+			Method("pass", "(String)void", dalvik.AccPublic|dalvik.AccStatic,
+				dalvik.NewInstance("java.net.URL"),
+				dalvik.InvokeDirect("java.net.URL", "<init>", "(String)void"),
+				dalvik.Return(),
+			)
+		dex, err := b.Build()
+		if err != nil {
+			t.Fatalf("fuzz program failed validation: %v", err)
+		}
+		g := callgraph.Build(dex)
+		ex := New(Config{})
+		eps := ex.Extract(g, nil, nil)
+		if again := ex.Extract(callgraph.Build(dex), nil, nil); !reflect.DeepEqual(eps, again) {
+			t.Fatalf("nondeterministic extraction:\n%+v\n%+v", eps, again)
+		}
+		for _, ep := range eps {
+			switch ep.Kind {
+			case KindFull, KindPrefix, KindDynamic:
+			default:
+				t.Fatalf("invalid endpoint kind %q in %+v", ep.Kind, ep)
+			}
+			if ep.Kind == KindFull && NormalizeURL(ep.URL) != ep.URL {
+				t.Fatalf("full endpoint URL not normalized: %+v", ep)
+			}
+		}
+	})
+}

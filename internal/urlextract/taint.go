@@ -1,0 +1,167 @@
+package urlextract
+
+import (
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/dalvik"
+)
+
+// TaintConfig names the method sets a boolean taint walk distinguishes:
+// Sources taint their result, Derivers propagate taint from receiver or
+// argument to result, and Sinks consume taint (no propagation through a
+// sink's own callee edge — the finding belongs at the sink).
+type TaintConfig struct {
+	Sources  map[string]bool
+	Derivers map[string]bool
+	Sinks    map[string]bool
+}
+
+// ParamTaint runs an interprocedural boolean taint fixpoint over the
+// graph's bytecode and returns, per method, the sorted indices of
+// parameters that can carry source-derived data. The per-method walk
+// mirrors the decompiler's rendering semantics exactly — linear scan,
+// operand stack cleared at branches, constructor operands left for the
+// call they feed, missing leading invoke arguments standing in for the
+// enclosing method's own parameters — so lint rules that match on the
+// decompiled source see the same flows the bytecode carries.
+func ParamTaint(g *callgraph.Graph, cfg TaintConfig) map[dalvik.MethodRef][]int {
+	dex := g.Dex()
+	body := make(map[dalvik.MethodRef]*dalvik.Method, dex.MethodCount())
+	var order []dalvik.MethodRef
+	for ci := range dex.Classes {
+		c := &dex.Classes[ci]
+		for mi := range c.Methods {
+			m := &c.Methods[mi]
+			ref := m.Ref(c.Name)
+			if _, dup := body[ref]; dup {
+				continue
+			}
+			body[ref] = m
+			order = append(order, ref)
+		}
+	}
+
+	taint := make(map[dalvik.MethodRef]map[int]bool)
+	queued := make(map[dalvik.MethodRef]bool, len(order))
+	work := append([]dalvik.MethodRef(nil), order...)
+	for _, ref := range work {
+		queued[ref] = true
+	}
+	push := func(ref dalvik.MethodRef) {
+		if !queued[ref] {
+			queued[ref] = true
+			work = append(work, ref)
+		}
+	}
+
+	for len(work) > 0 {
+		ref := work[0]
+		work = work[1:]
+		queued[ref] = false
+		taintWalk(g, ref, body[ref], taint, cfg, push)
+	}
+
+	out := make(map[dalvik.MethodRef][]int, len(taint))
+	for ref, set := range taint {
+		idxs := make([]int, 0, len(set))
+		for i := range set {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		out[ref] = idxs
+	}
+	return out
+}
+
+// taintWalk scans one method linearly, tracking taint per operand-stack
+// slot plus the last-invoke-result variable, and records interprocedural
+// edges: a tainted argument at slot k taints the resolved callee's k-th
+// parameter (enqueueing the callee when its set grows).
+func taintWalk(g *callgraph.Graph, ref dalvik.MethodRef, m *dalvik.Method,
+	taint map[dalvik.MethodRef]map[int]bool, cfg TaintConfig, push func(dalvik.MethodRef)) {
+	params := taint[ref]
+	own := arity(ref.Signature)
+	var stack []bool
+	lastTainted := false
+	afterInvoke := false
+	resTaint := false
+	pendingNew := ""
+	for _, ins := range m.Code {
+		wasInvoke := false
+		switch ins.Op {
+		case dalvik.OpConstString, dalvik.OpConstInt:
+			stack = append(stack, false)
+		case dalvik.OpNewInstance:
+			pendingNew = ins.Type
+		case dalvik.OpInvokeVirtual, dalvik.OpInvokeStatic, dalvik.OpInvokeDirect, dalvik.OpInvokeInterface:
+			wasInvoke = true
+			t := ins.Target
+			ar := arity(t.Signature)
+			if ins.Op == dalvik.OpInvokeDirect && t.Name == ctorName && pendingNew == t.Class {
+				// Constructor placeholder idiom: operands stay put, the
+				// fresh object (which becomes the last-result variable)
+				// is untainted.
+				pendingNew = ""
+				resTaint = false
+				lastTainted = false
+				break
+			}
+			take := ar
+			if len(stack) < take {
+				take = len(stack)
+			}
+			args := make([]bool, ar)
+			base := len(stack) - take
+			for i := 0; i < take; i++ {
+				args[ar-take+i] = stack[base+i]
+			}
+			stack = stack[:base]
+			for i := 0; i < ar-take; i++ {
+				if i < own && params[i] {
+					args[i] = true
+				}
+			}
+			switch {
+			case cfg.Sources[t.Name]:
+				resTaint = true
+			case cfg.Derivers[t.Name]:
+				recv := ins.Op != dalvik.OpInvokeStatic && lastTainted
+				resTaint = recv
+				for _, a := range args {
+					resTaint = resTaint || a
+				}
+			default:
+				resTaint = false
+			}
+			if !cfg.Sinks[t.Name] {
+				if resolved, ok := g.Resolve(t); ok {
+					calleeAr := arity(resolved.Signature)
+					for k, a := range args {
+						if !a || k >= calleeAr {
+							continue
+						}
+						if taint[resolved] == nil {
+							taint[resolved] = make(map[int]bool, 2)
+						}
+						if !taint[resolved][k] {
+							taint[resolved][k] = true
+							push(resolved)
+						}
+					}
+				}
+			}
+		case dalvik.OpMoveResult:
+			if afterInvoke {
+				stack = append(stack, resTaint)
+				lastTainted = resTaint
+			} else {
+				stack = append(stack, false)
+				lastTainted = false
+			}
+		case dalvik.OpIfZ, dalvik.OpGoto, dalvik.OpReturnVoid, dalvik.OpReturnValue, dalvik.OpThrow:
+			stack = stack[:0]
+		}
+		afterInvoke = wasInvoke
+	}
+}

@@ -15,7 +15,10 @@ import (
 
 // engineVersion is mixed into Fingerprint so that semantic changes to the
 // engine (not just the rule registry) can invalidate cached results.
-const engineVersion = 1
+// Version 2: interprocedural taint propagation moved onto the urlextract
+// engine's bytecode fixpoint (findings unchanged; caches conservatively
+// invalidated).
+const engineVersion = 2
 
 // Config selects which rules run. A nil Rules slice enables the whole
 // registry; naming an unknown rule is a configuration error surfaced by New.

@@ -2,7 +2,11 @@ package webviewlint
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"repro/internal/dalvik"
+	"repro/internal/urlextract"
 )
 
 // The unsafe-load-url rule is a def-use taint walk over the decompiled
@@ -10,9 +14,11 @@ import (
 // data), derivers propagate taint through value-preserving transformations,
 // and sinks are the WebView content-loading methods. Within a method the
 // walk follows assignment chains (`Object v1 = this.getIntent(); Object v2
-// = v1.getDataString();`); across methods it follows the bytecode call
-// graph: a tainted argument at position k taints the callee's k-th declared
-// parameter, and the callee is re-analysed until a fixpoint.
+// = v1.getDataString();`); across methods it delegates to the urlextract
+// engine's interprocedural parameter-taint fixpoint over the bytecode call
+// graph, whose per-method walk mirrors the decompiler's rendering exactly —
+// a tainted argument at position k taints the callee's k-th declared
+// parameter, and the source-level pass here picks the result up by name.
 
 // taintSources start a taint chain when their result is assigned.
 var taintSources = map[string]bool{
@@ -34,69 +40,26 @@ var taintSinks = map[string]bool{
 
 type methodKey struct{ class, method string }
 
-// taintFindings runs the interprocedural walk and returns a finding for
-// every sink call receiving a tainted argument.
+// taintFindings seeds each method's tainted parameter names from the
+// bytecode fixpoint, then walks every method's source body once and emits a
+// finding for every sink call receiving a tainted argument. Without a call
+// graph only intra-method flows are visible.
 func (a *Analyzer) taintFindings(app App, classes map[string]*classInfo, order []string) []Finding {
 	if !a.enabled[RuleUnsafeLoadURL] {
 		return nil
 	}
-	// paramTaint accumulates interprocedurally-tainted parameter names.
-	paramTaint := make(map[methodKey]map[string]bool)
+	paramTaint := a.seedParamTaint(app, classes)
 	reported := make(map[methodKey]map[int]bool) // sink lines already emitted
 
-	var work []methodKey
-	queued := make(map[methodKey]bool)
-	push := func(k methodKey) {
-		if !queued[k] {
-			queued[k] = true
-			work = append(work, k)
-		}
-	}
-	// Seed: every method runs once; only methods containing a source or a
-	// tainted parameter produce anything, the rest are a cheap linear scan.
-	for _, name := range order {
-		for _, m := range classes[name].td.Methods {
-			push(methodKey{name, m.Name})
-		}
-	}
-
 	var out []Finding
-	for len(work) > 0 {
-		k := work[0]
-		work = work[1:]
-		queued[k] = false
-		ci := classes[k.class]
-		if ci == nil {
-			continue
-		}
+	for _, name := range order {
+		ci := classes[name]
 		for mi := range ci.td.Methods {
 			m := &ci.td.Methods[mi]
-			if m.Name != k.method {
-				continue
-			}
+			k := methodKey{name, m.Name}
 			tainted := make(map[string]bool, 4)
 			for p := range paramTaint[k] {
 				tainted[p] = true
-			}
-			// calleeByName resolves source-level call names to in-file
-			// classes through the bytecode call graph, lazily per method.
-			var calleeByName map[string]string
-			callees := func() map[string]string {
-				if calleeByName != nil {
-					return calleeByName
-				}
-				calleeByName = make(map[string]string, 4)
-				if app.Graph != nil {
-					for _, ref := range app.Graph.Callees(k.class, k.method) {
-						if _, in := classes[ref.Class]; !in {
-							continue
-						}
-						if _, dup := calleeByName[ref.Name]; !dup {
-							calleeByName[ref.Name] = ref.Class
-						}
-					}
-				}
-				return calleeByName
 			}
 			for ci2 := range m.Calls {
 				c := &m.Calls[ci2]
@@ -114,51 +77,79 @@ func (a *Analyzer) taintFindings(app App, classes map[string]*classInfo, order [
 						tainted[c.Assign] = true
 					}
 				}
-				for ai, arg := range c.Args {
+				if !taintSinks[c.Name] {
+					continue
+				}
+				for _, arg := range c.Args {
 					if !exprTainted(arg, tainted) {
 						continue
 					}
-					if taintSinks[c.Name] {
-						if reported[k] == nil {
-							reported[k] = make(map[int]bool, 1)
-						}
-						if reported[k][c.Line] {
-							continue
-						}
+					if reported[k] == nil {
+						reported[k] = make(map[int]bool, 1)
+					}
+					if !reported[k][c.Line] {
 						reported[k][c.Line] = true
 						def, _ := RuleByID(RuleUnsafeLoadURL)
 						out = append(out, Finding{
 							Rule: RuleUnsafeLoadURL, Severity: def.Severity,
-							Class: k.class, Method: k.method, Line: c.Line,
+							Class: name, Method: m.Name, Line: c.Line,
 							Detail: fmt.Sprintf("%s(%s): argument derived from intent data", c.Name, arg),
 						})
-						continue
 					}
-					// Interprocedural edge: taint the callee's parameter.
-					if cls, ok := callees()[c.Name]; ok {
-						ck := methodKey{cls, c.Name}
-						if cci := classes[cls]; cci != nil {
-							for _, cm := range cci.td.Methods {
-								if cm.Name != c.Name || ai >= len(cm.Params) {
-									continue
-								}
-								p := cm.Params[ai]
-								if paramTaint[ck] == nil {
-									paramTaint[ck] = make(map[string]bool, 2)
-								}
-								if !paramTaint[ck][p] {
-									paramTaint[ck][p] = true
-									push(ck)
-								}
-								break
-							}
-						}
-					}
+					break
 				}
 			}
 		}
 	}
 	return out
+}
+
+// seedParamTaint maps the engine's per-ref tainted parameter indices onto
+// source-level parameter names, keyed the way the source walk looks methods
+// up (class + method name; overloads share a key, as their decompiled
+// parameter names do).
+func (a *Analyzer) seedParamTaint(app App, classes map[string]*classInfo) map[methodKey]map[string]bool {
+	paramTaint := make(map[methodKey]map[string]bool)
+	if app.Graph == nil {
+		return paramTaint
+	}
+	engine := urlextract.ParamTaint(app.Graph, urlextract.TaintConfig{
+		Sources: taintSources, Derivers: taintDerivers, Sinks: taintSinks,
+	})
+	refs := make([]dalvik.MethodRef, 0, len(engine))
+	for ref := range engine {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Class != refs[j].Class {
+			return refs[i].Class < refs[j].Class
+		}
+		if refs[i].Name != refs[j].Name {
+			return refs[i].Name < refs[j].Name
+		}
+		return refs[i].Signature < refs[j].Signature
+	})
+	for _, ref := range refs {
+		ci := classes[ref.Class]
+		if ci == nil {
+			continue
+		}
+		k := methodKey{ref.Class, ref.Name}
+		for _, idx := range engine[ref] {
+			for mi := range ci.td.Methods {
+				cm := &ci.td.Methods[mi]
+				if cm.Name != ref.Name || idx >= len(cm.Params) {
+					continue
+				}
+				if paramTaint[k] == nil {
+					paramTaint[k] = make(map[string]bool, 2)
+				}
+				paramTaint[k][cm.Params[idx]] = true
+				break
+			}
+		}
+	}
+	return paramTaint
 }
 
 // rootTainted reports whether the leading identifier of a receiver chain
