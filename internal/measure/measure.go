@@ -7,7 +7,9 @@
 package measure
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,7 +18,16 @@ import (
 
 	"repro/internal/android"
 	"repro/internal/browsersim"
+	"repro/internal/retry"
 )
+
+// MaxCollectBody caps the size of one POST /collect batch. Larger bodies
+// are rejected with 413 instead of being buffered.
+const MaxCollectBody = 1 << 20
+
+// ErrEmptyTrace rejects a beacon carrying neither interface nor method —
+// the malformed shape the collector used to drop silently.
+var ErrEmptyTrace = errors.New("measure: trace has neither interface nor method")
 
 // Trace is one intercepted Web-API call, attributed to the app whose
 // WebView made the page visit.
@@ -52,38 +63,86 @@ func (s *Server) Handler() http.Handler {
 		io.WriteString(w, TraceJS)
 	})
 	mux.HandleFunc("GET /collect", func(w http.ResponseWriter, r *http.Request) {
-		s.record(Trace{
-			App:       r.Header.Get(android.XRequestedWithHeader),
-			Interface: r.URL.Query().Get("iface"),
-			Method:    r.URL.Query().Get("method"),
-		})
+		batch, err := DecodeCollect(w, r)
+		if err != nil {
+			WriteCollectError(w, err)
+			return
+		}
+		if err := s.Accept(r.Header.Get(android.XRequestedWithHeader), batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /collect", func(w http.ResponseWriter, r *http.Request) {
-		var batch []Trace
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&batch); err != nil {
-			http.Error(w, "bad batch", http.StatusBadRequest)
+		batch, err := DecodeCollect(w, r)
+		if err != nil {
+			WriteCollectError(w, err)
 			return
 		}
-		app := r.Header.Get(android.XRequestedWithHeader)
-		for _, tr := range batch {
-			if tr.App == "" {
-				tr.App = app
-			}
-			s.record(tr)
+		if err := s.Accept(r.Header.Get(android.XRequestedWithHeader), batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	return mux
 }
 
-func (s *Server) record(tr Trace) {
-	if tr.Interface == "" && tr.Method == "" {
+// DecodeCollect extracts the beacon batch from a /collect request — the
+// one shared path for both the GET (query-parameter, single-beacon) and
+// POST (JSON-array, body-capped) channels. POST bodies beyond
+// MaxCollectBody fail with a *http.MaxBytesError, malformed JSON (or junk
+// trailing the array) with a plain error; WriteCollectError maps both.
+func DecodeCollect(w http.ResponseWriter, r *http.Request) ([]Trace, error) {
+	if r.Method == http.MethodGet {
+		return []Trace{{
+			Interface: r.URL.Query().Get("iface"),
+			Method:    r.URL.Query().Get("method"),
+		}}, nil
+	}
+	var batch []Trace
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxCollectBody))
+	if err := dec.Decode(&batch); err != nil {
+		return nil, fmt.Errorf("measure: bad batch: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("measure: bad batch: trailing data after array")
+	}
+	return batch, nil
+}
+
+// WriteCollectError answers a DecodeCollect failure: 413 when the body
+// blew the cap, 400 for everything else. Never silent.
+func WriteCollectError(w http.ResponseWriter, err error) {
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// Accept records a batch attributed to app (beacons carrying their own App
+// keep it). A beacon with neither interface nor method fails the whole
+// batch with ErrEmptyTrace and records nothing — the caller answers 400
+// instead of silently dropping. Accept is the sink the serving plane
+// drains into; it is safe for concurrent use.
+func (s *Server) Accept(app string, batch []Trace) error {
+	for _, tr := range batch {
+		if tr.Interface == "" && tr.Method == "" {
+			return ErrEmptyTrace
+		}
+	}
 	s.mu.Lock()
-	s.traces = append(s.traces, tr)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	for _, tr := range batch {
+		if tr.App == "" {
+			tr.App = app
+		}
+		s.traces = append(s.traces, tr)
+	}
+	return nil
 }
 
 // Traces returns every collected trace.
@@ -127,7 +186,15 @@ func (s *Server) Reset() {
 // ReportAPICalls uploads the Element-level API calls the page runtime
 // recorded natively (the parts Trace.js cannot wrap because element
 // wrappers are created per node) as a batch.
-func ReportAPICalls(client *http.Client, collectURL, app string, calls []browsersim.APICall) error {
+//
+// The upload runs through policy (nil = one attempt): a 429/503 from an
+// overloaded collector classifies as transient with the server-advised
+// Retry-After delay, a 4xx as permanent, so the client backs off exactly
+// as the serving plane asks instead of hammering it.
+func ReportAPICalls(ctx context.Context, client *http.Client, policy *retry.Policy, collectURL, app string, calls []browsersim.APICall) error {
+	if len(calls) == 0 {
+		return nil
+	}
 	batch := make([]Trace, 0, len(calls))
 	for _, c := range calls {
 		batch = append(batch, Trace{App: app, Interface: c.Interface, Method: c.Method})
@@ -136,17 +203,23 @@ func ReportAPICalls(client *http.Client, collectURL, app string, calls []browser
 	if err != nil {
 		return fmt.Errorf("measure: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPost, collectURL, newReader(body))
+	_, err = retry.Do(ctx, policy, func(ctx context.Context) (struct{}, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, collectURL, newReader(body))
+		if err != nil {
+			return struct{}{}, retry.Permanent(fmt.Errorf("measure: %w", err))
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(android.XRequestedWithHeader, app)
+		resp, err := client.Do(req)
+		if err != nil {
+			return struct{}{}, retry.Transient(fmt.Errorf("measure: %w", err))
+		}
+		resp.Body.Close()
+		return struct{}{}, retry.ClassifyHTTPResponse(resp)
+	})
 	if err != nil {
-		return fmt.Errorf("measure: %w", err)
+		return fmt.Errorf("measure: report %s: %w", app, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(android.XRequestedWithHeader, app)
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("measure: %w", err)
-	}
-	resp.Body.Close()
 	return nil
 }
 

@@ -2,9 +2,15 @@ package measure
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/browsersim"
+	"repro/internal/retry"
 	"repro/internal/webview"
 )
 
@@ -91,7 +97,7 @@ metas[0].getAttribute("charset");`, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Upload the runtime-recorded element-level calls.
-	if err := ReportAPICalls(hs.Client(), hs.URL+"/collect", "com.facebook.katana", wv.Page().APICalls()); err != nil {
+	if err := ReportAPICalls(context.Background(), hs.Client(), nil, hs.URL+"/collect", "com.facebook.katana", wv.Page().APICalls()); err != nil {
 		t.Fatalf("ReportAPICalls: %v", err)
 	}
 	var sawElementCall bool
@@ -129,5 +135,103 @@ func TestReset(t *testing.T) {
 	srv.Reset()
 	if len(srv.Traces()) != 0 {
 		t.Error("Reset left traces")
+	}
+}
+
+func TestCollectRejectsMalformedBatch(t *testing.T) {
+	srv := NewServer()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"garbage", "{not json", http.StatusBadRequest},
+		{"wrong shape", `{"app":"x"}`, http.StatusBadRequest},
+		{"trailing data", `[]{"x":1}`, http.StatusBadRequest},
+		{"empty beacon", `[{"app":"com.x"}]`, http.StatusBadRequest},
+		{"valid", `[{"interface":"Document","method":"createElement"}]`, http.StatusNoContent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+"/collect", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("POST %q = %d, want %d", tc.body, resp.StatusCode, tc.want)
+			}
+		})
+	}
+	if got := len(srv.Traces()); got != 1 {
+		t.Errorf("traces after malformed batches = %d, want only the valid one", got)
+	}
+}
+
+func TestCollectCapsBodySize(t *testing.T) {
+	srv := NewServer()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	huge := `[{"interface":"Document","method":"` + strings.Repeat("m", MaxCollectBody) + `"}]`
+	resp, err := http.Post(hs.URL+"/collect", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch = %d, want 413", resp.StatusCode)
+	}
+	if got := len(srv.Traces()); got != 0 {
+		t.Errorf("oversized batch recorded %d traces", got)
+	}
+}
+
+func TestCollectGetRejectsEmptyBeacon(t *testing.T) {
+	srv := NewServer()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /collect with no params = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/collect?iface=Document&method=createElement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("GET /collect with params = %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestReportAPICallsRetriesOn429(t *testing.T) {
+	srv := NewServer()
+	var rejected atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rejected.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "throttled", http.StatusTooManyRequests)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer gate.Close()
+	p := &retry.Policy{MaxAttempts: 5, Seed: 1, Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := ReportAPICalls(context.Background(), gate.Client(), p, gate.URL+"/collect", "com.x",
+		[]browsersim.APICall{{Interface: "HTMLMetaElement", Method: "getAttribute"}})
+	if err != nil {
+		t.Fatalf("ReportAPICalls with retry: %v", err)
+	}
+	if got := rejected.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 2 rejects + 1 success", got)
+	}
+	if got := len(srv.ForApp("com.x")); got != 1 {
+		t.Errorf("traces = %d, want 1", got)
 	}
 }

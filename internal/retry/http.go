@@ -1,0 +1,67 @@
+package retry
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ClassifyHTTPStatus maps an HTTP response status plus its Retry-After
+// header to a classified error:
+//
+//   - 2xx → nil (success)
+//   - 429 and 503 → transient; a parseable Retry-After becomes the advised
+//     delay (TransientAfter), a malformed or absent one falls back to the
+//     policy's own backoff (plain Transient)
+//   - 408 and the remaining 5xx → transient
+//   - every other status (the remaining 4xx, 3xx the client chose not to
+//     follow) → permanent: resending the same request cannot help
+//
+// now anchors HTTP-date Retry-After values; pass time.Now outside tests.
+func ClassifyHTTPStatus(status int, retryAfter string, now time.Time) error {
+	switch {
+	case status >= 200 && status < 300:
+		return nil
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		err := fmt.Errorf("retry: http status %d", status)
+		if d, ok := ParseRetryAfter(retryAfter, now); ok {
+			return TransientAfter(err, d)
+		}
+		return Transient(err)
+	case status == http.StatusRequestTimeout || status >= 500:
+		return Transient(fmt.Errorf("retry: http status %d", status))
+	default:
+		return Permanent(fmt.Errorf("retry: http status %d", status))
+	}
+}
+
+// ClassifyHTTPResponse is ClassifyHTTPStatus applied to a response, using
+// the wall clock for HTTP-date headers. The body is not touched.
+func ClassifyHTTPResponse(resp *http.Response) error {
+	return ClassifyHTTPStatus(resp.StatusCode, resp.Header.Get("Retry-After"), time.Now())
+}
+
+// ParseRetryAfter parses a Retry-After header value, which RFC 9110 allows
+// as either non-negative delta-seconds or an HTTP-date. Malformed values
+// (including negative deltas) report ok == false so callers fall back to
+// their own backoff; an HTTP-date in the past parses as a zero delay.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -1,0 +1,131 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+var parseAnchor = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"absent", "", 0, false},
+		{"delta seconds", "7", 7 * time.Second, true},
+		{"zero delta", "0", 0, true},
+		{"negative delta", "-3", 0, false},
+		{"http date future", parseAnchor.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second, true},
+		{"http date past", parseAnchor.Add(-time.Minute).Format(http.TimeFormat), 0, true},
+		{"garbage", "soon", 0, false},
+		{"float seconds", "1.5", 0, false},
+		{"trailing junk", "10s", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.in, parseAnchor)
+			if got != tc.want || ok != tc.ok {
+				t.Errorf("ParseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestClassifyHTTPStatus(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		retryAfter string
+		wantNil    bool
+		retryable  bool
+		advised    time.Duration
+		hasAdvised bool
+	}{
+		{name: "200 ok", status: 200, wantNil: true},
+		{name: "204 ok", status: 204, wantNil: true},
+		{name: "429 with Retry-After", status: 429, retryAfter: "2", retryable: true, advised: 2 * time.Second, hasAdvised: true},
+		{name: "429 without Retry-After", status: 429, retryable: true},
+		{name: "429 malformed Retry-After", status: 429, retryAfter: "whenever", retryable: true},
+		{name: "503 with Retry-After", status: 503, retryAfter: "1", retryable: true, advised: time.Second, hasAdvised: true},
+		{name: "503 negative Retry-After", status: 503, retryAfter: "-1", retryable: true},
+		{name: "500 transient", status: 500, retryable: true},
+		{name: "408 transient", status: 408, retryable: true},
+		{name: "400 permanent", status: 400},
+		{name: "404 permanent", status: 404},
+		{name: "413 permanent", status: 413},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ClassifyHTTPStatus(tc.status, tc.retryAfter, parseAnchor)
+			if tc.wantNil {
+				if err != nil {
+					t.Fatalf("err = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("err = nil, want classified error")
+			}
+			if got := IsRetryable(err); got != tc.retryable {
+				t.Errorf("IsRetryable = %v, want %v", got, tc.retryable)
+			}
+			d, ok := AdvisedDelay(err)
+			if d != tc.advised || ok != tc.hasAdvised {
+				t.Errorf("AdvisedDelay = %v, %v; want %v, %v", d, ok, tc.advised, tc.hasAdvised)
+			}
+		})
+	}
+}
+
+func TestAdvisedDelaySurvivesWrapping(t *testing.T) {
+	inner := TransientAfter(errors.New("throttled"), 3*time.Second)
+	wrapped := errors.Join(errors.New("post batch"), inner)
+	d, ok := AdvisedDelay(wrapped)
+	if !ok || d != 3*time.Second {
+		t.Errorf("AdvisedDelay(wrapped) = %v, %v; want 3s, true", d, ok)
+	}
+	if _, ok := AdvisedDelay(Transient(errors.New("plain"))); ok {
+		t.Error("plain Transient reports an advised delay")
+	}
+}
+
+func TestDoHonorsAdvisedDelay(t *testing.T) {
+	rs := &recordingSleeper{}
+	p := &Policy{MaxAttempts: 4, Seed: 5, Sleep: rs.sleep, MaxDelay: 10 * time.Second}
+	calls := 0
+	_, err := Do(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		if calls < 3 {
+			return 0, TransientAfter(errors.New("throttled"), 2*time.Second)
+		}
+		return 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.delays) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(rs.delays))
+	}
+	for i, d := range rs.delays {
+		if d != 2*time.Second {
+			t.Errorf("delay[%d] = %v, want the advised 2s", i, d)
+		}
+	}
+}
+
+func TestDoClampsAdvisedDelayToMaxDelay(t *testing.T) {
+	rs := &recordingSleeper{}
+	p := &Policy{MaxAttempts: 2, Seed: 5, Sleep: rs.sleep, MaxDelay: 500 * time.Millisecond}
+	Do(context.Background(), p, func(context.Context) (int, error) {
+		return 0, TransientAfter(errors.New("throttled"), time.Hour)
+	})
+	if len(rs.delays) != 1 || rs.delays[0] != 500*time.Millisecond {
+		t.Errorf("delays = %v, want one clamped 500ms sleep", rs.delays)
+	}
+}

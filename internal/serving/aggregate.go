@@ -1,0 +1,100 @@
+package serving
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/measure"
+)
+
+// Aggregator is the flat-memory Sink: it folds beacons into per-(app,
+// interface, method) counts as the workers stream them in, so resident
+// memory is O(distinct triples) no matter how many beacons pass through —
+// the property that lets one collector absorb a million-user replay.
+//
+// Aggregation is commutative, so a concurrent multi-worker drain produces
+// byte-identical snapshots to a sequential one.
+type Aggregator struct {
+	mu      sync.Mutex
+	counts  map[measure.Trace]int64
+	beacons int64
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{counts: make(map[measure.Trace]int64)}
+}
+
+// Accept implements Sink: beacons missing their own App take the batch
+// attribution, mirroring measure.Server.Accept.
+func (a *Aggregator) Accept(app string, batch []measure.Trace) error {
+	for _, tr := range batch {
+		if tr.Interface == "" && tr.Method == "" {
+			return measure.ErrEmptyTrace
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, tr := range batch {
+		if tr.App == "" {
+			tr.App = app
+		}
+		a.counts[tr]++
+		a.beacons++
+	}
+	return nil
+}
+
+// Beacons returns the total beacons aggregated.
+func (a *Aggregator) Beacons() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.beacons
+}
+
+// Row is one aggregated cell.
+type Row struct {
+	App       string `json:"app"`
+	Interface string `json:"interface"`
+	Method    string `json:"method"`
+	Count     int64  `json:"count"`
+}
+
+// Rows snapshots the aggregate in canonical order (app, interface,
+// method) — equal traffic yields byte-equal marshalled output regardless
+// of ingest interleaving.
+func (a *Aggregator) Rows() []Row {
+	a.mu.Lock()
+	out := make([]Row, 0, len(a.counts))
+	for tr, n := range a.counts {
+		out = append(out, Row{App: tr.App, Interface: tr.Interface, Method: tr.Method, Count: n})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		if out[i].Interface != out[j].Interface {
+			return out[i].Interface < out[j].Interface
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// ForApp returns the distinct (interface, method) pairs recorded for one
+// app, sorted — the same Table 9 shape measure.Server.ForApp produces.
+func (a *Aggregator) ForApp(app string) []measure.Trace {
+	var out []measure.Trace
+	for _, row := range a.Rows() {
+		if row.App != app {
+			continue
+		}
+		pair := measure.Trace{Interface: row.Interface, Method: row.Method}
+		if n := len(out); n > 0 && out[n-1] == pair {
+			continue
+		}
+		out = append(out, pair)
+	}
+	return out
+}

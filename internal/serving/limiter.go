@@ -1,0 +1,21 @@
+package serving
+
+// limiter is the admission-control concurrency bound: a non-blocking
+// semaphore. Requests beyond the cap are refused immediately (503 +
+// Retry-After) instead of queueing invisible work in the HTTP stack.
+type limiter struct{ slots chan struct{} }
+
+func newLimiter(n int) *limiter {
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+func (l *limiter) tryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }

@@ -1,0 +1,295 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/android"
+	"repro/internal/measure"
+	"repro/internal/retry"
+)
+
+// LoadConfig parameterises RunLoad, the closed-loop load generator: each
+// simulated user posts seeded crawl-shaped beacon batches to the collect
+// endpoint and does not send the next until the previous reached a
+// terminal outcome (accepted, shed, or errored) — the closed loop that
+// makes backpressure visible as latency instead of unbounded queueing.
+type LoadConfig struct {
+	// URL is the collect endpoint (http://host:port/collect).
+	URL string
+	// Client issues the requests; nil uses a dedicated pooled transport.
+	Client *http.Client
+	// Users is the number of concurrent simulated users (>= 1).
+	Users int
+	// BatchesPerUser is how many batches each user pushes; <= 0 means 10.
+	BatchesPerUser int
+	// BeaconsPerBatch sizes batches (jittered ±50% per batch); <= 0 means 5.
+	BeaconsPerBatch int
+	// Apps is the tenant pool size users are assigned to round-robin;
+	// <= 0 means min(Users, 8).
+	Apps int
+	// Seed drives batch shapes and the retry jitter.
+	Seed int64
+	// MaxAttempts bounds retries per batch; <= 0 means 4.
+	MaxAttempts int
+	// MaxDelay clamps backoff and server-advised Retry-After waits so a
+	// bench finishes; <= 0 means 50ms.
+	MaxDelay time.Duration
+	// BreakerThreshold trips the per-user circuit breaker after that many
+	// consecutive failures; <= 0 means 1000 (an outage guard, not a
+	// throttle — quota sheds are expected traffic here).
+	BreakerThreshold int
+}
+
+// LoadResult is one closed-loop run's accounting and latency profile.
+// Batch outcomes are terminal (after retries); response counts are
+// per-attempt and reconcile exactly against the server's Stats.
+type LoadResult struct {
+	Users int `json:"users"`
+
+	// Terminal batch outcomes: Sent == Accepted + Shed + Errored.
+	Sent     int64 `json:"sent_batches"`
+	Accepted int64 `json:"accepted_batches"`
+	Shed     int64 `json:"shed_batches"`
+	Errored  int64 `json:"errored_batches"`
+
+	// Per-attempt response accounting.
+	Attempts      int64 `json:"attempts"`
+	OKResponses   int64 `json:"ok_responses"`
+	ShedResponses int64 `json:"shed_responses"`
+	BreakerOpens  int64 `json:"breaker_opens"`
+
+	// Beacon-level accounting for the accepted path.
+	BeaconsSent     int64 `json:"beacons_sent"`
+	BeaconsAccepted int64 `json:"beacons_accepted"`
+
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Max        time.Duration `json:"max_ns"`
+	Wall       time.Duration `json:"wall_ns"`
+	Throughput float64       `json:"accepted_beacons_per_sec"`
+	ShedRate   float64       `json:"shed_rate"`
+}
+
+// crawl-shaped beacon population: the interfaces and methods the
+// controlled page's Trace.js and the element-level batch upload actually
+// emit during IAB probes, weighted toward the document APIs injected code
+// leans on (paper Table 9).
+var loadBeaconPool = []measure.Trace{
+	{Interface: "Document", Method: "getElementById"},
+	{Interface: "Document", Method: "getElementById"},
+	{Interface: "Document", Method: "createElement"},
+	{Interface: "Document", Method: "createElement"},
+	{Interface: "Document", Method: "querySelectorAll"},
+	{Interface: "Document", Method: "querySelector"},
+	{Interface: "Document", Method: "getElementsByTagName"},
+	{Interface: "Document", Method: "addEventListener"},
+	{Interface: "Navigator", Method: "sendBeacon"},
+	{Interface: "HTMLInputElement", Method: "setAttribute"},
+	{Interface: "HTMLMetaElement", Method: "getAttribute"},
+	{Interface: "HTMLFormElement", Method: "addEventListener"},
+}
+
+// RunLoad replays closed-loop beacon traffic against cfg.URL and returns
+// the run's accounting. Every batch reaches a terminal outcome; nothing
+// is silently dropped on the client side either.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("serving: LoadConfig.URL is required")
+	}
+	if cfg.Users <= 0 {
+		cfg.Users = 1
+	}
+	if cfg.BatchesPerUser <= 0 {
+		cfg.BatchesPerUser = 10
+	}
+	if cfg.BeaconsPerBatch <= 0 {
+		cfg.BeaconsPerBatch = 5
+	}
+	if cfg.Apps <= 0 {
+		cfg.Apps = cfg.Users
+		if cfg.Apps > 8 {
+			cfg.Apps = 8
+		}
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 1000
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := &http.Transport{MaxIdleConns: cfg.Users, MaxIdleConnsPerHost: cfg.Users}
+		client = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+
+	res := &LoadResult{Users: cfg.Users}
+	var (
+		sent, accepted, shed, errored atomic.Int64
+		okResp, shedResp              atomic.Int64
+		beaconsSent, beaconsAccepted  atomic.Int64
+		latMu                         sync.Mutex
+		latencies                     []time.Duration
+	)
+	metrics := &retry.Metrics{}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for u := 0; u < cfg.Users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			app := fmt.Sprintf("com.load.app%02d", u%cfg.Apps)
+			rng := rand.New(rand.NewSource(cfg.Seed*1315423911 + int64(u)))
+			breaker := retry.NewBreaker(cfg.BreakerThreshold, time.Second)
+			policy := &retry.Policy{
+				MaxAttempts: cfg.MaxAttempts,
+				BaseDelay:   time.Millisecond,
+				MaxDelay:    cfg.MaxDelay,
+				Seed:        cfg.Seed + int64(u) + 1,
+				Metrics:     metrics,
+				Breaker:     breaker,
+			}
+			userLat := make([]time.Duration, 0, cfg.BatchesPerUser*2)
+
+			for b := 0; b < cfg.BatchesPerUser; b++ {
+				if ctx.Err() != nil {
+					return
+				}
+				batch := makeBatch(rng, cfg.BeaconsPerBatch)
+				body, _ := json.Marshal(batch)
+				sent.Add(1)
+				beaconsSent.Add(int64(len(batch)))
+				var lastStatus int
+				_, err := retry.Do(ctx, policy, func(ctx context.Context) (struct{}, error) {
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.URL, bytes.NewReader(body))
+					if err != nil {
+						return struct{}{}, retry.Permanent(err)
+					}
+					req.Header.Set("Content-Type", "application/json")
+					req.Header.Set(android.XRequestedWithHeader, app)
+					t0 := time.Now()
+					resp, err := client.Do(req)
+					if err != nil {
+						return struct{}{}, retry.Transient(err)
+					}
+					userLat = append(userLat, time.Since(t0))
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					lastStatus = resp.StatusCode
+					if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+						okResp.Add(1)
+					} else if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+						shedResp.Add(1)
+					}
+					return struct{}{}, retry.ClassifyHTTPResponse(resp)
+				})
+				switch {
+				case err == nil:
+					accepted.Add(1)
+					beaconsAccepted.Add(int64(len(batch)))
+				case lastStatus == http.StatusTooManyRequests || lastStatus == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					errored.Add(1)
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, userLat...)
+			latMu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	res.Sent = sent.Load()
+	res.Accepted = accepted.Load()
+	res.Shed = shed.Load()
+	res.Errored = errored.Load()
+	res.Attempts = metrics.Attempts.Load()
+	res.OKResponses = okResp.Load()
+	res.ShedResponses = shedResp.Load()
+	res.BreakerOpens = metrics.BreakerRejects.Load()
+	res.BeaconsSent = beaconsSent.Load()
+	res.BeaconsAccepted = beaconsAccepted.Load()
+	res.P50, res.P99, res.Max = percentiles(latencies)
+	if secs := res.Wall.Seconds(); secs > 0 {
+		res.Throughput = float64(res.BeaconsAccepted) / secs
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
+	}
+	return res, ctx.Err()
+}
+
+// makeBatch draws a crawl-shaped batch: size jittered around the mean,
+// beacons drawn from the Trace.js population.
+func makeBatch(rng *rand.Rand, mean int) []measure.Trace {
+	n := mean/2 + rng.Intn(mean+1) // in [mean/2, mean/2+mean]
+	if n < 1 {
+		n = 1
+	}
+	batch := make([]measure.Trace, n)
+	for i := range batch {
+		batch[i] = loadBeaconPool[rng.Intn(len(loadBeaconPool))]
+	}
+	return batch
+}
+
+func percentiles(lat []time.Duration) (p50, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return idx(0.50), idx(0.99), lat[len(lat)-1]
+}
+
+// Reconcile cross-checks a load run against the server's own accounting
+// and returns a descriptive error on the first discrepancy. With the
+// generator as the service's only client, every count must match exactly:
+// a mismatch means a silently dropped or double-counted beacon.
+func (r *LoadResult) Reconcile(st Stats) error {
+	if r.Sent != r.Accepted+r.Shed+r.Errored {
+		return fmt.Errorf("serving: client accounting leak: sent %d != accepted %d + shed %d + errored %d",
+			r.Sent, r.Accepted, r.Shed, r.Errored)
+	}
+	if r.Errored != 0 {
+		return fmt.Errorf("serving: %d batches ended in transport errors", r.Errored)
+	}
+	if r.OKResponses != st.IngestRequests {
+		return fmt.Errorf("serving: client saw %d acceptances, server ingested %d", r.OKResponses, st.IngestRequests)
+	}
+	if r.BeaconsAccepted != st.IngestBeacons {
+		return fmt.Errorf("serving: client counted %d accepted beacons, server %d", r.BeaconsAccepted, st.IngestBeacons)
+	}
+	if r.ShedResponses != st.ShedTotal() {
+		return fmt.Errorf("serving: client saw %d sheds, server shed %d", r.ShedResponses, st.ShedTotal())
+	}
+	if st.FlushedBatches != st.IngestRequests {
+		return fmt.Errorf("serving: %d accepted batches but only %d flushed to the sink",
+			st.IngestRequests, st.FlushedBatches)
+	}
+	if st.SinkErrors != 0 {
+		return fmt.Errorf("serving: sink refused %d batches", st.SinkErrors)
+	}
+	return nil
+}

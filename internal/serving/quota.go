@@ -1,0 +1,72 @@
+package serving
+
+import (
+	"sync"
+	"time"
+)
+
+// quotaSet holds one token bucket per tenant: rate tokens/second refill up
+// to a burst capacity, one token per beacon. Tenants are isolated by
+// construction — a flooding app drains only its own bucket, so its
+// neighbours' traffic admits unimpeded.
+type quotaSet struct {
+	rate  float64 // tokens per second; <= 0 disables quotas
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaSet(rate, burst float64, now func() time.Time) *quotaSet {
+	if burst <= 0 {
+		burst = 2 * rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &quotaSet{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// take attempts to spend n tokens for tenant. On refusal it returns the
+// duration until the spend would succeed — the Retry-After hint. A batch
+// larger than the burst is charged the full burst rather than being
+// unsatisfiable forever.
+func (q *quotaSet) take(tenant string, n int) (time.Duration, bool) {
+	if q.rate <= 0 {
+		return 0, true
+	}
+	cost := float64(n)
+	if cost > q.burst {
+		cost = q.burst
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return 0, true
+	}
+	wait := time.Duration((cost - b.tokens) / q.rate * float64(time.Second))
+	return wait, false
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func fetch(t *testing.T, url string) (int, string, string) {
@@ -145,5 +146,66 @@ func TestFlagsDisabled(t *testing.T) {
 	}
 	if err := f.Finish(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServerHardening(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 4}})
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.srv.ReadHeaderTimeout <= 0 || srv.srv.WriteTimeout <= 0 ||
+		srv.srv.IdleTimeout <= 0 || srv.srv.MaxHeaderBytes <= 0 {
+		t.Errorf("debug server missing hardening: %+v", srv.srv)
+	}
+	// A request with an oversized header block is rejected, not served.
+	req, _ := http.NewRequest("GET", "http://"+srv.Addr+"/healthz", nil)
+	req.Header.Set("X-Padding", strings.Repeat("a", 64<<10))
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		if resp.StatusCode == 200 {
+			t.Error("64KiB header request served despite MaxHeaderBytes")
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestServerSurfacesServeError(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 4}})
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the listener out from under the serve loop: the error must be
+	// observable, not swallowed in a bare goroutine.
+	srv.ln.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Err() == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Err() == nil {
+		t.Fatal("serve-loop death after listener close was swallowed")
+	}
+	if err := srv.Close(); err == nil {
+		t.Error("Close returned nil after the serve loop died")
+	}
+}
+
+func TestServerCloseIsGraceful(t *testing.T) {
+	h := New(Options{Timing: SeededTiming{Seed: 4}})
+	srv, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := fetch(t, "http://"+srv.Addr+"/healthz"); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("orderly Close = %v, want nil", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/healthz"); err == nil {
+		t.Error("server still accepting after Close")
 	}
 }
