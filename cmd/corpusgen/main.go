@@ -5,7 +5,15 @@
 // Usage:
 //
 //	corpusgen [-scale N] [-seed N]                 print corpus statistics
+//	corpusgen -preset paper                        full 146.5K-APK snapshot
 //	corpusgen -serve -azoo :8081 -play :8082       serve the corpus
+//
+// -preset paper selects the paper's full population (6.5M repository
+// entries, 146.5K analyzable APKs) and switches to streaming generation:
+// specs are synthesized from their download rank on demand, so the
+// repository is served — and its statistics computed — in bounded memory
+// instead of materializing millions of specs. -stream forces the same
+// mode at any scale.
 //
 // -cpuprofile/-memprofile capture pprof profiles of the generation;
 // -telemetry-addr serves /metrics, /healthz and /debug/pprof (useful while
@@ -29,6 +37,8 @@ import (
 func main() {
 	scale := flag.Int("scale", 200, "population divisor (1 = paper scale)")
 	seed := flag.Int64("seed", 1, "generation seed")
+	preset := flag.String("preset", "", `corpus preset: "paper" = the full 146.5K-APK snapshot, streamed`)
+	stream := flag.Bool("stream", false, "synthesize specs on demand (bounded memory) instead of materializing")
 	serve := flag.Bool("serve", false, "serve the corpus over HTTP")
 	list := flag.Int("list", 0, "list the first N filtered packages and exit")
 	azooAddr := flag.String("azoo", "127.0.0.1:8081", "AndroZoo listen address")
@@ -54,21 +64,44 @@ func main() {
 		}
 	}
 
-	c, err := corpus.Generate(corpus.Config{Seed: *seed, Scale: *scale})
-	if err != nil {
+	switch *preset {
+	case "":
+	case "paper":
+		// The paper's full population is ~50x the default fixture; only the
+		// streaming generator holds it in bounded memory.
+		*scale = 1
+		*stream = true
+	default:
 		finish()
-		log.Fatal(err)
+		log.Fatalf("unknown -preset %q (supported: paper)", *preset)
+	}
+
+	cfg := corpus.Config{Seed: *seed, Scale: *scale}
+	var src corpus.Source
+	var counts corpus.Counts
+	if *stream {
+		snap, err := corpus.NewSnapshot(cfg)
+		if err != nil {
+			finish()
+			log.Fatal(err)
+		}
+		src, counts = snap, snap.Counts()
+	} else {
+		c, err := corpus.Generate(cfg)
+		if err != nil {
+			finish()
+			log.Fatal(err)
+		}
+		src, counts = c, c.Counts
 	}
 
 	if *list > 0 {
-		for _, s := range c.Top(*list) {
-			fmt.Printf("%-40s %12d downloads  %s\n", s.Package, s.Downloads, s.PlayCategory)
-		}
+		printTop(src, *list)
 		finish()
 		return
 	}
 	if !*serve {
-		printStats(c)
+		printStats(cfg, counts, src)
 		finish()
 		return
 	}
@@ -76,26 +109,54 @@ func main() {
 	errc := make(chan error, 2)
 	go func() {
 		log.Printf("AndroZoo repository on http://%s (snapshot: /snapshot, APKs: /apk/{pkg})", *azooAddr)
-		errc <- http.ListenAndServe(*azooAddr, androzoo.NewServer(c).Handler())
+		errc <- http.ListenAndServe(*azooAddr, androzoo.NewServerFrom(src).Handler())
 	}()
 	go func() {
 		log.Printf("Play Store metadata on http://%s (/v1/apps/{pkg})", *playAddr)
-		errc <- http.ListenAndServe(*playAddr, playstore.NewServer(c).Handler())
+		errc <- http.ListenAndServe(*playAddr, playstore.NewServerFrom(src).Handler())
 	}()
 	log.Fatal(<-errc)
 }
 
-func printStats(c *corpus.Corpus) {
-	fmt.Printf("corpus seed=%d scale=1/%d\n", c.Config.Seed, c.Config.Scale)
-	fmt.Printf("  repository entries: %d\n", c.Counts.Total)
-	fmt.Printf("  on Play Store:      %d\n", c.Counts.OnPlay)
-	fmt.Printf("  100K+ downloads:    %d\n", c.Counts.Popular)
-	fmt.Printf("  actively updated:   %d\n", c.Counts.Filtered)
-	fmt.Printf("  broken APKs:        %d\n", c.Counts.Broken)
-	var wv, ct, both int
-	for _, s := range c.Filtered() {
+// printTop lists the first n filtered packages in download-rank order.
+func printTop(src corpus.Source, n int) {
+	printed := 0
+	src.Each(func(s *corpus.Spec) error {
+		if printed >= n {
+			return errDone
+		}
+		if !s.Eligible(corpus.MinDownloads, corpus.UpdateCutoff) {
+			return nil
+		}
+		fmt.Printf("%-40s %12d downloads  %s\n", s.Package, s.Downloads, s.PlayCategory)
+		printed++
+		return nil
+	})
+}
+
+var errDone = fmt.Errorf("done")
+
+func printStats(cfg corpus.Config, counts corpus.Counts, src corpus.Source) {
+	fmt.Printf("corpus seed=%d scale=1/%d\n", cfg.Seed, cfg.Scale)
+	fmt.Printf("  repository entries: %d\n", counts.Total)
+	fmt.Printf("  on Play Store:      %d\n", counts.OnPlay)
+	fmt.Printf("  100K+ downloads:    %d\n", counts.Popular)
+	fmt.Printf("  actively updated:   %d\n", counts.Filtered)
+	fmt.Printf("  broken APKs:        %d\n", counts.Broken)
+	var wv, ct, both, seen int
+	src.Each(func(s *corpus.Spec) error {
+		if seen == counts.Filtered {
+			// Every filtered app lives in the top download ranks; once the
+			// funnel is full the remaining millions of entries cannot
+			// contribute — stop streaming.
+			return errDone
+		}
+		if !s.Eligible(corpus.MinDownloads, corpus.UpdateCutoff) {
+			return nil
+		}
+		seen++
 		if s.Broken {
-			continue
+			return nil
 		}
 		if s.UsesWebView() {
 			wv++
@@ -106,8 +167,9 @@ func printStats(c *corpus.Corpus) {
 		if s.UsesWebView() && s.UsesCT() {
 			both++
 		}
-	}
-	analyzed := c.Counts.Analyzed
+		return nil
+	})
+	analyzed := counts.Analyzed
 	fmt.Printf("ground truth over %d analyzable apps:\n", analyzed)
 	fmt.Printf("  using WebViews: %d (%.1f%%, paper 55.7%%)\n", wv, pct(wv, analyzed))
 	fmt.Printf("  using CTs:      %d (%.1f%%, paper 19.9%%)\n", ct, pct(ct, analyzed))

@@ -79,7 +79,6 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/playstore"
 	"repro/internal/profiling"
-	"repro/internal/report"
 	"repro/internal/resultcache"
 	"repro/internal/retry"
 	"repro/internal/telemetry"
@@ -103,6 +102,16 @@ func main() {
 	faultsSpec := flag.String("faults", "", "inject deterministic faults, e.g. \"seed=7,err=0.1,lat=1ms\" (testing)")
 	journalPath := flag.String("journal", "", "checkpoint completed packages to this JSONL file")
 	resume := flag.Bool("resume", false, "resume from an existing -journal file instead of refusing to overwrite it")
+	coordinator := flag.String("coordinator", "", "run as scan-plane coordinator on this listen address (\":0\" for ephemeral)")
+	shards := flag.Int("shards", 0, "partition count for -coordinator mode")
+	shardSpawn := flag.Int("shard-spawn", -1, "worker processes the coordinator spawns (-1 = one per shard, 0 = external workers)")
+	workerMode := flag.Bool("worker", false, "run as scan-plane worker (requires -join)")
+	join := flag.String("join", "", "coordinator URL to join in -worker mode")
+	shardTTL := flag.Duration("shard-ttl", 0, "work-lease TTL (0 = coordinator default)")
+	dlLatency := flag.Duration("dl-latency", 0, "modeled per-APK repository transfer time in shard modes")
+	journalDir := flag.String("journal-dir", "", "per-partition journal directory in shard modes")
+	shardBench := flag.String("shard-bench", "", "benchmark APKs/s at these shard counts, e.g. \"1,4,8\"")
+	benchOut := flag.String("bench-out", "", "benchmark JSON output path (default BENCH_shard.json)")
 	var prof profiling.Flags
 	prof.Register(nil)
 	var telem telemetry.Flags
@@ -135,7 +144,23 @@ func main() {
 	if *lintRules != "" {
 		opts.lintRules = strings.Split(*lintRules, ",")
 	}
-	err := run(os.Stdout, opts)
+	sopts := shardOptions{
+		coordinator: *coordinator, shards: *shards, spawn: *shardSpawn,
+		worker: *workerMode, join: *join,
+		ttl: *shardTTL, dlLatency: *dlLatency, journalDir: *journalDir,
+		bench: *shardBench, benchOut: *benchOut,
+	}
+	var err error
+	switch {
+	case sopts.worker:
+		err = runWorker(opts, sopts)
+	case sopts.bench != "":
+		err = runShardBench(opts, sopts)
+	case sopts.coordinator != "":
+		err = runCoordinator(os.Stdout, opts, sopts)
+	default:
+		err = run(os.Stdout, opts)
+	}
 	if terr := telem.Finish(); err == nil {
 		err = terr
 	}
@@ -308,19 +333,7 @@ func run(out *os.File, o options) error {
 		fmt.Fprintln(os.Stderr, res.Stats.String())
 	}
 
-	fmt.Fprint(out, report.Table2(res.Funnel, o.scale))
-	fmt.Fprint(out, report.Table3(res.Aggregates))
-	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, false, o.scale))
-	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, true, o.scale))
-	fmt.Fprint(out, report.Table7(res.Aggregates, o.scale))
-	fmt.Fprint(out, report.Figure3(res.Aggregates))
-	fmt.Fprint(out, report.Figure4(res.Aggregates))
-	if o.lint {
-		fmt.Fprint(out, report.LintTable(res.Aggregates))
-	}
-	if o.urls {
-		fmt.Fprint(out, report.URLTable(res.Apps))
-	}
+	printStaticReport(out, o, res)
 	if o.lintJSON != "" {
 		if err := writeJSON(out, o.lintJSON, buildLintReport(o, res)); err != nil {
 			return err

@@ -1,0 +1,463 @@
+// Sharded scan plane modes of staticscan:
+//
+//	staticscan -coordinator ADDR -shards N   partition the snapshot, lease
+//	                                         work to joining workers, merge
+//	staticscan -worker -join URL             scan leased partitions
+//	staticscan -shard-bench 1,4,8            APKs/s per shard count →
+//	                                         BENCH_shard.json
+//
+// The coordinator serves the corpus (streamed, bounded memory) as AndroZoo
+// + Play Store endpoints over hardened listeners, so workers are plain
+// separate OS processes that reach everything over HTTP. -shard-spawn N
+// starts N of them itself from the same binary (-1 = one per shard);
+// with -shard-spawn 0 the coordinator waits for externally started
+// workers to -join.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"repro/internal/androzoo"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/playstore"
+	"repro/internal/report"
+	"repro/internal/retry"
+	"repro/internal/serving"
+	"repro/internal/shard"
+	"repro/internal/urlextract"
+	"repro/internal/webviewlint"
+)
+
+// shardOptions carries the scan-plane flags.
+type shardOptions struct {
+	coordinator string        // -coordinator listen address
+	shards      int           // -shards partition count
+	spawn       int           // -shard-spawn worker processes (-1 = one per shard)
+	worker      bool          // -worker mode
+	join        string        // -join coordinator URL
+	ttl         time.Duration // -shard-ttl lease TTL
+	dlLatency   time.Duration // -dl-latency modeled APK transfer time
+	journalDir  string        // -journal-dir per-partition journals
+	bench       string        // -shard-bench comma list of shard counts
+	benchOut    string        // -bench-out JSON path
+}
+
+// workerName builds a unique lease identity for this process.
+func workerName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// runWorker joins a coordinator and scans partitions until the run is done.
+func runWorker(o options, so shardOptions) error {
+	if so.join == "" {
+		return fmt.Errorf("-worker needs -join URL")
+	}
+	var pol *retry.Policy
+	if o.retries > 0 {
+		pol = &retry.Policy{MaxAttempts: o.retries + 1, Metrics: &retry.Metrics{}}
+	}
+	w, err := shard.NewWorker(shard.WorkerConfig{
+		Coordinator: so.join,
+		Name:        workerName(),
+		Retry:       pol,
+		Telemetry:   o.telemetry,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Run(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker %s: %d partitions completed\n", workerName(), w.Completed())
+	return nil
+}
+
+// referenceConfigKey fingerprints the analysis configuration the
+// coordinator expects every worker to run.
+func referenceConfigKey(o options) (string, error) {
+	cfg := pipeline.Config{}
+	if o.lint || o.lintRules != nil {
+		lint, err := webviewlint.New(webviewlint.Config{Rules: o.lintRules})
+		if err != nil {
+			return "", err
+		}
+		cfg.Lint = lint
+	}
+	if o.urls {
+		cfg.URLs = urlextract.New(urlextract.Config{})
+	}
+	return pipeline.New(nil, nil, cfg).ConfigKey(), nil
+}
+
+// corpusPlane serves the streamed corpus as AndroZoo + Play Store
+// endpoints on hardened listeners.
+type corpusPlane struct {
+	snap   *corpus.Snapshot
+	az, ps *serving.Endpoint
+}
+
+func startCorpusPlane(o options) (*corpusPlane, error) {
+	snap, err := corpus.NewSnapshot(corpus.Config{Seed: o.seed, Scale: o.scale})
+	if err != nil {
+		return nil, err
+	}
+	az, err := serving.Listen("127.0.0.1:0", androzoo.NewServerFrom(snap).Handler())
+	if err != nil {
+		return nil, err
+	}
+	ps, err := serving.Listen("127.0.0.1:0", playstore.NewServerFrom(snap).Handler())
+	if err != nil {
+		az.Close()
+		return nil, err
+	}
+	return &corpusPlane{snap: snap, az: az, ps: ps}, nil
+}
+
+func (p *corpusPlane) Close() {
+	p.az.Close()
+	p.ps.Close()
+}
+
+// buildSpec assembles the RunSpec the coordinator hands to workers.
+func buildSpec(o options, so shardOptions, plane *corpusPlane, shards, pipelineWorkers int) (shard.RunSpec, error) {
+	key, err := referenceConfigKey(o)
+	if err != nil {
+		return shard.RunSpec{}, err
+	}
+	return shard.RunSpec{
+		Shards:          shards,
+		RepoURL:         "http://" + plane.az.Addr,
+		StoreURL:        "http://" + plane.ps.Addr,
+		MinDownloads:    corpus.MinDownloads,
+		UpdatedAfter:    corpus.UpdateCutoff,
+		Workers:         pipelineWorkers,
+		Lint:            o.lint,
+		LintRules:       o.lintRules,
+		URLs:            o.urls,
+		MaxFailureFrac:  o.maxFailureFrac,
+		CacheDir:        o.cachedir,
+		JournalDir:      so.journalDir,
+		DownloadLatency: so.dlLatency,
+		LeaseTTL:        so.ttl,
+		ConfigKey:       key,
+	}, nil
+}
+
+// workerEnvGuard lets a test binary reuse itself as the worker executable:
+// when the variable is set, TestMain dispatches straight into main().
+const workerEnvGuard = "STATICSCAN_WORKER_PROCESS"
+
+// spawnWorkers starts n worker processes of this same binary against the
+// coordinator URL. Their stderr is inherited; a worker that exits nonzero
+// is reported but not fatal — the lease TTL re-issues its partitions.
+func spawnWorkers(n int, joinURL string, o options) ([]*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "-worker", "-join", joinURL, "-retries", fmt.Sprint(o.retries))
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(), workerEnvGuard+"=1")
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+			}
+			return nil, fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
+}
+
+// shardedScan runs one full coordinator-side scan: lease out shards
+// partitions of the served corpus, optionally spawn worker processes, wait
+// for the merge. Returns the merged result and the wall time from worker
+// start to merged report.
+func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, pipelineWorkers int) (*pipeline.Result, time.Duration, error) {
+	spec, err := buildSpec(o, so, plane, shards, pipelineWorkers)
+	if err != nil {
+		return nil, 0, err
+	}
+	coord, err := shard.NewCoordinator(shard.CoordinatorConfig{Spec: spec, Telemetry: o.telemetry})
+	if err != nil {
+		return nil, 0, err
+	}
+	addr := so.coordinator
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ep, err := serving.Listen(addr, coord.Handler())
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ep.Close()
+	joinURL := "http://" + ep.Addr
+	fmt.Fprintf(os.Stderr, "coordinator on %s: %d shards over %d repository entries\n",
+		joinURL, shards, plane.snap.Total())
+
+	start := time.Now()
+	var cmds []*exec.Cmd
+	if spawn != 0 {
+		n := spawn
+		if n < 0 {
+			n = shards
+		}
+		if cmds, err = spawnWorkers(n, joinURL, o); err != nil {
+			return nil, 0, err
+		}
+	}
+	res, err := coord.Wait(context.Background())
+	wall := time.Since(start)
+	for _, cmd := range cmds {
+		if werr := cmd.Wait(); werr != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", cmd.Process.Pid, werr)
+		}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shards in %v (merge itself %v)\n", shards, wall, coord.MergeLatency())
+	return res, wall, nil
+}
+
+// staticResult wraps a merged pipeline result into the report-ready shape
+// the sequential path produces (core computes aggregates the same way).
+func staticResult(res *pipeline.Result) *core.StaticResult {
+	return &core.StaticResult{
+		Funnel:      res.Funnel,
+		Apps:        res.Apps,
+		Aggregates:  pipeline.Aggregate(res),
+		Quarantined: res.Quarantined,
+		Stats:       res.Stats,
+	}
+}
+
+// runCoordinator is the -coordinator entry point: one sharded scan, then
+// the standard report.
+func runCoordinator(out *os.File, o options, so shardOptions) error {
+	if so.shards < 1 {
+		return fmt.Errorf("-coordinator needs -shards >= 1")
+	}
+	if so.journalDir != "" {
+		if err := os.MkdirAll(so.journalDir, 0o755); err != nil {
+			return err
+		}
+	}
+	plane, err := startCorpusPlane(o)
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+	res, wall, err := shardedScan(o, so, plane, so.shards, so.spawn, o.workers)
+	if err != nil {
+		return err
+	}
+	apks := res.Funnel.Filtered
+	fmt.Fprintf(os.Stderr, "throughput: %d APKs in %v = %.1f APKs/s\n",
+		apks, wall, float64(apks)/wall.Seconds())
+	printStaticReport(out, o, staticResult(res))
+	return nil
+}
+
+// --- benchmark -----------------------------------------------------------
+
+// benchEntry is one shard count's measurement in BENCH_shard.json.
+type benchEntry struct {
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"` // worker processes
+	WallMs     float64 `json:"wallMs"`
+	APKs       int     `json:"apks"`
+	APKsPerSec float64 `json:"apksPerSec"`
+	Speedup    float64 `json:"speedup"` // vs the 1-shard entry
+}
+
+// benchDoc is the BENCH_shard.json document.
+type benchDoc struct {
+	Scale                   int          `json:"scale"`
+	Seed                    int64        `json:"seed"`
+	SnapshotEntries         int          `json:"snapshotEntries"`
+	DownloadLatencyMs       float64      `json:"downloadLatencyMs"`
+	PipelineWorkersPerShard int          `json:"pipelineWorkersPerShard"`
+	Entries                 []benchEntry `json:"entries"`
+	// MergeIdentical reports whether the highest-shard-count merged report
+	// rendered byte-identically to a sequential single-process run.
+	MergeIdentical bool `json:"mergeIdentical"`
+}
+
+// runShardBench measures APKs/s at each shard count in so.bench and writes
+// BENCH_shard.json. Every configuration spawns one worker process per
+// shard with a single-worker pipeline, so added shards buy overlapped
+// download latency (and extra cores when the host has them), exactly like
+// the production plane against the network-bound AndroZoo.
+func runShardBench(o options, so shardOptions) error {
+	var counts []int
+	for _, f := range strings.Split(so.bench, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n < 1 {
+			return fmt.Errorf("bad -shard-bench entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return fmt.Errorf("-shard-bench needs at least one shard count")
+	}
+	if so.dlLatency == 0 {
+		// The real AndroZoo is network-bound; an in-process fixture is not.
+		// Model the transfer so the benchmark measures the plane's ability
+		// to overlap downloads, not a latency-free fantasy. 50ms is
+		// conservative against real AndroZoo APK fetch times.
+		so.dlLatency = 50 * time.Millisecond
+	}
+
+	plane, err := startCorpusPlane(o)
+	if err != nil {
+		return err
+	}
+	defer plane.Close()
+
+	// Sequential single-process reference for the merge-identity assert.
+	seqRes, err := sequentialReference(o, plane)
+	if err != nil {
+		return err
+	}
+	seqTables := renderReport(o, seqRes)
+
+	doc := benchDoc{
+		Scale:                   o.scale,
+		Seed:                    o.seed,
+		SnapshotEntries:         plane.snap.Total(),
+		DownloadLatencyMs:       float64(so.dlLatency) / float64(time.Millisecond),
+		PipelineWorkersPerShard: 1,
+	}
+	var lastMerged *pipeline.Result
+	for _, n := range counts {
+		// Fresh scratch state per configuration: no cross-run cache or
+		// journal reuse, every run is cold.
+		scratch, err := os.MkdirTemp("", "shardbench")
+		if err != nil {
+			return err
+		}
+		bo := so
+		bo.coordinator = ""
+		bo.journalDir = scratch + "/journal"
+		if err := os.MkdirAll(bo.journalDir, 0o755); err != nil {
+			return err
+		}
+		bopts := o
+		bopts.cachedir = scratch + "/cache"
+		res, wall, err := shardedScan(bopts, bo, plane, n, n, 1)
+		if err != nil {
+			return err
+		}
+		os.RemoveAll(scratch)
+		apks := res.Funnel.Filtered
+		entry := benchEntry{
+			Shards:     n,
+			Workers:    n,
+			WallMs:     float64(wall) / float64(time.Millisecond),
+			APKs:       apks,
+			APKsPerSec: float64(apks) / wall.Seconds(),
+		}
+		if len(doc.Entries) == 0 {
+			entry.Speedup = 1
+		} else if doc.Entries[0].Shards == 1 {
+			entry.Speedup = entry.APKsPerSec / doc.Entries[0].APKsPerSec
+		}
+		doc.Entries = append(doc.Entries, entry)
+		fmt.Fprintf(os.Stderr, "bench: %d shards → %.1f APKs/s (%.2fx)\n",
+			n, entry.APKsPerSec, entry.Speedup)
+		lastMerged = res
+	}
+	doc.MergeIdentical = lastMerged != nil &&
+		lastMerged.Funnel == seqRes.Funnel &&
+		renderReport(o, lastMerged) == seqTables
+	if !doc.MergeIdentical {
+		fmt.Fprintln(os.Stderr, "WARNING: merged report diverged from the sequential run")
+	}
+
+	path := so.benchOut
+	if path == "" {
+		path = "BENCH_shard.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// sequentialReference runs the plain single-process pipeline over the same
+// served corpus. Modeled download latency is deliberately left out —
+// latency shifts wall time, never results — so this is purely the identity
+// reference, not the timing baseline (the 1-shard bench entry is that).
+func sequentialReference(o options, plane *corpusPlane) (*pipeline.Result, error) {
+	cfg := pipeline.Config{
+		MinDownloads: corpus.MinDownloads,
+		UpdatedAfter: corpus.UpdateCutoff,
+	}
+	if o.lint || o.lintRules != nil {
+		lint, err := webviewlint.New(webviewlint.Config{Rules: o.lintRules})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Lint = lint
+	}
+	if o.urls {
+		cfg.URLs = urlextract.New(urlextract.Config{})
+	}
+	repo := androzoo.NewClient("http://"+plane.az.Addr, nil)
+	meta := playstore.NewClient("http://"+plane.ps.Addr, nil)
+	return pipeline.New(repo, meta, cfg).Run(context.Background())
+}
+
+// renderReport renders the full static report to a string — the
+// byte-identity surface for the merge assert.
+func renderReport(o options, res *pipeline.Result) string {
+	var sb strings.Builder
+	printStaticReport(&sb, o, staticResult(res))
+	return sb.String()
+}
+
+// printStaticReport renders the standard static-study tables for a
+// result — shared by the sequential and the merged sharded paths.
+func printStaticReport(out io.Writer, o options, res *core.StaticResult) {
+	fmt.Fprint(out, report.Table2(res.Funnel, o.scale))
+	fmt.Fprint(out, report.Table3(res.Aggregates))
+	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, false, o.scale))
+	fmt.Fprint(out, report.TopSDKTable(res.Aggregates, true, o.scale))
+	fmt.Fprint(out, report.Table7(res.Aggregates, o.scale))
+	fmt.Fprint(out, report.Figure3(res.Aggregates))
+	fmt.Fprint(out, report.Figure4(res.Aggregates))
+	if o.lint {
+		fmt.Fprint(out, report.LintTable(res.Aggregates))
+	}
+	if o.urls {
+		fmt.Fprint(out, report.URLTable(res.Apps))
+	}
+}

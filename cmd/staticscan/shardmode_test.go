@@ -1,0 +1,81 @@
+// End-to-end test of the sharded scan plane at the binary surface: the
+// coordinator runs in this process and its workers are separate OS
+// processes — this same test binary re-executed in worker mode — joined
+// over real HTTP. The merged report must be byte-identical to the
+// sequential single-process run.
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain turns the test binary into a staticscan worker when the guard
+// variable is set: spawnWorkers exec's os.Executable(), which under `go
+// test` is this binary. Dispatching before m.Run keeps the testing
+// machinery (and its flag registration) out of the worker's way.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnvGuard) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCoordinatorSpawnsWorkerProcesses is the tentpole at the CLI surface:
+// a coordinator over four shards with two spawned worker OS processes,
+// merged report byte-identical to the sequential run — lint and
+// urlextract tables included.
+func TestCoordinatorSpawnsWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes; skipped in -short")
+	}
+	o := options{scale: 2500, seed: 1, lint: true, urls: true}
+	plane, err := startCorpusPlane(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	seq, err := sequentialReference(o, plane)
+	if err != nil {
+		t.Fatalf("sequential reference: %v", err)
+	}
+	want := renderReport(o, seq)
+
+	so := shardOptions{
+		ttl:        time.Minute,
+		journalDir: t.TempDir(),
+	}
+	res, _, err := shardedScan(o, so, plane, 4, 2, 0)
+	if err != nil {
+		t.Fatalf("sharded scan: %v", err)
+	}
+	got := renderReport(o, res)
+	if got != want {
+		t.Fatalf("merged report diverged from sequential run:\n--- merged ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+	if !strings.Contains(got, "Table 3") {
+		t.Fatalf("report missing expected sections:\n%s", got)
+	}
+}
+
+// TestWorkerModeNeedsJoin covers the flag contract.
+func TestWorkerModeNeedsJoin(t *testing.T) {
+	if err := runWorker(options{}, shardOptions{worker: true}); err == nil {
+		t.Fatal("worker mode without -join succeeded")
+	}
+}
+
+// TestCoordinatorModeNeedsShards covers the flag contract.
+func TestCoordinatorModeNeedsShards(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := runCoordinator(devnull, options{scale: 2500, seed: 1}, shardOptions{coordinator: "127.0.0.1:0"}); err == nil {
+		t.Fatal("coordinator mode without -shards succeeded")
+	}
+}

@@ -33,20 +33,23 @@ const DigestHeader = "X-Payload-Sha256"
 
 // Server serves a corpus as an APK repository.
 type Server struct {
-	c     *corpus.Corpus
-	byPkg map[string]*corpus.Spec
+	src corpus.Source
 	// build synthesises one APK image; a test hook (defaults to
 	// corpus.BuildAPK) so handler failure paths are coverable.
 	build func(*corpus.Spec) ([]byte, error)
 }
 
-// NewServer indexes the corpus.
+// NewServer serves the materialized corpus.
 func NewServer(c *corpus.Corpus) *Server {
-	s := &Server{c: c, byPkg: make(map[string]*corpus.Spec, len(c.Apps)), build: corpus.BuildAPK}
-	for _, app := range c.Apps {
-		s.byPkg[app.Package] = app
-	}
-	return s
+	return NewServerFrom(c)
+}
+
+// NewServerFrom serves any corpus source — a materialized *corpus.Corpus
+// or a bounded-memory *corpus.Snapshot, which lets a single process serve
+// the full paper-scale repository (6.5M snapshot entries) without holding
+// it in memory.
+func NewServerFrom(src corpus.Source) *Server {
+	return &Server{src: src, build: corpus.BuildAPK}
 }
 
 // Handler returns the repository API:
@@ -63,17 +66,18 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	bw := bufio.NewWriter(w)
-	for _, app := range s.c.Apps {
+	s.src.Each(func(app *corpus.Spec) error {
 		bw.WriteString(app.Package)
 		bw.WriteByte('\n')
-	}
+		return nil
+	})
 	bw.Flush()
 }
 
 func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 	pkg := strings.TrimPrefix(r.URL.Path, "/apk/")
-	spec, ok := s.byPkg[pkg]
-	if !ok {
+	spec := s.src.ByPackage(pkg)
+	if spec == nil {
 		http.Error(w, "unknown apk", http.StatusNotFound)
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/sdkindex"
@@ -76,115 +77,156 @@ type Corpus struct {
 	Config Config
 	Counts Counts
 	Apps   []*Spec
+
+	idxOnce sync.Once
+	byPkg   map[string]*Spec
 }
 
-// Generate builds the corpus for the configuration. Generation is
-// deterministic in cfg.
+// Generate builds the corpus for the configuration, materializing every
+// spec. Generation is deterministic in cfg. For paper-scale corpora —
+// millions of snapshot entries — prefer NewSnapshot, which synthesizes the
+// identical specs on demand with bounded memory.
 func Generate(cfg Config) (*Corpus, error) {
+	g, err := newGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Config: cfg, Counts: g.counts}
+	c.Apps = make([]*Spec, 0, g.counts.Total)
+	for r := 1; r <= g.counts.Total; r++ {
+		c.Apps = append(c.Apps, g.specAt(r))
+	}
+	return c, nil
+}
+
+// generator synthesizes specs rank by rank. Every piece of the original
+// generation loop's running state (the Bresenham update filter, the
+// broken-APK stride, the obfuscation draw) has a closed form in the rank,
+// so any spec can be produced on demand without materializing its
+// predecessors — the foundation of the bounded-memory Snapshot view.
+type generator struct {
+	cfg    Config
+	counts Counts
+	idx    *sdkindex.Index
+	// topK is the dynamic-study prefix: the top-1K apps (or the whole
+	// filtered set when the scale shrinks it below 1000). Everything in
+	// the prefix is kept updated so it survives the maintenance filter.
+	topK      int
+	behaviors []Dynamic
+	// beyondPopular/beyondFiltered drive the exact-count update filter
+	// over the popular apps beyond the prefix.
+	beyondPopular  int
+	beyondFiltered int
+	brokenStride   int
+}
+
+func newGenerator(cfg Config) (*generator, error) {
 	if cfg.Scale < 1 {
 		return nil, fmt.Errorf("corpus: scale %d < 1", cfg.Scale)
 	}
-	counts := ScaledCounts(cfg.Scale)
-	c := &Corpus{Config: cfg, Counts: counts}
-	c.Apps = make([]*Spec, 0, counts.OnPlay+64)
-
-	idx := sdkindex.Default()
-	// The dynamic-study prefix: the top-1K apps (or the whole filtered set
-	// when the scale shrinks it below 1000). Everything in the prefix is
-	// kept updated so it survives the maintenance filter.
-	topK := counts.Filtered
-	if topK > 1000 {
-		topK = 1000
+	g := &generator{cfg: cfg, counts: ScaledCounts(cfg.Scale), idx: sdkindex.Default()}
+	g.topK = g.counts.Filtered
+	if g.topK > 1000 {
+		g.topK = 1000
 	}
-	behaviors := topBehaviors(cfg.Seed, topK)
-
-	// On-Play apps by download rank. The first Popular ranks pass the
-	// download filter; the update filter is applied by exact Bresenham
-	// stride so the funnel counts match ScaledCounts precisely.
-	beyondPopular := counts.Popular - topK
-	beyondFiltered := counts.Filtered - topK
-	if beyondFiltered < 0 {
-		beyondFiltered = 0
+	g.behaviors = topBehaviors(cfg.Seed, g.topK)
+	g.beyondPopular = g.counts.Popular - g.topK
+	g.beyondFiltered = g.counts.Filtered - g.topK
+	if g.beyondFiltered < 0 {
+		g.beyondFiltered = 0
 	}
-	updatedSoFar := 0
-	filteredSeen := 0
-	brokenAssigned := 0
-	brokenStride := 0
-	if counts.Broken > 0 {
-		brokenStride = (counts.Filtered - topK) / counts.Broken
-		if brokenStride < 1 {
-			brokenStride = 1
+	if g.counts.Broken > 0 {
+		g.brokenStride = (g.counts.Filtered - g.topK) / g.counts.Broken
+		if g.brokenStride < 1 {
+			g.brokenStride = 1
 		}
 	}
+	return g, nil
+}
 
-	for r := 1; r <= counts.OnPlay; r++ {
-		spec := &Spec{OnPlayStore: true}
-		switch {
-		case r <= len(NamedApps) && r <= topK:
-			n := NamedApps[r-1]
-			spec.Package, spec.Title = n.Package, n.Title
-			spec.PlayCategory = n.Category
-			spec.Downloads = n.Downloads
-			spec.LastUpdated = UpdateCutoff.AddDate(1, 6, 0)
-			spec.Dynamic = n.Dynamic
-			spec.OwnMethods = append(spec.OwnMethods, n.OwnMethods...)
-			spec.OwnCT = n.OwnCT
-		case r <= counts.Popular:
-			spec.Package = fmt.Sprintf("com.genapp%07d", r)
-			spec.Title = fmt.Sprintf("Gen App %d", r)
-			spec.Downloads = scaledDownloads(r, topK, cfg.Scale)
-			if r <= topK {
-				spec.Dynamic = behaviors[r-1]
-				spec.LastUpdated = UpdateCutoff.AddDate(1, 0, r%300)
-			} else {
-				// Exact-count update filter over the remaining popular apps.
-				k := r - topK
-				updated := beyondPopular > 0 &&
-					(k*beyondFiltered)/beyondPopular > ((k-1)*beyondFiltered)/beyondPopular
-				if updated {
-					spec.LastUpdated = UpdateCutoff.AddDate(0, 6, r%500)
-					updatedSoFar++
-				} else {
-					spec.LastUpdated = UpdateCutoff.AddDate(-2, 0, -(r % 300))
-				}
-			}
-		default:
-			spec.Package = fmt.Sprintf("com.longtail%07d", r)
-			spec.Title = fmt.Sprintf("Long Tail %d", r)
-			spec.Downloads = longTailDownloads(r, counts.OnPlay)
-			spec.LastUpdated = UpdateCutoff.AddDate(-1, 0, -(r % 700))
-		}
-
-		if spec.Eligible(MinDownloads, UpdateCutoff) {
-			filteredSeen++
-			// Named top apps stay clear (the dynamic study probes their
-			// behaviour); any other app may ship obfuscated.
-			if cfg.ObfuscationRate > 0 && r > len(NamedApps) &&
-				appRNG(cfg.Seed, spec.Package, "obfuscate").Float64() < cfg.ObfuscationRate {
-				spec.Obfuscated = true
-			}
-			// Mark broken APKs at a fixed stride, skipping the dynamic
-			// top apps so the semi-manual study always installs cleanly.
-			if brokenStride > 0 && r > topK && brokenAssigned < counts.Broken &&
-				(filteredSeen-topK) > 0 && (filteredSeen-topK)%brokenStride == 0 {
-				spec.Broken = true
-				brokenAssigned++
-			}
-			assignStatic(spec, idx, cfg.Seed)
-			assignMisconfigs(spec, cfg.Seed)
-			assignEndpoints(spec, cfg.Seed)
-		}
-		c.Apps = append(c.Apps, spec)
+// filteredBeyond counts how many of the first k popular apps beyond the
+// dynamic prefix pass the update filter (exact Bresenham stride, so the
+// funnel counts match ScaledCounts precisely).
+func (g *generator) filteredBeyond(k int) int {
+	if g.beyondPopular <= 0 {
+		return 0
 	}
+	return k * g.beyondFiltered / g.beyondPopular
+}
 
+// eligibleBeyondTopK is the number of filter-passing apps beyond the
+// dynamic prefix among ranks 1..r — the closed form of the generation
+// loop's filteredSeen-topK counter.
+func (g *generator) eligibleBeyondTopK(r int) int {
+	if r <= g.topK {
+		return 0
+	}
+	return g.filteredBeyond(r - g.topK)
+}
+
+// specAt synthesizes the spec at 1-based download rank r (off-Play apps
+// occupy the ranks past counts.OnPlay). specAt(r) is byte-identical to
+// Generate(cfg).Apps[r-1].
+func (g *generator) specAt(r int) *Spec {
 	// Off-Play apps: present in AndroZoo, absent from the Play Store.
-	for r := counts.OnPlay + 1; r <= counts.Total; r++ {
-		c.Apps = append(c.Apps, &Spec{
+	if r > g.counts.OnPlay {
+		return &Spec{
 			Package: fmt.Sprintf("org.offplay%07d", r),
 			Title:   fmt.Sprintf("Off Play %d", r),
-		})
+		}
 	}
-	return c, nil
+	spec := &Spec{OnPlayStore: true}
+	switch {
+	case r <= len(NamedApps) && r <= g.topK:
+		n := NamedApps[r-1]
+		spec.Package, spec.Title = n.Package, n.Title
+		spec.PlayCategory = n.Category
+		spec.Downloads = n.Downloads
+		spec.LastUpdated = UpdateCutoff.AddDate(1, 6, 0)
+		spec.Dynamic = n.Dynamic
+		spec.OwnMethods = append(spec.OwnMethods, n.OwnMethods...)
+		spec.OwnCT = n.OwnCT
+	case r <= g.counts.Popular:
+		spec.Package = fmt.Sprintf("com.genapp%07d", r)
+		spec.Title = fmt.Sprintf("Gen App %d", r)
+		spec.Downloads = scaledDownloads(r, g.topK, g.cfg.Scale)
+		if r <= g.topK {
+			spec.Dynamic = g.behaviors[r-1]
+			spec.LastUpdated = UpdateCutoff.AddDate(1, 0, r%300)
+		} else {
+			// Exact-count update filter over the remaining popular apps.
+			k := r - g.topK
+			if g.filteredBeyond(k) > g.filteredBeyond(k-1) {
+				spec.LastUpdated = UpdateCutoff.AddDate(0, 6, r%500)
+			} else {
+				spec.LastUpdated = UpdateCutoff.AddDate(-2, 0, -(r % 300))
+			}
+		}
+	default:
+		spec.Package = fmt.Sprintf("com.longtail%07d", r)
+		spec.Title = fmt.Sprintf("Long Tail %d", r)
+		spec.Downloads = longTailDownloads(r, g.counts.OnPlay)
+		spec.LastUpdated = UpdateCutoff.AddDate(-1, 0, -(r % 700))
+	}
+
+	if spec.Eligible(MinDownloads, UpdateCutoff) {
+		// Named top apps stay clear (the dynamic study probes their
+		// behaviour); any other app may ship obfuscated.
+		if g.cfg.ObfuscationRate > 0 && r > len(NamedApps) &&
+			appRNG(g.cfg.Seed, spec.Package, "obfuscate").Float64() < g.cfg.ObfuscationRate {
+			spec.Obfuscated = true
+		}
+		// Mark broken APKs at a fixed stride, skipping the dynamic
+		// top apps so the semi-manual study always installs cleanly.
+		if e := g.eligibleBeyondTopK(r); g.brokenStride > 0 && e > 0 &&
+			e%g.brokenStride == 0 && e/g.brokenStride <= g.counts.Broken {
+			spec.Broken = true
+		}
+		assignStatic(spec, g.idx, g.cfg.Seed)
+		assignMisconfigs(spec, g.cfg.Seed)
+		assignEndpoints(spec, g.cfg.Seed)
+	}
+	return spec
 }
 
 // Filtered returns the apps passing the paper's selection filter, in rank
@@ -210,13 +252,30 @@ func (c *Corpus) Top(n int) []*Spec {
 
 // AppByPackage finds a spec by package name, or nil.
 func (c *Corpus) AppByPackage(pkg string) *Spec {
+	c.idxOnce.Do(func() {
+		c.byPkg = make(map[string]*Spec, len(c.Apps))
+		for _, s := range c.Apps {
+			c.byPkg[s.Package] = s
+		}
+	})
+	return c.byPkg[pkg]
+}
+
+// ByPackage implements Source over the materialized corpus.
+func (c *Corpus) ByPackage(pkg string) *Spec { return c.AppByPackage(pkg) }
+
+// Each implements Source: specs in snapshot (download-rank) order.
+func (c *Corpus) Each(fn func(*Spec) error) error {
 	for _, s := range c.Apps {
-		if s.Package == pkg {
-			return s
+		if err := fn(s); err != nil {
+			return err
 		}
 	}
 	return nil
 }
+
+// Total reports the number of repository snapshot entries.
+func (c *Corpus) Total() int { return c.Counts.Total }
 
 // scaledDownloads maps a reduced-corpus rank to a paper-scale rank and
 // evaluates the install-count model there, clamped to the popularity band.

@@ -369,3 +369,59 @@ func TestChaosJournalRefusesForeignConfig(t *testing.T) {
 		t.Fatal("run accepted a journal from a different configuration")
 	}
 }
+
+// TestChaosJournalRefusesForeignPartition: in a sharded run the journal is
+// bound to the shard partition spec too, so a worker must refuse to resume
+// a journal written by a different shard — even under an identical
+// analysis configuration — and a sharded run must refuse an unsharded
+// journal (and vice versa).
+func TestChaosJournalRefusesForeignPartition(t *testing.T) {
+	c := chaosCorpus(t)
+	run := func(journal *pipeline.Journal, partition string) error {
+		cfg := pipeline.Config{
+			MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+			Journal: journal, Partition: partition,
+		}
+		_, err := pipeline.New(newChaosRepo(c), &chaosMeta{c: c}, cfg).Run(context.Background())
+		return err
+	}
+
+	// Write a journal as shard 0 of 4.
+	path := filepath.Join(t.TempDir(), "shard.journal")
+	j, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(j, "0/4@deadbeef"); err != nil {
+		t.Fatalf("shard 0/4 run: %v", err)
+	}
+	j.Close()
+
+	cases := map[string]string{
+		"different shard index":  "1/4@deadbeef",
+		"different shard count":  "0/8@deadbeef",
+		"different partition fn": "0/4@0ddba11",
+		"unsharded run":          "",
+	}
+	for name, partition := range cases {
+		j, err := pipeline.OpenJournal(path)
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", name, err)
+		}
+		err = run(j, partition)
+		j.Close()
+		if err == nil {
+			t.Fatalf("%s: run accepted another shard's journal", name)
+		}
+	}
+
+	// Sanity: the owning shard itself still resumes cleanly.
+	j2, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if err := run(j2, "0/4@deadbeef"); err != nil {
+		t.Fatalf("owning shard failed to resume its own journal: %v", err)
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// analysis entirely. The journal is bound to the index/lint
 	// fingerprint at Run start and refuses to resume across config changes.
 	Journal *Journal
+	// Partition, when non-empty, names the shard partition this run scans
+	// (e.g. "2/4@<partition-hash>" from the sharded scan plane). It is
+	// mixed into the journal binding — never the content-addressed cache
+	// key — so a worker refuses to resume another shard's journal while
+	// all shards still share one blob-tier cache.
+	Partition string
 	// Telemetry, when non-nil, receives the run's metrics (per-stage item
 	// and latency families, cache and journal traffic, in-flight bytes) and,
 	// if the hub has tracing enabled, one trace per downloaded APK
@@ -285,7 +291,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	defer cancel()
 
 	if p.cfg.Journal != nil {
-		if err := p.cfg.Journal.Bind(p.configKey()); err != nil {
+		if err := p.cfg.Journal.Bind(p.journalKey()); err != nil {
 			return nil, err
 		}
 	}
@@ -765,6 +771,25 @@ func (p *Pipeline) configKey() string {
 	}
 	if p.urlFP != "" {
 		key += "@urls:" + p.urlFP
+	}
+	return key
+}
+
+// ConfigKey exposes the analysis-configuration fingerprint, so the shard
+// coordinator can assert every worker runs the same configuration before
+// accepting its results into a merged report.
+func (p *Pipeline) ConfigKey() string { return p.configKey() }
+
+// journalKey binds the journal to both the analysis configuration and, for
+// sharded runs, the shard partition spec. The partition is deliberately
+// absent from contentKey: the cache stays content-addressed and shared
+// across shards (and across different shard counts), while the journal —
+// which records which packages of *this* partition are complete — refuses
+// to resume under a foreign partition.
+func (p *Pipeline) journalKey() string {
+	key := p.configKey()
+	if p.cfg.Partition != "" {
+		key += "@shard:" + p.cfg.Partition
 	}
 	return key
 }

@@ -34,16 +34,18 @@ var ErrNotFound = errors.New("playstore: app not found")
 
 // Server serves store metadata for a corpus.
 type Server struct {
-	byPkg map[string]*corpus.Spec
+	src corpus.Source
 }
 
-// NewServer indexes the corpus for serving.
+// NewServer serves the materialized corpus.
 func NewServer(c *corpus.Corpus) *Server {
-	s := &Server{byPkg: make(map[string]*corpus.Spec, len(c.Apps))}
-	for _, app := range c.Apps {
-		s.byPkg[app.Package] = app
-	}
-	return s
+	return NewServerFrom(c)
+}
+
+// NewServerFrom serves any corpus source, including the bounded-memory
+// *corpus.Snapshot for full paper-scale listings.
+func NewServerFrom(src corpus.Source) *Server {
+	return &Server{src: src}
 }
 
 // Handler returns the HTTP handler: GET /v1/apps/{package}.
@@ -59,8 +61,8 @@ func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing package", http.StatusBadRequest)
 		return
 	}
-	spec, ok := s.byPkg[pkg]
-	if !ok || !spec.OnPlayStore {
+	spec := s.src.ByPackage(pkg)
+	if spec == nil || !spec.OnPlayStore {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}

@@ -1,0 +1,157 @@
+// Chaos test for the scan plane: a worker killed mid-lease must not cost
+// the run anything but the lease TTL — the re-issued partition resumes the
+// dead worker's journal, re-downloads zero journaled packages, and the
+// final merged report is byte-identical to an uninterrupted run.
+package shard_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/shard"
+)
+
+func TestChaosKilledWorkerPartitionResumes(t *testing.T) {
+	c := testCorpus(t)
+	const shards = 4
+
+	// The kill must land mid-partition-0: count partition 0's downloads
+	// (every eligible app of the partition) and stop a few short.
+	part0 := 0
+	for _, s := range c.Apps {
+		if s.Eligible(corpus.MinDownloads, corpus.UpdateCutoff) && shard.PartitionOf(s.Package, shards) == 0 {
+			part0++
+		}
+	}
+	if part0 < 6 {
+		t.Fatalf("partition 0 has only %d eligible apps; corpus too small for a mid-lease kill", part0)
+	}
+	killAfter := part0 - 3
+
+	// Uninterrupted reference: the plain sequential pipeline.
+	ref, err := pipeline.New(newTestRepo(c), &testMeta{c: c}, pipeline.Config{
+		MinDownloads: corpus.MinDownloads, UpdatedAfter: corpus.UpdateCutoff,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	clock := newFakeClock()
+	ttl := time.Hour // renewal tickers (TTL/3) never fire inside the test
+	dir := t.TempDir()
+	coord, srv := startCoordinator(t, shard.CoordinatorConfig{
+		Spec: shard.RunSpec{
+			Shards:       shards,
+			MinDownloads: corpus.MinDownloads,
+			UpdatedAfter: corpus.UpdateCutoff,
+			JournalDir:   dir,
+			CacheDir:     filepath.Join(dir, "cache"),
+			LeaseTTL:     ttl,
+		},
+		Now: clock.Now,
+	})
+
+	// Worker A: its context is cut after killAfter downloads — an OS kill
+	// as the pipeline sees one, mid-lease with the journal partly written.
+	repo := newTestRepo(c)
+	ctxA, killA := context.WithCancel(context.Background())
+	defer killA()
+	var downloads atomic.Int64
+	repo.setOnDownload(func(pkg string, nth int) {
+		if downloads.Add(1) == int64(killAfter) {
+			killA()
+		}
+	})
+	wA, err := shard.NewWorker(shard.WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "doomed",
+		Poll:        10 * time.Millisecond,
+		Services:    inProcessServices(repo, &testMeta{c: c}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wA.Run(ctxA); err == nil {
+		t.Fatal("killed worker reported a clean run")
+	}
+	if wA.Completed() != 0 {
+		t.Fatalf("killed worker completed %d partitions, want 0", wA.Completed())
+	}
+	repo.setOnDownload(nil)
+
+	// The dead worker's journal holds its checkpointed packages.
+	journalPath := filepath.Join(dir, "shard-0-of-4.journal")
+	j, err := pipeline.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journaled := j.Packages()
+	j.Close()
+	if len(journaled) == 0 {
+		t.Fatal("killed worker journaled nothing; kill landed too early to test resume")
+	}
+	if len(journaled) >= part0 {
+		t.Fatalf("killed worker journaled all %d packages; kill landed too late", part0)
+	}
+
+	// Partition 0 is still leased to the corpse. Let the lease expire.
+	clock.Advance(ttl + time.Second)
+
+	// Worker B finishes the run: partition 0 resumed from the journal,
+	// then the untouched partitions.
+	wB, err := shard.NewWorker(shard.WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "survivor",
+		Poll:        10 * time.Millisecond,
+		Services:    inProcessServices(repo, &testMeta{c: c}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := wB.Run(ctx); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	if wB.Completed() != shards {
+		t.Fatalf("surviving worker completed %d partitions, want %d", wB.Completed(), shards)
+	}
+
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-download-zero: every journaled package was downloaded exactly
+	// once — by the dead worker. The resume replayed it from the journal.
+	dl := repo.downloads()
+	for _, pkg := range journaled {
+		if dl[pkg] != 1 {
+			t.Fatalf("journaled package %s downloaded %d times, want 1", pkg, dl[pkg])
+		}
+	}
+	// The resume skipped exactly the journaled packages.
+	if merged.Stats.JournalSkips != len(journaled) {
+		t.Fatalf("journal skips = %d, want %d", merged.Stats.JournalSkips, len(journaled))
+	}
+
+	// And the interrupted run's report is the uninterrupted run's report.
+	if merged.Funnel != ref.Funnel {
+		t.Fatalf("funnel diverged:\n  interrupted   %+v\n  uninterrupted %+v", merged.Funnel, ref.Funnel)
+	}
+	if !reflect.DeepEqual(merged.Apps, ref.Apps) {
+		t.Fatal("per-app results diverged from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(merged.Quarantined, ref.Quarantined) {
+		t.Fatalf("quarantines diverged: %+v vs %+v", merged.Quarantined, ref.Quarantined)
+	}
+	if got, want := renderAllTables(t, merged), renderAllTables(t, ref); got != want {
+		t.Fatalf("rendered tables diverged:\n--- interrupted ---\n%s\n--- uninterrupted ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,304 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/telemetry"
+)
+
+// CoordinatorConfig parameterises the control plane.
+type CoordinatorConfig struct {
+	// Spec is the scan configuration served to joining workers.
+	Spec RunSpec
+	// Telemetry, when non-nil, receives the lease/merge metric families.
+	Telemetry *telemetry.Hub
+	// Now is the lease clock (nil = time.Now). Injectable so chaos tests
+	// expire leases deterministically instead of sleeping.
+	Now func() time.Time
+}
+
+// lease is one live partition grant.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// Coordinator owns the partition ledger: which partitions are leased, to
+// whom, until when, and which are complete. It is an HTTP control plane —
+// workers join over the wire, so they can be separate OS processes — but
+// all state lives here, in one place, guarded by one mutex; workers are
+// stateless between leases.
+type Coordinator struct {
+	spec    RunSpec
+	now     func() time.Time
+	metrics *coordMetrics
+
+	mu       sync.Mutex
+	leases   map[int]*lease
+	complete map[int]*pipeline.Result
+	merged   *pipeline.Result
+	mergeDur time.Duration
+	done     chan struct{}
+}
+
+// NewCoordinator validates the spec and builds the ledger.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Spec.Shards < 1 {
+		return nil, fmt.Errorf("shard: coordinator needs at least 1 shard, got %d", cfg.Spec.Shards)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Coordinator{
+		spec:     cfg.Spec,
+		now:      now,
+		metrics:  newCoordMetrics(cfg.Telemetry),
+		leases:   make(map[int]*lease),
+		complete: make(map[int]*pipeline.Result),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Handler returns the control-plane API:
+//
+//	GET  /v1/spec     the RunSpec
+//	POST /v1/lease    {"worker":W} → a partition grant, wait, or done
+//	POST /v1/renew    {"worker":W,"partition":P} → extend the lease
+//	POST /v1/result   {"worker":W,"partition":P,"configKey":K,"result":R}
+//	GET  /v1/status   progress counters
+//
+// Serve it behind serving.Listen (hardened timeouts) in production; tests
+// may mount it on an httptest server.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/spec", c.handleSpec)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/renew", c.handleRenew)
+	mux.HandleFunc("POST /v1/result", c.handleResult)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	return mux
+}
+
+// sweep expires overdue leases. Called under mu before every ledger
+// decision — lease issue, renewal, result acceptance, status — so expiry
+// is driven by control-plane traffic and the injected clock, never by a
+// background timer a test cannot steer.
+func (c *Coordinator) sweep() {
+	now := c.now()
+	for p, l := range c.leases {
+		if !l.expires.After(now) {
+			delete(c.leases, p)
+			c.metrics.expiries.Inc()
+			c.metrics.inflight.Add(-1)
+		}
+	}
+}
+
+func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.spec)
+}
+
+// LeaseGrant is the coordinator's answer to a lease request. Exactly one
+// of the three shapes is populated: a grant (Partition ≥ 0), Wait (every
+// pending partition is leased to a live worker — retry shortly), or Done
+// (all partitions complete — the worker can exit).
+type LeaseGrant struct {
+	Partition int           `json:"partition"`
+	Tag       string        `json:"tag,omitempty"`
+	TTL       time.Duration `json:"ttl,omitempty"`
+	Wait      bool          `json:"wait,omitempty"`
+	Done      bool          `json:"done,omitempty"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+
+	if len(c.complete) == c.spec.Shards {
+		writeJSON(w, http.StatusOK, LeaseGrant{Partition: -1, Done: true})
+		return
+	}
+	for p := 0; p < c.spec.Shards; p++ {
+		if _, ok := c.complete[p]; ok {
+			continue
+		}
+		if _, ok := c.leases[p]; ok {
+			continue
+		}
+		c.leases[p] = &lease{worker: req.Worker, expires: c.now().Add(c.spec.TTL())}
+		c.metrics.grants.Inc()
+		c.metrics.inflight.Add(1)
+		writeJSON(w, http.StatusOK, LeaseGrant{
+			Partition: p,
+			Tag:       PartitionTag(p, c.spec.Shards),
+			TTL:       c.spec.TTL(),
+		})
+		return
+	}
+	// Nothing free, nothing done-for-good: the worker should poll again.
+	writeJSON(w, http.StatusOK, LeaseGrant{Partition: -1, Wait: true})
+}
+
+type renewRequest struct {
+	Worker    string `json:"worker"`
+	Partition int    `json:"partition"`
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req renewRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+
+	l, ok := c.leases[req.Partition]
+	if !ok || l.worker != req.Worker {
+		// The lease expired (and may already be re-issued elsewhere): the
+		// worker must abandon the partition.
+		c.metrics.rejects.Inc()
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	l.expires = c.now().Add(c.spec.TTL())
+	c.metrics.renewals.Inc()
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type resultRequest struct {
+	Worker    string           `json:"worker"`
+	Partition int              `json:"partition"`
+	ConfigKey string           `json:"configKey"`
+	Result    *pipeline.Result `json:"result"`
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Result == nil {
+		http.Error(w, "missing result", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweep()
+
+	if c.spec.ConfigKey != "" && req.ConfigKey != c.spec.ConfigKey {
+		// The worker ran a different analysis configuration; merging its
+		// partition would silently corrupt the report.
+		c.metrics.mismatch.Inc()
+		http.Error(w, "analysis configuration mismatch", http.StatusConflict)
+		return
+	}
+	l, ok := c.leases[req.Partition]
+	if !ok || l.worker != req.Worker {
+		// Stale submission: the lease expired and the partition is (or will
+		// be) re-scanned by a peer. Exactly-once on the merge side means
+		// refusing this copy — the journal makes the re-scan cheap.
+		c.metrics.stale.Inc()
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	delete(c.leases, req.Partition)
+	c.metrics.inflight.Add(-1)
+	c.complete[req.Partition] = req.Result
+	c.metrics.accepted.Inc()
+
+	if len(c.complete) == c.spec.Shards {
+		start := time.Now()
+		parts := make([]*pipeline.Result, c.spec.Shards)
+		for p, res := range c.complete {
+			parts[p] = res
+		}
+		c.merged = Merge(parts)
+		c.mergeDur = time.Since(start)
+		c.metrics.mergeSeconds.Observe(c.mergeDur.Seconds())
+		close(c.done)
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// Status is the coordinator's progress snapshot.
+type Status struct {
+	Shards    int  `json:"shards"`
+	Completed int  `json:"completed"`
+	Inflight  int  `json:"inflight"`
+	Done      bool `json:"done"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	c.sweep()
+	st := Status{
+		Shards:    c.spec.Shards,
+		Completed: len(c.complete),
+		Inflight:  len(c.leases),
+		Done:      len(c.complete) == c.spec.Shards,
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Wait blocks until every partition is complete and returns the merged
+// report, or the context error.
+func (c *Coordinator) Wait(ctx context.Context) (*pipeline.Result, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merged, nil
+}
+
+// MergeLatency reports how long the final merge took (zero until done).
+func (c *Coordinator) MergeLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mergeDur
+}
+
+// maxBody bounds control-plane request bodies. Result payloads carry every
+// analysed app of a partition, so the ceiling is generous; everything else
+// is tiny.
+const maxBody = 256 << 20
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		http.Error(w, "bad json", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
