@@ -15,6 +15,8 @@
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //	           [-telemetry-addr ADDR] [-metrics-out FILE] [-trace-out FILE]
 //	           [-telemetry-wallclock]
+//	           [-fleet-federation] [-fleet-status URL]
+//	           [-fleet-metrics-out FILE] [-fleet-trace-out FILE]
 //
 // Scale divides the paper's 6.5M-app population; scale 1 reproduces
 // full-paper counts (slow and memory-hungry), the default 200 finishes in
@@ -59,6 +61,14 @@
 // span traces on exit ("-" for stdout). Durations are seed-derived by
 // default so same-seed runs emit byte-identical telemetry; pass
 // -telemetry-wallclock for real latencies.
+//
+// Fleet observability (shard modes, on by default via -fleet-federation):
+// the coordinator federates every worker's metrics registry and per-APK
+// trace spans behind /fleet/metrics, /fleet/metrics.json, /fleet/status
+// and /fleet/trace; `staticscan -fleet-status URL` renders the live status
+// from another terminal. -fleet-metrics-out and -fleet-trace-out write the
+// federated exposition and the stitched fleet trace when the sharded scan
+// ends.
 package main
 
 import (
@@ -112,11 +122,21 @@ func main() {
 	journalDir := flag.String("journal-dir", "", "per-partition journal directory in shard modes")
 	shardBench := flag.String("shard-bench", "", "benchmark APKs/s at these shard counts, e.g. \"1,4,8\"")
 	benchOut := flag.String("bench-out", "", "benchmark JSON output path (default BENCH_shard.json)")
+	federation := flag.Bool("fleet-federation", true, "enable the fleet observability plane (/fleet/*) in shard modes")
+	fleetStatus := flag.String("fleet-status", "", "render a running coordinator's /fleet/status and exit (coordinator URL)")
+	fleetMetricsOut := flag.String("fleet-metrics-out", "", "write the federated /fleet/metrics exposition to this file when the sharded scan ends (\"-\" for stdout)")
+	fleetTraceOut := flag.String("fleet-trace-out", "", "write the stitched fleet-wide per-APK trace JSONL to this file when the sharded scan ends (\"-\" for stdout)")
+	fleetBenchOut := flag.String("fleet-bench-out", "", "federation-overhead benchmark JSON path in -shard-bench mode (default BENCH_fleet.json)")
 	var prof profiling.Flags
 	prof.Register(nil)
 	var telem telemetry.Flags
 	telem.Register(nil)
 	flag.Parse()
+	if *workerMode && *join != "" {
+		// One shard's local trace is partial and misleading: the debug
+		// server's /trace points at the coordinator's stitched export.
+		telem.FleetTraceURL = strings.TrimRight(*join, "/") + "/fleet/trace"
+	}
 	if err := prof.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -139,7 +159,7 @@ func main() {
 		urlsJSON: *urlsJSON,
 		retries:  *retries, maxFailureFrac: *maxFailureFrac,
 		faults: *faultsSpec, journal: *journalPath, resume: *resume,
-		telemetry: hub,
+		telemetry: hub, wallclock: telem.Wallclock,
 	}
 	if *lintRules != "" {
 		opts.lintRules = strings.Split(*lintRules, ",")
@@ -149,9 +169,13 @@ func main() {
 		worker: *workerMode, join: *join,
 		ttl: *shardTTL, dlLatency: *dlLatency, journalDir: *journalDir,
 		bench: *shardBench, benchOut: *benchOut,
+		federation: *federation, fleetMetricsOut: *fleetMetricsOut,
+		fleetTraceOut: *fleetTraceOut, fleetBenchOut: *fleetBenchOut,
 	}
 	var err error
 	switch {
+	case *fleetStatus != "":
+		err = runFleetStatus(os.Stdout, *fleetStatus)
 	case sopts.worker:
 		err = runWorker(opts, sopts)
 	case sopts.bench != "":
@@ -186,6 +210,7 @@ type options struct {
 	journal        string
 	resume         bool
 	telemetry      *telemetry.Hub
+	wallclock      bool
 }
 
 // lintReport is the machine-readable -lint-json document.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/retry"
 	"repro/internal/serving"
 	"repro/internal/shard"
+	"repro/internal/telemetry/fleet"
 	"repro/internal/urlextract"
 	"repro/internal/webviewlint"
 )
@@ -49,6 +50,11 @@ type shardOptions struct {
 	journalDir  string        // -journal-dir per-partition journals
 	bench       string        // -shard-bench comma list of shard counts
 	benchOut    string        // -bench-out JSON path
+
+	federation      bool   // -fleet-federation observability plane
+	fleetMetricsOut string // -fleet-metrics-out federated exposition path
+	fleetTraceOut   string // -fleet-trace-out stitched fleet trace path
+	fleetBenchOut   string // -fleet-bench-out federation overhead JSON path
 }
 
 // workerName builds a unique lease identity for this process.
@@ -74,6 +80,9 @@ func runWorker(o options, so shardOptions) error {
 		Name:        workerName(),
 		Retry:       pol,
 		Telemetry:   o.telemetry,
+		// Federated runs scrape this worker live; the spec gates whether the
+		// endpoint actually starts.
+		MetricsAddr: "127.0.0.1:0",
 	})
 	if err != nil {
 		return err
@@ -153,6 +162,11 @@ func buildSpec(o options, so shardOptions, plane *corpusPlane, shards, pipelineW
 		DownloadLatency: so.dlLatency,
 		LeaseTTL:        so.ttl,
 		ConfigKey:       key,
+		Seed:            o.seed,
+		Federation:      so.federation,
+		Trace:           so.federation,
+		Wallclock:       o.wallclock,
+		CorpusEntries:   plane.snap.Total(),
 	}, nil
 }
 
@@ -186,16 +200,17 @@ func spawnWorkers(n int, joinURL string, o options) ([]*exec.Cmd, error) {
 
 // shardedScan runs one full coordinator-side scan: lease out shards
 // partitions of the served corpus, optionally spawn worker processes, wait
-// for the merge. Returns the merged result and the wall time from worker
-// start to merged report.
-func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, pipelineWorkers int) (*pipeline.Result, time.Duration, error) {
+// for the merge. Returns the merged result, the wall time from worker
+// start to merged report, and the coordinator (whose fleet federator
+// outlives the listener, for post-run exports).
+func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, pipelineWorkers int) (*pipeline.Result, time.Duration, *shard.Coordinator, error) {
 	spec, err := buildSpec(o, so, plane, shards, pipelineWorkers)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	coord, err := shard.NewCoordinator(shard.CoordinatorConfig{Spec: spec, Telemetry: o.telemetry})
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	addr := so.coordinator
 	if addr == "" {
@@ -203,7 +218,7 @@ func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, 
 	}
 	ep, err := serving.Listen(addr, coord.Handler())
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer ep.Close()
 	joinURL := "http://" + ep.Addr
@@ -218,7 +233,7 @@ func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, 
 			n = shards
 		}
 		if cmds, err = spawnWorkers(n, joinURL, o); err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 	}
 	res, err := coord.Wait(context.Background())
@@ -229,10 +244,46 @@ func shardedScan(o options, so shardOptions, plane *corpusPlane, shards, spawn, 
 		}
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	fmt.Fprintf(os.Stderr, "merged %d shards in %v (merge itself %v)\n", shards, wall, coord.MergeLatency())
-	return res, wall, nil
+	return res, wall, coord, nil
+}
+
+// writeFleetOutputs writes the post-run federated exports a sharded scan
+// was asked for.
+func writeFleetOutputs(coord *shard.Coordinator, so shardOptions) error {
+	fed := coord.Fleet()
+	if fed == nil {
+		return nil
+	}
+	if so.fleetMetricsOut != "" {
+		if err := writeFile(so.fleetMetricsOut, fed.WriteFleetProm); err != nil {
+			return fmt.Errorf("fleet-metrics-out: %w", err)
+		}
+	}
+	if so.fleetTraceOut != "" {
+		if err := writeFile(so.fleetTraceOut, fed.WriteTraceJSONL); err != nil {
+			return fmt.Errorf("fleet-trace-out: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeFile writes via write to path, or to stdout when path is "-".
+func writeFile(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // staticResult wraps a merged pipeline result into the report-ready shape
@@ -263,13 +314,16 @@ func runCoordinator(out *os.File, o options, so shardOptions) error {
 		return err
 	}
 	defer plane.Close()
-	res, wall, err := shardedScan(o, so, plane, so.shards, so.spawn, o.workers)
+	res, wall, coord, err := shardedScan(o, so, plane, so.shards, so.spawn, o.workers)
 	if err != nil {
 		return err
 	}
 	apks := res.Funnel.Filtered
 	fmt.Fprintf(os.Stderr, "throughput: %d APKs in %v = %.1f APKs/s\n",
 		apks, wall, float64(apks)/wall.Seconds())
+	if err := writeFleetOutputs(coord, so); err != nil {
+		return err
+	}
 	printStaticReport(out, o, staticResult(res))
 	return nil
 }
@@ -296,6 +350,37 @@ type benchDoc struct {
 	Entries                 []benchEntry `json:"entries"`
 	// MergeIdentical reports whether the highest-shard-count merged report
 	// rendered byte-identically to a sequential single-process run.
+	MergeIdentical bool `json:"mergeIdentical"`
+}
+
+// fleetBenchEntry is one shard count's federation A/B measurement: the
+// same configuration run with the fleet observability plane off (the
+// baseline, identical to the pre-federation plane) and on.
+type fleetBenchEntry struct {
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers"`
+	BaseWallMs   float64 `json:"baseWallMs"`
+	FedWallMs    float64 `json:"fedWallMs"`
+	OverheadFrac float64 `json:"overheadFrac"` // fedWall/baseWall - 1
+	APKs         int     `json:"apks"`
+	// StageLatency summarises the federated rollup's per-stage latency
+	// histograms at the operator percentiles (seed-derived durations unless
+	// -telemetry-wallclock).
+	StageLatency map[string]fleet.Quantiles `json:"stageLatency,omitempty"`
+}
+
+// fleetBenchDoc is the BENCH_fleet.json document: what federation costs.
+type fleetBenchDoc struct {
+	Scale             int               `json:"scale"`
+	Seed              int64             `json:"seed"`
+	SnapshotEntries   int               `json:"snapshotEntries"`
+	DownloadLatencyMs float64           `json:"downloadLatencyMs"`
+	Entries           []fleetBenchEntry `json:"entries"`
+	// MaxOverheadFrac is the worst federation overhead across entries —
+	// the number the ≤3% budget is checked against.
+	MaxOverheadFrac float64 `json:"maxOverheadFrac"`
+	// MergeIdentical reports whether the federated runs' merged reports
+	// also rendered byte-identically to the sequential reference.
 	MergeIdentical bool `json:"mergeIdentical"`
 }
 
@@ -348,27 +433,42 @@ func runShardBench(o options, so shardOptions) error {
 		DownloadLatencyMs:       float64(so.dlLatency) / float64(time.Millisecond),
 		PipelineWorkersPerShard: 1,
 	}
-	var lastMerged *pipeline.Result
-	for _, n := range counts {
-		// Fresh scratch state per configuration: no cross-run cache or
-		// journal reuse, every run is cold.
+	fleetDoc := fleetBenchDoc{
+		Scale:             o.scale,
+		Seed:              o.seed,
+		SnapshotEntries:   plane.snap.Total(),
+		DownloadLatencyMs: float64(so.dlLatency) / float64(time.Millisecond),
+		MergeIdentical:    true,
+	}
+
+	// benchRun executes one cold configuration (fresh cache + journals).
+	benchRun := func(n int, federation bool) (*pipeline.Result, time.Duration, *shard.Coordinator, error) {
 		scratch, err := os.MkdirTemp("", "shardbench")
 		if err != nil {
-			return err
+			return nil, 0, nil, err
 		}
+		defer os.RemoveAll(scratch)
 		bo := so
 		bo.coordinator = ""
+		bo.federation = federation
 		bo.journalDir = scratch + "/journal"
 		if err := os.MkdirAll(bo.journalDir, 0o755); err != nil {
-			return err
+			return nil, 0, nil, err
 		}
 		bopts := o
 		bopts.cachedir = scratch + "/cache"
-		res, wall, err := shardedScan(bopts, bo, plane, n, n, 1)
+		return shardedScan(bopts, bo, plane, n, n, 1)
+	}
+
+	var lastMerged *pipeline.Result
+	for _, n := range counts {
+		// The baseline leg runs with federation off — the pre-federation
+		// plane — so BENCH_shard.json stays comparable across versions and
+		// the A/B isolates what the observability plane costs.
+		res, wall, _, err := benchRun(n, false)
 		if err != nil {
 			return err
 		}
-		os.RemoveAll(scratch)
 		apks := res.Funnel.Filtered
 		entry := benchEntry{
 			Shards:     n,
@@ -386,6 +486,34 @@ func runShardBench(o options, so shardOptions) error {
 		fmt.Fprintf(os.Stderr, "bench: %d shards → %.1f APKs/s (%.2fx)\n",
 			n, entry.APKsPerSec, entry.Speedup)
 		lastMerged = res
+
+		if so.federation {
+			fres, fwall, coord, err := benchRun(n, true)
+			if err != nil {
+				return err
+			}
+			fe := fleetBenchEntry{
+				Shards:       n,
+				Workers:      n,
+				BaseWallMs:   entry.WallMs,
+				FedWallMs:    float64(fwall) / float64(time.Millisecond),
+				OverheadFrac: fwall.Seconds()/wall.Seconds() - 1,
+				APKs:         fres.Funnel.Filtered,
+				StageLatency: coord.Fleet().StageQuantiles(),
+			}
+			fleetDoc.Entries = append(fleetDoc.Entries, fe)
+			if fe.OverheadFrac > fleetDoc.MaxOverheadFrac {
+				fleetDoc.MaxOverheadFrac = fe.OverheadFrac
+			}
+			fleetDoc.MergeIdentical = fleetDoc.MergeIdentical &&
+				fres.Funnel == seqRes.Funnel && renderReport(o, fres) == seqTables
+			fmt.Fprintf(os.Stderr, "bench: %d shards federated → %.1f APKs/s (overhead %+.1f%%)\n",
+				n, float64(fe.APKs)/fwall.Seconds(), 100*fe.OverheadFrac)
+			if q, ok := fe.StageLatency["analyze"]; ok {
+				fmt.Fprintf(os.Stderr, "bench: analyze latency p50 %.3fs p95 %.3fs p99 %.3fs\n",
+					q.P50, q.P95, q.P99)
+			}
+		}
 	}
 	doc.MergeIdentical = lastMerged != nil &&
 		lastMerged.Funnel == seqRes.Funnel &&
@@ -398,6 +526,23 @@ func runShardBench(o options, so shardOptions) error {
 	if path == "" {
 		path = "BENCH_shard.json"
 	}
+	if err := writeBenchJSON(path, doc); err != nil {
+		return err
+	}
+	if so.federation {
+		fpath := so.fleetBenchOut
+		if fpath == "" {
+			fpath = "BENCH_fleet.json"
+		}
+		if err := writeBenchJSON(fpath, fleetDoc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBenchJSON writes one benchmark document, indented.
+func writeBenchJSON(path string, doc any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

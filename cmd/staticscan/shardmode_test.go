@@ -47,8 +47,9 @@ func TestCoordinatorSpawnsWorkerProcesses(t *testing.T) {
 	so := shardOptions{
 		ttl:        time.Minute,
 		journalDir: t.TempDir(),
+		federation: true,
 	}
-	res, _, err := shardedScan(o, so, plane, 4, 2, 0)
+	res, _, coord, err := shardedScan(o, so, plane, 4, 2, 0)
 	if err != nil {
 		t.Fatalf("sharded scan: %v", err)
 	}
@@ -58,6 +59,12 @@ func TestCoordinatorSpawnsWorkerProcesses(t *testing.T) {
 	}
 	if !strings.Contains(got, "Table 3") {
 		t.Fatalf("report missing expected sections:\n%s", got)
+	}
+	// The spawned OS-process workers federated real registry deltas: the
+	// fleet rollup must account for every analysed APK.
+	counts := coord.Fleet().RollupCounts()
+	if counts.APKs != int64(res.Funnel.Filtered) {
+		t.Fatalf("fleet rollup counted %d APKs, merged report has %d", counts.APKs, res.Funnel.Filtered)
 	}
 }
 

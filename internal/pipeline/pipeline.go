@@ -117,6 +117,12 @@ type Config struct {
 	// key — so a worker refuses to resume another shard's journal while
 	// all shards still share one blob-tier cache.
 	Partition string
+	// TracePrefix, when non-empty, is prepended to every per-APK trace id
+	// (the sharded fleet plane passes "<fleet-trace-id>/", so traces
+	// recorded by many worker processes stitch into one namespace). It
+	// shapes trace ids only — never the analysis fingerprint, the journal
+	// binding, or the cache keys.
+	TracePrefix string
 	// Telemetry, when non-nil, receives the run's metrics (per-stage item
 	// and latency families, cache and journal traffic, in-flight bytes) and,
 	// if the hub has tracing enabled, one trace per downloaded APK
@@ -295,7 +301,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 	}
-	m := newRunMetrics(p.cfg.Telemetry)
+	m := newRunMetrics(p.cfg.Telemetry, p.cfg.TracePrefix)
 	if p.cfg.Telemetry != nil {
 		p.instrumentShared(p.cfg.Telemetry)
 	}
@@ -306,7 +312,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 
 	res := &Result{}
 	listStart := time.Now()
-	pkgs, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) ([]string, error) {
+	pkgs, err := retry.Do(runCtx, p.listPolicy(), func(ctx context.Context) ([]string, error) {
 		return p.repo.List(ctx)
 	})
 	if err != nil {
@@ -526,7 +532,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				case <-runCtx.Done():
 					return
 				}
-				tr := m.hub.Trace("apk:" + sel.pkg)
+				tr := m.trace(sel.pkg)
 				sp := tr.Start("download")
 				tm := m.hub.Timer(sel.pkg, "download")
 				img, err := retry.Do(runCtx, p.cfg.Retry, func(ctx context.Context) ([]byte, error) {
@@ -593,7 +599,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			defer anWG.Done()
 			for t := range anCh {
 				m.anIn.Inc()
-				tr := m.hub.Trace("apk:" + t.md.Package)
+				tr := m.trace(t.md.Package)
 				sp := tr.Start("analyze")
 				tm := m.hub.Timer(t.md.Package, "analyze")
 				an, parsed, err := analyzeImage(p.cfg.Index, t.img, keepParsed, tr)
@@ -657,7 +663,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				defer lintWG.Done()
 				for t := range lintCh {
 					m.lintIn.Inc()
-					sp := m.hub.Trace("apk:" + t.md.Package).Start("lint")
+					sp := m.trace(t.md.Package).Start("lint")
 					tm := m.hub.Timer(t.md.Package, "lint")
 					findings := p.cfg.Lint.Analyze(webviewlint.App{
 						Units: t.parsed.units,
@@ -695,7 +701,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				defer urlWG.Done()
 				for t := range urlCh {
 					m.urlsIn.Inc()
-					sp := m.hub.Trace("apk:" + t.md.Package).Start("urls")
+					sp := m.trace(t.md.Package).Start("urls")
 					tm := m.hub.Timer(t.md.Package, "urls")
 					eps := p.cfg.URLs.Extract(t.parsed.graph, t.parsed.excl, p.cfg.Index)
 					tm.ObserveInto(m.urlsLat)
@@ -786,6 +792,29 @@ func (p *Pipeline) ConfigKey() string { return p.configKey() }
 // across shards (and across different shard counts), while the journal —
 // which records which packages of *this* partition are complete — refuses
 // to resume under a foreign partition.
+// listPolicy is the retry policy for the snapshot listing: the same
+// schedule, classifier and breaker as the per-package policy, but without
+// the metrics sink. The listing runs once per pipeline run, so counting
+// its attempt would make per-run metric deltas depend on how a corpus is
+// partitioned across runs; the mirrored retry families (and Stats.Retries)
+// carry per-package traffic only.
+func (p *Pipeline) listPolicy() *retry.Policy {
+	r := p.cfg.Retry
+	if r == nil {
+		return nil
+	}
+	return &retry.Policy{
+		MaxAttempts: r.MaxAttempts,
+		BaseDelay:   r.BaseDelay,
+		MaxDelay:    r.MaxDelay,
+		Multiplier:  r.Multiplier,
+		Seed:        r.Seed,
+		Sleep:       r.Sleep,
+		Classify:    r.Classify,
+		Breaker:     r.Breaker,
+	}
+}
+
 func (p *Pipeline) journalKey() string {
 	key := p.configKey()
 	if p.cfg.Partition != "" {

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
 )
 
 // CoordinatorConfig parameterises the control plane.
@@ -28,6 +30,12 @@ type CoordinatorConfig struct {
 type lease struct {
 	worker  string
 	expires time.Time
+	granted time.Time
+	renewed time.Time
+	// span is the coordinator's per-partition span in the fleet trace,
+	// opened at grant and ended at acceptance (or expiry). Nil when the
+	// coordinator hub has tracing off.
+	span *telemetry.Span
 }
 
 // Coordinator owns the partition ledger: which partitions are leased, to
@@ -39,13 +47,20 @@ type Coordinator struct {
 	spec    RunSpec
 	now     func() time.Time
 	metrics *coordMetrics
+	hub     *telemetry.Hub
 
-	mu       sync.Mutex
-	leases   map[int]*lease
-	complete map[int]*pipeline.Result
-	merged   *pipeline.Result
-	mergeDur time.Duration
-	done     chan struct{}
+	// fed federates worker snapshots and traces (nil unless the spec
+	// enables Federation); traceID is the run's fleet trace id.
+	fed     *fleet.Federator
+	traceID string
+
+	mu         sync.Mutex
+	leases     map[int]*lease
+	complete   map[int]*pipeline.Result
+	merged     *pipeline.Result
+	mergeDur   time.Duration
+	firstGrant time.Time
+	done       chan struct{}
 }
 
 // NewCoordinator validates the spec and builds the ledger.
@@ -57,15 +72,28 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if now == nil {
 		now = time.Now
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		spec:     cfg.Spec,
 		now:      now,
 		metrics:  newCoordMetrics(cfg.Telemetry),
+		hub:      cfg.Telemetry,
 		leases:   make(map[int]*lease),
 		complete: make(map[int]*pipeline.Result),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.Spec.Federation {
+		c.traceID = fleet.TraceID(cfg.Spec.Seed)
+		c.fed = fleet.New(fleet.Config{Hub: cfg.Telemetry, Now: now, TraceID: c.traceID})
+	}
+	return c, nil
 }
+
+// Fleet returns the run's metrics/trace federator, nil when the spec does
+// not enable Federation.
+func (c *Coordinator) Fleet() *fleet.Federator { return c.fed }
+
+// FleetTraceID returns the run's fleet trace id ("" without Federation).
+func (c *Coordinator) FleetTraceID() string { return c.traceID }
 
 // Handler returns the control-plane API:
 //
@@ -74,6 +102,17 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 //	POST /v1/renew    {"worker":W,"partition":P} → extend the lease
 //	POST /v1/result   {"worker":W,"partition":P,"configKey":K,"result":R}
 //	GET  /v1/status   progress counters
+//
+// With Federation enabled the fleet observability surface rides along:
+//
+//	POST /v1/snapshot       {"worker":W,"metricsProm":B} final registry flush
+//	GET  /fleet/metrics     federated Prometheus text (shard-labeled series
+//	                        plus shard="fleet" rollups; ?view=rollup for the
+//	                        deterministic rollup alone)
+//	GET  /fleet/metrics.json  the same exposition as JSON
+//	GET  /fleet/status      live run status (JSON; ?format=text for human text)
+//	GET  /fleet/trace       stitched fleet-wide per-APK trace as JSONL
+//	                        (?view=control for the partition/run control spans)
 //
 // Serve it behind serving.Listen (hardened timeouts) in production; tests
 // may mount it on an httptest server.
@@ -84,6 +123,13 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/renew", c.handleRenew)
 	mux.HandleFunc("POST /v1/result", c.handleResult)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	if c.fed != nil {
+		mux.HandleFunc("POST /v1/snapshot", c.handleSnapshot)
+		mux.HandleFunc("GET /fleet/metrics", c.handleFleetMetrics)
+		mux.HandleFunc("GET /fleet/metrics.json", c.handleFleetMetricsJSON)
+		mux.HandleFunc("GET /fleet/status", c.handleFleetStatus)
+		mux.HandleFunc("GET /fleet/trace", c.handleFleetTrace)
+	}
 	return mux
 }
 
@@ -98,6 +144,8 @@ func (c *Coordinator) sweep() {
 			delete(c.leases, p)
 			c.metrics.expiries.Inc()
 			c.metrics.inflight.Add(-1)
+			l.span.SetAttr("outcome", "expired")
+			l.span.End()
 		}
 	}
 }
@@ -110,22 +158,39 @@ func (c *Coordinator) handleSpec(w http.ResponseWriter, r *http.Request) {
 // of the three shapes is populated: a grant (Partition ≥ 0), Wait (every
 // pending partition is leased to a live worker — retry shortly), or Done
 // (all partitions complete — the worker can exit).
+//
+// With Federation enabled a grant also carries the propagated trace
+// context: the seed-derived fleet trace id the worker must prefix its
+// per-APK trace ids with, and the name of the coordinator's per-partition
+// span to parent the worker's run span under.
 type LeaseGrant struct {
 	Partition int           `json:"partition"`
 	Tag       string        `json:"tag,omitempty"`
 	TTL       time.Duration `json:"ttl,omitempty"`
 	Wait      bool          `json:"wait,omitempty"`
 	Done      bool          `json:"done,omitempty"`
+	TraceID   string        `json:"traceId,omitempty"`
+	Parent    string        `json:"parent,omitempty"`
 }
 
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	// MetricsURL announces the worker's live /metrics endpoint for
+	// coordinator pulls (Federation only; "" = not scrapeable).
+	MetricsURL string `json:"metricsUrl,omitempty"`
 }
+
+// partitionSpan names the coordinator's per-partition span in the fleet
+// trace.
+func partitionSpan(tag string) string { return "partition:" + tag }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
 	if !readJSON(w, r, &req) {
 		return
+	}
+	if c.fed != nil {
+		c.fed.RegisterWorker(req.Worker, req.MetricsURL)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -142,14 +207,28 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if _, ok := c.leases[p]; ok {
 			continue
 		}
-		c.leases[p] = &lease{worker: req.Worker, expires: c.now().Add(c.spec.TTL())}
+		now := c.now()
+		tag := PartitionTag(p, c.spec.Shards)
+		l := &lease{worker: req.Worker, expires: now.Add(c.spec.TTL()), granted: now}
+		if c.fed != nil {
+			l.span = c.hub.Trace(c.traceID).Start(partitionSpan(tag), "worker", req.Worker)
+		}
+		c.leases[p] = l
+		if c.firstGrant.IsZero() {
+			c.firstGrant = now
+		}
 		c.metrics.grants.Inc()
 		c.metrics.inflight.Add(1)
-		writeJSON(w, http.StatusOK, LeaseGrant{
+		grant := LeaseGrant{
 			Partition: p,
-			Tag:       PartitionTag(p, c.spec.Shards),
+			Tag:       tag,
 			TTL:       c.spec.TTL(),
-		})
+		}
+		if c.fed != nil {
+			grant.TraceID = c.traceID
+			grant.Parent = partitionSpan(tag)
+		}
+		writeJSON(w, http.StatusOK, grant)
 		return
 	}
 	// Nothing free, nothing done-for-good: the worker should poll again.
@@ -179,7 +258,11 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.expires = c.now().Add(c.spec.TTL())
+	l.renewed = c.now()
 	c.metrics.renewals.Inc()
+	if c.fed != nil {
+		c.fed.Heartbeat(req.Worker)
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
@@ -188,6 +271,13 @@ type resultRequest struct {
 	Partition int              `json:"partition"`
 	ConfigKey string           `json:"configKey"`
 	Result    *pipeline.Result `json:"result"`
+	// MetricsProm / TraceJSONL are the partition's federated telemetry
+	// (Federation only): the registry delta this partition's run added to
+	// the worker's hub as Prometheus text, and the spans it recorded as
+	// JSONL. They are ingested if and only if the result is accepted, so
+	// the fleet rollup inherits the merge's exactly-once semantics.
+	MetricsProm []byte `json:"metricsProm,omitempty"`
+	TraceJSONL  []byte `json:"traceJsonl,omitempty"`
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -214,7 +304,9 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	if !ok || l.worker != req.Worker {
 		// Stale submission: the lease expired and the partition is (or will
 		// be) re-scanned by a peer. Exactly-once on the merge side means
-		// refusing this copy — the journal makes the re-scan cheap.
+		// refusing this copy — and with it the attached metrics delta and
+		// spans, which is what keeps a killed worker's partial snapshot out
+		// of the fleet rollup.
 		c.metrics.stale.Inc()
 		http.Error(w, "lease gone", http.StatusGone)
 		return
@@ -223,6 +315,17 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	c.metrics.inflight.Add(-1)
 	c.complete[req.Partition] = req.Result
 	c.metrics.accepted.Inc()
+	l.span.SetAttr("outcome", "accepted")
+	l.span.End()
+	if c.fed != nil {
+		c.fed.Heartbeat(req.Worker)
+		wall := c.now().Sub(l.granted)
+		if err := c.fed.AcceptResult(req.Partition, req.Worker, req.MetricsProm, req.TraceJSONL, wall); err != nil {
+			// The report is good even when the telemetry payload is not;
+			// log-by-metric and move on rather than failing the partition.
+			c.metrics.snapshotRejects.Inc()
+		}
+	}
 
 	if len(c.complete) == c.spec.Shards {
 		start := time.Now()
@@ -257,6 +360,180 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// snapshotRequest is a worker's out-of-band registry flush — pushed on
+// graceful shutdown so even a worker that exits between leases reports
+// its final counters.
+type snapshotRequest struct {
+	Worker      string `json:"worker"`
+	MetricsProm []byte `json:"metricsProm"`
+}
+
+func (c *Coordinator) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "missing worker", http.StatusBadRequest)
+		return
+	}
+	if err := c.fed.FinalFlush(req.Worker, req.MetricsProm); err != nil {
+		http.Error(w, "bad snapshot", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	c.fed.Scrape(r.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.URL.Query().Get("view") == "rollup" {
+		c.fed.WriteRollupProm(w)
+		return
+	}
+	c.fed.WriteFleetProm(w)
+}
+
+func (c *Coordinator) handleFleetMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	c.fed.Scrape(r.Context())
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	c.fed.WriteFleetJSON(w)
+}
+
+func (c *Coordinator) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	if r.URL.Query().Get("view") == "control" {
+		telemetry.WriteTraceJSONL(w, c.controlSpans())
+		return
+	}
+	c.fed.WriteTraceJSONL(w)
+}
+
+// controlSpans merges the coordinator's own per-partition spans with the
+// run spans workers submitted — the topology-shaped control-plane trace,
+// served separately from the deterministic per-APK export.
+func (c *Coordinator) controlSpans() []telemetry.SpanLine {
+	lines := c.fed.ControlSpans()
+	var sb strings.Builder
+	if err := c.hub.Tracer().WriteJSONL(&sb); err == nil {
+		if own, err := telemetry.ParseTraceJSONL(strings.NewReader(sb.String())); err == nil {
+			for _, line := range own {
+				if line.Trace == c.traceID {
+					lines = append(lines, line)
+				}
+			}
+		}
+	}
+	return lines
+}
+
+func (c *Coordinator) handleFleetStatus(w http.ResponseWriter, r *http.Request) {
+	c.fed.Scrape(r.Context())
+	doc := c.statusDoc()
+	wantText := r.URL.Query().Get("format") == "text" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain")
+	if wantText {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fleet.RenderStatus(w, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// statusDoc assembles the live fleet status from the lease ledger and the
+// federated snapshots.
+func (c *Coordinator) statusDoc() *fleet.StatusDoc {
+	c.mu.Lock()
+	c.sweep()
+	now := c.now()
+	ttl := c.spec.TTL()
+	doc := &fleet.StatusDoc{
+		Shards:     c.spec.Shards,
+		Seed:       c.spec.Seed,
+		TraceID:    c.traceID,
+		CorpusSize: c.spec.CorpusEntries,
+		Done:       len(c.complete),
+		Finished:   len(c.complete) == c.spec.Shards,
+	}
+	if !c.firstGrant.IsZero() {
+		doc.ElapsedS = now.Sub(c.firstGrant).Seconds()
+	}
+	var wallSum time.Duration
+	var wallN int
+	for p := 0; p < c.spec.Shards; p++ {
+		ps := fleet.PartitionStatus{
+			Partition: p,
+			Tag:       PartitionTag(p, c.spec.Shards),
+			State:     "pending",
+		}
+		if _, done := c.complete[p]; done {
+			ps.State = "done"
+			if counts, worker, wall, ok := c.fed.PartitionCounts(p); ok {
+				ps.Worker = worker
+				ps.APKs = counts.APKs
+				ps.WallS = wall.Seconds()
+				if wall > 0 {
+					ps.APKsPerSec = float64(counts.APKs) / wall.Seconds()
+					wallSum += wall
+					wallN++
+				}
+			}
+		} else if l, leased := c.leases[p]; leased {
+			ps.State = "leased"
+			ps.Worker = l.worker
+			ps.LeaseExpiresInS = l.expires.Sub(now).Seconds()
+			if !l.renewed.IsZero() {
+				ps.RenewAgeS = now.Sub(l.renewed).Seconds()
+			}
+			doc.Leased++
+		}
+		if ps.State == "pending" {
+			doc.Pending++
+		}
+		doc.Partitions = append(doc.Partitions, ps)
+	}
+	c.mu.Unlock()
+
+	doc.Fleet = c.fed.RollupCounts()
+	doc.StageLatency = c.fed.StageQuantiles()
+	if doc.ElapsedS > 0 {
+		doc.APKsPerSec = float64(doc.Fleet.APKs) / doc.ElapsedS
+	}
+
+	liveWorkers := 0
+	for _, wk := range c.fed.Workers() {
+		ws := fleet.WorkerStatus{
+			Name:         wk.Name,
+			MetricsURL:   wk.MetricsURL,
+			LastSeenAgoS: now.Sub(wk.LastSeen).Seconds(),
+			Flushed:      wk.Flushed,
+			ScrapeErr:    wk.ScrapeErr,
+		}
+		// Staleness rule: a worker silent for longer than the lease TTL is
+		// stale — any lease it held has already been swept and re-issued.
+		ws.Stale = now.Sub(wk.LastSeen) > ttl
+		if counts, ok := c.fed.WorkerCounts(wk.Name); ok {
+			ws.APKs = counts.APKs
+		}
+		if !ws.Stale && !wk.Flushed {
+			liveWorkers++
+		}
+		doc.Workers = append(doc.Workers, ws)
+	}
+
+	// ETA: remaining partitions at the average completed-partition wall,
+	// spread over the live workers.
+	if remaining := doc.Shards - doc.Done; remaining > 0 && wallN > 0 {
+		avg := wallSum.Seconds() / float64(wallN)
+		workers := liveWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		doc.ETASeconds = float64(remaining) * avg / float64(workers)
+	}
+	return doc
 }
 
 // Wait blocks until every partition is complete and returns the merged

@@ -1,0 +1,396 @@
+// Fleet observability invariants of the scan plane:
+//
+//   - Determinism: the federated rollup and the stitched fleet trace are
+//     byte-identical for the same seed at any shard/worker topology —
+//     {1,1}, {4,2} and {4,4} all produce the same /fleet/metrics?view=rollup
+//     and /fleet/trace bytes.
+//   - Exactly-once: a worker killed mid-lease may flush its partial
+//     cumulative snapshot (the graceful-shutdown path), but that data feeds
+//     the live worker view only; after the partition is re-leased and
+//     completed by a peer, the rollup counts every package exactly once.
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+	"repro/internal/retry"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/fleet"
+)
+
+// fleetSpec is the federated scan configuration shared by the fleet tests.
+func fleetSpec(shards int, seed int64) shard.RunSpec {
+	return shard.RunSpec{
+		Shards:       shards,
+		MinDownloads: corpus.MinDownloads,
+		UpdatedAfter: corpus.UpdateCutoff,
+		Lint:         true,
+		URLs:         true,
+		LeaseTTL:     time.Minute,
+		Seed:         seed,
+		Federation:   true,
+		Trace:        true,
+	}
+}
+
+// fleetRun drives a full federated scan in process: coordinator on a real
+// listener, nWorkers workers each building its own telemetry hub from the
+// spec (exactly like separate worker OS processes would). Returns the
+// coordinator for reading the federated views.
+func fleetRun(t *testing.T, c *corpus.Corpus, shards, nWorkers int, seed int64) (*shard.Coordinator, *pipeline.Result) {
+	t.Helper()
+	repo := newTestRepo(c)
+	coord, srv := startCoordinator(t, shard.CoordinatorConfig{Spec: fleetSpec(shards, seed)})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := shard.NewWorker(shard.WorkerConfig{
+			Coordinator: srv.URL,
+			Name:        fmt.Sprintf("worker-%d", i),
+			Poll:        10 * time.Millisecond,
+			Services:    inProcessServices(repo, &testMeta{c: c}),
+			// A retry policy like the CLI's, so the federated exposition
+			// carries the mirrored retry families (all zero on a clean run).
+			Retry: &retry.Policy{MaxAttempts: 2, Metrics: &retry.Metrics{}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coordinator wait: %v", err)
+	}
+	return coord, merged
+}
+
+// rollupAndTrace snapshots the two byte-identity surfaces.
+func rollupAndTrace(t *testing.T, coord *shard.Coordinator) (string, string) {
+	t.Helper()
+	fed := coord.Fleet()
+	var prom, trace bytes.Buffer
+	if err := fed.WriteRollupProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.WriteTraceJSONL(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return prom.String(), trace.String()
+}
+
+// TestFleetRollupAndTraceDeterministicAcrossTopologies is the federation
+// determinism tentpole: same seed, three topologies, byte-identical
+// federated metrics rollup and stitched fleet trace.
+func TestFleetRollupAndTraceDeterministicAcrossTopologies(t *testing.T) {
+	c := testCorpus(t)
+	const seed = 3
+
+	refCoord, refMerged := fleetRun(t, c, 1, 1, seed)
+	refProm, refTrace := rollupAndTrace(t, refCoord)
+	if refProm == "" {
+		t.Fatal("reference rollup is empty")
+	}
+	if !strings.Contains(refTrace, fleet.TraceID(seed)+"/apk:") {
+		t.Fatalf("stitched trace carries no fleet-prefixed per-APK spans:\n%.400s", refTrace)
+	}
+	// The rollup accounts for every analysed APK.
+	if got := refCoord.Fleet().RollupCounts().APKs; got != int64(refMerged.Funnel.Filtered) {
+		t.Fatalf("rollup counted %d APKs, funnel has %d", got, refMerged.Funnel.Filtered)
+	}
+
+	for _, tc := range []struct{ shards, workers int }{
+		{4, 2},
+		{4, 4},
+	} {
+		t.Run(fmt.Sprintf("%dshards_%dworkers", tc.shards, tc.workers), func(t *testing.T) {
+			coord, _ := fleetRun(t, c, tc.shards, tc.workers, seed)
+			prom, trace := rollupAndTrace(t, coord)
+			if prom != refProm {
+				t.Fatalf("federated rollup diverged from the 1-shard reference:\n--- %d/%d ---\n%.800s\n--- reference ---\n%.800s",
+					tc.shards, tc.workers, prom, refProm)
+			}
+			if trace != refTrace {
+				t.Fatalf("stitched fleet trace diverged from the 1-shard reference (%d vs %d bytes)",
+					len(trace), len(refTrace))
+			}
+		})
+	}
+}
+
+// TestFleetEndpointsServeFederatedViews covers the HTTP surface: the
+// /fleet/* endpoints answer with the expected families, the shard-labeled
+// exposition reconciles (fleet == Σ shards), and the status document
+// reflects the finished run.
+func TestFleetEndpointsServeFederatedViews(t *testing.T) {
+	c := testCorpus(t)
+	coord, merged := fleetRun(t, c, 4, 2, 3)
+	srv := startFleetServer(t, coord)
+
+	get := func(path string) string {
+		resp, err := http.Get(srv + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/fleet/metrics")
+	for _, fam := range []string{
+		"pipeline_stage_items_total", "pipeline_stage_latency_seconds",
+		"pipeline_cache_total", "retry_retries_total",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Fatalf("/fleet/metrics missing family %s:\n%.600s", fam, metrics)
+		}
+	}
+	// Reconciliation: the shard="fleet" rollup series equals the sum of the
+	// per-shard series for the download-out counter.
+	fams, err := telemetry.ParseProm(strings.NewReader(metrics))
+	if err != nil {
+		t.Fatalf("parse /fleet/metrics: %v", err)
+	}
+	items := fams["pipeline_stage_items_total"]
+	if items == nil {
+		t.Fatal("no pipeline_stage_items_total family")
+	}
+	var shardSum, fleetVal float64
+	for series, v := range items.Samples {
+		if !strings.Contains(series, `stage="download"`) || !strings.Contains(series, `dir="out"`) {
+			continue
+		}
+		if strings.Contains(series, `shard="fleet"`) {
+			fleetVal = v
+		} else {
+			shardSum += v
+		}
+	}
+	if fleetVal == 0 || fleetVal != shardSum {
+		t.Fatalf("fleet != sum(shards): fleet=%v sum=%v", fleetVal, shardSum)
+	}
+	if int(fleetVal) != merged.Funnel.Filtered {
+		t.Fatalf("fleet download-out %v, funnel filtered %d", fleetVal, merged.Funnel.Filtered)
+	}
+
+	if rollup := get("/fleet/metrics?view=rollup"); strings.Contains(rollup, `shard="`) {
+		t.Fatalf("rollup view carries shard labels:\n%.400s", rollup)
+	}
+	if js := get("/fleet/metrics.json"); !strings.Contains(js, "pipeline_stage_items_total") {
+		t.Fatalf("/fleet/metrics.json missing families:\n%.400s", js)
+	}
+
+	status := get("/fleet/status")
+	for _, want := range []string{`"finished":true`, `"shards":4`, `"stageLatency"`} {
+		if !strings.Contains(status, want) {
+			t.Fatalf("/fleet/status missing %s:\n%s", want, status)
+		}
+	}
+	text := get("/fleet/status?format=text")
+	if !strings.Contains(text, "fleet finished · 4/4 partitions done") {
+		t.Fatalf("text status unexpected:\n%s", text)
+	}
+
+	trace := get("/fleet/trace")
+	if !strings.Contains(trace, "/apk:") {
+		t.Fatalf("/fleet/trace carries no per-APK spans:\n%.400s", trace)
+	}
+	if strings.Contains(trace, `"span":"partition:`) || strings.Contains(trace, `"span":"run:`) {
+		t.Fatalf("/fleet/trace leaked control spans:\n%.400s", trace)
+	}
+	control := get("/fleet/trace?view=control")
+	if !strings.Contains(control, `"span":"run:`) {
+		t.Fatalf("control view missing worker run spans:\n%.400s", control)
+	}
+}
+
+// TestFleetChaosPartialSnapshotNeverDoubleCounts is the federation chaos
+// invariant: a worker killed mid-lease flushes its partial cumulative
+// snapshot on the way down; after its partition is re-leased and completed
+// by a peer, the rollup counts every package exactly once — the partial
+// data lives in the live worker view only.
+func TestFleetChaosPartialSnapshotNeverDoubleCounts(t *testing.T) {
+	c := testCorpus(t)
+	const shards = 4
+	const seed = 3
+
+	part0 := 0
+	for _, s := range c.Apps {
+		if s.Eligible(corpus.MinDownloads, corpus.UpdateCutoff) && shard.PartitionOf(s.Package, shards) == 0 {
+			part0++
+		}
+	}
+	if part0 < 6 {
+		t.Fatalf("partition 0 has only %d eligible apps; corpus too small for a mid-lease kill", part0)
+	}
+	killAfter := part0 - 3
+
+	clock := newFakeClock()
+	hub := telemetry.New(telemetry.Options{})
+	ttl := time.Hour
+	dir := t.TempDir()
+	spec := fleetSpec(shards, seed)
+	spec.Lint, spec.URLs = false, false
+	spec.JournalDir = dir
+	spec.CacheDir = filepath.Join(dir, "cache")
+	spec.LeaseTTL = ttl
+	coord, srv := startCoordinator(t, shard.CoordinatorConfig{
+		Spec:      spec,
+		Telemetry: hub,
+		Now:       clock.Now,
+	})
+
+	repo := newTestRepo(c)
+	ctxA, killA := context.WithCancel(context.Background())
+	defer killA()
+	var downloads atomic.Int64
+	repo.setOnDownload(func(pkg string, nth int) {
+		if downloads.Add(1) == int64(killAfter) {
+			killA()
+		}
+	})
+	wA, err := shard.NewWorker(shard.WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "doomed",
+		Poll:        10 * time.Millisecond,
+		Services:    inProcessServices(repo, &testMeta{c: c}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wA.Run(ctxA); err == nil {
+		t.Fatal("killed worker reported a clean run")
+	}
+	repo.setOnDownload(nil)
+
+	// The dying worker's graceful-shutdown flush reached the coordinator
+	// with its partial counters — in the worker view, not the rollup.
+	fed := coord.Fleet()
+	doomedCounts, ok := fed.WorkerCounts("doomed")
+	if !ok || doomedCounts.APKs == 0 {
+		t.Fatalf("doomed worker's final flush not recorded (counts %+v, ok %v)", doomedCounts, ok)
+	}
+	if got := fed.RollupCounts().APKs; got != 0 {
+		t.Fatalf("rollup counted %d APKs from an unaccepted partition", got)
+	}
+
+	journaled := journalLen(t, filepath.Join(dir, "shard-0-of-4.journal"))
+	if journaled == 0 || journaled >= part0 {
+		t.Fatalf("kill landed outside mid-partition: %d of %d journaled", journaled, part0)
+	}
+
+	clock.Advance(ttl + time.Second)
+
+	wB, err := shard.NewWorker(shard.WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        "survivor",
+		Poll:        10 * time.Millisecond,
+		Services:    inProcessServices(repo, &testMeta{c: c}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := wB.Run(ctx); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly-once fleet accounting: every filtered package was either
+	// downloaded by an accepted partition run or replayed from the dead
+	// worker's journal — never both, never twice.
+	rollup := fed.Rollup()
+	dlOut := sampleOf(rollup, "pipeline_stage_items_total", telemetry.LabelString("stage", "download", "dir", "out"))
+	skips := sampleOf(rollup, "pipeline_journal_total", telemetry.LabelString("event", "skip"))
+	if int(skips) != journaled {
+		t.Fatalf("rollup journal skips = %v, journaled = %d", skips, journaled)
+	}
+	if int(dlOut)+journaled != merged.Funnel.Filtered {
+		t.Fatalf("double-count: rollup downloads %v + journal replays %d != filtered %d",
+			dlOut, journaled, merged.Funnel.Filtered)
+	}
+
+	// The snapshot ledger: two final flushes (the doomed worker on its way
+	// down, the survivor on clean exit) and four accepted result deltas
+	// (the survivor's partitions).
+	var prom bytes.Buffer
+	if err := hub.Registry().WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fleet_snapshot_total{source="final"} 2`,
+		`fleet_snapshot_total{source="result"} 4`,
+	} {
+		if !bytes.Contains(prom.Bytes(), []byte(want)) {
+			t.Fatalf("snapshot ledger missing %q in:\n%s", want, prom.String())
+		}
+	}
+}
+
+// --- helpers -------------------------------------------------------------
+
+// startFleetServer mounts an already-finished coordinator's handler and
+// returns its base URL.
+func startFleetServer(t *testing.T, coord *shard.Coordinator) string {
+	t.Helper()
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func journalLen(t *testing.T, path string) int {
+	t.Helper()
+	j, err := pipeline.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	return j.Len()
+}
+
+// sampleOf reads one counter series from an exposition (0 when absent).
+func sampleOf(fams telemetry.Fams, fam, series string) float64 {
+	f := fams[fam]
+	if f == nil {
+		return 0
+	}
+	return f.Samples[series]
+}

@@ -109,6 +109,32 @@ type RunSpec struct {
 	// worker whose local configuration fingerprints differently refuses to
 	// join rather than contaminate the merged report.
 	ConfigKey string `json:"configKey,omitempty"`
+
+	// Seed drives every seed-derived quantity in the run — deterministic
+	// telemetry timings and the fleet trace id — so all workers observe
+	// with the same clock discipline whatever process they run in.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Federation enables the fleet observability plane: workers build a
+	// per-process telemetry hub, push per-partition registry deltas and
+	// trace spans with each /v1/result, announce a /metrics URL for live
+	// scrapes, and flush a final snapshot on shutdown; the coordinator
+	// merges everything behind the /fleet/* endpoints.
+	Federation bool `json:"federation,omitempty"`
+
+	// Trace enables span tracing in worker hubs (per-APK traces, stitched
+	// fleet-wide by the coordinator). Only meaningful with Federation.
+	Trace bool `json:"trace,omitempty"`
+
+	// Wallclock makes worker hubs record real durations instead of the
+	// seed-derived deterministic timings — the live-operations trade-off,
+	// at the cost of the byte-identical federated snapshot.
+	Wallclock bool `json:"wallclock,omitempty"`
+
+	// CorpusEntries is the streamed corpus size (entries in the AndroZoo
+	// snapshot), used by /fleet/status to estimate progress and ETA. Zero
+	// means unknown.
+	CorpusEntries int `json:"corpusEntries,omitempty"`
 }
 
 // DefaultLeaseTTL is the lease lifetime when RunSpec.LeaseTTL is unset.

@@ -14,10 +14,10 @@ const (
 // pipeline, a nil hub gets a private one so the control plane never
 // branches on instrumentation.
 type coordMetrics struct {
-	grants, renewals, expiries, rejects *telemetry.Counter
-	inflight                            *telemetry.Gauge
-	accepted, stale, mismatch           *telemetry.Counter
-	mergeSeconds                        *telemetry.Histogram
+	grants, renewals, expiries, rejects        *telemetry.Counter
+	inflight                                   *telemetry.Gauge
+	accepted, stale, mismatch, snapshotRejects *telemetry.Counter
+	mergeSeconds                               *telemetry.Histogram
 }
 
 func newCoordMetrics(hub *telemetry.Hub) *coordMetrics {
@@ -31,14 +31,17 @@ func newCoordMetrics(hub *telemetry.Hub) *coordMetrics {
 		return hub.Counter(famResults, "per-shard result submissions by outcome", "status", status)
 	}
 	return &coordMetrics{
-		grants:       lease("grant"),
-		renewals:     lease("renew"),
-		expiries:     lease("expire"),
-		rejects:      lease("reject"),
-		inflight:     hub.Gauge(famInflight, "partitions currently leased to a live worker"),
-		accepted:     result("accepted"),
-		stale:        result("stale"),
-		mismatch:     result("mismatch"),
-		mergeSeconds: hub.Histogram(famMerge, "wall time of the final result merge in seconds", nil),
+		grants:   lease("grant"),
+		renewals: lease("renew"),
+		expiries: lease("expire"),
+		rejects:  lease("reject"),
+		inflight: hub.Gauge(famInflight, "partitions currently leased to a live worker"),
+		accepted: result("accepted"),
+		stale:    result("stale"),
+		mismatch: result("mismatch"),
+		// bad_snapshot counts accepted results whose attached telemetry
+		// payload failed to parse (the report is still merged).
+		snapshotRejects: result("bad_snapshot"),
+		mergeSeconds:    hub.Histogram(famMerge, "wall time of the final result merge in seconds", nil),
 	}
 }

@@ -49,6 +49,12 @@ type WorkerConfig struct {
 	// result cache (0 = 4096). The blob tier under spec.CacheDir is
 	// unbounded either way.
 	CacheEntries int
+	// MetricsAddr, when non-empty and the spec enables Federation, is the
+	// listen address for this worker's /metrics endpoint (e.g.
+	// "127.0.0.1:0"); the bound URL is announced to the coordinator for
+	// live scrapes. The endpoint's /trace answers 404 pointing at the
+	// coordinator's stitched /fleet/trace.
+	MetricsAddr string
 }
 
 // Worker executes partitions leased from a coordinator until the run is
@@ -59,6 +65,13 @@ type Worker struct {
 	cfg  WorkerConfig
 	hc   *http.Client
 	base string
+
+	// hub is the worker's telemetry hub under Federation: WorkerConfig's
+	// when provided, otherwise built from the spec (seed-derived timing,
+	// tracing per spec.Trace) so every worker process observes with the
+	// same clock discipline. metricsURL is the announced live endpoint.
+	hub        *telemetry.Hub
+	metricsURL string
 
 	// Completed counts partitions this worker finished (read after Run for
 	// tests and CLI reporting).
@@ -103,13 +116,42 @@ func (w *Worker) Run(ctx context.Context) error {
 	if _, err := w.call(ctx, "GET", "/v1/spec", nil, &spec); err != nil {
 		return fmt.Errorf("shard: fetch spec: %w", err)
 	}
+	if spec.Federation {
+		w.hub = w.cfg.Telemetry
+		if w.hub == nil {
+			var timing telemetry.Timing = telemetry.SeededTiming{Seed: spec.Seed}
+			if spec.Wallclock {
+				timing = telemetry.RealTiming{}
+			}
+			w.hub = telemetry.New(telemetry.Options{Timing: timing, Tracing: spec.Trace})
+		}
+		if w.cfg.MetricsAddr != "" {
+			srv, err := telemetry.ServeOpts(w.cfg.MetricsAddr, w.hub,
+				telemetry.HandlerOptions{FleetTraceURL: w.base + "/fleet/trace"})
+			if err != nil {
+				return fmt.Errorf("shard: worker metrics endpoint: %w", err)
+			}
+			defer srv.Close()
+			w.metricsURL = "http://" + srv.Addr + "/metrics"
+		}
+		// Graceful-shutdown flush: however Run exits — done, cancelled,
+		// failed — push the final registry snapshot so workers that exit
+		// between leases still report. A fresh short-lived context keeps
+		// the flush alive through the cancellation that ended the run.
+		defer func() {
+			flushCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			w.flushSnapshot(flushCtx)
+		}()
+	}
 	poll := w.cfg.Poll
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
 	for {
 		var grant LeaseGrant
-		code, err := w.call(ctx, "POST", "/v1/lease", leaseRequest{Worker: w.cfg.Name}, &grant)
+		code, err := w.call(ctx, "POST", "/v1/lease",
+			leaseRequest{Worker: w.cfg.Name, MetricsURL: w.metricsURL}, &grant)
 		if err != nil {
 			return fmt.Errorf("shard: lease: %w", err)
 		}
@@ -154,6 +196,31 @@ func (w *Worker) runPartition(ctx context.Context, spec RunSpec, grant LeaseGran
 		latency: spec.DownloadLatency,
 	}
 
+	// Under Federation the partition runs against the worker hub and its
+	// contribution is captured as a registry delta + trace spans, snapped
+	// against marks taken here. The pipeline gets its own retry policy
+	// (same schedule, fresh metrics) so the federated retry counters carry
+	// only the deterministic per-package traffic, never this worker's
+	// scheduling-dependent lease and renew calls.
+	hub := w.cfg.Telemetry
+	retryPolicy := w.cfg.Retry
+	var fedBefore telemetry.Fams
+	var traceMark map[string]int
+	var runSpan *telemetry.Span
+	tracePrefix := ""
+	if spec.Federation {
+		hub = w.hub
+		retryPolicy = pipelinePolicy(w.cfg.Retry)
+		if fedBefore, err = telemetry.RegistryFams(hub.Registry()); err != nil {
+			return fmt.Errorf("shard: partition %d snapshot: %w", grant.Partition, err)
+		}
+		traceMark = hub.Tracer().Mark()
+		if grant.TraceID != "" {
+			tracePrefix = grant.TraceID + "/"
+			runSpan = hub.Trace(grant.TraceID).Child(grant.Parent, "run:"+grant.Tag, "worker", w.cfg.Name)
+		}
+	}
+
 	cfg := pipeline.Config{
 		MinDownloads: spec.MinDownloads,
 		UpdatedAfter: spec.UpdatedAfter,
@@ -161,8 +228,9 @@ func (w *Worker) runPartition(ctx context.Context, spec RunSpec, grant LeaseGran
 		// zero filter scans the paper's selection, not the whole snapshot)
 		Workers:        spec.Workers,
 		MaxFailureFrac: spec.MaxFailureFrac,
-		Retry:          w.cfg.Retry,
-		Telemetry:      w.cfg.Telemetry,
+		Retry:          retryPolicy,
+		Telemetry:      hub,
+		TracePrefix:    tracePrefix,
 		Partition:      grant.Tag,
 	}
 	if cfg.MinDownloads == 0 {
@@ -242,18 +310,42 @@ func (w *Worker) runPartition(ctx context.Context, spec RunSpec, grant LeaseGran
 	cancelRun()
 	<-renewDone
 	if leaseLost.Load() {
+		runSpan.SetAttr("outcome", "lease-lost")
+		runSpan.End()
 		return errLeaseLost
 	}
 	if runErr != nil {
+		runSpan.SetAttr("outcome", "error")
+		runSpan.End()
 		return fmt.Errorf("shard: partition %d: %w", grant.Partition, runErr)
 	}
+	runSpan.SetAttr("outcome", "ok")
+	runSpan.End()
 
-	code, err := w.call(ctx, "POST", "/v1/result", resultRequest{
+	req := resultRequest{
 		Worker:    w.cfg.Name,
 		Partition: grant.Partition,
 		ConfigKey: pipe.ConfigKey(),
 		Result:    res,
-	}, &struct{}{})
+	}
+	if spec.Federation {
+		after, err := telemetry.RegistryFams(hub.Registry())
+		if err != nil {
+			return fmt.Errorf("shard: partition %d snapshot: %w", grant.Partition, err)
+		}
+		var mb bytes.Buffer
+		if err := telemetry.WriteFams(&mb, telemetry.DiffFams(after, fedBefore)); err != nil {
+			return fmt.Errorf("shard: partition %d snapshot: %w", grant.Partition, err)
+		}
+		req.MetricsProm = mb.Bytes()
+		var tb bytes.Buffer
+		if err := hub.Tracer().WriteJSONLSince(&tb, traceMark); err != nil {
+			return fmt.Errorf("shard: partition %d trace: %w", grant.Partition, err)
+		}
+		req.TraceJSONL = tb.Bytes()
+	}
+
+	code, err := w.call(ctx, "POST", "/v1/result", req, &struct{}{})
 	switch {
 	case err != nil:
 		return fmt.Errorf("shard: partition %d submit: %w", grant.Partition, err)
@@ -263,6 +355,43 @@ func (w *Worker) runPartition(ctx context.Context, spec RunSpec, grant LeaseGran
 		return fmt.Errorf("shard: partition %d submit: unexpected status %d", grant.Partition, code)
 	}
 	return nil
+}
+
+// flushSnapshot pushes the worker's cumulative registry to the
+// coordinator — the graceful-shutdown path of the federation plane. Best
+// effort: a dead coordinator just means the snapshot is lost with it.
+func (w *Worker) flushSnapshot(ctx context.Context) {
+	if w.hub == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := w.hub.Registry().WriteProm(&buf); err != nil {
+		return
+	}
+	w.call(ctx, "POST", "/v1/snapshot",
+		snapshotRequest{Worker: w.cfg.Name, MetricsProm: buf.Bytes()}, &struct{}{})
+}
+
+// pipelinePolicy derives a partition's retry policy from the worker's
+// control-plane policy: same schedule and classifier, fresh Metrics so
+// the federated retry counters carry only the pipeline's deterministic
+// per-package traffic. The Breaker pointer is shared — both paths talk to
+// the same upstream. Policy embeds a mutex, so fields copy explicitly.
+func pipelinePolicy(p *retry.Policy) *retry.Policy {
+	if p == nil {
+		return nil
+	}
+	return &retry.Policy{
+		MaxAttempts: p.MaxAttempts,
+		BaseDelay:   p.BaseDelay,
+		MaxDelay:    p.MaxDelay,
+		Multiplier:  p.Multiplier,
+		Seed:        p.Seed,
+		Sleep:       p.Sleep,
+		Classify:    p.Classify,
+		Metrics:     &retry.Metrics{},
+		Breaker:     p.Breaker,
+	}
 }
 
 // defaultServices dials the repository and store over HTTP, the way a

@@ -1,0 +1,394 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Federation arithmetic over parsed Prometheus expositions. The fleet
+// plane moves metrics between processes as Prometheus text (WriteProm on
+// the worker, ParseProm on the coordinator) and merges them here:
+// per-partition deltas are computed with DiffFams, folded into the fleet
+// rollup with MergeFams, and labeled per shard with FamsWithLabel.
+//
+// Determinism contract: all values our registries expose are either
+// integers (counters, gauges, bucket/series counts — exact in float64) or
+// histogram sums that were accumulated in integer nanoseconds and exposed
+// as nanos/1e9. sumNanos recovers the exact integer, so diffs and merges
+// are performed on integers and re-exposed the same way — a rollup of N
+// per-shard sums is byte-identical however the work was partitioned.
+
+// Fams is one parsed exposition: family name → family.
+type Fams = map[string]*PromFamily
+
+// sumNanos recovers the exact integer-nanosecond accumulator behind an
+// exposed histogram sum. Histogram.Observe stores math.Round(v*1e9) and
+// exposes nanos/1e9 through a round-tripping float format, so rounding the
+// product recovers the integer exactly for any realistic magnitude
+// (absolute error stays below 0.5 up to ~5e15 nanos ≈ 57 days).
+func sumNanos(sum float64) int64 { return int64(math.Round(sum * 1e9)) }
+
+func nanosToSum(n int64) float64 { return float64(n) / 1e9 }
+
+// CloneFams deep-copies a parsed exposition.
+func CloneFams(src Fams) Fams {
+	dst := make(Fams, len(src))
+	for name, f := range src {
+		dst[name] = cloneFamily(f)
+	}
+	return dst
+}
+
+func cloneFamily(f *PromFamily) *PromFamily {
+	c := &PromFamily{
+		Name: f.Name, Type: f.Type, Help: f.Help,
+		Samples: make(map[string]float64, len(f.Samples)),
+		Buckets: make(map[string]float64, len(f.Buckets)),
+		Sums:    make(map[string]float64, len(f.Sums)),
+		Counts:  make(map[string]float64, len(f.Counts)),
+	}
+	for k, v := range f.Samples {
+		c.Samples[k] = v
+	}
+	for k, v := range f.Buckets {
+		c.Buckets[k] = v
+	}
+	for k, v := range f.Sums {
+		c.Sums[k] = v
+	}
+	for k, v := range f.Counts {
+		c.Counts[k] = v
+	}
+	return c
+}
+
+// DiffFams returns after − before, series-wise: the delta one bounded
+// stretch of work (a leased partition) contributed to a live registry.
+// Families or series absent from before subtract zero; families absent
+// from after are dropped (a registry never loses families). Histogram
+// sums subtract on the integer-nanosecond accumulators, so a delta of two
+// deterministic snapshots is itself deterministic.
+func DiffFams(after, before Fams) Fams {
+	delta := CloneFams(after)
+	for name, f := range delta {
+		b := before[name]
+		if b == nil {
+			continue
+		}
+		for k := range f.Samples {
+			f.Samples[k] -= b.Samples[k]
+		}
+		for k := range f.Buckets {
+			f.Buckets[k] -= b.Buckets[k]
+		}
+		for k := range f.Counts {
+			f.Counts[k] -= b.Counts[k]
+		}
+		for k := range f.Sums {
+			f.Sums[k] = nanosToSum(sumNanos(f.Sums[k]) - sumNanos(b.Sums[k]))
+		}
+	}
+	return delta
+}
+
+// MergeFams folds src into dst: counters and gauges add (the fleet
+// semantics — every shard's traffic is real traffic), histogram buckets
+// and counts add bucket-wise, and sums add on the integer-nanosecond
+// accumulators. Families or series new to dst are deep-copied in; Type
+// and Help stick to the first registration, as in the live registry.
+func MergeFams(dst, src Fams) {
+	for name, sf := range src {
+		df := dst[name]
+		if df == nil {
+			dst[name] = cloneFamily(sf)
+			continue
+		}
+		for k, v := range sf.Samples {
+			df.Samples[k] += v
+		}
+		for k, v := range sf.Buckets {
+			df.Buckets[k] += v
+		}
+		for k, v := range sf.Counts {
+			df.Counts[k] += v
+		}
+		for k, v := range sf.Sums {
+			df.Sums[k] = nanosToSum(sumNanos(df.Sums[k]) + sumNanos(v))
+		}
+	}
+}
+
+// FamsWithLabel returns a copy of src with one label pair injected into
+// every series — how the fleet registry stamps each shard's families with
+// shard="<partition>". Series whose label sets cannot be parsed are
+// passed through unchanged rather than dropped.
+func FamsWithLabel(src Fams, key, val string) Fams {
+	relabel := func(m map[string]float64) map[string]float64 {
+		out := make(map[string]float64, len(m))
+		for k, v := range m {
+			out[insertLabel(k, key, val)] = v
+		}
+		return out
+	}
+	dst := make(Fams, len(src))
+	for name, f := range src {
+		dst[name] = &PromFamily{
+			Name: f.Name, Type: f.Type, Help: f.Help,
+			Samples: relabel(f.Samples),
+			Buckets: relabel(f.Buckets),
+			Sums:    relabel(f.Sums),
+			Counts:  relabel(f.Counts),
+		}
+	}
+	return dst
+}
+
+// insertLabel adds key="val" to a rendered label set and re-renders it
+// canonically (sorted keys, escaped values). Unparseable inputs are
+// returned unchanged.
+func insertLabel(rendered, key, val string) string {
+	pairs, err := ParseLabelPairs(rendered)
+	if err != nil {
+		return rendered
+	}
+	pairs = append(pairs, [2]string{key, val})
+	return renderLabelPairs(pairs)
+}
+
+// ParseLabelPairs splits a rendered Prometheus label set (the text inside
+// the braces, e.g. `a="x",le="0.5"`) into key/value pairs, honouring
+// quoted values with backslash escapes. An empty string yields nil.
+func ParseLabelPairs(s string) ([][2]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pairs [][2]string
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("telemetry: label set %q: missing '='", s)
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("telemetry: label set %q: unquoted value", s)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				default:
+					val.WriteByte(c)
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("telemetry: label set %q: unterminated value", s)
+		}
+		pairs = append(pairs, [2]string{key, val.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("telemetry: label set %q: expected ',' at %d", s, i)
+			}
+			i++
+		}
+	}
+	return pairs, nil
+}
+
+// renderLabelPairs renders pairs sorted by key with canonical escaping —
+// the same form promLabels emits, minus the braces.
+func renderLabelPairs(pairs [][2]string) string {
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(p[1]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+// LabelString renders key/value pairs as a canonical label set string
+// (sorted keys, escaped values, no braces) — the series-key form Samples,
+// Sums and Counts are indexed by.
+func LabelString(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	pairs := make([][2]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	return renderLabelPairs(pairs)
+}
+
+// labelsSuffix wraps a rendered label set in braces, or returns "" for an
+// unlabeled series.
+func labelsSuffix(rendered string) string {
+	if rendered == "" {
+		return ""
+	}
+	return "{" + rendered + "}"
+}
+
+// WriteFams renders a parsed exposition back to canonical Prometheus
+// text: families sorted by name, series sorted by label signature, and —
+// for our own registries' output — byte-identical to the WriteProm text
+// the families were parsed from. It is the serialization half of the
+// federation round trip.
+func WriteFams(w io.Writer, fams Fams) error {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if f.Type != "" {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+				return err
+			}
+		}
+		if err := writeFamilySeries(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamilySeries(w io.Writer, f *PromFamily) error {
+	if len(f.Samples) > 0 {
+		keys := sortedKeys(f.Samples)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelsSuffix(k), formatFloat(f.Samples[k])); err != nil {
+				return err
+			}
+		}
+	}
+	// Histogram series are grouped by the label set without "le", in
+	// sorted order, with buckets in ascending bound order — the layout
+	// WriteProm produces.
+	series := sortedKeys(f.Counts)
+	for _, sk := range series {
+		type bkt struct {
+			le    float64
+			key   string
+			count float64
+		}
+		var bkts []bkt
+		for bk, v := range f.Buckets {
+			rest, le, ok := splitLe(bk)
+			if !ok || rest != sk {
+				continue
+			}
+			bkts = append(bkts, bkt{le: le, key: bk, count: v})
+		}
+		if len(bkts) == 0 && f.Type == "" {
+			// Orphan _sum/_count series with no parseable bucket and no TYPE
+			// comment: rendering them would emit lines a re-parse cannot
+			// attribute to a histogram family. Not representable; drop.
+			continue
+		}
+		sort.Slice(bkts, func(i, j int) bool {
+			if bkts[i].le != bkts[j].le {
+				return bkts[i].le < bkts[j].le
+			}
+			// Distinct keys can render the same bound ("0" vs "000");
+			// tie-break on the key so output order is deterministic.
+			return bkts[i].key < bkts[j].key
+		})
+		for _, b := range bkts {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n", f.Name, labelsSuffix(b.key), formatFloat(b.count)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelsSuffix(sk), formatFloat(f.Sums[sk])); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %s\n", f.Name, labelsSuffix(sk), formatFloat(f.Counts[sk])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitLe strips the "le" pair out of a rendered bucket label set,
+// returning the remaining canonical label set and the bound ("+Inf" maps
+// to math.Inf(1)). Reports false when no parseable le is present.
+func splitLe(rendered string) (rest string, le float64, ok bool) {
+	pairs, err := ParseLabelPairs(rendered)
+	if err != nil {
+		return "", 0, false
+	}
+	kept := pairs[:0]
+	found := false
+	for _, p := range pairs {
+		if p[0] == "le" && !found {
+			found = true
+			if p[1] == "+Inf" {
+				le = math.Inf(1)
+			} else if v, err := strconv.ParseFloat(p[1], 64); err == nil {
+				le = v
+			} else {
+				return "", 0, false
+			}
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if !found {
+		return "", 0, false
+	}
+	return renderLabelPairs(kept), le, true
+}
+
+// RegistryFams snapshots a registry as a parsed exposition — the
+// render/parse round trip the wire protocol performs, done in-process.
+func RegistryFams(r *Registry) (Fams, error) {
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		return nil, err
+	}
+	return ParseProm(strings.NewReader(sb.String()))
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// workload drives a registry through a representative mix of counter,
+// gauge and histogram traffic. n scales the volume so two invocations can
+// play the roles of two partitions of one larger run.
+func workload(r *Registry, n int) {
+	c := r.Counter("apks_total", "analysed APKs", "stage", "download")
+	g := r.Gauge("inflight", "in-flight items")
+	h := r.Histogram("latency_seconds", "per-item latency", []float64{0.1, 0.5, 1, 5})
+	for i := 0; i < n; i++ {
+		c.Inc()
+		g.Set(int64(i % 3))
+		h.Observe(0.05 + float64(i%7)*0.2)
+	}
+	r.Counter("apks_total", "analysed APKs", "stage", "analyze").Add(int64(n / 2))
+}
+
+func promText(t *testing.T, fams Fams) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteFams(&sb, fams); err != nil {
+		t.Fatalf("WriteFams: %v", err)
+	}
+	return sb.String()
+}
+
+// TestFederationRoundTripByteIdentical pins the wire contract: a registry
+// exposition parsed with ParseProm and re-rendered with WriteFams is
+// byte-identical to the original WriteProm text.
+func TestFederationRoundTripByteIdentical(t *testing.T) {
+	r := NewRegistry()
+	workload(r, 57)
+	var orig strings.Builder
+	if err := r.WriteProm(&orig); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseProm(strings.NewReader(orig.String()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	if got := promText(t, fams); got != orig.String() {
+		t.Errorf("round trip diverged:\n--- WriteProm ---\n%s--- WriteFams ---\n%s", orig.String(), got)
+	}
+}
+
+// TestDiffMergePartitionIdentity is the federation arithmetic tentpole in
+// miniature: splitting one run into two leased stretches, diffing each
+// against its start mark, and merging the deltas must reproduce the
+// whole-run exposition byte-for-byte — histograms included, whose sums
+// diff and merge on integer-nanosecond accumulators.
+func TestDiffMergePartitionIdentity(t *testing.T) {
+	whole := NewRegistry()
+	workload(whole, 40)
+	workload(whole, 23)
+	want, err := RegistryFams(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	split := NewRegistry()
+	mark0, err := RegistryFams(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(split, 40)
+	mark1, err := RegistryFams(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(split, 23)
+	mark2, err := RegistryFams(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := make(Fams)
+	MergeFams(merged, DiffFams(mark1, mark0))
+	MergeFams(merged, DiffFams(mark2, mark1))
+
+	// Gauges are last-write-wins in a registry but add under MergeFams
+	// (fleet semantics); for the identity check compare on the counter and
+	// histogram families, which are the federated surface.
+	delete(merged, "inflight")
+	delete(want, "inflight")
+	if got, wantText := promText(t, merged), promText(t, want); got != wantText {
+		t.Errorf("merged deltas diverged from whole run:\n--- whole ---\n%s--- merged ---\n%s", wantText, got)
+	}
+}
+
+// TestDiffFamsDropsNothingNew covers the boundary rules: series absent
+// from before subtract zero, families absent from after are dropped.
+func TestDiffFamsDropsNothingNew(t *testing.T) {
+	before := NewRegistry()
+	before.Counter("old_total", "old").Add(5)
+	b, err := RegistryFams(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := NewRegistry()
+	after.Counter("new_total", "new").Add(7)
+	a, err := RegistryFams(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := DiffFams(a, b)
+	if delta["old_total"] != nil {
+		t.Error("family absent from after survived the diff")
+	}
+	if got := delta["new_total"].Samples[""]; got != 7 {
+		t.Errorf("new series delta = %v, want 7", got)
+	}
+}
+
+// TestFamsWithLabelCanonical checks the shard-stamping relabel: the
+// injected pair lands sorted among existing labels with canonical
+// escaping, and histogram bucket keys keep their le pair.
+func TestFamsWithLabelCanonical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", "zone", `we"ird\z`).Inc()
+	r.Histogram("h_seconds", "h", []float64{1}, "stage", "dl").Observe(0.5)
+	fams, err := RegistryFams(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FamsWithLabel(fams, "shard", "3/4")
+	cKey := LabelString("shard", "3/4", "zone", `we"ird\z`)
+	if _, ok := out["c_total"].Samples[cKey]; !ok {
+		t.Errorf("relabeled counter key missing; have %v", keysOf(out["c_total"].Samples))
+	}
+	hKey := LabelString("shard", "3/4", "stage", "dl")
+	if _, ok := out["h_seconds"].Counts[hKey]; !ok {
+		t.Errorf("relabeled histogram count key missing; have %v", keysOf(out["h_seconds"].Counts))
+	}
+	found := false
+	for k := range out["h_seconds"].Buckets {
+		if strings.Contains(k, `le="1"`) && strings.Contains(k, `shard="3/4"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relabeled bucket keys lost le or shard: %v", keysOf(out["h_seconds"].Buckets))
+	}
+}
+
+func keysOf(m map[string]float64) []string {
+	return sortedKeys(m)
+}
+
+// TestParseLabelPairsErrors pins the malformed-label failure modes.
+func TestParseLabelPairsErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noequals",
+		`k=unquoted`,
+		`k="unterminated`,
+		`k="v" extra`,
+	} {
+		if _, err := ParseLabelPairs(bad); err == nil {
+			t.Errorf("ParseLabelPairs(%q) succeeded, want error", bad)
+		}
+	}
+	pairs, err := ParseLabelPairs(`b="2",a="x\"y\\z\n"`)
+	if err != nil {
+		t.Fatalf("ParseLabelPairs: %v", err)
+	}
+	if len(pairs) != 2 || pairs[1][1] != "x\"y\\z\n" {
+		t.Errorf("unexpected pairs: %v", pairs)
+	}
+}
+
+// FuzzParseProm hammers the exposition parser — the one surface that
+// consumes bytes from another process. Invariants: no panic on arbitrary
+// input, and for any input that parses, WriteFams∘ParseProm is a
+// canonicalisation fixpoint (a second round trip is byte-identical).
+func FuzzParseProm(f *testing.F) {
+	r := NewRegistry()
+	workload(r, 11)
+	var sb strings.Builder
+	_ = r.WriteProm(&sb)
+	f.Add(sb.String())
+	f.Add("# HELP a_total counts\n# TYPE a_total counter\na_total{x=\"1\"} 4\n")
+	f.Add("h_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.75\nh_count 2\n")
+	f.Add("weird{a=\"quote \\\" brace } comma ,\"} 1\n")
+	f.Add("bare 1e3\nnolabels_total 0\n")
+	f.Add("# garbage comment\nbroken{ 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		fams, err := ParseProm(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var w1 strings.Builder
+		if err := WriteFams(&w1, fams); err != nil {
+			t.Fatalf("WriteFams on parsed input: %v", err)
+		}
+		again, err := ParseProm(strings.NewReader(w1.String()))
+		if err != nil {
+			t.Fatalf("re-parse of canonical output failed: %v\noutput:\n%s", err, w1.String())
+		}
+		var w2 strings.Builder
+		if err := WriteFams(&w2, again); err != nil {
+			t.Fatalf("WriteFams on re-parse: %v", err)
+		}
+		if w1.String() != w2.String() {
+			t.Fatalf("canonicalisation not a fixpoint:\n--- first ---\n%s--- second ---\n%s", w1.String(), w2.String())
+		}
+		// Relabeling arbitrary parsed input must never panic either.
+		_ = FamsWithLabel(fams, "shard", "0/1")
+	})
+}

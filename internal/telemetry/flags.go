@@ -26,6 +26,12 @@ type Flags struct {
 	TraceOut   string
 	Wallclock  bool
 
+	// FleetTraceURL marks this process as one shard of a federated run:
+	// the debug server's /trace answers 404 pointing at the coordinator's
+	// stitched export instead of a misleading partial trace. Set by the
+	// binary (not a flag) once it knows it is running as a worker.
+	FleetTraceURL string
+
 	hub    *Hub
 	server *Server
 }
@@ -70,7 +76,7 @@ func (f *Flags) Start() error {
 	if f.Addr == "" || f.hub == nil {
 		return nil
 	}
-	srv, err := Serve(f.Addr, f.hub)
+	srv, err := ServeOpts(f.Addr, f.hub, HandlerOptions{FleetTraceURL: f.FleetTraceURL})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,498 @@
+// Package fleet is the cross-process observability plane for the sharded
+// scan: it federates per-worker metrics registries into one fleet view,
+// stitches per-APK traces from every shard into a single JSONL export,
+// and assembles the live status document behind GET /fleet/status.
+//
+// The determinism discipline extends across processes. The fleet trace id
+// is derived from the run seed alone; the rollup is the sum of
+// per-partition registry *deltas* (each accepted exactly once, with its
+// /v1/result payload), combined with integer-exact arithmetic — so two
+// same-seed runs produce byte-identical rollups and stitched traces no
+// matter how many shards or workers the corpus was spread over. Live
+// per-worker scrapes and final-flush snapshots feed the status surface
+// only; they never enter the rollup, which is how a killed worker's
+// partial counters can't double-count after its partition is re-leased.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TraceID derives the deterministic fleet trace id for a run seed. Every
+// process in the run — coordinator and workers alike — addresses the same
+// fleet trace through this id, and per-APK trace ids are prefixed with it
+// (`<fleet-id>/apk:<pkg>`), which is what lets spans recorded by
+// different OS processes stitch into one export.
+func TraceID(seed int64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	return fmt.Sprintf("fleet-%016x", h.Sum64())
+}
+
+// Pipeline metric families the status surface reads. These names are the
+// public /metrics wire format (registered in internal/pipeline and
+// internal/retry's mirror); the fleet plane consumes them like any other
+// scraper would.
+const (
+	famStageItems   = "pipeline_stage_items_total"
+	famStageQuar    = "pipeline_stage_quarantined_total"
+	famStageLatency = "pipeline_stage_latency_seconds"
+	famCache        = "pipeline_cache_total"
+	famRetries      = "retry_retries_total"
+)
+
+// famSnapshots counts every snapshot the federator ingests, by source:
+// result (per-partition delta with an accepted /v1/result), scrape (live
+// /metrics pull), final (graceful-shutdown flush).
+const famSnapshots = "fleet_snapshot_total"
+
+// Config parameterises a Federator.
+type Config struct {
+	// Hub receives the federator's own metric families (fleet_snapshot_total).
+	Hub *telemetry.Hub
+	// Now is the staleness/scrape clock (nil = time.Now); injectable so
+	// tests steer it like the coordinator's lease clock.
+	Now func() time.Time
+	// Client performs live /metrics scrapes (nil = 5s-timeout default).
+	Client *http.Client
+	// ScrapeGap is the minimum interval between scrape sweeps; /fleet/*
+	// requests arriving faster than this reuse the previous scrape
+	// (0 = 2s). Scrapes happen on demand — the federator runs no
+	// background timers.
+	ScrapeGap time.Duration
+	// TraceID is the run's fleet trace id (TraceID(seed)). Span lines
+	// submitted under this exact id are control-plane spans and are kept
+	// out of the deterministic per-APK export.
+	TraceID string
+}
+
+// partitionData is one accepted partition's contribution: the registry
+// delta its run added to the worker's hub, and the spans it recorded.
+type partitionData struct {
+	worker   string
+	fams     telemetry.Fams
+	apkSpans []telemetry.SpanLine
+	ctl      []telemetry.SpanLine
+	wall     time.Duration
+}
+
+// workerData is the live (non-rollup) view of one worker process.
+type workerData struct {
+	metricsURL string
+	lastSeen   time.Time
+	fams       telemetry.Fams // cumulative, from scrape or final flush
+	scrapeErr  string
+	finalFlush bool
+}
+
+// Federator accumulates snapshots and serves the merged views. All
+// methods are safe for concurrent use.
+type Federator struct {
+	cfg                               Config
+	now                               func() time.Time
+	client                            *http.Client
+	snapResult, snapScrape, snapFinal *telemetry.Counter
+
+	mu         sync.Mutex
+	partitions map[int]*partitionData
+	workers    map[string]*workerData
+	lastScrape time.Time
+	scraped    bool
+}
+
+// New builds a Federator.
+func New(cfg Config) *Federator {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.ScrapeGap <= 0 {
+		cfg.ScrapeGap = 2 * time.Second
+	}
+	snap := func(source string) *telemetry.Counter {
+		return cfg.Hub.Counter(famSnapshots, "worker registry snapshots ingested, by source", "source", source)
+	}
+	return &Federator{
+		cfg:        cfg,
+		now:        now,
+		client:     client,
+		snapResult: snap("result"),
+		snapScrape: snap("scrape"),
+		snapFinal:  snap("final"),
+		partitions: make(map[int]*partitionData),
+		workers:    make(map[string]*workerData),
+	}
+}
+
+// AcceptResult ingests the metrics delta and trace spans a worker
+// submitted alongside an accepted /v1/result. Call it only for accepted
+// results — the lease check upstream is what makes the rollup
+// exactly-once. Span lines on the fleet trace id itself are control-plane
+// spans and are routed to the control view, not the per-APK export.
+func (f *Federator) AcceptResult(partition int, worker string, prom, trace []byte, wall time.Duration) error {
+	fams, err := telemetry.ParseProm(bytes.NewReader(prom))
+	if err != nil {
+		return fmt.Errorf("fleet: partition %d metrics: %w", partition, err)
+	}
+	lines, err := telemetry.ParseTraceJSONL(bytes.NewReader(trace))
+	if err != nil {
+		return fmt.Errorf("fleet: partition %d trace: %w", partition, err)
+	}
+	pd := &partitionData{worker: worker, fams: fams, wall: wall}
+	for _, line := range lines {
+		if line.Trace == f.cfg.TraceID {
+			pd.ctl = append(pd.ctl, line)
+		} else {
+			pd.apkSpans = append(pd.apkSpans, line)
+		}
+	}
+	f.mu.Lock()
+	f.partitions[partition] = pd
+	f.mu.Unlock()
+	f.snapResult.Inc()
+	return nil
+}
+
+// RegisterWorker records (or refreshes) a worker's live /metrics URL and
+// marks it seen. Workers re-announce the URL on every lease request, so
+// restarts re-register naturally.
+func (f *Federator) RegisterWorker(name, metricsURL string) {
+	if name == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wd := f.workers[name]
+	if wd == nil {
+		wd = &workerData{}
+		f.workers[name] = wd
+	}
+	if metricsURL != "" {
+		wd.metricsURL = metricsURL
+	}
+	wd.lastSeen = f.now()
+}
+
+// Heartbeat marks a worker seen (renewals, result posts).
+func (f *Federator) Heartbeat(name string) { f.RegisterWorker(name, "") }
+
+// FinalFlush ingests the cumulative registry snapshot a worker pushes on
+// graceful shutdown. It feeds the live worker view only — the rollup is
+// built from per-partition deltas, so a final flush can never
+// double-count work that was already accepted.
+func (f *Federator) FinalFlush(worker string, prom []byte) error {
+	fams, err := telemetry.ParseProm(bytes.NewReader(prom))
+	if err != nil {
+		return fmt.Errorf("fleet: final snapshot from %s: %w", worker, err)
+	}
+	f.mu.Lock()
+	wd := f.workers[worker]
+	if wd == nil {
+		wd = &workerData{}
+		f.workers[worker] = wd
+	}
+	wd.fams = fams
+	wd.lastSeen = f.now()
+	wd.finalFlush = true
+	f.mu.Unlock()
+	f.snapFinal.Inc()
+	return nil
+}
+
+// Scrape pulls /metrics from every registered worker, rate-limited by
+// ScrapeGap. It is called on demand when a /fleet/* view is requested;
+// failures are recorded per worker and surfaced in the status document
+// rather than failing the request.
+func (f *Federator) Scrape(ctx context.Context) {
+	f.mu.Lock()
+	if f.scraped && f.now().Sub(f.lastScrape) < f.cfg.ScrapeGap {
+		f.mu.Unlock()
+		return
+	}
+	f.lastScrape = f.now()
+	f.scraped = true
+	type target struct{ name, url string }
+	var targets []target
+	for name, wd := range f.workers {
+		if wd.metricsURL != "" && !wd.finalFlush {
+			targets = append(targets, target{name, wd.metricsURL})
+		}
+	}
+	f.mu.Unlock()
+
+	for _, t := range targets {
+		fams, err := f.scrapeOne(ctx, t.url)
+		f.mu.Lock()
+		if wd := f.workers[t.name]; wd != nil {
+			if err != nil {
+				wd.scrapeErr = err.Error()
+			} else {
+				wd.scrapeErr = ""
+				wd.fams = fams
+			}
+		}
+		f.mu.Unlock()
+		if err == nil {
+			f.snapScrape.Inc()
+		}
+	}
+}
+
+func (f *Federator) scrapeOne(ctx context.Context, url string) (telemetry.Fams, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return telemetry.ParseProm(io.LimitReader(resp.Body, 64<<20))
+}
+
+// Rollup merges every accepted partition delta into one exposition — the
+// deterministic fleet totals. Partitions merge in index order; the
+// arithmetic is commutative, the order just keeps iteration observable.
+func (f *Federator) Rollup() telemetry.Fams {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rollupLocked()
+}
+
+func (f *Federator) rollupLocked() telemetry.Fams {
+	rollup := make(telemetry.Fams)
+	for _, p := range f.partitionOrder() {
+		telemetry.MergeFams(rollup, f.partitions[p].fams)
+	}
+	return rollup
+}
+
+func (f *Federator) partitionOrder() []int {
+	parts := make([]int, 0, len(f.partitions))
+	for p := range f.partitions {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// FleetFams builds the full federated exposition: every accepted
+// partition's delta labeled shard="<index>", plus the rollup labeled
+// shard="fleet" — so `fleet == Σ shards` holds series-wise for every
+// counter family and is checkable straight off /fleet/metrics.
+func (f *Federator) FleetFams() telemetry.Fams {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fleet := make(telemetry.Fams)
+	for _, p := range f.partitionOrder() {
+		telemetry.MergeFams(fleet, telemetry.FamsWithLabel(f.partitions[p].fams, "shard", strconv.Itoa(p)))
+	}
+	telemetry.MergeFams(fleet, telemetry.FamsWithLabel(f.rollupLocked(), "shard", "fleet"))
+	return fleet
+}
+
+// WriteRollupProm writes the deterministic rollup as Prometheus text —
+// the byte-identity surface the fleet determinism test asserts.
+func (f *Federator) WriteRollupProm(w io.Writer) error {
+	return telemetry.WriteFams(w, f.Rollup())
+}
+
+// WriteFleetProm writes the shard-labeled + rollup exposition.
+func (f *Federator) WriteFleetProm(w io.Writer) error {
+	return telemetry.WriteFams(w, f.FleetFams())
+}
+
+// WriteFleetJSON writes the same exposition as structured JSON, keyed by
+// family name.
+func (f *Federator) WriteFleetJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.FleetFams())
+}
+
+// WriteTraceJSONL writes the stitched fleet-wide per-APK trace: every
+// span every shard recorded, grouped by trace id in sorted order. The
+// topology-dependent control spans (partition and run spans on the fleet
+// trace id) are deliberately excluded — they live in the control view —
+// so this export is byte-identical for the same seed at any shard/worker
+// count.
+func (f *Federator) WriteTraceJSONL(w io.Writer) error {
+	f.mu.Lock()
+	var lines []telemetry.SpanLine
+	for _, p := range f.partitionOrder() {
+		lines = append(lines, f.partitions[p].apkSpans...)
+	}
+	f.mu.Unlock()
+	return telemetry.WriteTraceJSONL(w, lines)
+}
+
+// ControlSpans returns the fleet-trace control spans workers submitted
+// (their per-partition run spans), for merging with the coordinator's own
+// partition spans into the control-trace view.
+func (f *Federator) ControlSpans() []telemetry.SpanLine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var lines []telemetry.SpanLine
+	for _, p := range f.partitionOrder() {
+		lines = append(lines, f.partitions[p].ctl...)
+	}
+	return lines
+}
+
+// Counts are the headline pipeline counters extracted from an exposition.
+type Counts struct {
+	APKs        int64 `json:"apks"`
+	CacheHits   int64 `json:"cacheHits"`
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+func countsOf(fams telemetry.Fams) Counts {
+	return Counts{
+		APKs:        counterSeries(fams, famStageItems, telemetry.LabelString("stage", "download", "dir", "out")),
+		CacheHits:   counterSeries(fams, famCache, telemetry.LabelString("result", "hit")),
+		Retries:     counterTotal(fams, famRetries),
+		Quarantined: counterTotal(fams, famStageQuar),
+	}
+}
+
+// RollupCounts extracts the fleet-wide headline counters.
+func (f *Federator) RollupCounts() Counts { return countsOf(f.Rollup()) }
+
+// PartitionCounts extracts one accepted partition's headline counters,
+// the worker that completed it, and the coordinator-measured wall time.
+func (f *Federator) PartitionCounts(partition int) (c Counts, worker string, wall time.Duration, ok bool) {
+	f.mu.Lock()
+	pd := f.partitions[partition]
+	f.mu.Unlock()
+	if pd == nil {
+		return Counts{}, "", 0, false
+	}
+	return countsOf(pd.fams), pd.worker, pd.wall, true
+}
+
+// WorkerCounts extracts a worker's live headline counters from its latest
+// scraped or flushed snapshot. ok reports whether any snapshot exists.
+func (f *Federator) WorkerCounts(name string) (Counts, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wd := f.workers[name]
+	if wd == nil || wd.fams == nil {
+		return Counts{}, false
+	}
+	return countsOf(wd.fams), true
+}
+
+// WorkerInfo is the live view of one worker process.
+type WorkerInfo struct {
+	Name       string
+	MetricsURL string
+	LastSeen   time.Time
+	ScrapeErr  string
+	Flushed    bool
+}
+
+// Workers lists registered workers sorted by name.
+func (f *Federator) Workers() []WorkerInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	infos := make([]WorkerInfo, 0, len(f.workers))
+	for name, wd := range f.workers {
+		infos = append(infos, WorkerInfo{
+			Name: name, MetricsURL: wd.metricsURL, LastSeen: wd.lastSeen,
+			ScrapeErr: wd.scrapeErr, Flushed: wd.finalFlush,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// StageQuantiles estimates p50/p95/p99 per-item latency per pipeline
+// stage from the rollup's fixed-bucket histograms.
+func (f *Federator) StageQuantiles() map[string]Quantiles {
+	return StageQuantiles(f.Rollup())
+}
+
+// StageQuantiles extracts per-stage latency quantiles from any exposition
+// carrying pipeline_stage_latency_seconds.
+func StageQuantiles(fams telemetry.Fams) map[string]Quantiles {
+	fam := fams[famStageLatency]
+	if fam == nil {
+		return nil
+	}
+	out := make(map[string]Quantiles)
+	for _, stage := range []string{"metadata", "download", "analyze", "lint", "urls"} {
+		series := telemetry.LabelString("stage", stage)
+		q, ok := QuantilesOf(fam, series)
+		if ok {
+			out[stage] = q
+		}
+	}
+	return out
+}
+
+// Quantiles is one latency distribution summarised at the conventional
+// operator percentiles.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// QuantilesOf summarises one histogram series. ok reports whether the
+// series exists and is non-empty.
+func QuantilesOf(fam *telemetry.PromFamily, series string) (Quantiles, bool) {
+	p50, ok1 := fam.Quantile(series, 0.50)
+	p95, ok2 := fam.Quantile(series, 0.95)
+	p99, ok3 := fam.Quantile(series, 0.99)
+	if !ok1 || !ok2 || !ok3 {
+		return Quantiles{}, false
+	}
+	return Quantiles{P50: p50, P95: p95, P99: p99}, true
+}
+
+// counterTotal sums every series of a counter family.
+func counterTotal(fams telemetry.Fams, name string) int64 {
+	fam := fams[name]
+	if fam == nil {
+		return 0
+	}
+	var total float64
+	for _, v := range fam.Samples {
+		total += v
+	}
+	return int64(total)
+}
+
+// counterSeries reads one series of a counter family by its canonical
+// label set.
+func counterSeries(fams telemetry.Fams, name, series string) int64 {
+	fam := fams[name]
+	if fam == nil {
+		return 0
+	}
+	return int64(fam.Samples[series])
+}

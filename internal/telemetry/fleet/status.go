@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PartitionStatus is one partition's row in the status document.
+type PartitionStatus struct {
+	Partition int    `json:"partition"`
+	Tag       string `json:"tag"`
+	State     string `json:"state"` // pending | leased | done
+	Worker    string `json:"worker,omitempty"`
+	// LeaseExpiresInS / RenewAgeS describe a live lease.
+	LeaseExpiresInS float64 `json:"leaseExpiresInS,omitempty"`
+	RenewAgeS       float64 `json:"renewAgeS,omitempty"`
+	// APKs / WallS / APKsPerSec describe a completed partition.
+	APKs       int64   `json:"apks,omitempty"`
+	WallS      float64 `json:"wallS,omitempty"`
+	APKsPerSec float64 `json:"apksPerSec,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the status document. Staleness is
+// measured from the worker's last control-plane contact; a worker silent
+// for longer than the lease TTL is flagged stale — by then any lease it
+// held has been re-issued.
+type WorkerStatus struct {
+	Name         string  `json:"name"`
+	MetricsURL   string  `json:"metricsUrl,omitempty"`
+	LastSeenAgoS float64 `json:"lastSeenAgoS"`
+	Stale        bool    `json:"stale,omitempty"`
+	Flushed      bool    `json:"flushed,omitempty"`
+	ScrapeErr    string  `json:"scrapeErr,omitempty"`
+	APKs         int64   `json:"apks,omitempty"`
+}
+
+// StatusDoc is the GET /fleet/status payload: the coordinator's ledger,
+// the federated counters, and the derived progress estimates, in one
+// document an operator (or the -fleet-status subcommand) can render.
+type StatusDoc struct {
+	Shards       int                  `json:"shards"`
+	Seed         int64                `json:"seed"`
+	TraceID      string               `json:"traceId,omitempty"`
+	CorpusSize   int                  `json:"corpusSize,omitempty"`
+	Done         int                  `json:"done"`
+	Leased       int                  `json:"leased"`
+	Pending      int                  `json:"pending"`
+	Finished     bool                 `json:"finished"`
+	Fleet        Counts               `json:"fleet"`
+	APKsPerSec   float64              `json:"apksPerSec,omitempty"`
+	ElapsedS     float64              `json:"elapsedS,omitempty"`
+	ETASeconds   float64              `json:"etaSeconds,omitempty"`
+	StageLatency map[string]Quantiles `json:"stageLatency,omitempty"`
+	Partitions   []PartitionStatus    `json:"partitions"`
+	Workers      []WorkerStatus       `json:"workers,omitempty"`
+}
+
+// RenderStatus writes the human-readable form of a status document — the
+// text `staticscan -fleet-status` prints.
+func RenderStatus(w io.Writer, d *StatusDoc) error {
+	var sb strings.Builder
+	state := "running"
+	if d.Finished {
+		state = "finished"
+	}
+	fmt.Fprintf(&sb, "fleet %s · %d/%d partitions done · %d leased · %d pending\n",
+		state, d.Done, d.Shards, d.Leased, d.Pending)
+	fmt.Fprintf(&sb, "scan: %d apks", d.Fleet.APKs)
+	if d.CorpusSize > 0 {
+		fmt.Fprintf(&sb, " of %d corpus entries", d.CorpusSize)
+	}
+	if d.APKsPerSec > 0 {
+		fmt.Fprintf(&sb, " · %.1f apks/s", d.APKsPerSec)
+	}
+	if d.ElapsedS > 0 {
+		fmt.Fprintf(&sb, " · elapsed %s", renderDur(d.ElapsedS))
+	}
+	if d.ETASeconds > 0 && !d.Finished {
+		fmt.Fprintf(&sb, " · eta %s", renderDur(d.ETASeconds))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "health: cache hits %d · retries %d · quarantined %d\n",
+		d.Fleet.CacheHits, d.Fleet.Retries, d.Fleet.Quarantined)
+
+	if len(d.StageLatency) > 0 {
+		stages := make([]string, 0, len(d.StageLatency))
+		for s := range d.StageLatency {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		sb.WriteString("stage latency p50/p95/p99:")
+		for _, s := range stages {
+			q := d.StageLatency[s]
+			fmt.Fprintf(&sb, " %s %.3fs/%.3fs/%.3fs", s, q.P50, q.P95, q.P99)
+		}
+		sb.WriteByte('\n')
+	}
+
+	sb.WriteString("partitions:\n")
+	for _, p := range d.Partitions {
+		fmt.Fprintf(&sb, "  %3d  %-7s", p.Partition, p.State)
+		switch p.State {
+		case "done":
+			fmt.Fprintf(&sb, " %-20s apks %-6d", p.Worker, p.APKs)
+			if p.WallS > 0 {
+				fmt.Fprintf(&sb, " wall %-8s", renderDur(p.WallS))
+			}
+			if p.APKsPerSec > 0 {
+				fmt.Fprintf(&sb, " %.1f apks/s", p.APKsPerSec)
+			}
+		case "leased":
+			fmt.Fprintf(&sb, " %-20s lease expires in %s", p.Worker, renderDur(p.LeaseExpiresInS))
+			if p.RenewAgeS > 0 {
+				fmt.Fprintf(&sb, " · renewed %s ago", renderDur(p.RenewAgeS))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+
+	if len(d.Workers) > 0 {
+		sb.WriteString("workers:\n")
+		for _, wk := range d.Workers {
+			fmt.Fprintf(&sb, "  %-20s last seen %s ago", wk.Name, renderDur(wk.LastSeenAgoS))
+			if wk.APKs > 0 {
+				fmt.Fprintf(&sb, " · %d apks", wk.APKs)
+			}
+			if wk.Stale {
+				sb.WriteString(" [STALE]")
+			}
+			if wk.Flushed {
+				sb.WriteString(" [flushed]")
+			}
+			if wk.ScrapeErr != "" {
+				fmt.Fprintf(&sb, " [scrape error: %s]", wk.ScrapeErr)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// renderDur formats a duration in seconds at operator granularity.
+func renderDur(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Minute).String()
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -101,11 +101,34 @@ func parsePromSample(line string) (name, labels string, value float64, err error
 		}
 		name, rest = fields[0], fields[1]
 	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name in %q", line)
+	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 	if err != nil {
 		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
 	}
 	return name, labels, v, nil
+}
+
+// validMetricName enforces the Prometheus metric-name charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). Accepting looser names would break the
+// federation round trip: a name with spaces (or an empty one) renders
+// into a line that cannot be re-parsed.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // closingBrace finds the index of the '}' matching the '{' at open,

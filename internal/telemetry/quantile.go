@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+)
+
+// HistogramQuantile estimates the q-quantile (0 ≤ q ≤ 1) of a fixed-bucket
+// histogram from its cumulative bucket counts, Prometheus
+// histogram_quantile style: find the bucket the target rank falls in and
+// interpolate linearly within it. bounds are the ascending upper bucket
+// bounds and cumulative the matching cumulative counts; both must include
+// the +Inf bucket last. Ranks landing in the +Inf bucket clamp to the
+// highest finite bound (the honest answer for an unbounded bucket), and
+// ranks in the first bucket interpolate from zero. Reports false for an
+// empty histogram or malformed inputs.
+func HistogramQuantile(q float64, bounds, cumulative []float64) (float64, bool) {
+	if len(bounds) == 0 || len(bounds) != len(cumulative) || q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, false
+	}
+	total := cumulative[len(cumulative)-1]
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	idx := sort.Search(len(cumulative), func(i int) bool { return cumulative[i] >= rank })
+	if idx == len(cumulative) {
+		idx = len(cumulative) - 1
+	}
+	if math.IsInf(bounds[idx], 1) {
+		// The tail bucket has no upper edge; the best defensible point
+		// estimate is the largest finite bound.
+		for i := idx - 1; i >= 0; i-- {
+			if !math.IsInf(bounds[i], 1) {
+				return bounds[i], true
+			}
+		}
+		return 0, false
+	}
+	var lower, below float64
+	if idx > 0 {
+		lower = bounds[idx-1]
+		below = cumulative[idx-1]
+	}
+	inBucket := cumulative[idx] - below
+	if inBucket <= 0 {
+		return bounds[idx], true
+	}
+	return lower + (bounds[idx]-lower)*(rank-below)/inBucket, true
+}
+
+// Quantile estimates the q-quantile of one histogram series in a parsed
+// family, identified by its rendered label set without the "le" pair (""
+// for an unlabeled histogram). Reports false when the series is missing
+// or empty.
+func (f *PromFamily) Quantile(series string, q float64) (float64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	type bkt struct {
+		le    float64
+		count float64
+	}
+	var bkts []bkt
+	for bk, v := range f.Buckets {
+		rest, le, ok := splitLe(bk)
+		if !ok || rest != series {
+			continue
+		}
+		bkts = append(bkts, bkt{le: le, count: v})
+	}
+	if len(bkts) == 0 {
+		return 0, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	bounds := make([]float64, len(bkts))
+	cumulative := make([]float64, len(bkts))
+	for i, b := range bkts {
+		bounds[i] = b.le
+		cumulative[i] = b.count
+	}
+	return HistogramQuantile(q, bounds, cumulative)
+}
+
+// Quantile estimates the q-quantile of a live histogram from its current
+// bucket counts. Reports false on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	bounds := make([]float64, 0, len(h.bounds)+1)
+	cumulative := make([]float64, 0, len(h.bounds)+1)
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		if i < len(h.bounds) {
+			bounds = append(bounds, h.bounds[i])
+		} else {
+			bounds = append(bounds, math.Inf(1))
+		}
+		cumulative = append(cumulative, float64(running))
+	}
+	return HistogramQuantile(q, bounds, cumulative)
+}

@@ -11,6 +11,15 @@ import (
 	"time"
 )
 
+// HandlerOptions adjusts how the debug mux is assembled.
+type HandlerOptions struct {
+	// FleetTraceURL, when set, marks this process as one shard of a
+	// federated fleet: /trace answers 404 pointing operators at the
+	// coordinator's stitched /fleet/trace instead of serving a partial,
+	// single-shard span export that reads like the whole story.
+	FleetTraceURL string
+}
+
 // Handler builds the debug mux for a hub:
 //
 //	/metrics        Prometheus text exposition
@@ -22,6 +31,11 @@ import (
 // The handler is safe to serve while a run is mutating the hub: metric
 // reads are atomic and trace export copies under the trace locks.
 func Handler(h *Hub) http.Handler {
+	return NewHandler(h, HandlerOptions{})
+}
+
+// NewHandler is Handler with options.
+func NewHandler(h *Hub, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -36,6 +50,12 @@ func Handler(h *Hub) http.Handler {
 		h.Registry().WriteJSON(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.FleetTraceURL != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintf(w, "this process is one shard of a federated run; its local trace is partial.\nfetch the stitched fleet trace from %s\n", opts.FleetTraceURL)
+			return
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 		h.Tracer().WriteJSONL(w)
 	})
@@ -67,6 +87,11 @@ const drainTimeout = 5 * time.Second
 // The server carries header/write/idle timeouts and a header-size cap so a
 // slow or hostile scraper cannot wedge a measurement run.
 func Serve(addr string, h *Hub) (*Server, error) {
+	return ServeOpts(addr, h, HandlerOptions{})
+}
+
+// ServeOpts is Serve with handler options.
+func ServeOpts(addr string, h *Hub, opts HandlerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
@@ -75,7 +100,7 @@ func Serve(addr string, h *Hub) (*Server, error) {
 		Addr: ln.Addr().String(),
 		ln:   ln,
 		srv: &http.Server{
-			Handler:           Handler(h),
+			Handler:           NewHandler(h, opts),
 			ReadHeaderTimeout: 5 * time.Second,
 			ReadTimeout:       15 * time.Second,
 			WriteTimeout:      30 * time.Second,

@@ -156,9 +156,10 @@ func (sp *Span) End() time.Duration {
 	return d
 }
 
-// spanJSON is the exported JSONL line for one span. Field order is the
-// schema; attrs marshal with sorted keys, so output is byte-stable.
-type spanJSON struct {
+// SpanLine is the exported JSONL line for one span — the wire schema the
+// trace endpoints speak and the fleet stitcher re-parses. Field order is
+// the schema; attrs marshal with sorted keys, so output is byte-stable.
+type SpanLine struct {
 	Trace   string            `json:"trace"`
 	Span    string            `json:"span"`
 	Parent  string            `json:"parent,omitempty"`
@@ -171,6 +172,31 @@ type spanJSON struct {
 // WriteJSONL exports every finished span, one JSON object per line:
 // traces in sorted id order, spans in completion order within each trace.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return t.WriteJSONLSince(w, nil)
+}
+
+// Mark snapshots how many spans each trace currently holds. Pair with
+// WriteJSONLSince to export only the spans one bounded stretch of work
+// (a leased partition) appended to a long-lived tracer.
+func (t *Tracer) Mark() map[string]int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mark := make(map[string]int, len(t.traces))
+	for id, tr := range t.traces {
+		tr.mu.Lock()
+		mark[id] = len(tr.spans)
+		tr.mu.Unlock()
+	}
+	return mark
+}
+
+// WriteJSONLSince exports every finished span appended after mark (all
+// spans when mark is nil), in WriteJSONL's order: traces sorted by id,
+// spans in completion order within each trace.
+func (t *Tracer) WriteJSONLSince(w io.Writer, mark map[string]int) error {
 	if t == nil {
 		return nil
 	}
@@ -188,15 +214,64 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 
 	enc := json.NewEncoder(w)
 	for i, tr := range traces {
+		skip := mark[ids[i]]
 		tr.mu.Lock()
-		spans := make([]spanRecord, len(tr.spans))
-		copy(spans, tr.spans)
+		var spans []spanRecord
+		if skip < len(tr.spans) {
+			spans = make([]spanRecord, len(tr.spans)-skip)
+			copy(spans, tr.spans[skip:])
+		}
 		tr.mu.Unlock()
 		for _, rec := range spans {
-			line := spanJSON{
+			line := SpanLine{
 				Trace: ids[i], Span: rec.name, Parent: rec.parent,
 				Seq: rec.seq, StartUS: rec.startUS, DurUS: rec.durUS, Attrs: rec.attrs,
 			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParseTraceJSONL decodes a JSONL span export back into lines, in input
+// order. Blank lines are skipped; a malformed line fails the parse.
+func ParseTraceJSONL(r io.Reader) ([]SpanLine, error) {
+	dec := json.NewDecoder(r)
+	var lines []SpanLine
+	for {
+		var line SpanLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return lines, nil
+			}
+			return nil, err
+		}
+		lines = append(lines, line)
+	}
+}
+
+// WriteTraceJSONL stitches span lines gathered from many processes into
+// one canonical export: traces sorted by id, spans within a trace ordered
+// by sequence number (the per-trace order the emitting process assigned),
+// one JSON object per line — the same layout WriteJSONL produces, so a
+// stitched fleet trace is byte-comparable with a single-process one.
+func WriteTraceJSONL(w io.Writer, lines []SpanLine) error {
+	byTrace := make(map[string][]SpanLine)
+	ids := make([]string, 0)
+	for _, line := range lines {
+		if _, seen := byTrace[line.Trace]; !seen {
+			ids = append(ids, line.Trace)
+		}
+		byTrace[line.Trace] = append(byTrace[line.Trace], line)
+	}
+	sort.Strings(ids)
+	enc := json.NewEncoder(w)
+	for _, id := range ids {
+		spans := byTrace[id]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+		for _, line := range spans {
 			if err := enc.Encode(line); err != nil {
 				return err
 			}
